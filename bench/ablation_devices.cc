@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Ablation: device recovery strategies (paper section 4 + 5.3).
+ *
+ * Sweeps the three strategies across both testbeds and load classes,
+ * reporting what each costs on the save and restore paths and whether
+ * the save fits the residual window. The strawman (ACPI suspend on
+ * the save path) must fail everywhere; restart-on-restore is fast but
+ * incomplete for non-PnP devices; virtualized replay recovers
+ * everything at a restore-path cost.
+ */
+
+#include "bench/bench_util.h"
+#include "core/system.h"
+
+using namespace wsp;
+
+namespace {
+
+struct Outcome
+{
+    bool saveCompleted = false;
+    double saveMs = 0.0;
+    double restoreS = 0.0;
+    bool usedWsp = false;
+    size_t replayed = 0;
+    size_t unsupported = 0;
+};
+
+Outcome
+run(DevicePolicy policy, bool intel, bool busy)
+{
+    SystemConfig config;
+    config.platform = intel ? platformIntelC5528() : platformAmd4180();
+    config.psu = intel ? psuPresetIntel1050W() : psuPresetAmd400W();
+    config.devices = intel ? deviceSetIntel() : deviceSetAmd();
+    config.nvdimm.capacityBytes = 64 * kMiB;
+    config.wsp.devicePolicy = policy;
+    config.load = busy ? LoadClass::Busy : LoadClass::Idle;
+    WspSystem system(config);
+    system.start();
+    if (busy) {
+        system.devices().startBusyAll();
+        system.runFor(fromMillis(20.0));
+    }
+    auto result = system.powerFailAndRestore(fromMillis(10.0),
+                                             fromSeconds(30.0));
+    Outcome outcome;
+    outcome.saveCompleted = result.save.has_value();
+    outcome.saveMs =
+        outcome.saveCompleted ? toMillis(result.save->duration()) : 0.0;
+    outcome.restoreS = toSeconds(result.restore.duration());
+    outcome.usedWsp = result.restore.usedWsp;
+    outcome.replayed = result.restore.deviceReport.opsReplayed;
+    outcome.unsupported = result.restore.deviceReport.devicesUnsupported;
+    return outcome;
+}
+
+} // namespace
+
+int
+main()
+{
+    Table table("Device recovery strategies across testbeds");
+    table.setHeader({"testbed", "load", "policy", "save path",
+                     "restore (s)", "recovered", "replayed",
+                     "unsupported"});
+
+    ShapeCheck check("ablation: device recovery strategies");
+    for (bool intel : {false, true}) {
+        for (bool busy : {false, true}) {
+            for (DevicePolicy policy :
+                 {DevicePolicy::AcpiSuspendOnSave,
+                  DevicePolicy::PnpRestartOnRestore,
+                  DevicePolicy::VirtualizedReplay}) {
+                const Outcome outcome = run(policy, intel, busy);
+                table.addRow({
+                    intel ? "Intel" : "AMD",
+                    busy ? "Busy" : "Idle",
+                    devicePolicyName(policy),
+                    outcome.saveCompleted
+                        ? formatDouble(outcome.saveMs, 2) + " ms"
+                        : "DIED",
+                    formatDouble(outcome.restoreS, 2),
+                    outcome.usedWsp ? "WSP" : "back end",
+                    std::to_string(outcome.replayed),
+                    std::to_string(outcome.unsupported),
+                });
+
+                const std::string tag =
+                    std::string(intel ? "Intel" : "AMD") + "/" +
+                    (busy ? "busy" : "idle") + " " +
+                    devicePolicyName(policy);
+                if (policy == DevicePolicy::AcpiSuspendOnSave) {
+                    check.expectTrue(tag + ": save cannot fit the window",
+                                     !outcome.saveCompleted);
+                    check.expectTrue(tag + ": falls back to the back end",
+                                     !outcome.usedWsp);
+                } else {
+                    check.expectTrue(tag + ": save completes",
+                                     outcome.saveCompleted);
+                    check.expectTrue(tag + ": WSP recovery",
+                                     outcome.usedWsp);
+                }
+                if (policy == DevicePolicy::PnpRestartOnRestore) {
+                    check.expectTrue(
+                        tag + ": legacy + paging devices unsupported",
+                        outcome.unsupported == 2);
+                }
+                if (policy == DevicePolicy::VirtualizedReplay && busy) {
+                    check.expectTrue(tag + ": outstanding I/O replayed",
+                                     outcome.replayed > 0);
+                }
+            }
+        }
+    }
+    table.print();
+    return bench::finish(check);
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Ablation: which flush mechanism should the save routine use?
+ *
+ * DESIGN.md design choice: the paper uses wbinvd because software
+ * cannot track dirty-line locations ("it is not practical to track
+ * the location of dirty cache lines in software"). This ablation
+ * quantifies the alternative: a clflush loop over the whole cache
+ * costs the same regardless of dirt, while a hypothetical
+ * dirty-tracking clflush would win only at low dirty ratios — and on
+ * the big 2-socket machine the full clflush walk actually beats
+ * wbinvd, matching Table 2.
+ */
+
+#include "bench/bench_util.h"
+#include "core/system.h"
+
+using namespace wsp;
+
+namespace {
+
+double
+saveTime(const PlatformSpec &spec, FlushMethod method,
+         uint64_t dirty_per_socket)
+{
+    SystemConfig config;
+    config.platform = spec;
+    config.devices.clear();
+    config.nvdimm.capacityBytes = 64 * kMiB;
+    config.wsp.flushMethod = method;
+    WspSystem system(config);
+    system.start();
+    Rng rng(3);
+    if (dirty_per_socket > 0)
+        system.machine().fillCachesDirty(dirty_per_socket, rng);
+    auto outcome = system.powerFailAndRestore(fromMillis(1.0),
+                                              fromSeconds(30.0));
+    return outcome.save ? toMillis(outcome.save->duration()) : -1.0;
+}
+
+/** Hypothetical dirty-tracking clflush: only dirty lines flushed. */
+double
+trackedClflushMs(const PlatformSpec &spec, uint64_t dirty_per_socket)
+{
+    EventQueue queue;
+    NvdimmConfig dimm_config;
+    dimm_config.capacityBytes = 64 * kMiB;
+    NvdimmModule dimm(queue, "d", dimm_config);
+    NvramSpace space;
+    space.addModule(dimm);
+    CacheModel cache("c", spec.cachePerSocket, spec.cacheTiming, space);
+    return toMillis(
+        cache.clflushLoopCost(dirty_per_socket / CacheModel::kLineSize));
+}
+
+} // namespace
+
+int
+main()
+{
+    ShapeCheck check("ablation: save-path flush mechanism");
+
+    for (const PlatformSpec &spec :
+         {platformIntelC5528(), platformAmd4180()}) {
+        Table table("Save time by flush mechanism: " + spec.name + " (ms)");
+        table.setHeader({"dirty/socket", "wbinvd", "clflush (full walk)",
+                         "clflush (tracked, hypothetical)"});
+        for (double frac : {0.01, 0.25, 0.5, 1.0}) {
+            const auto dirty = static_cast<uint64_t>(
+                frac * static_cast<double>(spec.cachePerSocket));
+            const double wbinvd =
+                saveTime(spec, FlushMethod::Wbinvd, dirty);
+            const double walk =
+                saveTime(spec, FlushMethod::ClflushLoop, dirty);
+            const double tracked = trackedClflushMs(spec, dirty);
+            table.addRow({formatDouble(100.0 * frac, 0) + "%",
+                          formatDouble(wbinvd, 3),
+                          formatDouble(walk, 3),
+                          formatDouble(tracked, 3)});
+            if (frac == 0.01) {
+                check.expectGreater(
+                    spec.name + ": tracked clflush would win when "
+                                "almost nothing is dirty",
+                    wbinvd, tracked);
+            }
+        }
+        table.print();
+        std::printf("\n");
+    }
+
+    // The full-walk-vs-wbinvd ordering differs by platform, exactly
+    // as Table 2 shows.
+    const double intel_wbinvd =
+        saveTime(platformIntelC5528(), FlushMethod::Wbinvd,
+                 platformIntelC5528().cachePerSocket);
+    const double intel_walk =
+        saveTime(platformIntelC5528(), FlushMethod::ClflushLoop,
+                 platformIntelC5528().cachePerSocket);
+    const double amd_wbinvd =
+        saveTime(platformAmd4180(), FlushMethod::Wbinvd,
+                 platformAmd4180().cachePerSocket);
+    const double amd_walk =
+        saveTime(platformAmd4180(), FlushMethod::ClflushLoop,
+                 platformAmd4180().cachePerSocket);
+    check.expectGreater("C5528: full clflush walk beats wbinvd",
+                        intel_wbinvd, intel_walk);
+    check.expectGreater("AMD 4180: wbinvd beats the clflush walk",
+                        amd_walk, amd_wbinvd);
+    std::printf("conclusion: wbinvd is the robust choice — no dirty "
+                "tracking needed, bounded by cache size, and within\n"
+                "the residual window everywhere; tracked clflush would "
+                "need hardware support that does not exist.\n\n");
+    return bench::finish(check);
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries.
+ *
+ * Every bench regenerates one table or figure: it prints the paper's
+ * rows/series, then a ShapeCheck verdict, and exits nonzero when the
+ * measured shape drifts from the paper's. Set WSP_BENCH_FULL=1 to run
+ * the paper-sized workloads (the default sizes are trimmed so the
+ * whole bench suite finishes quickly).
+ */
+
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/table.h"
+#include "util/units.h"
+
+namespace wsp::bench {
+
+/** True when WSP_BENCH_FULL=1 requests paper-sized workloads. */
+inline bool
+fullRuns()
+{
+    const char *env = std::getenv("WSP_BENCH_FULL");
+    return env != nullptr && env[0] == '1';
+}
+
+/** Monotonic wall-clock seconds. */
+inline double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Stopwatch for real-time measurements. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(nowSeconds()) {}
+    double seconds() const { return nowSeconds() - start_; }
+    void reset() { start_ = nowSeconds(); }
+
+  private:
+    double start_;
+};
+
+/** Standard bench epilogue: summarize and exit code. */
+inline int
+finish(const ShapeCheck &check)
+{
+    return check.summarize() ? 0 : 1;
+}
+
+} // namespace wsp::bench

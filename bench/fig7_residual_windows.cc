@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Figure 7: residual energy windows across PSU and load configurations.
+ *
+ * Paper (worst of 3 runs, ms):
+ *
+ *              AMD 400W   AMD 525W   Intel 750W   Intel 1050W
+ *   Busy       346        22         10           33
+ *   Idle       392        71         10           33
+ *
+ * Each configuration is measured from oscilloscope-style traces (the
+ * paper's 95%-for-250us droop rule), three runs with run-to-run
+ * jitter, worst (lowest) reported. The section-5.4 appendix check —
+ * that a <$2, 0.5 F supercapacitor holds enough energy to power a
+ * worst-case save — is verified at the end.
+ */
+
+#include <functional>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "power/load_model.h"
+#include "power/psu.h"
+#include "power/signal_tracer.h"
+#include "power/ultracapacitor.h"
+
+using namespace wsp;
+
+namespace {
+
+/** One traced measurement of a PSU's window, in ms. */
+double
+measureWindow(const PsuPreset &preset, double load_watts, uint64_t seed)
+{
+    EventQueue queue;
+    AtxPowerSupply psu(queue, preset, Rng(seed));
+    psu.setLoadWatts(load_watts);
+
+    SignalTracer tracer(queue, fromMicros(10.0));
+    tracer.addChannel("PWR_OK", [&] { return psu.pwrOk() ? 5.0 : 0.0; });
+    tracer.addChannel("12V", [&] { return psu.railVoltage(Rail::V12); });
+    tracer.start();
+
+    psu.failInputAt(fromMillis(5.0));
+    queue.runUntil(fromMillis(600.0));
+    tracer.stop();
+    queue.run();
+
+    Tick pwr_ok = 0;
+    Tick droop = 0;
+    if (!tracer.firstDroop("PWR_OK", 5.0, 0.95, fromMicros(250.0),
+                           &pwr_ok) ||
+        !tracer.firstDroop("12V", 12.0, 0.95, fromMicros(250.0),
+                           &droop)) {
+        return 0.0;
+    }
+    return toMillis(droop - pwr_ok);
+}
+
+/** Worst (lowest) of three runs, like the paper reports. */
+double
+worstOfThree(const PsuPreset &preset, double load_watts, uint64_t seed0)
+{
+    double worst = 1e18;
+    for (uint64_t run = 0; run < 3; ++run)
+        worst = std::min(worst,
+                         measureWindow(preset, load_watts, seed0 + run));
+    return worst;
+}
+
+} // namespace
+
+int
+main()
+{
+    struct Config
+    {
+        PsuPreset preset;
+        SystemLoad load;
+        double paperBusy;
+        double paperIdle;
+    };
+    const std::vector<Config> configs = {
+        {psuPresetAmd400W(), loadAmdTestbed(), 346.0, 392.0},
+        {psuPresetAmd525W(), loadAmdTestbed(), 22.0, 71.0},
+        {psuPresetIntel750W(), loadIntelTestbed(), 10.0, 10.0},
+        {psuPresetIntel1050W(), loadIntelTestbed(), 33.0, 33.0},
+    };
+
+    Table table("Figure 7. Residual energy windows across configurations "
+                "(worst of 3 runs, ms)");
+    table.setHeader({"PSU", "testbed", "Busy", "Idle", "paper busy/idle"});
+
+    ShapeCheck check("Figure 7 (residual energy windows)");
+    std::vector<double> all;
+    for (const Config &config : configs) {
+        const double busy = worstOfThree(
+            config.preset, config.load.watts(LoadClass::Busy), 42);
+        const double idle = worstOfThree(
+            config.preset, config.load.watts(LoadClass::Idle), 77);
+        all.push_back(busy);
+        all.push_back(idle);
+        table.addRow({config.preset.name, config.load.name,
+                      formatDouble(busy, 0), formatDouble(idle, 0),
+                      formatDouble(config.paperBusy, 0) + " / " +
+                          formatDouble(config.paperIdle, 0)});
+        check.expectBetween(config.preset.name + " busy near paper",
+                            busy, 0.7 * config.paperBusy,
+                            1.5 * config.paperBusy + 10.0);
+        check.expectBetween(config.preset.name + " idle near paper",
+                            idle, 0.7 * config.paperIdle,
+                            1.5 * config.paperIdle + 10.0);
+        check.expectTrue(config.preset.name + " idle >= busy",
+                         idle >= busy - 2.0);
+    }
+    table.print();
+
+    // Range claim: windows span 10-400 ms across configurations.
+    double lo = all[0];
+    double hi = all[0];
+    for (double w : all) {
+        lo = std::min(lo, w);
+        hi = std::max(hi, w);
+    }
+    std::printf("\nobserved window range: %.0f-%.0f ms "
+                "(paper: 10-~400 ms)\n", lo, hi);
+    check.expectBetween("smallest window ~10 ms", lo, 8.0, 20.0);
+    check.expectBetween("largest window ~400 ms", hi, 300.0, 500.0);
+
+    // Section 5.4: a 0.5 F supercapacitor (< US$2) can power the save.
+    UltracapConfig supercap;
+    supercap.ratedCapacitanceF = 0.5;
+    supercap.maxVoltage = 12.0;
+    supercap.minUsableVoltage = 6.0;
+    Ultracapacitor cap(supercap);
+    const double save_power = loadIntelTestbed().busyWatts;
+    const Tick supply = cap.supplyTime(save_power);
+    std::printf("0.5 F supercap at 12 V: %.1f J usable -> powers the "
+                "full %0.f W system for %s (save needs ~3 ms)\n",
+                cap.usableEnergy(), save_power,
+                formatTime(supply).c_str());
+    check.expectGreater("0.5 F supercap covers a worst-case 5 ms save",
+                        toSeconds(supply), 0.005);
+
+    // And the inverse provisioning question (section 5.4 / 6): what
+    // capacitance would a worst-case save need, and what does it cost?
+    const double needed = requiredCapacitance(
+        save_power, fromMillis(5.0), 12.0, 6.0, /*margin=*/2.0);
+    std::printf("provisioning: a %.0f W save of 5 ms (2x margin) needs "
+                "%.3f F (~$%.2f) — 0.5 F is ample\n",
+                save_power, needed, ultracapCostUsd(0.5, 12.0));
+    check.expectBetween("required capacitance well under 0.5 F", needed,
+                        0.0, 0.5);
+    check.expectBetween("0.5 F bank costs under US$2 (paper 5.4)",
+                        ultracapCostUsd(0.5, 12.0), 0.0, 2.0);
+    return bench::finish(check);
+}

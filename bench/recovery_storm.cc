@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Recovery storm (paper sections 1-2, motivation): correlated outage
+ * recovery time, shared back end vs WSP local restore.
+ *
+ * Reproduces the quantitative claims behind the introduction: reading
+ * 256 GB at 0.5 GB/s takes more than 8 minutes even for a single
+ * server with dedicated storage; a correlated outage across 10s-100s
+ * of servers divides the shared back end's bandwidth and stretches
+ * recovery to hours (the Facebook 2010 outage: 2.5 h), while WSP
+ * servers restore locally and in parallel.
+ */
+
+#include "apps/backend_store.h"
+#include "apps/cluster.h"
+#include "bench/bench_util.h"
+
+using namespace wsp;
+using namespace wsp::apps;
+
+int
+main()
+{
+    // Claim 1: single-server recovery is minutes even at full stream
+    // bandwidth.
+    BackendConfig stream;
+    stream.perStreamBandwidth = 0.5e9;
+    stream.aggregateBandwidth = 1e15;
+    BackendStore single(stream);
+    const Tick single_256gb =
+        single.recoveryTime(256ull * 1000 * 1000 * 1000, 1);
+    std::printf("single server, 256 GB at 0.5 GB/s: %s "
+                "(paper: > 8 min)\n\n",
+                formatTime(single_256gb).c_str());
+
+    // Claim 2: the storm.
+    Table table("Recovery storm: shared back end vs WSP local restore");
+    table.setHeader({"servers", "back end (storm)", "WSP local",
+                     "speedup"});
+    double speedup100 = 0.0;
+    Tick wsp100 = 0;
+    Tick storm100 = 0;
+    for (unsigned servers : {1u, 10u, 50u, 100u, 500u}) {
+        ClusterConfig config;
+        config.servers = servers;
+        config.memoryPerServer = 256ull * 1024 * 1024 * 1024;
+        config.nvdimm.capacityBytes = 8 * kGiB;
+        const StormReport report = correlatedOutage(config);
+        if (servers == 100) {
+            speedup100 = report.speedup;
+            wsp100 = report.wspRecovery;
+            storm100 = report.backendRecovery;
+        }
+        table.addRow({std::to_string(servers),
+                      formatTime(report.backendRecovery),
+                      formatTime(report.wspRecovery),
+                      formatDouble(report.speedup, 0) + "x"});
+    }
+    table.print();
+
+    // Claim 3 (section 6, "Long outages"): with replication, waiting
+    // for a WSP server beats immediate re-replication for any outage
+    // shorter than the break-even point.
+    ReplicationConfig replication;
+    replication.stateBytes = 256ull * 1024 * 1024 * 1024;
+    replication.wspRecoveryTime = fromSeconds(15.0);
+    const Tick rereplicate = reReplicationTime(replication);
+    const Tick break_even = breakEvenOutage(replication);
+    Table tradeoff("Replica management: wait for WSP vs re-replicate "
+                   "(256 GB replica, 10 GbE)");
+    tradeoff.setHeader({"outage", "wait for WSP + catch up",
+                        "re-replicate now", "winner"});
+    for (double outage_s : {10.0, 60.0, 150.0, 300.0}) {
+        const Tick outage = fromSeconds(outage_s);
+        const Tick wait = wspCatchupTime(replication, outage);
+        tradeoff.addRow({formatTime(outage), formatTime(wait),
+                         formatTime(rereplicate),
+                         wait < rereplicate ? "wait (WSP)"
+                                            : "re-replicate"});
+    }
+    tradeoff.print();
+    std::printf("break-even outage: %s — shorter outages favour "
+                "waiting for the WSP server\n\n",
+                formatTime(break_even).c_str());
+
+    ShapeCheck check("Recovery storm (sections 1-2 motivation)");
+    check.expectGreater("break-even outage is substantial (> 1 min)",
+                        toSeconds(break_even), 60.0);
+    check.expectGreater(
+        "waiting wins for a short outage",
+        toSeconds(rereplicate),
+        toSeconds(wspCatchupTime(replication, fromSeconds(10.0))));
+    check.expectGreater("256 GB at 0.5 GB/s exceeds 8 minutes",
+                        toSeconds(single_256gb), 8 * 60.0);
+    check.expectGreater("100-server storm takes hours",
+                        toSeconds(storm100), 3600.0);
+    check.expectBetween("WSP local restore under a minute",
+                        toSeconds(wsp100), 1.0, 60.0);
+    check.expectGreater("WSP speedup at 100 servers exceeds 100x",
+                        speedup100, 100.0);
+    return bench::finish(check);
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Device recovery strategies across a power failure.
+ *
+ * Paper section 4 ("Device restart"): saving device state on the save
+ * path (the ACPI strawman) takes seconds — far beyond the residual
+ * energy window — so devices must instead be re-initialized on the
+ * restore path, ideally behind a hypervisor that replays outstanding
+ * virtual I/O. This example runs the same power failure under all
+ * three policies and prints what each costs on the save and restore
+ * paths.
+ *
+ * Build & run:  ./build/examples/device_policies
+ */
+
+#include <cstdio>
+
+#include "core/system.h"
+#include "util/table.h"
+
+using namespace wsp;
+
+int
+main()
+{
+    Table table("Device recovery strategies (Intel testbed, busy I/O)");
+    table.setHeader({"policy", "save path", "save fits window?",
+                     "restore path", "ops replayed", "recovered"});
+
+    for (DevicePolicy policy : {DevicePolicy::AcpiSuspendOnSave,
+                                DevicePolicy::PnpRestartOnRestore,
+                                DevicePolicy::VirtualizedReplay}) {
+        SystemConfig config;
+        config.nvdimm.capacityBytes = 64 * kMiB;
+        config.wsp.devicePolicy = policy;
+        config.wsp.firmwareBootLatency = fromSeconds(5.0);
+        WspSystem system(config);
+        system.start();
+
+        // Busy devices with deep queues when the failure hits.
+        system.devices().startBusyAll();
+        system.runFor(fromMillis(50.0));
+
+        auto outcome = system.powerFailAndRestore(fromMillis(10.0),
+                                                  fromSeconds(30.0));
+
+        const bool save_done = outcome.save.has_value();
+        const Tick save_time =
+            save_done ? outcome.save->duration() : Tick{0};
+        const Tick window = system.psu().residualWindow();
+
+        table.addRow({
+            devicePolicyName(policy),
+            save_done ? formatTime(save_time) : "never finished",
+            save_done && window == 0
+                ? "-"
+                : (save_done ? "yes" : "NO (power died first)"),
+            formatTime(outcome.restore.duration()),
+            std::to_string(outcome.restore.deviceReport.opsReplayed),
+            outcome.restore.usedWsp ? "WSP" : "back end",
+        });
+    }
+    table.print();
+
+    std::printf(
+        "\nThe ACPI strawman spends seconds draining and quiescing\n"
+        "devices inside a residual window of tens of milliseconds —\n"
+        "the save never completes and recovery falls back to the back\n"
+        "end. Restart-on-restore and virtualized replay do nothing on\n"
+        "the save path, so flush-on-fail always fits, and replay also\n"
+        "re-issues the I/O that was in flight.\n");
+    return 0;
+}

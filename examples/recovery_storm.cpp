@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Recovery storm: a cluster-wide outage, with and without WSP.
+ *
+ * The paper's motivation (sections 1-2): after a correlated power
+ * failure, every main-memory server refreshes its state from a shared
+ * back end at once — the Facebook 2010 outage took 2.5 hours. This
+ * example runs a small cluster functionally (one simulated server
+ * with a KV store, a real back end with checkpoint + log) and then
+ * scales the model to a 100-server, 256 GB-per-server cluster.
+ *
+ * Build & run:  ./build/examples/recovery_storm
+ */
+
+#include <cstdio>
+
+#include "apps/backend_store.h"
+#include "apps/cluster.h"
+#include "apps/kv_store.h"
+#include "core/system.h"
+#include "util/table.h"
+
+using namespace wsp;
+
+int
+main()
+{
+    // --- Part 1: one server, functionally -------------------------------
+    SystemConfig config;
+    config.nvdimm.capacityBytes = 64 * kMiB;
+    config.devices.clear();
+    config.wsp.firmwareBootLatency = fromSeconds(5.0);
+    WspSystem system(config);
+    system.start();
+
+    apps::KvStore store(system.cache(), 0, 4096);
+    apps::BackendStore backend;
+    Rng rng(11);
+    for (uint64_t i = 1; i <= 2000; ++i)
+        store.put(i, rng());
+    backend.checkpoint(store);
+    // A few updates after the checkpoint land only in the log.
+    for (uint64_t i = 2001; i <= 2010; ++i) {
+        store.put(i, i);
+        backend.logUpdate({i, i, false});
+    }
+    const uint64_t checksum_before = store.checksum();
+
+    std::printf("server loaded: %llu keys; back end holds %s checkpoint "
+                "+ %zu log entries\n",
+                (unsigned long long)store.size(),
+                formatBytes(backend.checkpointBytes()).c_str(),
+                backend.logEntries());
+
+    // Power failure with WSP: local recovery, back end untouched.
+    auto outcome =
+        system.powerFailAndRestore(fromMillis(100.0), fromSeconds(20.0));
+    auto restored = apps::KvStore::attach(system.cache(), 0);
+    std::printf("WSP recovery: usedWsp=%s, boot-to-running %s, state %s\n",
+                outcome.restore.usedWsp ? "yes" : "no",
+                formatTime(outcome.restore.duration()).c_str(),
+                restored && restored->checksum() == checksum_before
+                    ? "intact"
+                    : "lost");
+
+    // The same failure without NVDIMM help: rebuild from the back end.
+    apps::KvStore cold(system.cache(), 8 * kMiB, 4096);
+    const size_t replayed = backend.recoverInto(&cold);
+    std::printf("back-end recovery (functional): %zu ops replayed, "
+                "modelled time %s alone, %s in a 100-server storm\n\n",
+                replayed,
+                formatTime(backend.ownRecoveryTime(1)).c_str(),
+                formatTime(backend.ownRecoveryTime(100)).c_str());
+
+    // --- Part 2: the full-scale storm model ------------------------------
+    Table table("Recovery storm: 100 x 256 GB servers, shared back end");
+    table.setHeader({"servers", "back end (storm)", "back end (single)",
+                     "WSP local", "speedup"});
+    for (unsigned servers : {1u, 10u, 100u, 1000u}) {
+        apps::ClusterConfig cluster;
+        cluster.servers = servers;
+        cluster.memoryPerServer = 256ull * 1024 * 1024 * 1024;
+        cluster.nvdimm.capacityBytes = 8 * kGiB;
+        const apps::StormReport report = apps::correlatedOutage(cluster);
+        table.addRow({std::to_string(servers),
+                      formatTime(report.backendRecovery),
+                      formatTime(report.backendSingle),
+                      formatTime(report.wspRecovery),
+                      formatDouble(report.speedup, 1) + "x"});
+    }
+    table.print();
+    std::printf("\nWSP recovers locally and in parallel; the back end "
+                "serves only the stale tail of updates.\n");
+    return 0;
+}

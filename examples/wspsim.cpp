@@ -1,0 +1,206 @@
+/**
+ * @file
+ * wspsim: command-line scenario driver.
+ *
+ * Runs one power-failure/restore cycle on a configurable system and
+ * prints the full report — the exploration tool for trying platform,
+ * PSU, device-policy, and failure-timing combinations without writing
+ * code.
+ *
+ * Usage:
+ *   wspsim [--platform c5528|x5650|amd4180|d510]
+ *          [--psu amd400|amd525|intel750|intel1050]
+ *          [--load busy|idle]
+ *          [--policy suspend|restart|replay]
+ *          [--restore whole|process]
+ *          [--window-ms <float>]   force an exact residual window
+ *          [--outage-s <float>]    outage duration (default 30)
+ *          [--dirty-kib <n>]       cache bytes to dirty per socket
+ *          [--devices]             include the device set
+ *          [--seed <n>]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/kv_store.h"
+#include "core/failure_injector.h"
+#include "core/system.h"
+
+using namespace wsp;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--platform c5528|x5650|amd4180|d510]\n"
+                 "          [--psu amd400|amd525|intel750|intel1050]\n"
+                 "          [--load busy|idle] "
+                 "[--policy suspend|restart|replay]\n"
+                 "          [--restore whole|process] "
+                 "[--window-ms F] [--outage-s F]\n"
+                 "          [--dirty-kib N] [--devices] [--seed N]\n",
+                 argv0);
+    std::exit(2);
+}
+
+bool
+is(const char *arg, const char *name)
+{
+    return std::strcmp(arg, name) == 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SystemConfig config;
+    config.nvdimm.capacityBytes = 64 * kMiB;
+    config.devices.clear();
+    double outage_s = 30.0;
+    double window_ms = -1.0;
+    uint64_t dirty_kib = 256;
+    bool with_devices = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (is(arg, "--platform")) {
+            const std::string name = value();
+            if (name == "c5528")
+                config.platform = platformIntelC5528();
+            else if (name == "x5650")
+                config.platform = platformIntelX5650();
+            else if (name == "amd4180")
+                config.platform = platformAmd4180();
+            else if (name == "d510")
+                config.platform = platformIntelD510();
+            else
+                usage(argv[0]);
+        } else if (is(arg, "--psu")) {
+            const std::string name = value();
+            if (name == "amd400")
+                config.psu = psuPresetAmd400W();
+            else if (name == "amd525")
+                config.psu = psuPresetAmd525W();
+            else if (name == "intel750")
+                config.psu = psuPresetIntel750W();
+            else if (name == "intel1050")
+                config.psu = psuPresetIntel1050W();
+            else
+                usage(argv[0]);
+        } else if (is(arg, "--load")) {
+            const std::string name = value();
+            if (name == "busy")
+                config.load = LoadClass::Busy;
+            else if (name == "idle")
+                config.load = LoadClass::Idle;
+            else
+                usage(argv[0]);
+        } else if (is(arg, "--policy")) {
+            const std::string name = value();
+            if (name == "suspend")
+                config.wsp.devicePolicy = DevicePolicy::AcpiSuspendOnSave;
+            else if (name == "restart")
+                config.wsp.devicePolicy =
+                    DevicePolicy::PnpRestartOnRestore;
+            else if (name == "replay")
+                config.wsp.devicePolicy = DevicePolicy::VirtualizedReplay;
+            else
+                usage(argv[0]);
+        } else if (is(arg, "--restore")) {
+            const std::string name = value();
+            if (name == "whole")
+                config.wsp.restoreMode = RestoreMode::WholeSystem;
+            else if (name == "process")
+                config.wsp.restoreMode = RestoreMode::ProcessOnly;
+            else
+                usage(argv[0]);
+        } else if (is(arg, "--window-ms")) {
+            window_ms = std::atof(value());
+        } else if (is(arg, "--outage-s")) {
+            outage_s = std::atof(value());
+        } else if (is(arg, "--dirty-kib")) {
+            dirty_kib = static_cast<uint64_t>(std::atoll(value()));
+        } else if (is(arg, "--devices")) {
+            with_devices = true;
+        } else if (is(arg, "--seed")) {
+            config.seed = static_cast<uint64_t>(std::atoll(value()));
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (with_devices)
+        config.devices = deviceSetIntel();
+    if (window_ms >= 0.0) {
+        config = FailureInjector::withExactWindow(config,
+                                                  fromMillis(window_ms));
+    }
+
+    WspSystem system(config);
+    system.start();
+    std::printf("platform: %s | psu: %s | load: %s | policy: %s | "
+                "restore: %s\n",
+                config.platform.name.c_str(), config.psu.name.c_str(),
+                loadClassName(config.load).c_str(),
+                devicePolicyName(config.wsp.devicePolicy).c_str(),
+                restoreModeName(config.wsp.restoreMode).c_str());
+
+    // Dirty the caches first (the fill pattern overlaps low NVRAM
+    // addresses), then build the store on top so its content is what
+    // the checksum captures.
+    Rng rng(config.seed);
+    const uint64_t per_socket =
+        std::min(dirty_kib * kKiB, config.platform.cachePerSocket);
+    system.machine().fillCachesDirty(per_socket, rng);
+    apps::KvStore store(system.cache(), 0, 4096);
+    for (uint64_t i = 1; i <= 1000; ++i)
+        store.put(i, rng());
+    const uint64_t checksum = store.checksum();
+    if (with_devices)
+        system.devices().startBusyAll();
+
+    auto outcome = system.powerFailAndRestore(fromMillis(10.0),
+                                              fromSeconds(outage_s));
+
+    std::printf("\n-- save path --\n");
+    if (outcome.save.has_value()) {
+        for (const auto &step : outcome.save->steps) {
+            std::printf("  %-38s %s\n", step.step.c_str(),
+                        formatTime(step.duration()).c_str());
+        }
+        std::printf("save total: %s",
+                    formatTime(outcome.save->duration()).c_str());
+        if (auto fraction = system.wsp().windowFractionUsed())
+            std::printf(" (%.1f%% of the residual window)", *fraction * 100);
+        std::printf("\n");
+    } else {
+        std::printf("  save never completed: power died first\n");
+    }
+
+    std::printf("\n-- restore path --\n");
+    for (const auto &step : outcome.restore.steps) {
+        std::printf("  %-38s %s\n", step.step.c_str(),
+                    formatTime(step.duration()).c_str());
+    }
+    auto restored = apps::KvStore::attach(system.cache(), 0);
+    const bool intact =
+        restored.has_value() && restored->checksum() == checksum;
+    std::printf("recovered via: %s | marker: %s | state: %s | "
+                "boot-to-running: %s\n",
+                outcome.restore.usedWsp ? "WSP" : "back end",
+                outcome.restore.markerValid ? "valid" : "invalid",
+                outcome.restore.usedWsp
+                    ? (intact ? "byte-identical" : "CORRUPTED")
+                    : "rebuilt externally",
+                formatTime(outcome.restore.duration()).c_str());
+    return outcome.restore.usedWsp && !intact ? 1 : 0;
+}

@@ -1,0 +1,63 @@
+#include "apps/backend_store.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace wsp::apps {
+
+void
+BackendStore::checkpoint(const KvStore &store)
+{
+    snapshot_.clear();
+    store.forEach([this](uint64_t key, uint64_t value) {
+        snapshot_.emplace_back(key, value);
+    });
+    // The checkpoint on the back end stores the full region image the
+    // server would write out (slots, not just live pairs).
+    checkpointBytes_ = KvStore::regionBytes(store.capacity());
+    checkpointCapacity_ = store.capacity();
+    log_.clear();
+}
+
+void
+BackendStore::logUpdate(const BackendLogEntry &entry)
+{
+    log_.push_back(entry);
+}
+
+size_t
+BackendStore::recoverInto(KvStore *store) const
+{
+    WSP_CHECK(store != nullptr);
+    size_t applied = 0;
+    for (const auto &[key, value] : snapshot_) {
+        store->put(key, value);
+        ++applied;
+    }
+    for (const BackendLogEntry &entry : log_) {
+        if (entry.isErase)
+            store->erase(entry.key);
+        else
+            store->put(entry.key, entry.value);
+        ++applied;
+    }
+    return applied;
+}
+
+Tick
+BackendStore::recoveryTime(uint64_t state_bytes,
+                           unsigned concurrent_recoveries) const
+{
+    WSP_CHECK(concurrent_recoveries >= 1);
+    // A storm divides the aggregate bandwidth; a single recovery is
+    // limited by its own stream.
+    const double share =
+        config_.aggregateBandwidth /
+        static_cast<double>(concurrent_recoveries);
+    const double bandwidth =
+        std::min(config_.perStreamBandwidth, share);
+    return fromSeconds(static_cast<double>(state_bytes) / bandwidth);
+}
+
+} // namespace wsp::apps

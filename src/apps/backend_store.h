@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Back-end storage layer: checkpoint + update log.
+ *
+ * NVRAM is the *first* resort after a crash, not the last (paper
+ * section 3.1): every server still checkpoints to a storage back end
+ * and replays a log of recent updates when local recovery is
+ * impossible. BackendStore is that layer for the simulated KvStore —
+ * functionally (it really rebuilds the state) and with the paper's
+ * timing model: recovery is bound by read bandwidth (section 2:
+ * "reading 256 GB at 0.5 GB/s ... will take more than 8 min"), and a
+ * shared back end divides its aggregate bandwidth across concurrently
+ * recovering servers.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/kv_store.h"
+#include "util/units.h"
+
+namespace wsp::apps {
+
+/** Back-end bandwidth and cost parameters. */
+struct BackendConfig
+{
+    /** Per-stream read bandwidth a single recovering server gets. */
+    double perStreamBandwidth = 0.5e9;
+
+    /** Total bandwidth the back end can serve across all streams. */
+    double aggregateBandwidth = 2.0e9;
+
+    /** CPU+network cost of replaying one logged update. */
+    Tick perLogEntryReplay = fromMicros(5.0);
+};
+
+/** One logged update. */
+struct BackendLogEntry
+{
+    uint64_t key = 0;
+    uint64_t value = 0;
+    bool isErase = false;
+};
+
+/** Checkpoint + log back end for a KvStore. */
+class BackendStore
+{
+  public:
+    explicit BackendStore(BackendConfig config = {}) : config_(config) {}
+
+    const BackendConfig &config() const { return config_; }
+
+    /** Capture a full checkpoint of @p store; truncates the log. */
+    void checkpoint(const KvStore &store);
+
+    /** Append an update to the log (called on the write path). */
+    void logUpdate(const BackendLogEntry &entry);
+
+    uint64_t checkpointBytes() const { return checkpointBytes_; }
+    size_t logEntries() const { return log_.size(); }
+
+    /**
+     * Functionally rebuild @p store from the checkpoint plus the
+     * log. Returns the number of operations applied.
+     */
+    size_t recoverInto(KvStore *store) const;
+
+    /**
+     * Modelled recovery time for a state of @p state_bytes when
+     * @p concurrent_recoveries servers hit the back end at once
+     * (the "recovery storm" regime).
+     */
+    Tick recoveryTime(uint64_t state_bytes,
+                      unsigned concurrent_recoveries = 1) const;
+
+    /** Modelled recovery time for this store's own checkpoint+log. */
+    Tick
+    ownRecoveryTime(unsigned concurrent_recoveries = 1) const
+    {
+        return recoveryTime(checkpointBytes_, concurrent_recoveries) +
+               config_.perLogEntryReplay * log_.size();
+    }
+
+  private:
+    BackendConfig config_;
+    std::vector<std::pair<uint64_t, uint64_t>> snapshot_;
+    std::vector<BackendLogEntry> log_;
+    uint64_t checkpointBytes_ = 0;
+    uint64_t checkpointCapacity_ = 0;
+};
+
+} // namespace wsp::apps

@@ -1,0 +1,171 @@
+#include "apps/kv_store.h"
+
+#include "util/logging.h"
+
+namespace wsp::apps {
+
+namespace {
+
+// Header word offsets.
+constexpr uint64_t kOffMagic = 0;
+constexpr uint64_t kOffCapacity = 8;
+constexpr uint64_t kOffSize = 16;
+
+} // namespace
+
+KvStore::KvStore(CacheModel &cache, uint64_t base, uint64_t capacity)
+    : cache_(cache), base_(base), capacity_(capacity)
+{
+    WSP_CHECKF((capacity & (capacity - 1)) == 0,
+               "KvStore capacity must be a power of two");
+    cache_.writeU64(base_ + kOffMagic, kMagic);
+    cache_.writeU64(base_ + kOffCapacity, capacity);
+    cache_.writeU64(base_ + kOffSize, 0);
+    for (uint64_t i = 0; i < capacity; ++i) {
+        cache_.writeU64(slotAddr(i), 0);
+        cache_.writeU64(slotAddr(i) + 8, 0);
+    }
+}
+
+KvStore::KvStore(CacheModel &cache, uint64_t base, uint64_t capacity,
+                 std::nullptr_t)
+    : cache_(cache), base_(base), capacity_(capacity)
+{
+}
+
+uint64_t
+KvStore::regionBytes(uint64_t capacity)
+{
+    return kHeaderBytes + capacity * 16;
+}
+
+std::optional<KvStore>
+KvStore::attach(CacheModel &cache, uint64_t base)
+{
+    if (cache.readU64(base + kOffMagic) != kMagic)
+        return std::nullopt;
+    const uint64_t capacity = cache.readU64(base + kOffCapacity);
+    if (capacity == 0 || (capacity & (capacity - 1)) != 0)
+        return std::nullopt;
+    return KvStore(cache, base, capacity, nullptr);
+}
+
+uint64_t
+KvStore::size() const
+{
+    return cache_.readU64(base_ + kOffSize);
+}
+
+void
+KvStore::setSize(uint64_t size)
+{
+    cache_.writeU64(base_ + kOffSize, size);
+}
+
+uint64_t
+KvStore::probeStart(uint64_t key) const
+{
+    uint64_t h = key;
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    return h & (capacity_ - 1);
+}
+
+bool
+KvStore::put(uint64_t key, uint64_t value)
+{
+    WSP_CHECKF(key != 0 && key != kTombstone,
+               "KvStore keys 0 and ~0 are reserved");
+    uint64_t first_tombstone = capacity_;
+    for (uint64_t step = 0; step < capacity_; ++step) {
+        const uint64_t index = (probeStart(key) + step) & (capacity_ - 1);
+        const uint64_t slot_key = cache_.readU64(slotAddr(index));
+        if (slot_key == key) {
+            cache_.writeU64(slotAddr(index) + 8, value);
+            return true;
+        }
+        if (slot_key == kTombstone) {
+            if (first_tombstone == capacity_)
+                first_tombstone = index;
+            continue;
+        }
+        if (slot_key == 0) {
+            const uint64_t target =
+                first_tombstone != capacity_ ? first_tombstone : index;
+            cache_.writeU64(slotAddr(target), key);
+            cache_.writeU64(slotAddr(target) + 8, value);
+            setSize(size() + 1);
+            return true;
+        }
+    }
+    if (first_tombstone != capacity_) {
+        cache_.writeU64(slotAddr(first_tombstone), key);
+        cache_.writeU64(slotAddr(first_tombstone) + 8, value);
+        setSize(size() + 1);
+        return true;
+    }
+    return false; // full
+}
+
+bool
+KvStore::get(uint64_t key, uint64_t *value_out) const
+{
+    for (uint64_t step = 0; step < capacity_; ++step) {
+        const uint64_t index = (probeStart(key) + step) & (capacity_ - 1);
+        const uint64_t slot_key = cache_.readU64(slotAddr(index));
+        if (slot_key == key) {
+            if (value_out != nullptr)
+                *value_out = cache_.readU64(slotAddr(index) + 8);
+            return true;
+        }
+        if (slot_key == 0)
+            return false;
+    }
+    return false;
+}
+
+bool
+KvStore::erase(uint64_t key)
+{
+    for (uint64_t step = 0; step < capacity_; ++step) {
+        const uint64_t index = (probeStart(key) + step) & (capacity_ - 1);
+        const uint64_t slot_key = cache_.readU64(slotAddr(index));
+        if (slot_key == key) {
+            cache_.writeU64(slotAddr(index), kTombstone);
+            cache_.writeU64(slotAddr(index) + 8, 0);
+            setSize(size() - 1);
+            return true;
+        }
+        if (slot_key == 0)
+            return false;
+    }
+    return false;
+}
+
+void
+KvStore::forEach(
+    const std::function<void(uint64_t, uint64_t)> &visit) const
+{
+    for (uint64_t i = 0; i < capacity_; ++i) {
+        const uint64_t key = cache_.readU64(slotAddr(i));
+        if (key != 0 && key != kTombstone)
+            visit(key, cache_.readU64(slotAddr(i) + 8));
+    }
+}
+
+uint64_t
+KvStore::checksum() const
+{
+    uint64_t sum = 0;
+    for (uint64_t i = 0; i < capacity_; ++i) {
+        const uint64_t key = cache_.readU64(slotAddr(i));
+        if (key != 0 && key != kTombstone) {
+            sum += key * 0x9e3779b97f4a7c15ull +
+                   cache_.readU64(slotAddr(i) + 8);
+        }
+    }
+    return sum;
+}
+
+} // namespace wsp::apps

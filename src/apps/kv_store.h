@@ -1,0 +1,87 @@
+/**
+ * @file
+ * In-memory key-value store over the simulated machine.
+ *
+ * The motivating applications of the paper are main-memory key-value
+ * stores and databases (section 1). KvStore is such an application
+ * running *inside* the simulated WSP machine: its entire state lives
+ * in NVRAM behind the write-back cache, so a power failure exercises
+ * the full flush-on-fail path and a restore brings the store back
+ * verbatim. Open addressing with linear probing; 64-bit keys and
+ * values; key 0 is reserved as the empty slot marker.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "machine/cache.h"
+
+namespace wsp::apps {
+
+/** Fixed-capacity open-addressing hash store in simulated NVRAM. */
+class KvStore
+{
+  public:
+    /**
+     * @param cache    the cache all accesses go through
+     * @param base     NVRAM base address of the store's region
+     * @param capacity slot count (power of two)
+     */
+    KvStore(CacheModel &cache, uint64_t base, uint64_t capacity);
+
+    /** Bytes of NVRAM a store of @p capacity slots needs. */
+    static uint64_t regionBytes(uint64_t capacity);
+
+    /**
+     * Attach to a store previously created at @p base (after a
+     * restore); validates the header.
+     * @return nullopt when no valid store lives there.
+     */
+    static std::optional<KvStore> attach(CacheModel &cache, uint64_t base);
+
+    uint64_t capacity() const { return capacity_; }
+
+    /** Number of live keys (reads the persistent header). */
+    uint64_t size() const;
+
+    /** Insert or update @p key (nonzero). False when full. */
+    bool put(uint64_t key, uint64_t value);
+
+    /** Look up @p key. */
+    bool get(uint64_t key, uint64_t *value_out = nullptr) const;
+
+    /** Remove @p key; false when absent. */
+    bool erase(uint64_t key);
+
+    /** Sum of all values (full scan); for state verification. */
+    uint64_t checksum() const;
+
+    /** Visit every live (key, value) pair (scan order). */
+    void forEach(const std::function<void(uint64_t key, uint64_t value)>
+                     &visit) const;
+
+  private:
+    static constexpr uint64_t kMagic = 0x5753504b56535431ull; // WSPKVST1
+    static constexpr uint64_t kTombstone = ~0ull;
+    static constexpr uint64_t kHeaderBytes = 64;
+
+    uint64_t slotAddr(uint64_t index) const
+    {
+        return base_ + kHeaderBytes + index * 16;
+    }
+
+    uint64_t probeStart(uint64_t key) const;
+    void setSize(uint64_t size);
+
+    KvStore(CacheModel &cache, uint64_t base, uint64_t capacity,
+            std::nullptr_t);
+
+    CacheModel &cache_;
+    uint64_t base_;
+    uint64_t capacity_;
+};
+
+} // namespace wsp::apps

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Workload generators for the benchmark suite.
+ *
+ * The paper's microbenchmark draws keys uniformly; real key-value
+ * traffic is skewed, which matters for flush-on-commit because hot
+ * lines get flushed over and over. The generators here provide both:
+ * a uniform stream (the paper's Fig. 5 setup) and a Zipfian stream
+ * for the skew ablation.
+ */
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace wsp::apps {
+
+/** Kinds of operation in a generated stream. */
+enum class OpKind : uint8_t { Lookup = 0, Insert = 1, Erase = 2 };
+
+/** One generated operation. */
+struct WorkloadOp
+{
+    uint64_t key = 0;
+    uint64_t value = 0;
+    OpKind kind = OpKind::Lookup;
+};
+
+/** Key distribution of a stream. */
+enum class KeyDistribution { Uniform, Zipfian };
+
+/** Parameters of a generated stream. */
+struct WorkloadSpec
+{
+    uint64_t keySpace = 200000;
+    double updateProbability = 0.5; ///< updates split insert/erase
+    KeyDistribution distribution = KeyDistribution::Uniform;
+    double zipfTheta = 0.99; ///< YCSB-style skew parameter
+};
+
+/**
+ * Zipfian key sampler over [1, n] using the Gray/Jim-Gray rejection
+ * method (as in YCSB): constant-time draws after O(1) setup.
+ */
+class ZipfianSampler
+{
+  public:
+    ZipfianSampler(uint64_t n, double theta) : n_(n), theta_(theta)
+    {
+        WSP_CHECK(n >= 1);
+        WSP_CHECK(theta > 0.0 && theta < 1.0);
+        zeta2_ = zeta(2, theta);
+        zetaN_ = zeta(n, theta);
+        alpha_ = 1.0 / (1.0 - theta_);
+        eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_),
+                               1.0 - theta_)) /
+               (1.0 - zeta2_ / zetaN_);
+    }
+
+    /** Draw a key in [1, n]; small keys are the hot ones. */
+    uint64_t
+    next(Rng &rng)
+    {
+        const double u = rng.uniform();
+        const double uz = u * zetaN_;
+        if (uz < 1.0)
+            return 1;
+        if (uz < 1.0 + std::pow(0.5, theta_))
+            return 2;
+        const double raw =
+            1.0 + static_cast<double>(n_) *
+                      std::pow(eta_ * u - eta_ + 1.0, alpha_);
+        const auto key = static_cast<uint64_t>(raw);
+        return key < 1 ? 1 : (key > n_ ? n_ : key);
+    }
+
+  private:
+    static double
+    zeta(uint64_t n, double theta)
+    {
+        // Direct sum for small n; the standard approximation above
+        // ~1e6 terms keeps setup fast.
+        const uint64_t limit = n < 1000000 ? n : 1000000;
+        double sum = 0.0;
+        for (uint64_t i = 1; i <= limit; ++i)
+            sum += 1.0 / std::pow(static_cast<double>(i), theta);
+        if (limit < n) {
+            // Integral tail approximation.
+            sum += (std::pow(static_cast<double>(n), 1.0 - theta) -
+                    std::pow(static_cast<double>(limit), 1.0 - theta)) /
+                   (1.0 - theta);
+        }
+        return sum;
+    }
+
+    uint64_t n_;
+    double theta_;
+    double zeta2_;
+    double zetaN_;
+    double alpha_;
+    double eta_;
+};
+
+/** Generate a pre-drawn operation stream per @p spec. */
+inline std::vector<WorkloadOp>
+generateWorkload(const WorkloadSpec &spec, uint64_t operations, Rng &rng)
+{
+    std::vector<WorkloadOp> ops(operations);
+    ZipfianSampler zipf(spec.keySpace,
+                        spec.distribution == KeyDistribution::Zipfian
+                            ? spec.zipfTheta
+                            : 0.5);
+    for (auto &op : ops) {
+        op.key = spec.distribution == KeyDistribution::Zipfian
+                     ? zipf.next(rng)
+                     : rng.next(spec.keySpace) + 1;
+        op.value = rng();
+        if (rng.uniform() < spec.updateProbability)
+            op.kind = rng.chance(0.5) ? OpKind::Insert : OpKind::Erase;
+        else
+            op.kind = OpKind::Lookup;
+    }
+    return ops;
+}
+
+} // namespace wsp::apps

@@ -1,0 +1,189 @@
+#include "core/restore_routine.h"
+
+#include "util/logging.h"
+
+namespace wsp {
+
+RestoreRoutine::RestoreRoutine(MachineModel &machine,
+                               NvdimmController &nvdimms,
+                               ValidMarker &marker,
+                               ResumeBlock &resume_block,
+                               DeviceManager *devices,
+                               const WspConfig &config)
+    : machine_(machine), nvdimms_(nvdimms), marker_(marker),
+      resumeBlock_(resume_block), devices_(devices), config_(config),
+      queue_(machine.queue())
+{
+}
+
+void
+RestoreRoutine::record(const char *step, Tick start, Tick end)
+{
+    report_.steps.push_back(StepTiming{step, start, end});
+}
+
+void
+RestoreRoutine::run(std::function<void()> backend_recovery,
+                    std::function<void(RestoreReport)> done)
+{
+    backendRecovery_ = std::move(backend_recovery);
+    done_ = std::move(done);
+    report_ = RestoreReport{};
+    report_.started = queue_.now();
+    machine_.resetForBoot();
+
+    // Firmware: POST, memory re-initialization, boot loader.
+    const Tick start = queue_.now();
+    queue_.scheduleAfter(config_.firmwareBootLatency, [this, start] {
+        if (!machine_.powerOn())
+            return; // power failed again during the boot
+        record("firmware boot", start, queue_.now());
+        stepNvdimmRestore();
+    });
+}
+
+void
+RestoreRoutine::stepNvdimmRestore()
+{
+    if (!machine_.powerOn())
+        return;
+    if (!nvdimms_.allIdle()) {
+        // A hardware-triggered save can still be draining its
+        // ultracapacitor when power returns; the firmware waits.
+        queue_.scheduleAfter(fromMillis(10.0),
+                             [this] { stepNvdimmRestore(); });
+        return;
+    }
+    const Tick start = queue_.now();
+    report_.flashValid = nvdimms_.allFlashValid();
+    if (!report_.flashValid) {
+        fallbackColdBoot("no valid NVDIMM flash image");
+        return;
+    }
+    nvdimms_.restoreAll([this, start] {
+        if (!machine_.powerOn())
+            return;
+        report_.nvdimmRestoreTime = queue_.now() - start;
+        record("restore NVDIMM contents", start, queue_.now());
+        stepCheckMarker();
+    });
+}
+
+void
+RestoreRoutine::stepCheckMarker()
+{
+    const Tick start = queue_.now();
+    const MarkerState state = marker_.read(machine_.memory());
+    report_.markerValid = state.valid;
+    if (!state.valid) {
+        record("check image validity", start, queue_.now());
+        fallbackColdBoot("valid marker missing or torn");
+        return;
+    }
+
+    const uint64_t checksum = resumeBlock_.checksum(machine_.memory());
+    report_.checksumOk = checksum == state.resumeChecksum;
+    record("check image validity", start, queue_.now());
+    if (!report_.checksumOk) {
+        fallbackColdBoot("resume block checksum mismatch");
+        return;
+    }
+    record("jump to resume block", queue_.now(), queue_.now());
+    stepDevices();
+}
+
+void
+RestoreRoutine::stepDevices()
+{
+    if (devices_ == nullptr) {
+        stepRestoreContexts();
+        return;
+    }
+    const Tick start = queue_.now();
+    devices_->restoreAll(config_.devicePolicy,
+                         config_.hostStackBootLatency,
+                         [this, start](DeviceRestoreReport device_report) {
+        if (!machine_.powerOn())
+            return;
+        report_.deviceReport = device_report;
+        record("re-initialize devices", start, queue_.now());
+        stepRestoreContexts();
+    });
+}
+
+void
+RestoreRoutine::stepRestoreContexts()
+{
+    const Tick start = queue_.now();
+
+    if (config_.restoreMode == RestoreMode::ProcessOnly) {
+        // Process persistence (paper section 6): application memory
+        // survived, but a *fresh* kernel boots instead of resuming
+        // the old one; applications re-attach to their state through
+        // a narrow restart interface (Otherworld / Drawbridge). The
+        // saved thread contexts are discarded.
+        machine_.resetForBoot();
+        marker_.clear();
+        report_.contextsRestored = false;
+        queue_.scheduleAfter(config_.freshKernelBootLatency,
+                             [this, start] {
+            if (!machine_.powerOn())
+                return;
+            record("boot fresh kernel, re-attach processes", start,
+                   queue_.now());
+            finish(true);
+        });
+        return;
+    }
+
+    for (unsigned i = 0; i < machine_.coreCount(); ++i) {
+        machine_.core(i).context =
+            resumeBlock_.loadContext(machine_.memory(), i);
+        machine_.core(i).halted = false;
+    }
+    report_.contextsRestored = true;
+    // The marker must not survive the resume: a crash after this
+    // point is a fresh failure, not a replay of this image.
+    marker_.clear();
+
+    queue_.scheduleAfter(config_.osResumeLatency, [this, start] {
+        if (!machine_.powerOn())
+            return;
+        record("restore CPU contexts, resume scheduling", start,
+               queue_.now());
+        finish(true);
+    });
+}
+
+void
+RestoreRoutine::fallbackColdBoot(const char *reason)
+{
+    inform("restore: falling back to cold boot (%s)", reason);
+    const Tick start = queue_.now();
+    machine_.resetForBoot();
+    nvdimms_.resetToActive();
+    marker_.clear();
+
+    // Devices cold-start as on any boot.
+    auto after_devices = [this, start] {
+        record("cold boot", start, queue_.now());
+        if (backendRecovery_)
+            backendRecovery_();
+        finish(false);
+    };
+    if (devices_ != nullptr)
+        devices_->coldBootAll([after_devices](Tick) { after_devices(); });
+    else
+        after_devices();
+}
+
+void
+RestoreRoutine::finish(bool used_wsp)
+{
+    report_.usedWsp = used_wsp;
+    report_.finished = queue_.now();
+    if (done_)
+        done_(report_);
+}
+
+} // namespace wsp

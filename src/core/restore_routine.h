@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Boot-path restore routine (paper Fig. 4, steps 10-14).
+ *
+ * On the first boot after a power failure:
+ *
+ *  10. the modified boot loader signals the NVDIMMs to restore their
+ *      flash images into DRAM,
+ *  11. it checks the valid-image marker (and the resume-block
+ *      checksum bound into it),
+ *  12. if valid, it jumps to the resume block,
+ *  13. devices are re-initialized per the configured policy,
+ *  14. processor contexts are restored and scheduling resumes.
+ *
+ * If the marker is missing, torn, or does not match the resume block
+ * (a failure hit mid-save), the routine falls back to a normal cold
+ * boot and invokes the caller's back-end recovery hook instead.
+ */
+
+#pragma once
+
+#include <functional>
+
+#include "core/resume_block.h"
+#include "core/valid_marker.h"
+#include "core/wsp_config.h"
+#include "machine/machine.h"
+#include "nvram/controller.h"
+
+namespace wsp {
+
+/** Event-driven implementation of the WSP restore. */
+class RestoreRoutine
+{
+  public:
+    RestoreRoutine(MachineModel &machine, NvdimmController &nvdimms,
+                   ValidMarker &marker, ResumeBlock &resume_block,
+                   DeviceManager *devices, const WspConfig &config);
+
+    /**
+     * Run the boot path. @p backend_recovery runs (if non-null) when
+     * WSP recovery is impossible and state must be refreshed from the
+     * storage back end; @p done receives the final report either way.
+     */
+    void run(std::function<void()> backend_recovery,
+             std::function<void(RestoreReport)> done);
+
+  private:
+    void stepNvdimmRestore();
+    void stepCheckMarker();
+    void stepRestoreContexts();
+    void stepDevices();
+    void finish(bool used_wsp);
+    void fallbackColdBoot(const char *reason);
+
+    void record(const char *step, Tick start, Tick end);
+
+    MachineModel &machine_;
+    NvdimmController &nvdimms_;
+    ValidMarker &marker_;
+    ResumeBlock &resumeBlock_;
+    DeviceManager *devices_;
+    const WspConfig &config_;
+
+    EventQueue &queue_;
+    std::function<void()> backendRecovery_;
+    std::function<void(RestoreReport)> done_;
+    RestoreReport report_;
+};
+
+} // namespace wsp

@@ -1,0 +1,242 @@
+#include "core/save_routine.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace wsp {
+
+std::string
+restoreModeName(RestoreMode mode)
+{
+    switch (mode) {
+      case RestoreMode::WholeSystem:
+        return "whole-system";
+      case RestoreMode::ProcessOnly:
+        return "process-only";
+    }
+    return "unknown";
+}
+
+std::string
+flushMethodName(FlushMethod method)
+{
+    switch (method) {
+      case FlushMethod::Wbinvd:
+        return "wbinvd";
+      case FlushMethod::ClflushLoop:
+        return "clflush";
+    }
+    return "unknown";
+}
+
+SaveRoutine::SaveRoutine(MachineModel &machine, PowerMonitor &monitor,
+                         ValidMarker &marker, ResumeBlock &resume_block,
+                         DeviceManager *devices, const WspConfig &config)
+    : machine_(machine), monitor_(monitor), marker_(marker),
+      resumeBlock_(resume_block), devices_(devices), config_(config),
+      queue_(machine.queue())
+{
+}
+
+Tick
+SaveRoutine::flushCost(unsigned socket) const
+{
+    CacheModel &cache = machine_.socketCache(socket);
+    switch (config_.flushMethod) {
+      case FlushMethod::Wbinvd:
+        return cache.wbinvdCost();
+      case FlushMethod::ClflushLoop:
+        // Software cannot know which lines are dirty (the paper's
+        // observation), so the loop walks the entire cache.
+        return cache.clflushLoopCost(cache.capacity() /
+                                     CacheModel::kLineSize);
+    }
+    return 0;
+}
+
+void
+SaveRoutine::record(const char *step, Tick start, Tick end)
+{
+    report_.steps.push_back(StepTiming{step, start, end});
+}
+
+void
+SaveRoutine::run(uint64_t boot_sequence,
+                 std::function<void(SaveReport)> done)
+{
+    bootSequence_ = boot_sequence;
+    done_ = std::move(done);
+    report_ = SaveReport{};
+    report_.started = queue_.now();
+    report_.dirtyBytesFlushed = machine_.totalDirtyBytes();
+    record("interrupt control processor", queue_.now(), queue_.now());
+
+    if (config_.devicePolicy == DevicePolicy::AcpiSuspendOnSave &&
+        devices_ != nullptr) {
+        // Strawman: quiesce every device before touching CPU state.
+        // Fig. 9 shows why this is infeasible within the residual
+        // window.
+        const Tick start = queue_.now();
+        devices_->suspendAll([this, start](Tick total) {
+            if (!machine_.powerOn())
+                return;
+            report_.deviceSuspendTime = total;
+            record("acpi device suspend", start, queue_.now());
+            stepIpis();
+        });
+        return;
+    }
+    stepIpis();
+}
+
+void
+SaveRoutine::stepIpis()
+{
+    const Tick start = queue_.now();
+    // Account the IPI fan-out in the controller's statistics.
+    for (unsigned i = 1; i < machine_.coreCount(); ++i)
+        machine_.interrupts().sendIpi(i, [](unsigned) {});
+
+    queue_.scheduleAfter(machine_.interrupts().ipiLatency(), [this, start] {
+        if (!machine_.powerOn())
+            return;
+        record("IPI all processors", start, queue_.now());
+        stepContextsAndFlush();
+    });
+}
+
+void
+SaveRoutine::stepContextsAndFlush()
+{
+    // Every processor saves its own context into the resume block;
+    // they run in parallel, so the step costs one context save plus
+    // the slot flushes. The functional writes land when the step
+    // completes, so a power loss mid-step loses them, as on hardware.
+    const Tick start = queue_.now();
+    const uint64_t slot_lines =
+        (CpuContext::serializedSize() + CacheModel::kLineSize - 1) /
+        CacheModel::kLineSize;
+    const Tick ctx_cost =
+        machine_.spec().contextSaveLatency +
+        machine_.socketCache(0).clflushLoopCost(slot_lines);
+    report_.contextSaveTime = ctx_cost;
+
+    queue_.scheduleAfter(ctx_cost, [this, start] {
+        if (!machine_.powerOn())
+            return;
+        for (unsigned i = 0; i < machine_.coreCount(); ++i)
+            resumeBlock_.saveContext(i, machine_.core(i).context);
+        record("save processor contexts", start, queue_.now());
+        stepFinishFlush();
+    });
+}
+
+void
+SaveRoutine::stepFinishFlush()
+{
+    // One designated processor per socket flushes that socket's
+    // cache; sockets proceed in parallel, so the barrier is the
+    // slowest socket.
+    const Tick start = queue_.now();
+    Tick worst = 0;
+    for (unsigned socket = 0; socket < machine_.socketCount(); ++socket)
+        worst = std::max(worst, flushCost(socket));
+    report_.cacheFlushTime = worst;
+
+    queue_.scheduleAfter(worst, [this, start] {
+        if (!machine_.powerOn())
+            return;
+        // Functionally, both flush methods write back every dirty
+        // line of every socket cache.
+        for (unsigned socket = 0; socket < machine_.socketCount();
+             ++socket) {
+            machine_.socketCache(socket).wbinvd();
+        }
+        record("flush caches (all sockets)", start, queue_.now());
+
+        // Step 4: halt the N-1 non-control processors.
+        for (unsigned i = 1; i < machine_.coreCount(); ++i)
+            machine_.core(i).halted = true;
+        record("halt N-1 processors", queue_.now(), queue_.now());
+        stepMarkerPrepare();
+    });
+}
+
+void
+SaveRoutine::stepMarkerPrepare()
+{
+    const Tick start = queue_.now();
+    // Header line + marker field line: two line flushes.
+    const Tick cost = machine_.socketCache(0).clflushLoopCost(2);
+    queue_.scheduleAfter(cost, [this, start] {
+        if (!machine_.powerOn())
+            return;
+        resumeBlock_.writeHeader(bootSequence_);
+        marker_.prepare(bootSequence_,
+                        resumeBlock_.checksum(machine_.memory()));
+        record("set up resume block", start, queue_.now());
+        stepMarkerStamp();
+    });
+}
+
+void
+SaveRoutine::stepMarkerStamp()
+{
+    const Tick start = queue_.now();
+    const Tick cost = machine_.socketCache(0).clflushLoopCost(1);
+    report_.markerTime = cost;
+    queue_.scheduleAfter(cost, [this, start] {
+        if (!machine_.powerOn())
+            return;
+        marker_.stamp();
+        record("mark image as valid", start, queue_.now());
+        stepInitiateNvdimmSave();
+    });
+}
+
+void
+SaveRoutine::stepInitiateNvdimmSave()
+{
+    const Tick start = queue_.now();
+    queue_.scheduleAfter(config_.commandIssueLatency, [this, start] {
+        if (!machine_.powerOn())
+            return;
+        // The command rides the I2C bus; the NVDIMMs take it from
+        // here on their own power.
+        monitor_.sendCommand(PowerMonitor::Command::Save);
+        record("initiate NVDIMM save", start, queue_.now());
+
+        // Step 8: the control processor halts.
+        machine_.core(0).halted = true;
+        record("halt control processor", queue_.now(), queue_.now());
+        report_.halted = queue_.now();
+        report_.completed = true;
+        if (done_)
+            done_(report_);
+    });
+}
+
+Tick
+SaveRoutine::predictDuration() const
+{
+    Tick total = machine_.interrupts().ipiLatency();
+    total += machine_.spec().contextSaveLatency;
+    // Slot flushes: one context's worth of clflushes.
+    const uint64_t slot_lines =
+        (CpuContext::serializedSize() + CacheModel::kLineSize - 1) /
+        CacheModel::kLineSize;
+    total += machine_.socketCache(0).clflushLoopCost(slot_lines);
+
+    Tick worst = 0;
+    for (unsigned socket = 0; socket < machine_.socketCount(); ++socket)
+        worst = std::max(worst, flushCost(socket));
+    total += worst;
+
+    // Header + marker lines + command issue.
+    total += machine_.socketCache(0).clflushLoopCost(3);
+    total += config_.commandIssueLatency;
+    return total;
+}
+
+} // namespace wsp

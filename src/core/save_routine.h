@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Flush-on-fail save routine (paper Fig. 4, steps 1-8).
+ *
+ * Invoked by the power-fail interrupt on the control processor, the
+ * routine:
+ *
+ *   1. (entry) control processor interrupted,
+ *   2. IPIs every other processor,
+ *   3. all processors save their contexts and flush their caches in
+ *      parallel (wbinvd, or a clflush walk in the ablation),
+ *   4. the N-1 non-control processors halt,
+ *   5. the control processor writes the resume block header,
+ *   6. writes and flushes the valid marker,
+ *   7. initiates the NVDIMM save over the I2C path,
+ *   8. halts.
+ *
+ * Every step is an event on the simulated clock, so a power loss
+ * injected at any tick interrupts the sequence exactly where a real
+ * machine would be, and the functional memory state (which lines were
+ * written back, whether the marker was stamped) reflects the progress
+ * made.
+ */
+
+#pragma once
+
+#include <functional>
+
+#include "core/resume_block.h"
+#include "core/valid_marker.h"
+#include "core/wsp_config.h"
+#include "machine/machine.h"
+#include "power/power_monitor.h"
+
+namespace wsp {
+
+/** Event-driven implementation of the flush-on-fail save. */
+class SaveRoutine
+{
+  public:
+    SaveRoutine(MachineModel &machine, PowerMonitor &monitor,
+                ValidMarker &marker, ResumeBlock &resume_block,
+                DeviceManager *devices, const WspConfig &config);
+
+    /**
+     * Run the save. @p done fires at the control processor's halt
+     * with the completed report; it never fires if power is lost
+     * first (the event simply never dispatches).
+     */
+    void run(uint64_t boot_sequence, std::function<void(SaveReport)> done);
+
+    /**
+     * Predicted save duration for the current machine state, without
+     * running it (used for energy budgeting and Fig. 8).
+     */
+    Tick predictDuration() const;
+
+  private:
+    void stepIpis();
+    void stepContextsAndFlush();
+    void stepFinishFlush();
+    void stepMarkerPrepare();
+    void stepMarkerStamp();
+    void stepInitiateNvdimmSave();
+
+    /** Per-socket flush cost under the configured method. */
+    Tick flushCost(unsigned socket) const;
+
+    /** Execute the functional flush for @p socket. */
+    Tick executeFlush(unsigned socket);
+
+    void record(const char *step, Tick start, Tick end);
+
+    MachineModel &machine_;
+    PowerMonitor &monitor_;
+    ValidMarker &marker_;
+    ResumeBlock &resumeBlock_;
+    DeviceManager *devices_;
+    const WspConfig &config_;
+
+    EventQueue &queue_;
+    uint64_t bootSequence_ = 0;
+    std::function<void(SaveReport)> done_;
+    SaveReport report_;
+};
+
+} // namespace wsp

@@ -1,0 +1,109 @@
+#include "core/valid_marker.h"
+
+#include "util/checksum.h"
+#include "util/logging.h"
+
+namespace wsp {
+
+namespace {
+
+// Field offsets within the marker region.
+constexpr uint64_t kOffMagic = 0;
+constexpr uint64_t kOffSequence = 8;
+constexpr uint64_t kOffResumeChecksum = 16;
+constexpr uint64_t kOffFieldChecksum = 24;
+constexpr uint64_t kOffStamp = CacheModel::kLineSize;
+constexpr uint64_t kOffStampChecksum = CacheModel::kLineSize + 8;
+
+uint64_t
+fieldChecksum(uint64_t magic, uint64_t sequence, uint64_t resume_checksum)
+{
+    uint64_t hash = fnv1aU64(magic);
+    hash = fnv1aU64(sequence, hash);
+    return fnv1aU64(resume_checksum, hash);
+}
+
+} // namespace
+
+ValidMarker::ValidMarker(CacheModel &cache, uint64_t base)
+    : cache_(cache), base_(base)
+{
+    WSP_CHECKF(base % CacheModel::kLineSize == 0,
+               "marker base %llu not line-aligned",
+               static_cast<unsigned long long>(base));
+}
+
+Tick
+ValidMarker::prepare(uint64_t boot_sequence, uint64_t resume_checksum)
+{
+    preparedSequence_ = boot_sequence;
+    preparedChecksum_ = resume_checksum;
+    cache_.writeU64(base_ + kOffMagic, kMagic);
+    cache_.writeU64(base_ + kOffSequence, boot_sequence);
+    cache_.writeU64(base_ + kOffResumeChecksum, resume_checksum);
+    cache_.writeU64(base_ + kOffFieldChecksum,
+                    fieldChecksum(kMagic, boot_sequence, resume_checksum));
+    return cache_.flushLine(base_);
+}
+
+Tick
+ValidMarker::stamp()
+{
+    cache_.writeU64(base_ + kOffStamp, kValidStamp);
+    cache_.writeU64(base_ + kOffStampChecksum,
+                    fnv1aU64(kValidStamp ^ preparedSequence_));
+    return cache_.flushLine(base_ + kOffStamp);
+}
+
+Tick
+ValidMarker::set(uint64_t boot_sequence, uint64_t resume_checksum)
+{
+    const Tick t0 = prepare(boot_sequence, resume_checksum);
+    return t0 + stamp();
+}
+
+Tick
+ValidMarker::clear()
+{
+    // Clearing the stamp line alone invalidates the marker; clear the
+    // field line too so stale data never survives.
+    cache_.writeU64(base_ + kOffStamp, 0);
+    cache_.writeU64(base_ + kOffStampChecksum, 0);
+    const Tick t0 = cache_.flushLine(base_ + kOffStamp);
+    cache_.writeU64(base_ + kOffMagic, 0);
+    cache_.writeU64(base_ + kOffSequence, 0);
+    cache_.writeU64(base_ + kOffResumeChecksum, 0);
+    cache_.writeU64(base_ + kOffFieldChecksum, 0);
+    return t0 + cache_.flushLine(base_);
+}
+
+MarkerState
+ValidMarker::read(const NvramSpace &memory) const
+{
+    MarkerState state;
+    const uint64_t magic = memory.readU64(base_ + kOffMagic);
+    const uint64_t sequence = memory.readU64(base_ + kOffSequence);
+    const uint64_t resume_checksum =
+        memory.readU64(base_ + kOffResumeChecksum);
+    const uint64_t field_checksum =
+        memory.readU64(base_ + kOffFieldChecksum);
+    const uint64_t stamp = memory.readU64(base_ + kOffStamp);
+    const uint64_t stamp_checksum =
+        memory.readU64(base_ + kOffStampChecksum);
+
+    if (magic != kMagic)
+        return state;
+    if (field_checksum != fieldChecksum(magic, sequence, resume_checksum))
+        return state;
+    if (stamp != kValidStamp)
+        return state;
+    if (stamp_checksum != fnv1aU64(kValidStamp ^ sequence))
+        return state;
+
+    state.valid = true;
+    state.bootSequence = sequence;
+    state.resumeChecksum = resume_checksum;
+    return state;
+}
+
+} // namespace wsp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Valid-image marker protocol.
+ *
+ * The last action of the WSP save routine before initiating the
+ * NVDIMM save is writing and flushing a "valid" marker to memory;
+ * the marker is cleared on system startup and after a successful
+ * resume, so any failure *during* the save is correctly detected on
+ * the next boot (paper section 4). The marker occupies two cache
+ * lines:
+ *
+ *   line 0: magic, boot sequence number, resume-block checksum, and a
+ *           checksum over those three fields;
+ *   line 1: the VALID stamp word and its own checksum.
+ *
+ * set() writes and flushes line 0 before line 1, so a crash between
+ * the two leaves a verifiably invalid marker rather than a torn one.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "machine/cache.h"
+#include "util/units.h"
+
+namespace wsp {
+
+/** Decoded marker state. */
+struct MarkerState
+{
+    bool valid = false;
+    uint64_t bootSequence = 0;
+    uint64_t resumeChecksum = 0;
+};
+
+/** The two-line marker protocol at a fixed NVRAM address. */
+class ValidMarker
+{
+  public:
+    /** Total bytes reserved for the marker (two cache lines). */
+    static constexpr uint64_t kSize = 2 * CacheModel::kLineSize;
+
+    /**
+     * @param cache the control processor's cache: marker writes go
+     *        through it and are explicitly flushed line by line.
+     * @param base  NVRAM physical address of the marker (line-aligned).
+     */
+    ValidMarker(CacheModel &cache, uint64_t base);
+
+    uint64_t base() const { return base_; }
+
+    /**
+     * Write and flush line 0 (fields). Call before stamp().
+     * @return modelled cost of the writes and flushes.
+     */
+    Tick prepare(uint64_t boot_sequence, uint64_t resume_checksum);
+
+    /**
+     * Write and flush line 1 (the VALID stamp). The image is valid
+     * only after this returns.
+     * @return modelled cost.
+     */
+    Tick stamp();
+
+    /** Convenience: prepare() + stamp(). */
+    Tick set(uint64_t boot_sequence, uint64_t resume_checksum);
+
+    /** Invalidate the marker (boot / post-resume path). */
+    Tick clear();
+
+    /**
+     * Decode the marker straight from NVRAM (the boot path has cold
+     * caches). Garbage, torn, or cleared markers decode as invalid.
+     */
+    MarkerState read(const NvramSpace &memory) const;
+
+  private:
+    static constexpr uint64_t kMagic = 0x57535056414c4931ull; // "WSPVALI1"
+    static constexpr uint64_t kValidStamp = 0x56414c4944212121ull;
+
+    CacheModel &cache_;
+    uint64_t base_;
+    uint64_t preparedSequence_ = 0;
+    uint64_t preparedChecksum_ = 0;
+};
+
+} // namespace wsp

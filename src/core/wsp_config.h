@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Configuration and report types for the WSP core.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "devices/device_manager.h"
+#include "util/units.h"
+
+namespace wsp {
+
+/** How the save routine flushes transient cache state (Table 2). */
+enum class FlushMethod {
+    Wbinvd,      ///< wbinvd per socket: flat cost, no dirty tracking
+    ClflushLoop, ///< clflush walk over the whole cache (ablation)
+};
+
+/** Human-readable flush method name. */
+std::string flushMethodName(FlushMethod method);
+
+/**
+ * What the boot path restores (paper section 6, "Process
+ * persistence").
+ *
+ * WholeSystem resumes the entire machine image: OS structures, device
+ * driver state (modulo the device policy), and every thread context.
+ * ProcessOnly boots a *fresh* OS instance and hands surviving
+ * application memory to re-attached applications — the
+ * Otherworld/Drawbridge direction: thread contexts and stacks are
+ * still saved by flush-on-fail, but the kernel is not resumed, so the
+ * restore pays a full kernel boot and applications re-attach to their
+ * state instead of continuing blindly.
+ */
+enum class RestoreMode {
+    WholeSystem,
+    ProcessOnly,
+};
+
+/** Human-readable restore mode name. */
+std::string restoreModeName(RestoreMode mode);
+
+/** Tunable behaviour of the WSP save/restore machinery. */
+struct WspConfig
+{
+    FlushMethod flushMethod = FlushMethod::Wbinvd;
+
+    /** Whole-system resume vs process persistence (section 6). */
+    RestoreMode restoreMode = RestoreMode::WholeSystem;
+
+    /** Full kernel boot cost in ProcessOnly mode (fresh OS). */
+    Tick freshKernelBootLatency = fromSeconds(20.0);
+
+    /** Device recovery strategy (paper section 4). */
+    DevicePolicy devicePolicy = DevicePolicy::VirtualizedReplay;
+
+    /** Arm NVDIMMs for hardware-triggered save on power loss. */
+    bool armNvdimms = true;
+
+    /** Firmware (BIOS + bootloader) latency on the boot path. */
+    Tick firmwareBootLatency = fromSeconds(5.0);
+
+    /** OS scheduler/runtime resume cost after contexts are restored. */
+    Tick osResumeLatency = fromMillis(200.0);
+
+    /** Fresh host-OS device stack boot for virtualized replay. */
+    Tick hostStackBootLatency = fromSeconds(4.0);
+
+    /** Control-processor cost to issue the NVDIMM save command. */
+    Tick commandIssueLatency = fromMicros(2.0);
+};
+
+/** One timed step of the save or restore sequence. */
+struct StepTiming
+{
+    std::string step;
+    Tick start = 0;
+    Tick end = 0;
+
+    Tick duration() const { return end - start; }
+};
+
+/** Outcome of one flush-on-fail save attempt (paper Fig. 4, 1-8). */
+struct SaveReport
+{
+    bool completed = false;  ///< reached the final halt
+    Tick started = 0;        ///< host interrupt delivery tick
+    Tick halted = 0;         ///< control processor halt tick
+    Tick deviceSuspendTime = 0; ///< strawman policy only
+    Tick contextSaveTime = 0;
+    Tick cacheFlushTime = 0;
+    Tick markerTime = 0;
+    uint64_t dirtyBytesFlushed = 0;
+    std::vector<StepTiming> steps;
+
+    /** Total save-path latency. */
+    Tick duration() const { return halted - started; }
+};
+
+/** Outcome of one boot-path restore attempt (paper Fig. 4, 10-14). */
+struct RestoreReport
+{
+    bool usedWsp = false;     ///< resumed from NVRAM (vs back end)
+    bool flashValid = false;  ///< NVDIMM images were restorable
+    bool markerValid = false; ///< valid marker found
+    bool checksumOk = false;  ///< resume block matched the marker
+    bool contextsRestored = false; ///< thread contexts resumed
+                                   ///< (WholeSystem mode only)
+    Tick started = 0;
+    Tick finished = 0;
+    Tick nvdimmRestoreTime = 0;
+    DeviceRestoreReport deviceReport;
+    std::vector<StepTiming> steps;
+
+    /** Total boot-to-running latency. */
+    Tick duration() const { return finished - started; }
+};
+
+} // namespace wsp

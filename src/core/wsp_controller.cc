@@ -1,0 +1,120 @@
+#include "core/wsp_controller.h"
+
+#include "util/logging.h"
+
+namespace wsp {
+
+WspLayout
+WspLayout::topOfMemory(uint64_t capacity, unsigned cores)
+{
+    const uint64_t line = CacheModel::kLineSize;
+    const uint64_t resume_size = ResumeBlock::sizeFor(cores);
+    WspLayout layout;
+    layout.markerBase = (capacity - ValidMarker::kSize) / line * line;
+    layout.resumeBase =
+        (layout.markerBase - resume_size) / line * line;
+    return layout;
+}
+
+WspController::WspController(EventQueue &queue, MachineModel &machine,
+                             AtxPowerSupply &psu, PowerMonitor &monitor,
+                             NvdimmController &nvdimms,
+                             DeviceManager *devices, WspConfig config)
+    : SimObject(queue, "wsp-controller"), config_(config),
+      machine_(machine), psu_(psu), monitor_(monitor), nvdimms_(nvdimms),
+      devices_(devices),
+      marker_(machine.cacheOfCore(0),
+              WspLayout::topOfMemory(machine.memory().capacity(),
+                                     machine.coreCount()).markerBase),
+      resumeBlock_(machine.cacheOfCore(0),
+                   WspLayout::topOfMemory(machine.memory().capacity(),
+                                          machine.coreCount()).resumeBase,
+                   machine.coreCount()),
+      save_(machine, monitor, marker_, resumeBlock_, devices, config_),
+      restore_(machine, nvdimms, marker_, resumeBlock_, devices, config_)
+{
+    monitor_.setPowerFailHandler([this] { onPowerFailInterrupt(); });
+    monitor_.setCommandSink(nvdimms_.commandSink());
+    if (config_.armNvdimms)
+        nvdimms_.armAll();
+
+    // The instant regulation ends, everything on host power dies.
+    psu_.pwrOkSignal().observeEdge(false, [this] {
+        pwrOkDroppedAt_ = now();
+        const Tick end = psu_.regulationEndTick();
+        queue_.schedule(end, [this] { onHardPowerLoss(); });
+    });
+}
+
+void
+WspController::onPowerFailInterrupt()
+{
+    if (!running_) {
+        warn("power-fail interrupt while not running; ignored");
+        return;
+    }
+    running_ = false;
+    save_.run(bootSequence_, [this](SaveReport report) {
+        lastSave_ = report;
+        if (pwrOkDroppedAt_ && psu_.residualWindow() > 0) {
+            windowFractionUsed_ =
+                static_cast<double>(report.halted - *pwrOkDroppedAt_) /
+                static_cast<double>(psu_.residualWindow());
+        }
+        debugLog("save completed in %s",
+                 formatTime(report.duration()).c_str());
+    });
+}
+
+void
+WspController::start()
+{
+    WSP_CHECK(!running_);
+    marker_.clear();
+    running_ = true;
+}
+
+void
+WspController::onHardPowerLoss()
+{
+    if (powerLostAt_.has_value())
+        return;
+    if (!psu_.inputFailed())
+        return; // the outage ended inside the residual window
+    powerLostAt_ = now();
+    running_ = false;
+    machine_.onPowerLost();
+    if (devices_ != nullptr)
+        devices_->onPowerLost();
+    nvdimms_.hostPowerLost();
+}
+
+std::optional<double>
+WspController::windowFractionUsed() const
+{
+    return windowFractionUsed_;
+}
+
+void
+WspController::boot(std::function<void()> backend_recovery,
+                    std::function<void(RestoreReport)> done)
+{
+    // Power has returned: the PSU regulates again, the NVDIMM banks
+    // recharge, devices are cold.
+    psu_.restoreInput();
+    psu_.setLoadWatts(machine_.spec().load.idleWatts);
+    nvdimms_.hostPowerRestored();
+    powerLostAt_.reset();
+    pwrOkDroppedAt_.reset();
+
+    restore_.run(std::move(backend_recovery),
+                 [this, done = std::move(done)](RestoreReport report) {
+        lastRestore_ = report;
+        running_ = true;
+        ++bootSequence_;
+        if (done)
+            done(report);
+    });
+}
+
+} // namespace wsp

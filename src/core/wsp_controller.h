@@ -1,0 +1,121 @@
+/**
+ * @file
+ * WSP controller: the whole-system persistence state machine.
+ *
+ * Owns the valid marker, the resume block, and the save/restore
+ * routines, and wires them to the hardware substrates:
+ *
+ *  - the power monitor's fail interrupt triggers the flush-on-fail
+ *    save on the control processor,
+ *  - the PSU's regulation-end tick triggers the hard power loss that
+ *    scrubs unprotected machine state,
+ *  - boot() runs the restore routine and falls back to back-end
+ *    recovery when the image is unusable.
+ *
+ * The controller also accounts the save's energy position inside the
+ * residual window (the paper's 2-35% claim).
+ */
+
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "core/restore_routine.h"
+#include "core/save_routine.h"
+#include "core/wsp_config.h"
+#include "nvram/controller.h"
+#include "power/power_monitor.h"
+#include "power/psu.h"
+
+namespace wsp {
+
+/** Where the marker and resume block live in NVRAM. */
+struct WspLayout
+{
+    uint64_t markerBase = 0;
+    uint64_t resumeBase = 0;
+
+    /** Place the structures at the top of a @p capacity space. */
+    static WspLayout topOfMemory(uint64_t capacity, unsigned cores);
+};
+
+/** Top-level whole-system persistence orchestrator. */
+class WspController : public SimObject
+{
+  public:
+    WspController(EventQueue &queue, MachineModel &machine,
+                  AtxPowerSupply &psu, PowerMonitor &monitor,
+                  NvdimmController &nvdimms, DeviceManager *devices,
+                  WspConfig config);
+
+    const WspConfig &config() const { return config_; }
+    ValidMarker &marker() { return marker_; }
+    ResumeBlock &resumeBlock() { return resumeBlock_; }
+    SaveRoutine &saveRoutine() { return save_; }
+
+    /** Sequence number of the current boot epoch. */
+    uint64_t bootSequence() const { return bootSequence_; }
+
+    /** Report of the last completed save attempt, if any. */
+    const std::optional<SaveReport> &lastSave() const { return lastSave_; }
+
+    /** Report of the last restore attempt, if any. */
+    const std::optional<RestoreReport> &lastRestore() const
+    {
+        return lastRestore_;
+    }
+
+    /** Tick at which the machine actually lost power (if it has). */
+    std::optional<Tick> powerLostAt() const { return powerLostAt_; }
+
+    /**
+     * Fraction of the residual energy window the last completed save
+     * consumed (paper section 5.3/5.4: 2-35%). Meaningful only after
+     * a save raced an actual failure.
+     */
+    std::optional<double> windowFractionUsed() const;
+
+    /**
+     * Boot (or re-boot) the system: runs the restore routine.
+     * @p backend_recovery runs when WSP recovery is impossible.
+     * @p done receives the restore report.
+     */
+    void boot(std::function<void()> backend_recovery = nullptr,
+              std::function<void(RestoreReport)> done = nullptr);
+
+    /** True once boot() completed and the machine is running. */
+    bool running() const { return running_; }
+
+    /**
+     * Mark a fresh system as up (initial power-on: no image to
+     * restore, the marker is cleared as on any startup).
+     */
+    void start();
+
+  private:
+    void onPowerFailInterrupt();
+    void onHardPowerLoss();
+
+    WspConfig config_;
+    MachineModel &machine_;
+    AtxPowerSupply &psu_;
+    PowerMonitor &monitor_;
+    NvdimmController &nvdimms_;
+    DeviceManager *devices_;
+
+    ValidMarker marker_;
+    ResumeBlock resumeBlock_;
+    SaveRoutine save_;
+    RestoreRoutine restore_;
+
+    uint64_t bootSequence_ = 1;
+    bool running_ = false;
+    std::optional<SaveReport> lastSave_;
+    std::optional<RestoreReport> lastRestore_;
+    std::optional<Tick> powerLostAt_;
+    std::optional<Tick> pwrOkDroppedAt_;
+    std::optional<double> windowFractionUsed_;
+};
+
+} // namespace wsp

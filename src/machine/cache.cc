@@ -1,0 +1,186 @@
+#include "machine/cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace wsp {
+
+CacheModel::CacheModel(std::string name, uint64_t capacity_bytes,
+                       CacheTiming timing, NvramSpace &memory)
+    : name_(std::move(name)), capacity_(capacity_bytes), timing_(timing),
+      memory_(memory)
+{
+    WSP_CHECK(capacity_ >= kLineSize);
+    WSP_CHECK(capacity_ % kLineSize == 0);
+    WSP_CHECK(timing_.memoryBwBytesPerSec > 0.0);
+}
+
+void
+CacheModel::read(uint64_t addr, std::span<uint8_t> out) const
+{
+    size_t done = 0;
+    while (done < out.size()) {
+        const uint64_t cur = addr + done;
+        const uint64_t base = lineBase(cur);
+        const uint64_t offset = cur - base;
+        const size_t chunk = static_cast<size_t>(
+            std::min<uint64_t>(kLineSize - offset, out.size() - done));
+        auto it = dirty_.find(base);
+        if (it != dirty_.end()) {
+            std::memcpy(out.data() + done, it->second.data.data() + offset,
+                        chunk);
+        } else {
+            memory_.read(cur, out.subspan(done, chunk));
+        }
+        done += chunk;
+    }
+}
+
+CacheModel::Line &
+CacheModel::lineForWrite(uint64_t addr)
+{
+    const uint64_t base = lineBase(addr);
+    auto it = dirty_.find(base);
+    if (it != dirty_.end()) {
+        // Refresh recency.
+        lruOrder_.erase(it->second.lru);
+        lruOrder_.push_front(base);
+        it->second.lru = lruOrder_.begin();
+        return it->second;
+    }
+
+    if (dirtyBytes() >= capacity_) {
+        // Evict the least recently written line first.
+        WSP_CHECK(!lruOrder_.empty());
+        writeBack(lruOrder_.back());
+    }
+
+    Line line;
+    line.data.resize(kLineSize);
+    // A new dirty line starts from the memory image (partial-line
+    // writes must preserve the other bytes).
+    memory_.read(base, line.data);
+    lruOrder_.push_front(base);
+    line.lru = lruOrder_.begin();
+    return dirty_.emplace(base, std::move(line)).first->second;
+}
+
+void
+CacheModel::write(uint64_t addr, std::span<const uint8_t> data)
+{
+    size_t done = 0;
+    while (done < data.size()) {
+        const uint64_t cur = addr + done;
+        const uint64_t base = lineBase(cur);
+        const uint64_t offset = cur - base;
+        const size_t chunk = static_cast<size_t>(
+            std::min<uint64_t>(kLineSize - offset, data.size() - done));
+        Line &line = lineForWrite(cur);
+        std::memcpy(line.data.data() + offset, data.data() + done, chunk);
+        done += chunk;
+    }
+}
+
+uint64_t
+CacheModel::readU64(uint64_t addr) const
+{
+    uint8_t bytes[8];
+    read(addr, bytes);
+    uint64_t value = 0;
+    for (int i = 7; i >= 0; --i)
+        value = (value << 8) | bytes[i];
+    return value;
+}
+
+void
+CacheModel::writeU64(uint64_t addr, uint64_t value)
+{
+    uint8_t bytes[8];
+    for (auto &byte : bytes) {
+        byte = static_cast<uint8_t>(value & 0xff);
+        value >>= 8;
+    }
+    write(addr, bytes);
+}
+
+void
+CacheModel::writeBack(uint64_t line_addr)
+{
+    auto it = dirty_.find(line_addr);
+    WSP_CHECK(it != dirty_.end());
+    memory_.write(line_addr, it->second.data);
+    lruOrder_.erase(it->second.lru);
+    dirty_.erase(it);
+}
+
+Tick
+CacheModel::flushLine(uint64_t addr)
+{
+    const uint64_t base = lineBase(addr);
+    if (dirty_.count(base))
+        writeBack(base);
+    return timing_.clflushPerLine;
+}
+
+Tick
+CacheModel::clflushLoopCost(uint64_t lines) const
+{
+    return timing_.clflushPerLine * lines;
+}
+
+Tick
+CacheModel::wbinvdCost() const
+{
+    // The microcode walk dominates; only a small fraction of the dirty
+    // write-back traffic is exposed beyond it (hence Fig. 8's flat
+    // curves).
+    const double exposed = timing_.wbinvdDirtyExposure *
+                           static_cast<double>(dirtyBytes()) /
+                           timing_.memoryBwBytesPerSec;
+    return timing_.wbinvdFixed + fromSeconds(exposed);
+}
+
+Tick
+CacheModel::wbinvd()
+{
+    const Tick cost = wbinvdCost();
+    // Write back everything; order is irrelevant to the memory image.
+    while (!lruOrder_.empty())
+        writeBack(lruOrder_.back());
+    return cost;
+}
+
+Tick
+CacheModel::theoreticalBestCost() const
+{
+    return fromSeconds(static_cast<double>(capacity_) /
+                       timing_.memoryBwBytesPerSec);
+}
+
+void
+CacheModel::fillDirty(uint64_t base, uint64_t bytes, Rng &rng)
+{
+    WSP_CHECKF(bytes <= capacity_,
+               "fillDirty %llu B exceeds cache capacity %llu B",
+               static_cast<unsigned long long>(bytes),
+               static_cast<unsigned long long>(capacity_));
+    std::vector<uint8_t> pattern(kLineSize);
+    for (uint64_t off = 0; off < bytes; off += kLineSize) {
+        const size_t chunk = static_cast<size_t>(
+            std::min<uint64_t>(kLineSize, bytes - off));
+        for (size_t i = 0; i < chunk; ++i)
+            pattern[i] = static_cast<uint8_t>(rng());
+        write(base + off, std::span<const uint8_t>(pattern.data(), chunk));
+    }
+}
+
+void
+CacheModel::dropDirty()
+{
+    dirty_.clear();
+    lruOrder_.clear();
+}
+
+} // namespace wsp

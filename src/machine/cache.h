@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Write-back cache model with flush timing.
+ *
+ * WSP's flush-on-fail spends most of its budget writing dirty cache
+ * lines to NVRAM (paper section 5.3). The model is functional —
+ * writes land in the cache and reach NVRAM only on write-back — so
+ * the crash-consistency tests can observe exactly which updates
+ * survive a failure, and it carries the two flush timing models the
+ * paper measured (Table 2, Fig. 8):
+ *
+ *  - wbinvd: microcode walks the whole cache regardless of how much
+ *    is dirty, so the cost is nearly flat in dirty bytes and is
+ *    calibrated per platform from Table 2;
+ *  - clflush: one instruction per line, cheaper when few lines are
+ *    dirty but needs software to know where they are, which is not
+ *    practical (the paper's observation) — we model flushing a given
+ *    line count for the ablation study;
+ *  - theoretical best: cache size over memory bandwidth.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nvram/nvram_space.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace wsp {
+
+/** Timing calibration for a platform's cache flush behaviour. */
+struct CacheTiming
+{
+    /** Fixed wbinvd walk cost with nothing dirty. */
+    Tick wbinvdFixed = fromMillis(1.0);
+
+    /** Memory bandwidth the write-back path can sustain. */
+    double memoryBwBytesPerSec = 10.0 * 1024 * 1024 * 1024;
+
+    /**
+     * Fraction of the dirty write-back that is not hidden behind the
+     * wbinvd walk (the walk overlaps most of the traffic, which is
+     * why the paper sees little dependence on dirty bytes).
+     */
+    double wbinvdDirtyExposure = 0.08;
+
+    /** Per-line cost of a clflush loop (issue + walk). */
+    Tick clflushPerLine = 9;
+};
+
+/**
+ * One write-back cache (modelled at the largest-cache level) backed
+ * by an NvramSpace.
+ *
+ * Only dirty lines are held; reads hit the dirty line if present and
+ * fall through to NVRAM otherwise. When the dirty footprint exceeds
+ * the capacity, the least-recently written line is evicted (written
+ * back), as a real cache would.
+ */
+class CacheModel
+{
+  public:
+    static constexpr uint64_t kLineSize = 64;
+
+    CacheModel(std::string name, uint64_t capacity_bytes,
+               CacheTiming timing, NvramSpace &memory);
+
+    const std::string &name() const { return name_; }
+    uint64_t capacity() const { return capacity_; }
+    const CacheTiming &timing() const { return timing_; }
+
+    /** Bytes currently dirty (lines * line size). */
+    uint64_t dirtyBytes() const { return dirty_.size() * kLineSize; }
+
+    /** Number of dirty lines. */
+    size_t dirtyLines() const { return dirty_.size(); }
+
+    /** Cached read: dirty lines shadow NVRAM content. */
+    void read(uint64_t addr, std::span<uint8_t> out) const;
+
+    /** Cached write: dirties lines; NVRAM is not yet updated. */
+    void write(uint64_t addr, std::span<const uint8_t> data);
+
+    /** Read one little-endian u64 through the cache. */
+    uint64_t readU64(uint64_t addr) const;
+
+    /** Write one little-endian u64 through the cache. */
+    void writeU64(uint64_t addr, uint64_t value);
+
+    /**
+     * Write back and drop the line containing @p addr (clflush).
+     * @return the modelled cost of the instruction.
+     */
+    Tick flushLine(uint64_t addr);
+
+    /**
+     * Write back and invalidate the whole cache (wbinvd).
+     * @return the modelled cost, nearly flat in dirty bytes.
+     */
+    Tick wbinvd();
+
+    /**
+     * Modelled cost of a software clflush loop over @p lines lines
+     * (whether or not they are dirty), without executing it.
+     */
+    Tick clflushLoopCost(uint64_t lines) const;
+
+    /** Modelled wbinvd cost without executing it. */
+    Tick wbinvdCost() const;
+
+    /** Lower bound: cache size over memory bandwidth (Table 2). */
+    Tick theoreticalBestCost() const;
+
+    /**
+     * Dirty @p bytes of cache by writing a pseudo-random pattern to
+     * consecutive lines starting at @p base (bench/test helper).
+     */
+    void fillDirty(uint64_t base, uint64_t bytes, Rng &rng);
+
+    /**
+     * Model the loss of cache contents without write-back (the
+     * failure case flush-on-fail exists to prevent): dirty lines are
+     * simply dropped.
+     */
+    void dropDirty();
+
+  private:
+    struct Line
+    {
+        std::vector<uint8_t> data;
+        std::list<uint64_t>::iterator lru;
+    };
+
+    uint64_t lineBase(uint64_t addr) const { return addr & ~(kLineSize - 1); }
+
+    /** Get or create the dirty line for @p addr's line. */
+    Line &lineForWrite(uint64_t addr);
+
+    /** Write one line back to NVRAM and forget it. */
+    void writeBack(uint64_t line_addr);
+
+    std::string name_;
+    uint64_t capacity_;
+    CacheTiming timing_;
+    NvramSpace &memory_;
+    std::unordered_map<uint64_t, Line> dirty_;
+    std::list<uint64_t> lruOrder_; ///< front = most recently written
+};
+
+} // namespace wsp

@@ -1,0 +1,81 @@
+#include "machine/cpu_context.h"
+
+#include "util/logging.h"
+
+namespace wsp {
+
+namespace {
+
+void
+putU64(std::span<uint8_t> out, size_t &pos, uint64_t value)
+{
+    for (int i = 0; i < 8; ++i) {
+        out[pos++] = static_cast<uint8_t>(value & 0xff);
+        value >>= 8;
+    }
+}
+
+uint64_t
+getU64(std::span<const uint8_t> in, size_t &pos)
+{
+    uint64_t value = 0;
+    for (int i = 7; i >= 0; --i)
+        value = (value << 8) | in[pos + static_cast<size_t>(i)];
+    pos += 8;
+    return value;
+}
+
+} // namespace
+
+void
+CpuContext::serialize(std::span<uint8_t> out) const
+{
+    WSP_CHECK(out.size() >= serializedSize());
+    size_t pos = 0;
+    for (uint64_t reg : gpr)
+        putU64(out, pos, reg);
+    putU64(out, pos, rip);
+    putU64(out, pos, rflags);
+    putU64(out, pos, cr0);
+    putU64(out, pos, cr3);
+    putU64(out, pos, cr4);
+    putU64(out, pos, fsBase);
+    putU64(out, pos, gsBase);
+    putU64(out, pos, apicId);
+}
+
+CpuContext
+CpuContext::deserialize(std::span<const uint8_t> in)
+{
+    WSP_CHECK(in.size() >= serializedSize());
+    CpuContext ctx;
+    size_t pos = 0;
+    for (auto &reg : ctx.gpr)
+        reg = getU64(in, pos);
+    ctx.rip = getU64(in, pos);
+    ctx.rflags = getU64(in, pos);
+    ctx.cr0 = getU64(in, pos);
+    ctx.cr3 = getU64(in, pos);
+    ctx.cr4 = getU64(in, pos);
+    ctx.fsBase = getU64(in, pos);
+    ctx.gsBase = getU64(in, pos);
+    ctx.apicId = getU64(in, pos);
+    return ctx;
+}
+
+void
+CpuContext::randomize(Rng &rng)
+{
+    for (auto &reg : gpr)
+        reg = rng();
+    rip = rng();
+    rflags = (rng() & 0xcd5) | 0x2; // plausible flag bits only
+    cr0 = rng();
+    cr3 = rng() & ~0xfffull; // page-aligned
+    cr4 = rng();
+    fsBase = rng();
+    gsBase = rng();
+    // apicId is identity, not random: leave it to the owner.
+}
+
+} // namespace wsp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Processor register context.
+ *
+ * The WSP save routine captures every processor's architectural
+ * context to memory before flushing caches (paper Fig. 4, step 2-3).
+ * CpuContext models the x86-64 state that must survive: general
+ * purpose registers, instruction/stack pointers, flags, control
+ * registers, and the segment bases the OS relies on. It serializes to
+ * a fixed-size byte image so the resume block can hold one image per
+ * processor at a well-known NVRAM location.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "util/rng.h"
+
+namespace wsp {
+
+/** Architectural register state of one logical processor. */
+struct CpuContext
+{
+    static constexpr size_t kGprCount = 16;
+
+    std::array<uint64_t, kGprCount> gpr{}; ///< rax..r15
+    uint64_t rip = 0;
+    uint64_t rflags = 0x2; ///< reserved bit 1 always set
+    uint64_t cr0 = 0;
+    uint64_t cr3 = 0;
+    uint64_t cr4 = 0;
+    uint64_t fsBase = 0;
+    uint64_t gsBase = 0;
+    uint64_t apicId = 0;
+
+    /** Bytes in the serialized image. */
+    static constexpr size_t
+    serializedSize()
+    {
+        return (kGprCount + 8) * sizeof(uint64_t);
+    }
+
+    /** Serialize to a little-endian byte image of serializedSize(). */
+    void serialize(std::span<uint8_t> out) const;
+
+    /** Rebuild from a byte image produced by serialize(). */
+    static CpuContext deserialize(std::span<const uint8_t> in);
+
+    /** Fill with pseudo-random values (test/bench state generator). */
+    void randomize(Rng &rng);
+
+    bool operator==(const CpuContext &other) const = default;
+};
+
+} // namespace wsp

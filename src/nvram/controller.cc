@@ -1,0 +1,159 @@
+#include "nvram/controller.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace wsp {
+
+NvdimmController::NvdimmController(EventQueue &queue)
+    : SimObject(queue, "nvdimm-controller")
+{
+}
+
+void
+NvdimmController::attach(NvdimmModule &module)
+{
+    modules_.push_back(&module);
+}
+
+void
+NvdimmController::armAll()
+{
+    for (auto *module : modules_)
+        module->arm();
+}
+
+void
+NvdimmController::disarmAll()
+{
+    for (auto *module : modules_)
+        module->disarm();
+}
+
+void
+NvdimmController::saveAll()
+{
+    WSP_CHECKF(!modules_.empty(), "saveAll with no modules attached");
+    for (auto *module : modules_) {
+        if (module->state() == NvdimmState::Active)
+            module->enterSelfRefresh();
+        if (module->state() == NvdimmState::SelfRefresh)
+            module->startSave();
+    }
+}
+
+void
+NvdimmController::restoreAll(std::function<void()> done)
+{
+    WSP_CHECKF(!modules_.empty(), "restoreAll with no modules attached");
+    WSP_CHECKF(allFlashValid(),
+               "restoreAll with an invalid flash image present");
+    for (auto *module : modules_) {
+        if (module->state() == NvdimmState::Active)
+            module->enterSelfRefresh();
+        module->startRestore();
+    }
+    // Modules restore in parallel; the slowest bounds the barrier.
+    queue_.scheduleAfter(maxRestoreDuration() + 1,
+                         [this, done = std::move(done)] {
+        for (auto *module : modules_) {
+            WSP_CHECKF(module->state() == NvdimmState::SelfRefresh,
+                       "%s: unexpected state %s after restore barrier",
+                       module->name().c_str(),
+                       nvdimmStateName(module->state()).c_str());
+            module->exitSelfRefresh();
+        }
+        if (done)
+            done();
+    });
+}
+
+bool
+NvdimmController::allFlashValid() const
+{
+    return std::all_of(modules_.begin(), modules_.end(),
+                       [](const NvdimmModule *m) { return m->flashValid(); });
+}
+
+bool
+NvdimmController::allIdle() const
+{
+    return std::none_of(modules_.begin(), modules_.end(),
+                        [](const NvdimmModule *m) { return m->busy(); });
+}
+
+bool
+NvdimmController::anySaveFailed() const
+{
+    return std::any_of(modules_.begin(), modules_.end(),
+                       [](const NvdimmModule *m) {
+        return m->state() == NvdimmState::SaveFailed;
+    });
+}
+
+Tick
+NvdimmController::maxSaveDuration() const
+{
+    Tick worst = 0;
+    for (const auto *module : modules_)
+        worst = std::max(worst, module->saveDuration());
+    return worst;
+}
+
+Tick
+NvdimmController::maxRestoreDuration() const
+{
+    Tick worst = 0;
+    for (const auto *module : modules_)
+        worst = std::max(worst, module->restoreDuration());
+    return worst;
+}
+
+void
+NvdimmController::resetToActive()
+{
+    for (auto *module : modules_) {
+        WSP_CHECKF(!module->busy(), "%s: resetToActive while busy",
+                   module->name().c_str());
+        if (module->state() == NvdimmState::SelfRefresh)
+            module->exitSelfRefresh();
+    }
+}
+
+void
+NvdimmController::hostPowerLost()
+{
+    for (auto *module : modules_)
+        module->hostPowerLost();
+}
+
+void
+NvdimmController::hostPowerRestored()
+{
+    for (auto *module : modules_)
+        module->hostPowerRestored();
+}
+
+PowerMonitor::CommandSink
+NvdimmController::commandSink()
+{
+    return [this](PowerMonitor::Command command) {
+        switch (command) {
+          case PowerMonitor::Command::Save:
+            saveAll();
+            break;
+          case PowerMonitor::Command::Restore:
+            restoreAll(nullptr);
+            break;
+          case PowerMonitor::Command::Arm:
+            armAll();
+            break;
+          case PowerMonitor::Command::Disarm:
+            disarmAll();
+            break;
+        }
+    };
+}
+
+} // namespace wsp

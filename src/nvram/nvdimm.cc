@@ -1,0 +1,275 @@
+#include "nvram/nvdimm.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace wsp {
+
+std::string
+nvdimmStateName(NvdimmState state)
+{
+    switch (state) {
+      case NvdimmState::Active:
+        return "active";
+      case NvdimmState::SelfRefresh:
+        return "self-refresh";
+      case NvdimmState::Saving:
+        return "saving";
+      case NvdimmState::Restoring:
+        return "restoring";
+      case NvdimmState::SaveFailed:
+        return "save-failed";
+    }
+    return "unknown";
+}
+
+NvdimmModule::NvdimmModule(EventQueue &queue, std::string name,
+                           NvdimmConfig config)
+    : SimObject(queue, std::move(name)), config_(config),
+      ultracap_(config.ultracap), dram_(config.capacityBytes),
+      flash_(config.capacityBytes)
+{
+    WSP_CHECK(config_.capacityBytes > 0);
+    WSP_CHECK(config_.channelSaveBw > 0.0);
+    WSP_CHECK(config_.channelRestoreBw > 0.0);
+}
+
+unsigned
+NvdimmModule::flashChannels() const
+{
+    if (config_.flashChannels > 0)
+        return config_.flashChannels;
+    const auto per_gib = static_cast<unsigned>(
+        (config_.capacityBytes + kGiB - 1) / kGiB);
+    return std::max(per_gib, 1u);
+}
+
+double
+NvdimmModule::savePowerWatts() const
+{
+    if (config_.savePowerWatts > 0.0)
+        return config_.savePowerWatts;
+    return 2.0 + 4.0 * static_cast<double>(flashChannels());
+}
+
+Tick
+NvdimmModule::saveDuration() const
+{
+    const double bw =
+        config_.channelSaveBw * static_cast<double>(flashChannels());
+    return fromSeconds(static_cast<double>(config_.capacityBytes) / bw);
+}
+
+Tick
+NvdimmModule::restoreDuration() const
+{
+    const double bw =
+        config_.channelRestoreBw * static_cast<double>(flashChannels());
+    return fromSeconds(static_cast<double>(config_.capacityBytes) / bw);
+}
+
+double
+NvdimmModule::saveEnergy() const
+{
+    return savePowerWatts() * toSeconds(saveDuration());
+}
+
+void
+NvdimmModule::hostRead(uint64_t addr, std::span<uint8_t> out) const
+{
+    WSP_CHECKF(state_ == NvdimmState::Active,
+               "%s: host read while %s", name().c_str(),
+               nvdimmStateName(state_).c_str());
+    dram_.read(addr, out);
+}
+
+void
+NvdimmModule::hostWrite(uint64_t addr, std::span<const uint8_t> data)
+{
+    WSP_CHECKF(state_ == NvdimmState::Active,
+               "%s: host write while %s", name().c_str(),
+               nvdimmStateName(state_).c_str());
+    dram_.write(addr, data);
+}
+
+void
+NvdimmModule::enterSelfRefresh()
+{
+    WSP_CHECKF(state_ == NvdimmState::Active,
+               "%s: enterSelfRefresh from %s", name().c_str(),
+               nvdimmStateName(state_).c_str());
+    state_ = NvdimmState::SelfRefresh;
+}
+
+void
+NvdimmModule::exitSelfRefresh()
+{
+    WSP_CHECKF(state_ == NvdimmState::SelfRefresh,
+               "%s: exitSelfRefresh from %s", name().c_str(),
+               nvdimmStateName(state_).c_str());
+    state_ = NvdimmState::Active;
+}
+
+bool
+NvdimmModule::busy() const
+{
+    return state_ == NvdimmState::Saving ||
+           state_ == NvdimmState::Restoring;
+}
+
+void
+NvdimmModule::startSave()
+{
+    WSP_CHECKF(state_ == NvdimmState::SelfRefresh,
+               "%s: startSave requires self-refresh (state %s)",
+               name().c_str(), nvdimmStateName(state_).c_str());
+    state_ = NvdimmState::Saving;
+    saveStarted_ = now();
+    lastSaveStep_ = now();
+    saveDeadline_ = now() + saveDuration();
+    debugLog("%s: save started, duration %s, energy %.1f J",
+             name().c_str(), formatTime(saveDuration()).c_str(),
+             saveEnergy());
+    queue_.scheduleAfter(std::min(kSaveStep, saveDuration()),
+                         [this] { saveStep(); });
+}
+
+void
+NvdimmModule::saveStep()
+{
+    if (state_ != NvdimmState::Saving)
+        return;
+
+    // Drain the ultracapacitor for the time elapsed since the last
+    // step. The module always runs the save engine from its own bank
+    // so the copy is immune to host power state.
+    const Tick elapsed = now() - lastSaveStep_;
+    lastSaveStep_ = now();
+    ultracap_.discharge(savePowerWatts(), elapsed);
+    if (!ultracap_.canSupply(savePowerWatts())) {
+        failSave("ultracapacitor exhausted");
+        return;
+    }
+    if (now() >= saveDeadline_) {
+        finishSave();
+        return;
+    }
+    queue_.scheduleAfter(std::min<Tick>(kSaveStep, saveDeadline_ - now()),
+                         [this] { saveStep(); });
+}
+
+void
+NvdimmModule::finishSave()
+{
+    flash_ = dram_.snapshot();
+    flashValid_ = true;
+    state_ = NvdimmState::SelfRefresh;
+    ++savesCompleted_;
+    debugLog("%s: save completed at %s", name().c_str(),
+             formatTime(now()).c_str());
+    if (!hostPower_) {
+        // With the image safely in flash the module powers down; the
+        // DRAM side is no longer maintained.
+        dram_.poison();
+        state_ = NvdimmState::Active;
+    }
+}
+
+void
+NvdimmModule::failSave(const char *reason)
+{
+    warn("%s: save FAILED (%s) after %s", name().c_str(), reason,
+         formatTime(now() - saveStarted_).c_str());
+    flashValid_ = false;
+    state_ = NvdimmState::SaveFailed;
+    if (!hostPower_)
+        dram_.poison();
+}
+
+void
+NvdimmModule::startRestore()
+{
+    WSP_CHECKF(hostPower_, "%s: restore requires host power",
+               name().c_str());
+    WSP_CHECKF(state_ == NvdimmState::SelfRefresh,
+               "%s: startRestore requires self-refresh (state %s)",
+               name().c_str(), nvdimmStateName(state_).c_str());
+    WSP_CHECKF(flashValid_, "%s: restore without a valid flash image",
+               name().c_str());
+    state_ = NvdimmState::Restoring;
+    queue_.scheduleAfter(restoreDuration(), [this] { finishRestore(); });
+}
+
+void
+NvdimmModule::finishRestore()
+{
+    if (state_ != NvdimmState::Restoring)
+        return;
+    dram_.restoreFrom(flash_);
+    state_ = NvdimmState::SelfRefresh;
+    ++restoresCompleted_;
+    debugLog("%s: restore completed at %s", name().c_str(),
+             formatTime(now()).c_str());
+}
+
+void
+NvdimmModule::hostPowerLost()
+{
+    hostPower_ = false;
+    switch (state_) {
+      case NvdimmState::Active:
+        if (armed_) {
+            // Hardware-triggered save: an armed module forces its
+            // DRAM into self-refresh and saves on its own when it
+            // sees power disappear (AgigaRAM behaviour). Whatever the
+            // host failed to flush is simply not in the image; the
+            // WSP valid marker is what distinguishes a usable image
+            // from a torn one.
+            state_ = NvdimmState::SelfRefresh;
+            startSave();
+        } else {
+            // DRAM without refresh or backup: contents decay. The
+            // flash image, if any, is unaffected.
+            dram_.poison();
+        }
+        break;
+      case NvdimmState::SelfRefresh:
+        if (armed_) {
+            // Hardware-triggered save, as above.
+            startSave();
+        } else {
+            // Self-refresh is powered by the ultracap only briefly;
+            // without a save the content is eventually lost. Model
+            // that as immediate loss for determinism.
+            dram_.poison();
+            state_ = NvdimmState::Active;
+        }
+        break;
+      case NvdimmState::Saving:
+        break; // save continues on ultracap power
+      case NvdimmState::Restoring:
+        // Restore needs host power; the partial DRAM image is junk,
+        // but the flash image stays valid for a retry.
+        dram_.poison();
+        state_ = NvdimmState::Active;
+        break;
+      case NvdimmState::SaveFailed:
+        dram_.poison();
+        break;
+    }
+}
+
+void
+NvdimmModule::hostPowerRestored()
+{
+    hostPower_ = true;
+    // The bank recharges from the 12 V rail; model the recharge as
+    // complete by the time the host is back up (tens of seconds).
+    if (ultracap_.voltage() < ultracap_.config().maxVoltage)
+        ultracap_.rechargeFully();
+    if (state_ == NvdimmState::SaveFailed)
+        state_ = NvdimmState::Active;
+}
+
+} // namespace wsp

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Flash-backed NVDIMM module model (AgigaRAM-style).
+ *
+ * A battery-free NVDIMM pairs commodity DRAM with an equal amount of
+ * NAND flash and an ultracapacitor bank (paper section 2). During
+ * normal operation the flash is invisible; when commanded (or when
+ * armed and host power is lost) the module copies DRAM to flash,
+ * powered entirely by its own ultracapacitor, so the save completes
+ * even after the system PSU is dead. On the next boot the module
+ * copies flash back into DRAM before the OS resumes.
+ *
+ * The model reproduces the externally visible contract and the
+ * timing/energy envelope from the paper:
+ *  - the DRAM must be put into self-refresh before save or restore,
+ *  - save time scales with capacity over parallel flash channels and
+ *    stays under ~10 s for modules up to 8 GiB,
+ *  - the ultracapacitor must hold at least the save's energy; Fig. 2
+ *    shows the voltage/power trajectory during a 1 GiB save,
+ *  - DRAM content is lost (poisoned) if host power disappears while
+ *    the module is neither in self-refresh nor saving.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "nvram/sparse_memory.h"
+#include "power/ultracapacitor.h"
+#include "sim/sim_object.h"
+#include "util/units.h"
+
+namespace wsp {
+
+/** Configuration of one NVDIMM module. */
+struct NvdimmConfig
+{
+    uint64_t capacityBytes = 1 * kGiB;
+
+    /**
+     * Number of parallel DRAM-to-flash channels. Vendors scale the
+     * flash with the DRAM, so the default is one channel per GiB,
+     * which keeps the save time roughly constant across sizes.
+     */
+    unsigned flashChannels = 0; ///< 0 = auto (one per GiB, min 1)
+
+    /** Per-channel flash program bandwidth (save path). */
+    double channelSaveBw = 130.0 * 1024 * 1024;
+
+    /** Per-channel flash read bandwidth (restore path). */
+    double channelRestoreBw = 260.0 * 1024 * 1024;
+
+    /** Module power draw while saving (controller + flash + DRAM). */
+    double savePowerWatts = 0.0; ///< 0 = auto (2 W + 4 W per channel)
+
+    /** Latency of entering/leaving DRAM self-refresh. */
+    Tick selfRefreshLatency = fromMicros(5.0);
+
+    UltracapConfig ultracap;
+};
+
+/** Externally visible module states. */
+enum class NvdimmState {
+    Active,      ///< normal DRAM operation, host load/store allowed
+    SelfRefresh, ///< DRAM in self-refresh, host access disallowed
+    Saving,      ///< DRAM-to-flash copy in progress (ultracap powered)
+    Restoring,   ///< flash-to-DRAM copy in progress (host powered)
+    SaveFailed,  ///< save aborted (energy or command protocol error)
+};
+
+/** Human-readable state name. */
+std::string nvdimmStateName(NvdimmState state);
+
+/**
+ * One NVDIMM module.
+ *
+ * Host byte access is only legal in Active state; the WSP save path
+ * transitions Active -> SelfRefresh -> Saving, and the boot path
+ * SelfRefresh/Active -> Restoring -> Active.
+ */
+class NvdimmModule : public SimObject
+{
+  public:
+    NvdimmModule(EventQueue &queue, std::string name, NvdimmConfig config);
+
+    const NvdimmConfig &config() const { return config_; }
+    uint64_t capacity() const { return config_.capacityBytes; }
+    NvdimmState state() const { return state_; }
+    Ultracapacitor &ultracap() { return ultracap_; }
+    const Ultracapacitor &ultracap() const { return ultracap_; }
+
+    /** Effective number of flash channels (resolving the auto value). */
+    unsigned flashChannels() const;
+
+    /** Module power draw while saving (resolving the auto value). */
+    double savePowerWatts() const;
+
+    /** Predicted DRAM-to-flash save duration. */
+    Tick saveDuration() const;
+
+    /** Predicted flash-to-DRAM restore duration. */
+    Tick restoreDuration() const;
+
+    /** Energy required to complete a save, in joules. */
+    double saveEnergy() const;
+
+    // Host access (Active state only) ---------------------------------
+
+    void hostRead(uint64_t addr, std::span<uint8_t> out) const;
+    void hostWrite(uint64_t addr, std::span<const uint8_t> data);
+
+    // Command interface (driven by the NvdimmController) ---------------
+
+    /** Arm the module: auto-save if host power dies in self-refresh. */
+    void arm() { armed_ = true; }
+    void disarm() { armed_ = false; }
+    bool armed() const { return armed_; }
+
+    /** Put the DRAM into self-refresh (required before save/restore). */
+    void enterSelfRefresh();
+
+    /** Leave self-refresh and return to Active. */
+    void exitSelfRefresh();
+
+    /**
+     * Begin the DRAM-to-flash save; requires SelfRefresh. The copy is
+     * powered by the module ultracapacitor and survives host power
+     * loss; it fails cleanly if the ultracapacitor runs out.
+     */
+    void startSave();
+
+    /**
+     * Begin the flash-to-DRAM restore; requires SelfRefresh (the boot
+     * firmware re-initializes the memory controller first) and a valid
+     * flash image. Host power must be present throughout.
+     */
+    void startRestore();
+
+    /** A completed save produced a valid flash image. */
+    bool flashValid() const { return flashValid_; }
+
+    /** True while a save or restore is in flight. */
+    bool busy() const;
+
+    /**
+     * Notify the module that host power is gone. Active-state DRAM
+     * content is lost; an armed module in self-refresh starts its
+     * save automatically (hardware-triggered save).
+     */
+    void hostPowerLost();
+
+    /** Notify the module that host power has returned. */
+    void hostPowerRestored();
+
+    /** Number of completed saves / restores (for stats and tests). */
+    uint64_t savesCompleted() const { return savesCompleted_; }
+    uint64_t restoresCompleted() const { return restoresCompleted_; }
+
+  private:
+    /** One integration step of the in-flight save. */
+    void saveStep();
+    void finishSave();
+    void failSave(const char *reason);
+    void finishRestore();
+
+    NvdimmConfig config_;
+    Ultracapacitor ultracap_;
+    SparseMemory dram_;
+    SparseMemory flash_;
+    bool flashValid_ = false;
+    bool armed_ = false;
+    bool hostPower_ = true;
+    NvdimmState state_ = NvdimmState::Active;
+
+    Tick saveStarted_ = 0;
+    Tick saveDeadline_ = 0;
+    Tick lastSaveStep_ = 0;
+    uint64_t savesCompleted_ = 0;
+    uint64_t restoresCompleted_ = 0;
+
+    /** Integration step for ultracap discharge during a save. */
+    static constexpr Tick kSaveStep = fromMillis(10.0);
+};
+
+} // namespace wsp

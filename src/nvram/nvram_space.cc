@@ -1,0 +1,84 @@
+#include "nvram/nvram_space.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace wsp {
+
+void
+NvramSpace::addModule(NvdimmModule &module)
+{
+    ranges_.push_back(Range{capacity_, &module});
+    capacity_ += module.capacity();
+}
+
+const NvramSpace::Range &
+NvramSpace::rangeFor(uint64_t addr) const
+{
+    WSP_CHECKF(addr < capacity_,
+               "address %llu beyond NVRAM capacity %llu",
+               static_cast<unsigned long long>(addr),
+               static_cast<unsigned long long>(capacity_));
+    // Ranges are sorted by construction; find the last base <= addr.
+    auto it = std::upper_bound(
+        ranges_.begin(), ranges_.end(), addr,
+        [](uint64_t a, const Range &r) { return a < r.base; });
+    WSP_CHECK(it != ranges_.begin());
+    return *(it - 1);
+}
+
+void
+NvramSpace::read(uint64_t addr, std::span<uint8_t> out) const
+{
+    size_t done = 0;
+    while (done < out.size()) {
+        const Range &range = rangeFor(addr + done);
+        const uint64_t offset = addr + done - range.base;
+        const uint64_t room = range.module->capacity() - offset;
+        const size_t chunk = static_cast<size_t>(
+            std::min<uint64_t>(room, out.size() - done));
+        range.module->hostRead(offset,
+                               out.subspan(done, chunk));
+        done += chunk;
+    }
+}
+
+void
+NvramSpace::write(uint64_t addr, std::span<const uint8_t> data)
+{
+    size_t done = 0;
+    while (done < data.size()) {
+        const Range &range = rangeFor(addr + done);
+        const uint64_t offset = addr + done - range.base;
+        const uint64_t room = range.module->capacity() - offset;
+        const size_t chunk = static_cast<size_t>(
+            std::min<uint64_t>(room, data.size() - done));
+        range.module->hostWrite(offset, data.subspan(done, chunk));
+        done += chunk;
+    }
+}
+
+uint64_t
+NvramSpace::readU64(uint64_t addr) const
+{
+    uint8_t bytes[8];
+    read(addr, bytes);
+    uint64_t value = 0;
+    for (int i = 7; i >= 0; --i)
+        value = (value << 8) | bytes[i];
+    return value;
+}
+
+void
+NvramSpace::writeU64(uint64_t addr, uint64_t value)
+{
+    uint8_t bytes[8];
+    for (auto &byte : bytes) {
+        byte = static_cast<uint8_t>(value & 0xff);
+        value >>= 8;
+    }
+    write(addr, bytes);
+}
+
+} // namespace wsp

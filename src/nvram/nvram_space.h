@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Physical address space over a set of NVDIMM modules.
+ *
+ * WSP assumes *all* system memory is non-volatile (paper section 3.2):
+ * the machine's physical address space is simply the concatenation of
+ * its NVDIMMs. NvramSpace routes host loads and stores to the module
+ * owning each address range and is where the cache model writes back
+ * dirty lines and where the WSP valid marker and resume block live.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nvram/nvdimm.h"
+
+namespace wsp {
+
+/** Concatenated byte-addressable space over NVDIMM modules. */
+class NvramSpace
+{
+  public:
+    NvramSpace() = default;
+
+    /** Append a module; its range starts at the current capacity. */
+    void addModule(NvdimmModule &module);
+
+    /** Total bytes across all modules. */
+    uint64_t capacity() const { return capacity_; }
+
+    size_t moduleCount() const { return ranges_.size(); }
+    NvdimmModule &module(size_t i) { return *ranges_.at(i).module; }
+
+    /** Base physical address of module @p i. */
+    uint64_t moduleBase(size_t i) const { return ranges_.at(i).base; }
+
+    /** Read bytes, splitting across module boundaries as needed. */
+    void read(uint64_t addr, std::span<uint8_t> out) const;
+
+    /** Write bytes, splitting across module boundaries as needed. */
+    void write(uint64_t addr, std::span<const uint8_t> data);
+
+    /** Read one little-endian 64-bit word. */
+    uint64_t readU64(uint64_t addr) const;
+
+    /** Write one little-endian 64-bit word. */
+    void writeU64(uint64_t addr, uint64_t value);
+
+  private:
+    struct Range
+    {
+        uint64_t base;
+        NvdimmModule *module;
+    };
+
+    /** Locate the range containing @p addr. */
+    const Range &rangeFor(uint64_t addr) const;
+
+    std::vector<Range> ranges_;
+    uint64_t capacity_ = 0;
+};
+
+} // namespace wsp

@@ -1,0 +1,162 @@
+#include "nvram/sparse_memory.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace wsp {
+
+SparseMemory::SparseMemory(uint64_t capacity) : capacity_(capacity)
+{
+    WSP_CHECK(capacity_ > 0);
+}
+
+uint8_t *
+SparseMemory::pageForWrite(uint64_t page_index)
+{
+    auto it = pages_.find(page_index);
+    if (it != pages_.end())
+        return it->second.get();
+    auto page = std::make_unique<uint8_t[]>(kPageSize);
+    // After content loss, pages come back as poison rather than zero:
+    // only explicitly rewritten bytes are trustworthy.
+    std::memset(page.get(), poisoned_ ? kPoisonByte : 0, kPageSize);
+    uint8_t *raw = page.get();
+    pages_.emplace(page_index, std::move(page));
+    return raw;
+}
+
+void
+SparseMemory::read(uint64_t addr, std::span<uint8_t> out) const
+{
+    WSP_CHECKF(addr + out.size() <= capacity_,
+               "read [%llu, %llu) beyond capacity %llu",
+               static_cast<unsigned long long>(addr),
+               static_cast<unsigned long long>(addr + out.size()),
+               static_cast<unsigned long long>(capacity_));
+    size_t done = 0;
+    while (done < out.size()) {
+        const uint64_t cur = addr + done;
+        const uint64_t page_index = cur / kPageSize;
+        const uint64_t offset = cur % kPageSize;
+        const size_t chunk = static_cast<size_t>(
+            std::min<uint64_t>(kPageSize - offset, out.size() - done));
+        auto it = pages_.find(page_index);
+        if (it != pages_.end()) {
+            std::memcpy(out.data() + done, it->second.get() + offset,
+                        chunk);
+        } else {
+            std::memset(out.data() + done,
+                        poisoned_ ? kPoisonByte : 0, chunk);
+        }
+        done += chunk;
+    }
+}
+
+void
+SparseMemory::write(uint64_t addr, std::span<const uint8_t> data)
+{
+    WSP_CHECKF(addr + data.size() <= capacity_,
+               "write [%llu, %llu) beyond capacity %llu",
+               static_cast<unsigned long long>(addr),
+               static_cast<unsigned long long>(addr + data.size()),
+               static_cast<unsigned long long>(capacity_));
+    size_t done = 0;
+    while (done < data.size()) {
+        const uint64_t cur = addr + done;
+        const uint64_t page_index = cur / kPageSize;
+        const uint64_t offset = cur % kPageSize;
+        const size_t chunk = static_cast<size_t>(
+            std::min<uint64_t>(kPageSize - offset, data.size() - done));
+        std::memcpy(pageForWrite(page_index) + offset, data.data() + done,
+                    chunk);
+        done += chunk;
+    }
+}
+
+uint64_t
+SparseMemory::readU64(uint64_t addr) const
+{
+    uint8_t bytes[8];
+    read(addr, bytes);
+    uint64_t value = 0;
+    for (int i = 7; i >= 0; --i)
+        value = (value << 8) | bytes[i];
+    return value;
+}
+
+void
+SparseMemory::writeU64(uint64_t addr, uint64_t value)
+{
+    uint8_t bytes[8];
+    for (auto &byte : bytes) {
+        byte = static_cast<uint8_t>(value & 0xff);
+        value >>= 8;
+    }
+    write(addr, bytes);
+}
+
+void
+SparseMemory::clear()
+{
+    pages_.clear();
+    poisoned_ = false;
+}
+
+void
+SparseMemory::poison()
+{
+    // Dropping the pages and setting the flag makes every byte read as
+    // poison until rewritten.
+    pages_.clear();
+    poisoned_ = true;
+}
+
+SparseMemory
+SparseMemory::snapshot() const
+{
+    SparseMemory copy(capacity_);
+    copy.poisoned_ = poisoned_;
+    for (const auto &[index, page] : pages_) {
+        auto dup = std::make_unique<uint8_t[]>(kPageSize);
+        std::memcpy(dup.get(), page.get(), kPageSize);
+        copy.pages_.emplace(index, std::move(dup));
+    }
+    return copy;
+}
+
+void
+SparseMemory::restoreFrom(const SparseMemory &image)
+{
+    WSP_CHECK(image.capacity_ == capacity_);
+    *this = image.snapshot();
+}
+
+bool
+SparseMemory::contentEquals(const SparseMemory &other) const
+{
+    if (capacity_ != other.capacity_)
+        return false;
+    // Stream both in page-sized chunks through read() so the poison
+    // and zero-fill rules apply uniformly.
+    std::vector<uint8_t> a(kPageSize);
+    std::vector<uint8_t> b(kPageSize);
+    for (uint64_t addr = 0; addr < capacity_; addr += kPageSize) {
+        const size_t chunk = static_cast<size_t>(
+            std::min<uint64_t>(kPageSize, capacity_ - addr));
+        const uint64_t page_index = addr / kPageSize;
+        const bool here = pages_.count(page_index) > 0;
+        const bool there = other.pages_.count(page_index) > 0;
+        if (!here && !there && poisoned_ == other.poisoned_)
+            continue; // identical fill, skip the memcmp
+        read(addr, std::span<uint8_t>(a.data(), chunk));
+        other.read(addr, std::span<uint8_t>(b.data(), chunk));
+        if (std::memcmp(a.data(), b.data(), chunk) != 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace wsp

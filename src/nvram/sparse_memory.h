@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Sparse byte-addressable memory backing.
+ *
+ * NVDIMM models can be configured with multi-gigabyte capacities for
+ * timing and energy purposes while a host-side experiment touches
+ * only a few megabytes. SparseMemory backs such an address space with
+ * demand-allocated 4 KiB pages: untouched pages read as zero and cost
+ * nothing. It also supports the poison state used to model DRAM
+ * content loss when a module loses power outside self-refresh.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+
+#include "util/units.h"
+
+namespace wsp {
+
+/** Demand-paged byte array with snapshot and poison support. */
+class SparseMemory
+{
+  public:
+    static constexpr uint64_t kPageSize = 4 * kKiB;
+
+    /** Byte returned from a poisoned (content-lost) memory. */
+    static constexpr uint8_t kPoisonByte = 0x5a;
+
+    explicit SparseMemory(uint64_t capacity);
+
+    uint64_t capacity() const { return capacity_; }
+
+    /** Copy bytes out of the memory; zero-filled where untouched. */
+    void read(uint64_t addr, std::span<uint8_t> out) const;
+
+    /** Copy bytes into the memory, allocating pages as needed. */
+    void write(uint64_t addr, std::span<const uint8_t> data);
+
+    /** Read one little-endian 64-bit word. */
+    uint64_t readU64(uint64_t addr) const;
+
+    /** Write one little-endian 64-bit word. */
+    void writeU64(uint64_t addr, uint64_t value);
+
+    /** Number of pages currently allocated. */
+    size_t allocatedPages() const { return pages_.size(); }
+
+    /** Bytes of backing storage in use. */
+    uint64_t allocatedBytes() const { return pages_.size() * kPageSize; }
+
+    /** Drop all content (reads become zero again). */
+    void clear();
+
+    /**
+     * Mark all content lost: subsequent reads return kPoisonByte until
+     * the next write to the page, modelling un-refreshed DRAM decay.
+     */
+    void poison();
+
+    bool poisoned() const { return poisoned_; }
+
+    /** Deep copy (used for flash backup images). */
+    SparseMemory snapshot() const;
+
+    /** Replace contents with @p image (used for flash restore). */
+    void restoreFrom(const SparseMemory &image);
+
+    /** Byte-wise equality of content (capacity must match). */
+    bool contentEquals(const SparseMemory &other) const;
+
+  private:
+    using Page = std::unique_ptr<uint8_t[]>;
+
+    /** Page for writing; allocates (and un-poisons) on demand. */
+    uint8_t *pageForWrite(uint64_t page_index);
+
+    uint64_t capacity_;
+    std::map<uint64_t, Page> pages_;
+    bool poisoned_ = false;
+};
+
+} // namespace wsp

@@ -1,0 +1,159 @@
+#include "pheap/flush.h"
+
+#include <atomic>
+#include <cstring>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#include <cpuid.h>
+#endif
+
+namespace wsp::pmem {
+
+namespace {
+
+std::atomic<uint64_t> flushes{0};
+std::atomic<uint64_t> ntStores{0};
+
+#if defined(__x86_64__)
+// The translation unit is built without -mclflushopt so the library
+// runs on any x86-64; this one function carries the target attribute
+// and is only called after the CPUID check.
+__attribute__((target("clflushopt"))) void
+clflushOpt(void *addr)
+{
+    _mm_clflushopt(addr);
+}
+
+bool
+detectClflushOpt()
+{
+    unsigned eax = 0;
+    unsigned ebx = 0;
+    unsigned ecx = 0;
+    unsigned edx = 0;
+    if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx))
+        return false;
+    return (ebx & (1u << 23)) != 0; // CLFLUSHOPT feature bit
+}
+#endif
+
+} // namespace
+
+bool
+haveClflushOpt()
+{
+#if defined(__x86_64__)
+    static const bool have = detectClflushOpt();
+    return have;
+#else
+    return false;
+#endif
+}
+
+void
+flushLine(const void *addr)
+{
+    flushes.fetch_add(1, std::memory_order_relaxed);
+#if defined(__x86_64__)
+    if (haveClflushOpt()) {
+        clflushOpt(const_cast<void *>(addr));
+    } else {
+        _mm_clflush(addr);
+    }
+#else
+    // Portable fallback: a compiler barrier models the ordering; the
+    // flush latency cannot be reproduced without the instruction.
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+    (void)addr;
+#endif
+}
+
+void
+flushRange(const void *addr, size_t len)
+{
+    if (len == 0)
+        return;
+    auto first = reinterpret_cast<uintptr_t>(addr) & ~(kLineSize - 1);
+    const auto last =
+        (reinterpret_cast<uintptr_t>(addr) + len - 1) & ~(kLineSize - 1);
+    for (uintptr_t line = first; line <= last; line += kLineSize)
+        flushLine(reinterpret_cast<const void *>(line));
+}
+
+void
+storeFence()
+{
+#if defined(__x86_64__)
+    _mm_sfence();
+#else
+    std::atomic_thread_fence(std::memory_order_release);
+#endif
+}
+
+void
+ntStore64(uint64_t *dst, uint64_t value)
+{
+    ntStores.fetch_add(1, std::memory_order_relaxed);
+#if defined(__x86_64__)
+    _mm_stream_si64(reinterpret_cast<long long *>(dst),
+                    static_cast<long long>(value));
+#else
+    *dst = value;
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+void
+ntCopy(void *dst, const void *src, size_t len)
+{
+    auto *d = static_cast<uint8_t *>(dst);
+    const auto *s = static_cast<const uint8_t *>(src);
+
+    // Unaligned head: cached stores, then flush the touched line.
+    while (len > 0 && (reinterpret_cast<uintptr_t>(d) & 7) != 0) {
+        *d = *s;
+        flushLine(d);
+        ++d;
+        ++s;
+        --len;
+    }
+    // Aligned body: 64-bit non-temporal stores.
+    while (len >= 8) {
+        uint64_t word;
+        std::memcpy(&word, s, 8);
+        ntStore64(reinterpret_cast<uint64_t *>(d), word);
+        d += 8;
+        s += 8;
+        len -= 8;
+    }
+    // Tail.
+    while (len > 0) {
+        *d = *s;
+        flushLine(d);
+        ++d;
+        ++s;
+        --len;
+    }
+}
+
+uint64_t
+flushCount()
+{
+    return flushes.load(std::memory_order_relaxed);
+}
+
+uint64_t
+ntStoreCount()
+{
+    return ntStores.load(std::memory_order_relaxed);
+}
+
+void
+resetCounters()
+{
+    flushes.store(0, std::memory_order_relaxed);
+    ntStores.store(0, std::memory_order_relaxed);
+}
+
+} // namespace wsp::pmem

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Cache-line flush and non-temporal store primitives.
+ *
+ * The persistent-heap baselines (paper section 3.2) pay real hardware
+ * costs: flushing updated cache lines to memory on commit, writing
+ * log records with non-temporal (write-combining) stores that bypass
+ * the cache, and fencing for ordering. These wrappers expose the x86
+ * instructions (clflush/clflushopt, movnti, sfence) with portable
+ * fallbacks, so the Fig. 5 / Table 1 benches measure the same
+ * overheads the paper did.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wsp::pmem {
+
+/** Cache line size assumed by the flush primitives. */
+constexpr size_t kLineSize = 64;
+
+/** True when the running CPU supports clflushopt (detected once). */
+bool haveClflushOpt();
+
+/** Flush (write back + invalidate) the line containing @p addr. */
+void flushLine(const void *addr);
+
+/** Flush every line overlapping [addr, addr + len). */
+void flushRange(const void *addr, size_t len);
+
+/** Store fence: order preceding flushes/NT stores before later ops. */
+void storeFence();
+
+/** Non-temporal 64-bit store (bypasses the cache). */
+void ntStore64(uint64_t *dst, uint64_t value);
+
+/**
+ * Non-temporal copy of @p len bytes (len and both pointers need not
+ * be aligned; unaligned edges fall back to cached stores + flush).
+ */
+void ntCopy(void *dst, const void *src, size_t len);
+
+/** Number of flushLine calls issued (test/bench instrumentation). */
+uint64_t flushCount();
+
+/** Number of ntStore64 words issued (incl. ntCopy bulk). */
+uint64_t ntStoreCount();
+
+/** Reset the instrumentation counters. */
+void resetCounters();
+
+} // namespace wsp::pmem

@@ -1,0 +1,52 @@
+#include "pheap/heap.h"
+
+#include "util/logging.h"
+
+namespace wsp::pmem {
+
+PHeap::PHeap(PHeapConfig config) : config_(std::move(config))
+{
+    if (config_.path.empty()) {
+        region_ = std::make_unique<PersistentRegion>(config_.regionSize);
+    } else {
+        region_ = std::make_unique<PersistentRegion>(config_.path,
+                                                     config_.regionSize);
+    }
+    undo_ = std::make_unique<UndoLog>(*region_, config_.durableLogs);
+    redo_ = std::make_unique<RedoLog>(*region_, config_.durableLogs,
+                                      config_.redoTruncateEvery);
+
+    openReport_.recovered = region_->recovered();
+    openReport_.cleanShutdown = region_->wasCleanShutdown();
+    if (region_->recovered() && !region_->wasCleanShutdown()) {
+        // Crash recovery: replay committed redo, roll back in-flight
+        // undo. The two logs serve disjoint policies, so order does
+        // not matter; run both.
+        openReport_.redoRecordsApplied = redo_->recover();
+        openReport_.undoRecordsApplied = undo_->recover();
+        inform("pheap: recovered (%zu redo, %zu undo records)",
+               openReport_.redoRecordsApplied,
+               openReport_.undoRecordsApplied);
+    }
+}
+
+uint64_t
+PHeap::classSize(unsigned size_class)
+{
+    WSP_CHECK(size_class < kSizeClasses);
+    return 16ull << size_class;
+}
+
+unsigned
+PHeap::sizeClassFor(uint64_t bytes)
+{
+    WSP_CHECKF(bytes <= classSize(kSizeClasses - 1),
+               "allocation of %llu bytes exceeds the largest size class",
+               static_cast<unsigned long long>(bytes));
+    unsigned size_class = 0;
+    while (classSize(size_class) < bytes)
+        ++size_class;
+    return size_class;
+}
+
+} // namespace wsp::pmem

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Redo log over the torn-bit ring (Mnemosyne-style).
+ *
+ * Mnemosyne (the NV-heap the paper benchmarks against) records each
+ * transactional write in the transaction's write set; at commit time
+ * it streams the new values into a persistent redo log with
+ * non-temporal stores and a fence, after which the transaction is
+ * durable and the values are written back in place through the cache.
+ * The in-place lines are flushed lazily at *log truncation* so their
+ * cost is amortized across transactions (paper section 3.2).
+ *
+ * Recovery replays the new values of every committed transaction that
+ * might not have reached memory in place.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "pheap/tornbit_log.h"
+
+namespace wsp::pmem {
+
+/** One write-set entry: new bytes for a target range. */
+struct RedoWrite
+{
+    Offset target = 0;
+    uint32_t len = 0;
+    std::vector<uint8_t> bytes;
+};
+
+/** Redo-log statistics. */
+struct RedoLogStats
+{
+    uint64_t txnsCommitted = 0;
+    uint64_t truncations = 0;
+    uint64_t recordsLogged = 0;
+};
+
+/** Per-heap redo log. Not thread-safe. */
+class RedoLog
+{
+  public:
+    /**
+     * @param truncate_every flush in-place lines and checkpoint the
+     *        ring after this many commits (amortization factor).
+     */
+    RedoLog(PersistentRegion &region, bool flush_on_commit,
+            unsigned truncate_every = 64);
+
+    const RedoLogStats &stats() const { return stats_; }
+
+    /**
+     * Commit a write set: append Begin + Data records + Commit with
+     * NT stores, fence so the Commit is ordered after the data, then
+     * apply the values in place through the cache. Lines are flushed
+     * lazily at truncation.
+     */
+    void commit(const std::vector<RedoWrite> &writes);
+
+    /**
+     * Crash recovery: re-apply the new values of every committed
+     * transaction in the ring, skip the uncommitted tail. Resets the
+     * ring afterwards.
+     * @return number of data records replayed.
+     */
+    size_t recover();
+
+  private:
+    void truncate();
+
+    PersistentRegion &region_;
+    TornBitLog log_;
+    bool flushOnCommit_;
+    unsigned truncateEvery_;
+    unsigned commitsSinceTruncate_ = 0;
+    uint64_t nextTxnId_ = 1;
+    RedoLogStats stats_;
+
+    /** In-place ranges written since the last truncation. */
+    std::vector<std::pair<Offset, uint32_t>> pendingFlush_;
+
+    /** Scratch set for truncation-time line deduplication. */
+    std::unordered_set<uint64_t> lineSet_;
+};
+
+} // namespace wsp::pmem

@@ -1,0 +1,131 @@
+#include "pheap/region.h"
+
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "pheap/flush.h"
+#include "util/logging.h"
+
+namespace wsp::pmem {
+
+namespace {
+
+/** Default log ring sizes within a region. */
+constexpr uint64_t kDefaultLogBytes = 4ull * 1024 * 1024;
+constexpr uint64_t kHeaderReserve = 4096;
+
+} // namespace
+
+PersistentRegion::PersistentRegion(const std::string &path, uint64_t size)
+    : size_(size)
+{
+    WSP_CHECK(size_ >= kHeaderReserve + 2 * kDefaultLogBytes + 4096);
+
+    struct stat st = {};
+    const bool existed = ::stat(path.c_str(), &st) == 0 &&
+                         static_cast<uint64_t>(st.st_size) == size;
+
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd_ < 0)
+        fatal("cannot open persistent region '%s'", path.c_str());
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0)
+        fatal("cannot size persistent region '%s'", path.c_str());
+
+    void *mapped = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                          MAP_SHARED, fd_, 0);
+    if (mapped == MAP_FAILED)
+        fatal("cannot map persistent region '%s'", path.c_str());
+    base_ = static_cast<uint8_t *>(mapped);
+
+    if (existed && header().magic == RegionHeader::kMagic) {
+        openExisting();
+    } else {
+        initializeHeader(size);
+    }
+}
+
+PersistentRegion::PersistentRegion(uint64_t size) : size_(size)
+{
+    WSP_CHECK(size_ >= kHeaderReserve + 2 * kDefaultLogBytes + 4096);
+    void *mapped = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                          MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mapped == MAP_FAILED)
+        fatal("cannot map anonymous persistent region");
+    base_ = static_cast<uint8_t *>(mapped);
+    initializeHeader(size);
+}
+
+PersistentRegion::~PersistentRegion()
+{
+    if (base_ != nullptr)
+        ::munmap(base_, size_);
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+PersistentRegion::initializeHeader(uint64_t size)
+{
+    std::memset(base_, 0, kHeaderReserve);
+    RegionHeader &h = header();
+    h.magic = RegionHeader::kMagic;
+    h.version = RegionHeader::kVersion;
+    h.size = size;
+    h.undoLogStart = kHeaderReserve;
+    h.undoLogBytes = kDefaultLogBytes;
+    h.redoLogStart = h.undoLogStart + h.undoLogBytes;
+    h.redoLogBytes = kDefaultLogBytes;
+    h.heapStart = h.redoLogStart + h.redoLogBytes;
+    h.rootObject = kNullOffset;
+    h.cleanShutdown = 0;
+    h.bumpCursor = h.heapStart;
+    // Log rings start zeroed; pass 1 writes phase bit 1 so untouched
+    // words scan as "not written".
+    std::memset(base_ + h.undoLogStart, 0,
+                h.undoLogBytes + h.redoLogBytes);
+    h.undoCheckpointPos = 0;
+    h.undoCheckpointPass = 1;
+    h.redoCheckpointPos = 0;
+    h.redoCheckpointPass = 1;
+    flushRange(&h, sizeof(h));
+    storeFence();
+    recovered_ = false;
+    wasClean_ = false;
+}
+
+void
+PersistentRegion::openExisting()
+{
+    RegionHeader &h = header();
+    WSP_CHECK(h.version == RegionHeader::kVersion);
+    WSP_CHECK(h.size == size_);
+    recovered_ = true;
+    wasClean_ = h.cleanShutdown != 0;
+    // Any crash between now and markCleanShutdown() must look dirty.
+    h.cleanShutdown = 0;
+    flushRange(&h.cleanShutdown, sizeof(h.cleanShutdown));
+    storeFence();
+}
+
+Offset
+PersistentRegion::offsetOf(const void *ptr) const
+{
+    const auto *p = static_cast<const uint8_t *>(ptr);
+    WSP_CHECK(p >= base_ && p < base_ + size_);
+    return static_cast<Offset>(p - base_);
+}
+
+void
+PersistentRegion::markCleanShutdown()
+{
+    RegionHeader &h = header();
+    h.cleanShutdown = 1;
+    flushRange(&h.cleanShutdown, sizeof(h.cleanShutdown));
+    storeFence();
+}
+
+} // namespace wsp::pmem

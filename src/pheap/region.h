@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Persistent memory region.
+ *
+ * A persistent heap lives inside one contiguous region mapped into
+ * the application's address space (paper section 3.2: "persistent
+ * objects are stored in NVRAM and mapped directly into the
+ * application's address space"). The region can be backed by a file
+ * (so tests can close and re-open it, simulating a crash/recovery
+ * cycle) or anonymous memory (for pure benchmarking).
+ *
+ * Layout:
+ *
+ *   [ RegionHeader | undo-log ring | redo-log ring | heap ... ]
+ *
+ * All persistent pointers are stored as offsets from the region base
+ * so a re-opened mapping works at any address.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wsp::pmem {
+
+/** Offset into a region; 0 is the null offset (header lives there). */
+using Offset = uint64_t;
+
+constexpr Offset kNullOffset = 0;
+
+/** On-media region header. */
+struct RegionHeader
+{
+    static constexpr uint64_t kMagic = 0x5753505245473031ull; // WSPREG01
+    static constexpr uint32_t kVersion = 1;
+
+    uint64_t magic = 0;
+    uint32_t version = 0;
+    uint32_t flags = 0;
+    uint64_t size = 0;
+    Offset undoLogStart = 0;
+    uint64_t undoLogBytes = 0;
+    Offset redoLogStart = 0;
+    uint64_t redoLogBytes = 0;
+    Offset heapStart = 0;
+    Offset rootObject = 0;      ///< application root (kNullOffset = none)
+    uint64_t cleanShutdown = 0; ///< set on close, cleared on open
+
+    // Log checkpoints (see TornBitLog).
+    uint64_t undoCheckpointPos = 0;
+    uint64_t undoCheckpointPass = 0;
+    uint64_t redoCheckpointPos = 0;
+    uint64_t redoCheckpointPass = 0;
+
+    // Allocator state (see PHeapAllocator).
+    Offset bumpCursor = 0;
+    Offset freeListHeads[16] = {};
+};
+
+/** A mapped persistent region. */
+class PersistentRegion
+{
+  public:
+    /** Create or open a file-backed region of @p size bytes. */
+    PersistentRegion(const std::string &path, uint64_t size);
+
+    /** Create an anonymous region (no recovery across processes). */
+    explicit PersistentRegion(uint64_t size);
+
+    ~PersistentRegion();
+
+    PersistentRegion(const PersistentRegion &) = delete;
+    PersistentRegion &operator=(const PersistentRegion &) = delete;
+
+    uint64_t size() const { return size_; }
+    uint8_t *base() { return base_; }
+    const uint8_t *base() const { return base_; }
+
+    RegionHeader &header() { return *reinterpret_cast<RegionHeader *>(base_); }
+    const RegionHeader &header() const
+    {
+        return *reinterpret_cast<const RegionHeader *>(base_);
+    }
+
+    /** True when the region pre-existed and was opened, not created. */
+    bool recovered() const { return recovered_; }
+
+    /** True when the previous close was clean (no recovery needed). */
+    bool wasCleanShutdown() const { return wasClean_; }
+
+    /** Translate an offset to a pointer (0 -> nullptr). */
+    template <typename T = uint8_t>
+    T *
+    at(Offset offset)
+    {
+        if (offset == kNullOffset)
+            return nullptr;
+        return reinterpret_cast<T *>(base_ + offset);
+    }
+
+    template <typename T = uint8_t>
+    const T *
+    at(Offset offset) const
+    {
+        if (offset == kNullOffset)
+            return nullptr;
+        return reinterpret_cast<const T *>(base_ + offset);
+    }
+
+    /** Translate a pointer inside the region back to an offset. */
+    Offset offsetOf(const void *ptr) const;
+
+    /** Mark a clean shutdown (flushes the header). */
+    void markCleanShutdown();
+
+  private:
+    void initializeHeader(uint64_t size);
+    void openExisting();
+
+    uint8_t *base_ = nullptr;
+    uint64_t size_ = 0;
+    int fd_ = -1;
+    bool recovered_ = false;
+    bool wasClean_ = false;
+};
+
+} // namespace wsp::pmem

@@ -1,0 +1,103 @@
+#include "pheap/stm.h"
+
+#include <algorithm>
+
+namespace wsp::pmem {
+
+bool
+StmTx::tryCommit()
+{
+    if (!valid_)
+        return false;
+
+    // Read-only fast path: a consistent read set at a fixed version
+    // needs no locks and no clock bump.
+    if (writeSet_.empty()) {
+        for (const auto *lock : readSet_) {
+            const uint64_t v = lock->load(std::memory_order_acquire);
+            if ((v & 1) != 0 || v > readVersion_)
+                return false;
+        }
+        return true;
+    }
+
+    // Acquire write locks in address order to avoid deadlock.
+    std::vector<StmRuntime::LockWord *> acquired;
+    std::vector<Entry> sorted = writeSet_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Entry &a, const Entry &b) { return a.key < b.key; });
+
+    auto release_all = [&] {
+        for (auto *lock : acquired) {
+            const uint64_t v = lock->load(std::memory_order_relaxed);
+            lock->store(v & ~1ull, std::memory_order_release);
+        }
+    };
+
+    for (const Entry &entry : sorted) {
+        auto &lock = runtime_.lockFor(
+            reinterpret_cast<const void *>(entry.key));
+        // Two write-set words may hash to one lock (and not be
+        // adjacent after sorting by address); never re-acquire a lock
+        // we already hold or the CAS livelocks against ourselves.
+        if (std::find(acquired.begin(), acquired.end(), &lock) !=
+            acquired.end()) {
+            continue;
+        }
+        uint64_t expected = lock.load(std::memory_order_acquire);
+        if ((expected & 1) != 0 || expected > readVersion_) {
+            release_all();
+            return false;
+        }
+        if (!lock.compare_exchange_strong(expected, expected | 1,
+                                          std::memory_order_acq_rel)) {
+            release_all();
+            return false;
+        }
+        acquired.push_back(&lock);
+    }
+
+    // Validate the read set against the locked state.
+    for (const auto *lock : readSet_) {
+        const uint64_t v = lock->load(std::memory_order_acquire);
+        const bool locked_by_us =
+            (v & 1) != 0 &&
+            std::find(acquired.begin(), acquired.end(), lock) !=
+                acquired.end();
+        if (!locked_by_us && ((v & 1) != 0 || v > readVersion_)) {
+            release_all();
+            return false;
+        }
+    }
+
+    const uint64_t write_version = runtime_.advanceClock();
+
+    // Durable path: log the write set before any in-place store; the
+    // redo log applies the in-place writes itself.
+    if (redo_ != nullptr) {
+        std::vector<RedoWrite> writes;
+        writes.reserve(writeSet_.size());
+        for (const Entry &entry : writeSet_) {
+            RedoWrite w;
+            w.target = region_->offsetOf(
+                reinterpret_cast<const void *>(entry.key));
+            w.len = 8;
+            w.bytes.resize(8);
+            std::memcpy(w.bytes.data(), &entry.value, 8);
+            writes.push_back(std::move(w));
+        }
+        redo_->commit(writes);
+    } else {
+        for (const Entry &entry : writeSet_) {
+            std::memcpy(reinterpret_cast<void *>(entry.key),
+                        &entry.value, 8);
+        }
+    }
+
+    // Publish the new version and release the locks.
+    for (auto *lock : acquired)
+        lock->store(write_version, std::memory_order_release);
+    return true;
+}
+
+} // namespace wsp::pmem

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Word-based software transactional memory (TL2-style).
+ *
+ * Mnemosyne uses a compiler-instrumented STM (the Intel STM) for
+ * isolation; its costs — tracking read sets, looking up the write
+ * set on every read, validating and locking at commit — are a large
+ * part of the overhead the paper measures even for read-only
+ * workloads (section 3.2: "reads must be instrumented to check the
+ * write set"). This is a library-level equivalent: a global version
+ * clock, a hashed array of versioned write-locks, per-transaction
+ * read and write sets, and commit-time validation.
+ *
+ * Durability composes via the redo log: a durable commit streams the
+ * write set into the log (NT stores + fence) before the in-place
+ * write-back — the FoC + STM configuration. Without the log it is
+ * the FoF + STM configuration: the same instrumentation, no flushes.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "pheap/redo_log.h"
+#include "pheap/region.h"
+#include "util/logging.h"
+
+namespace wsp::pmem {
+
+/** Shared STM state: the clock and the lock table. */
+class StmRuntime
+{
+  public:
+    static constexpr size_t kLockCount = 1 << 16;
+
+    /** LSB = write-locked; remaining bits = version. */
+    using LockWord = std::atomic<uint64_t>;
+
+    StmRuntime() : locks_(kLockCount) {}
+
+    LockWord &
+    lockFor(const void *addr)
+    {
+        // Word-granularity hash: drop the low 3 bits, mix, mask.
+        auto a = reinterpret_cast<uintptr_t>(addr) >> 3;
+        a ^= a >> 17;
+        a *= 0x9e3779b97f4a7c15ull;
+        return locks_[(a >> 32) & (kLockCount - 1)];
+    }
+
+    uint64_t readClock() const
+    {
+        return clock_.load(std::memory_order_acquire);
+    }
+
+    uint64_t
+    advanceClock()
+    {
+        return clock_.fetch_add(2, std::memory_order_acq_rel) + 2;
+    }
+
+    uint64_t aborts() const { return aborts_.load(); }
+    void countAbort() { aborts_.fetch_add(1, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> clock_{0};
+    std::atomic<uint64_t> aborts_{0};
+    std::vector<LockWord> locks_;
+};
+
+/**
+ * One transaction attempt. Word (8-byte) granularity.
+ *
+ * Usage: construct, use read()/write(), then tryCommit(); on failure
+ * the caller re-runs the body (see runStmTransaction below).
+ */
+class StmTx
+{
+  public:
+    /**
+     * @param redo non-null for durable (flush-on-commit) transactions;
+     *        the write set is then logged before write-back.
+     */
+    StmTx(StmRuntime &runtime, RedoLog *redo, PersistentRegion *region)
+        : runtime_(runtime), redo_(redo), region_(region),
+          readVersion_(runtime.readClock())
+    {
+        if (redo_ != nullptr)
+            WSP_CHECK(region_ != nullptr);
+    }
+
+    StmTx(const StmTx &) = delete;
+    StmTx &operator=(const StmTx &) = delete;
+
+    /** Transactional load of an 8-byte-or-smaller value. */
+    template <typename T>
+    T
+    read(const T *addr)
+    {
+        static_assert(sizeof(T) <= 8);
+        // Write set lookup first: reads must observe own writes.
+        const uint64_t key = wordKey(addr);
+        for (size_t i = writeSet_.size(); i-- > 0;) {
+            if (writeSet_[i].key == key) {
+                T value;
+                std::memcpy(&value, &writeSet_[i].value, sizeof(T));
+                return value;
+            }
+        }
+
+        auto &lock = runtime_.lockFor(addr);
+        const uint64_t pre = lock.load(std::memory_order_acquire);
+        T value;
+        std::memcpy(&value, addr, sizeof(T));
+        const uint64_t post = lock.load(std::memory_order_acquire);
+        if ((pre & 1) != 0 || pre != post || pre > readVersion_) {
+            valid_ = false; // inconsistent read: force retry
+        }
+        readSet_.push_back(&lock);
+        return value;
+    }
+
+    /** Transactional store of an 8-byte-or-smaller value. */
+    template <typename T>
+    void
+    write(T *addr, T value)
+    {
+        static_assert(sizeof(T) <= 8);
+        const uint64_t key = wordKey(addr);
+        uint64_t raw = 0;
+        // Read-modify-write the containing word so small types keep
+        // their neighbours.
+        std::memcpy(&raw, reinterpret_cast<void *>(key), 8);
+        for (auto &entry : writeSet_) {
+            if (entry.key == key) {
+                raw = entry.value;
+                std::memcpy(reinterpret_cast<uint8_t *>(&raw) +
+                                byteOffset(addr),
+                            &value, sizeof(T));
+                entry.value = raw;
+                return;
+            }
+        }
+        std::memcpy(reinterpret_cast<uint8_t *>(&raw) + byteOffset(addr),
+                    &value, sizeof(T));
+        writeSet_.push_back(Entry{key, raw});
+    }
+
+    /** True while no inconsistent read has been observed. */
+    bool valid() const { return valid_; }
+
+    /**
+     * Attempt to commit. On success the writes are visible (and, with
+     * a redo log, durable). On failure the transaction had a conflict
+     * and must be re-run.
+     */
+    bool tryCommit();
+
+  private:
+    struct Entry
+    {
+        uint64_t key;   ///< aligned word address
+        uint64_t value; ///< full word image
+    };
+
+    template <typename T>
+    static uint64_t
+    wordKey(const T *addr)
+    {
+        return reinterpret_cast<uintptr_t>(addr) & ~7ull;
+    }
+
+    template <typename T>
+    static size_t
+    byteOffset(const T *addr)
+    {
+        return reinterpret_cast<uintptr_t>(addr) & 7ull;
+    }
+
+    StmRuntime &runtime_;
+    RedoLog *redo_;
+    PersistentRegion *region_;
+    uint64_t readVersion_;
+    bool valid_ = true;
+    std::vector<StmRuntime::LockWord *> readSet_;
+    std::vector<Entry> writeSet_;
+};
+
+/** Run @p body transactionally, retrying on conflicts. */
+template <typename Body>
+void
+runStmTransaction(StmRuntime &runtime, RedoLog *redo,
+                  PersistentRegion *region, Body &&body)
+{
+    for (;;) {
+        StmTx tx(runtime, redo, region);
+        body(tx);
+        if (tx.valid() && tx.tryCommit())
+            return;
+        runtime.countAbort();
+    }
+}
+
+} // namespace wsp::pmem

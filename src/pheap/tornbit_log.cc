@@ -1,0 +1,220 @@
+#include "pheap/tornbit_log.h"
+
+#include <cstring>
+
+#include "pheap/flush.h"
+#include "util/logging.h"
+
+namespace wsp::pmem {
+
+namespace {
+
+// Header-word encoding: type in bits [62:60], low bits per type.
+constexpr int kTypeShift = 60;
+constexpr uint64_t kTypeMask = 0x7ull << kTypeShift;
+constexpr uint64_t kLowMask = (1ull << kTypeShift) - 1;
+
+uint64_t
+encodeMarker(LogRecordType type, uint64_t txn_id)
+{
+    return (static_cast<uint64_t>(type) << kTypeShift) |
+           (txn_id & kLowMask);
+}
+
+LogRecordType
+decodeType(uint64_t word)
+{
+    return static_cast<LogRecordType>((word & kTypeMask) >> kTypeShift);
+}
+
+} // namespace
+
+TornBitLog::TornBitLog(PersistentRegion &region, Offset start,
+                       uint64_t bytes, uint64_t *ckpt_pos,
+                       uint64_t *ckpt_pass, bool durable_appends)
+    : region_(region), start_(start), words_(bytes / 8),
+      ckptPos_(ckpt_pos), ckptPass_(ckpt_pass), durable_(durable_appends)
+{
+    WSP_CHECK(bytes % 8 == 0);
+    WSP_CHECK(words_ >= 64);
+    pos_ = *ckptPos_;
+    pass_ = *ckptPass_;
+}
+
+uint64_t *
+TornBitLog::wordPtr(uint64_t index)
+{
+    return reinterpret_cast<uint64_t *>(region_.base() + start_) + index;
+}
+
+const uint64_t *
+TornBitLog::wordPtr(uint64_t index) const
+{
+    return reinterpret_cast<const uint64_t *>(region_.base() + start_) +
+           index;
+}
+
+void
+TornBitLog::appendWord(uint64_t payload)
+{
+    WSP_CHECK((payload & kPhaseBit) == 0);
+    const uint64_t word = payload | phaseOf(pass_);
+    if (durable_) {
+        ntStore64(wordPtr(pos_), word);
+    } else {
+        *wordPtr(pos_) = word;
+    }
+    if (++pos_ == words_) {
+        pos_ = 0;
+        ++pass_;
+        ++wraps_;
+        persistCheckpoint();
+    }
+}
+
+void
+TornBitLog::fence()
+{
+    if (durable_)
+        storeFence();
+}
+
+void
+TornBitLog::reserve(uint64_t needed)
+{
+    WSP_CHECKF(needed < words_, "record larger than the log ring");
+    if (pos_ + needed <= words_)
+        return;
+    // Fill the tail with PAD words so the scan can walk over them,
+    // then wrap (appendWord flips the pass at the boundary).
+    while (pos_ != 0)
+        appendWord(encodeMarker(LogRecordType::Pad, 0));
+}
+
+void
+TornBitLog::appendMarker(LogRecordType type, uint64_t txn_id)
+{
+    reserve(1);
+    appendWord(encodeMarker(type, txn_id));
+}
+
+uint64_t
+TornBitLog::dataRecordWords(uint32_t len)
+{
+    // Header word + target word + 4 payload bytes per word.
+    return 2 + (static_cast<uint64_t>(len) + 3) / 4;
+}
+
+void
+TornBitLog::appendData(Offset target, const void *bytes, uint32_t len)
+{
+    reserve(dataRecordWords(len));
+    appendWord((static_cast<uint64_t>(LogRecordType::Data) << kTypeShift) |
+               len);
+    appendWord(target);
+    const auto *src = static_cast<const uint8_t *>(bytes);
+    for (uint32_t off = 0; off < len; off += 4) {
+        uint32_t chunk = 0;
+        std::memcpy(&chunk, src + off,
+                    len - off >= 4 ? 4 : len - off);
+        appendWord(chunk);
+    }
+}
+
+std::vector<LogRecord>
+TornBitLog::scan() const
+{
+    std::vector<LogRecord> records;
+    uint64_t pos = *ckptPos_;
+    uint64_t pass = *ckptPass_;
+    uint64_t consumed = 0;
+
+    // Pull the next valid word; false at the torn tail or after one
+    // full ring.
+    auto next_word = [&](uint64_t *out) {
+        if (consumed >= words_)
+            return false;
+        const uint64_t word = *wordPtr(pos);
+        if ((word & kPhaseBit) != phaseOf(pass))
+            return false;
+        if (++pos == words_) {
+            pos = 0;
+            ++pass;
+        }
+        ++consumed;
+        *out = word & ~kPhaseBit;
+        return true;
+    };
+
+    uint64_t word = 0;
+    while (next_word(&word)) {
+        const LogRecordType type = decodeType(word);
+        switch (type) {
+          case LogRecordType::Pad:
+            continue;
+          case LogRecordType::TxnBegin:
+          case LogRecordType::TxnCommit:
+          case LogRecordType::TxnAbort: {
+            LogRecord record;
+            record.type = type;
+            record.txnId = word & kLowMask;
+            records.push_back(std::move(record));
+            continue;
+          }
+          case LogRecordType::Data: {
+            LogRecord record;
+            record.type = type;
+            record.byteLen = static_cast<uint32_t>(word & 0xffffffffull);
+            uint64_t target = 0;
+            if (!next_word(&target))
+                return records; // torn mid-record: drop it
+            record.target = target;
+            record.payload.resize(record.byteLen);
+            bool torn = false;
+            for (uint32_t off = 0; off < record.byteLen; off += 4) {
+                uint64_t chunk = 0;
+                if (!next_word(&chunk)) {
+                    torn = true;
+                    break;
+                }
+                const uint32_t chunk32 =
+                    static_cast<uint32_t>(chunk & 0xffffffffull);
+                const uint32_t take =
+                    record.byteLen - off >= 4 ? 4 : record.byteLen - off;
+                std::memcpy(record.payload.data() + off, &chunk32, take);
+            }
+            if (torn)
+                return records;
+            records.push_back(std::move(record));
+            continue;
+          }
+          case LogRecordType::None:
+          default:
+            // Unknown frame: treat as the tail.
+            return records;
+        }
+    }
+    return records;
+}
+
+void
+TornBitLog::reset()
+{
+    std::memset(region_.base() + start_, 0, words_ * 8);
+    flushRange(region_.base() + start_, words_ * 8);
+    pos_ = 0;
+    pass_ = 1;
+    persistCheckpoint();
+}
+
+void
+TornBitLog::persistCheckpoint()
+{
+    *ckptPos_ = pos_;
+    *ckptPass_ = pass_;
+    flushRange(ckptPos_, sizeof(*ckptPos_));
+    flushRange(ckptPass_, sizeof(*ckptPass_));
+    storeFence();
+}
+
+} // namespace wsp::pmem

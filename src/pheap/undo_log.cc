@@ -1,0 +1,140 @@
+#include "pheap/undo_log.h"
+
+#include <cstring>
+
+#include "pheap/flush.h"
+#include "util/logging.h"
+
+namespace wsp::pmem {
+
+UndoLog::UndoLog(PersistentRegion &region, bool flush_on_commit)
+    : region_(region),
+      log_(region, region.header().undoLogStart,
+           region.header().undoLogBytes,
+           &region.header().undoCheckpointPos,
+           &region.header().undoCheckpointPass, flush_on_commit),
+      flushOnCommit_(flush_on_commit)
+{
+}
+
+void
+UndoLog::txBegin()
+{
+    WSP_CHECKF(!inTxn_, "nested undo transactions are not supported");
+    inTxn_ = true;
+    touched_.clear();
+    log_.appendMarker(LogRecordType::TxnBegin, nextTxnId_);
+    log_.fence();
+}
+
+void
+UndoLog::logOldValue(const void *addr, uint32_t len)
+{
+    WSP_CHECK(inTxn_);
+    const Offset target = region_.offsetOf(addr);
+    log_.appendData(target, addr, len);
+    // Write-ahead rule: the undo record must be durable before the
+    // caller's in-place update can reach memory.
+    log_.fence();
+
+    Touched t;
+    t.target = target;
+    t.len = len;
+    t.oldBytes.assign(static_cast<const uint8_t *>(addr),
+                      static_cast<const uint8_t *>(addr) + len);
+    touched_.push_back(std::move(t));
+
+    ++stats_.recordsLogged;
+    stats_.bytesLogged += len;
+}
+
+void
+UndoLog::txCommit()
+{
+    WSP_CHECK(inTxn_);
+    if (flushOnCommit_) {
+        // Make the in-place updates durable, then retire the undo
+        // records with a commit marker. Several fields of one object
+        // share a cache line, so flush each line once.
+        lineSet_.clear();
+        for (const Touched &t : touched_) {
+            const uint64_t first = t.target & ~63ull;
+            const uint64_t last = (t.target + t.len - 1) & ~63ull;
+            for (uint64_t line = first; line <= last; line += 64) {
+                if (lineSet_.insert(line).second)
+                    flushLine(region_.at(line));
+            }
+        }
+        storeFence();
+    }
+    log_.appendMarker(LogRecordType::TxnCommit, nextTxnId_);
+    log_.fence();
+    ++nextTxnId_;
+    ++stats_.txnsCommitted;
+    inTxn_ = false;
+    touched_.clear();
+}
+
+void
+UndoLog::txAbort()
+{
+    WSP_CHECK(inTxn_);
+    // Roll back in reverse order so overlapping updates unwind.
+    for (auto it = touched_.rbegin(); it != touched_.rend(); ++it) {
+        std::memcpy(region_.at(it->target), it->oldBytes.data(), it->len);
+        if (flushOnCommit_)
+            flushRange(region_.at(it->target), it->len);
+    }
+    if (flushOnCommit_)
+        storeFence();
+    log_.appendMarker(LogRecordType::TxnAbort, nextTxnId_);
+    log_.fence();
+    ++nextTxnId_;
+    ++stats_.txnsAborted;
+    inTxn_ = false;
+    touched_.clear();
+}
+
+size_t
+UndoLog::recover()
+{
+    const std::vector<LogRecord> records = log_.scan();
+
+    // Find the last Begin and whether it resolved.
+    ptrdiff_t open_begin = -1;
+    for (size_t i = 0; i < records.size(); ++i) {
+        switch (records[i].type) {
+          case LogRecordType::TxnBegin:
+            open_begin = static_cast<ptrdiff_t>(i);
+            break;
+          case LogRecordType::TxnCommit:
+          case LogRecordType::TxnAbort:
+            open_begin = -1;
+            break;
+          default:
+            break;
+        }
+    }
+
+    size_t undone = 0;
+    if (open_begin >= 0) {
+        // Apply the in-flight transaction's old values, newest first.
+        for (size_t i = records.size(); i-- > static_cast<size_t>(open_begin);) {
+            const LogRecord &record = records[i];
+            if (record.type != LogRecordType::Data)
+                continue;
+            std::memcpy(region_.at(record.target), record.payload.data(),
+                        record.byteLen);
+            flushRange(region_.at(record.target), record.byteLen);
+            ++undone;
+        }
+        storeFence();
+    }
+
+    log_.reset();
+    inTxn_ = false;
+    touched_.clear();
+    return undone;
+}
+
+} // namespace wsp::pmem

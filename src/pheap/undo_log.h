@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Write-ahead undo log over the torn-bit ring.
+ *
+ * The paper's "minimal NV-heap" (section 3.2) provides persistence —
+ * crash consistency — without isolation: before each in-place update
+ * the old value is appended to a torn-bit raw log with non-temporal
+ * stores; on commit the updated cache lines are flushed and a commit
+ * marker is appended. Recovery rolls back the records of the one
+ * transaction that has a Begin but no Commit/Abort.
+ *
+ * In flush-on-fail mode the same structure runs entirely in-cache
+ * (plain stores, no fences, no commit-time flushes): its content is
+ * made durable by WSP's failure-time flush instead, which is exactly
+ * the FoF + UL configuration of Fig. 5.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "pheap/tornbit_log.h"
+
+namespace wsp::pmem {
+
+/** Undo-log statistics (tests and benches). */
+struct UndoLogStats
+{
+    uint64_t txnsCommitted = 0;
+    uint64_t txnsAborted = 0;
+    uint64_t recordsLogged = 0;
+    uint64_t bytesLogged = 0;
+};
+
+/** Per-heap undo log. Not thread-safe (one per thread or lock). */
+class UndoLog
+{
+  public:
+    /**
+     * @param flush_on_commit durable appends (NT stores + fences) and
+     *        commit-time flushing of updated lines when true; pure
+     *        in-cache operation when false (flush-on-fail mode).
+     */
+    UndoLog(PersistentRegion &region, bool flush_on_commit);
+
+    bool flushOnCommit() const { return flushOnCommit_; }
+    bool inTxn() const { return inTxn_; }
+    const UndoLogStats &stats() const { return stats_; }
+
+    /** Begin a transaction (appends a Begin marker). */
+    void txBegin();
+
+    /**
+     * Record the current (old) bytes at @p addr before the caller
+     * overwrites them. In durable mode the record is fenced before
+     * returning, making it a correct write-ahead log.
+     */
+    void logOldValue(const void *addr, uint32_t len);
+
+    /** Commit: flush updated lines (durable mode), append Commit. */
+    void txCommit();
+
+    /** Abort: roll back this transaction's updates immediately. */
+    void txAbort();
+
+    /**
+     * Crash recovery: scan the ring; if a transaction began but never
+     * committed or aborted, restore its old values (newest first).
+     * Resets the ring afterwards.
+     * @return number of data records rolled back.
+     */
+    size_t recover();
+
+  private:
+    PersistentRegion &region_;
+    TornBitLog log_;
+    bool flushOnCommit_;
+    bool inTxn_ = false;
+    uint64_t nextTxnId_ = 1;
+    UndoLogStats stats_;
+
+    /** Ranges updated in the current transaction (for commit flush
+     *  and for immediate rollback on abort). */
+    struct Touched
+    {
+        Offset target;
+        uint32_t len;
+        std::vector<uint8_t> oldBytes;
+    };
+    std::vector<Touched> touched_;
+
+    /** Scratch set for commit-time line deduplication. */
+    std::unordered_set<uint64_t> lineSet_;
+};
+
+} // namespace wsp::pmem

@@ -1,0 +1,23 @@
+#include "power/load_model.h"
+
+namespace wsp {
+
+std::string
+loadClassName(LoadClass load)
+{
+    return load == LoadClass::Busy ? "Busy" : "Idle";
+}
+
+SystemLoad
+loadIntelTestbed()
+{
+    return SystemLoad{"Intel", 330.0, 195.0};
+}
+
+SystemLoad
+loadAmdTestbed()
+{
+    return SystemLoad{"AMD", 165.0, 110.0};
+}
+
+} // namespace wsp

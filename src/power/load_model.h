@@ -1,0 +1,45 @@
+/**
+ * @file
+ * System load presets for the two paper testbeds.
+ *
+ * The paper measured residual windows and save times in a "busy"
+ * configuration (a CPU-intensive prime-number stress plus a disk
+ * stress, left running through the failure) and an "idle" one
+ * (section 5.2). These presets give the corresponding wall power of
+ * each testbed, used both for PSU window interpolation and for the
+ * save routine's energy accounting.
+ */
+
+#pragma once
+
+#include <string>
+
+namespace wsp {
+
+/** Load classes from the paper's evaluation. */
+enum class LoadClass { Busy, Idle };
+
+/** Human-readable name ("Busy"/"Idle"). */
+std::string loadClassName(LoadClass load);
+
+/** Wall-power draw of one testbed under each load class. */
+struct SystemLoad
+{
+    std::string name;
+    double busyWatts = 0.0;
+    double idleWatts = 0.0;
+
+    double
+    watts(LoadClass load) const
+    {
+        return load == LoadClass::Busy ? busyWatts : idleWatts;
+    }
+};
+
+/** 2-socket Intel C5528 testbed, 48 GB DDR3. */
+SystemLoad loadIntelTestbed();
+
+/** 1-socket AMD 4180 testbed, 8 GB DDR3. */
+SystemLoad loadAmdTestbed();
+
+} // namespace wsp

@@ -1,0 +1,49 @@
+#include "power/power_monitor.h"
+
+#include "util/logging.h"
+
+namespace wsp {
+
+PowerMonitor::PowerMonitor(EventQueue &queue, AtxPowerSupply &psu,
+                           PowerMonitorConfig config)
+    : SimObject(queue, "power-monitor"), config_(config)
+{
+    psu.pwrOkSignal().observeEdge(false, [this] { onPwrOkDropped(); });
+}
+
+void
+PowerMonitor::setPowerFailHandler(InterruptHandler handler)
+{
+    powerFailHandler_ = std::move(handler);
+}
+
+void
+PowerMonitor::setCommandSink(CommandSink sink)
+{
+    commandSink_ = std::move(sink);
+}
+
+void
+PowerMonitor::onPwrOkDropped()
+{
+    if (!powerFailHandler_) {
+        warn("%s: PWR_OK dropped but no host handler is attached",
+             name().c_str());
+        return;
+    }
+    queue_.scheduleAfter(notifyLatency(), [this] {
+        ++interruptsRaised_;
+        powerFailHandler_();
+    });
+}
+
+void
+PowerMonitor::sendCommand(Command command)
+{
+    WSP_CHECKF(commandSink_ != nullptr,
+               "power monitor has no NVDIMM command sink");
+    queue_.scheduleAfter(config_.i2cCommandLatency,
+                         [this, command] { commandSink_(command); });
+}
+
+} // namespace wsp

@@ -1,0 +1,95 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace wsp {
+
+EventId
+EventQueue::schedule(Tick when, std::function<void()> fn)
+{
+    WSP_CHECK(fn != nullptr);
+    if (when < now_)
+        when = now_;
+    const EventId id = nextId_++;
+    queue_.push(Entry{when, nextSeq_++, id, std::move(fn)});
+    live_.insert(id);
+    return id;
+}
+
+EventId
+EventQueue::scheduleAfter(Tick delay, std::function<void()> fn)
+{
+    WSP_CHECK(delay <= kTickNever - now_);
+    return schedule(now_ + delay, std::move(fn));
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (live_.erase(id) == 0)
+        return false;
+    // Lazy deletion: remember the id and drop the entry at pop time.
+    cancelled_.insert(id);
+    return true;
+}
+
+void
+EventQueue::purgeCancelledTop()
+{
+    while (!queue_.empty() && cancelled_.count(queue_.top().id)) {
+        cancelled_.erase(queue_.top().id);
+        queue_.pop();
+    }
+}
+
+void
+EventQueue::dispatch(Entry &entry)
+{
+    WSP_CHECK(entry.when >= now_);
+    now_ = entry.when;
+    live_.erase(entry.id);
+    entry.fn();
+}
+
+bool
+EventQueue::step()
+{
+    purgeCancelledTop();
+    if (queue_.empty())
+        return false;
+    Entry entry = queue_.top();
+    queue_.pop();
+    dispatch(entry);
+    return true;
+}
+
+Tick
+EventQueue::run()
+{
+    while (!stopRequested_ && step()) {
+    }
+    return now_;
+}
+
+Tick
+EventQueue::runUntil(Tick when)
+{
+    WSP_CHECK(when >= now_);
+    while (!stopRequested_) {
+        // Drop cancelled entries first so we never dispatch an event
+        // beyond the target just because a cancelled one preceded it.
+        purgeCancelledTop();
+        if (queue_.empty() || queue_.top().when > when)
+            break;
+        Entry entry = queue_.top();
+        queue_.pop();
+        dispatch(entry);
+    }
+    if (!stopRequested_)
+        now_ = when;
+    return now_;
+}
+
+} // namespace wsp

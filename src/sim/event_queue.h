@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Discrete-event simulation engine.
+ *
+ * The hardware substrates (power supply, NVDIMMs, machine, devices)
+ * advance simulated time through a single EventQueue. Events at the
+ * same tick fire in scheduling order (FIFO), which keeps runs fully
+ * deterministic for a given seed.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/units.h"
+
+namespace wsp {
+
+/** Opaque handle to a scheduled event, usable for cancellation. */
+using EventId = uint64_t;
+
+/** Sentinel EventId returned for no event. */
+constexpr EventId kEventNone = 0;
+
+/**
+ * Priority queue of timed callbacks over simulated nanoseconds.
+ *
+ * The queue owns no simulation objects; models hold a reference to it
+ * and schedule closures. run() drains events until the queue empties
+ * or a stop condition fires; runUntil() advances to a target tick.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p fn at absolute tick @p when (>= now).
+     * @return handle usable with cancel().
+     */
+    EventId schedule(Tick when, std::function<void()> fn);
+
+    /** Schedule @p fn @p delay ticks from now. */
+    EventId scheduleAfter(Tick delay, std::function<void()> fn);
+
+    /** Cancel a pending event; returns false if already fired/unknown. */
+    bool cancel(EventId id);
+
+    /** Number of events still pending. */
+    size_t pending() const { return live_.size(); }
+
+    /** Run until the queue is empty. Returns the final tick. */
+    Tick run();
+
+    /**
+     * Run events with tick <= @p when, then set now() to @p when even
+     * if no event fired. Returns now().
+     */
+    Tick runUntil(Tick when);
+
+    /** Fire exactly one event if any is pending; returns true if so. */
+    bool step();
+
+    /**
+     * Request that run()/runUntil() return before dispatching further
+     * events. Used by models that must freeze the world (e.g. the
+     * instant system power is truly lost).
+     */
+    void requestStop() { stopRequested_ = true; }
+
+    /** True if a stop was requested and not yet cleared. */
+    bool stopRequested() const { return stopRequested_; }
+
+    /** Clear a pending stop request. */
+    void clearStop() { stopRequested_ = false; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        uint64_t seq;
+        EventId id;
+        std::function<void()> fn;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    void dispatch(Entry &entry);
+
+    /** Pop queue entries whose events were cancelled. */
+    void purgeCancelledTop();
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+    std::unordered_set<EventId> live_;
+    std::unordered_set<EventId> cancelled_;
+    Tick now_ = 0;
+    uint64_t nextSeq_ = 0;
+    EventId nextId_ = 1;
+    bool stopRequested_ = false;
+};
+
+} // namespace wsp

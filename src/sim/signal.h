@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Observable signal wires between simulation models.
+ *
+ * Signal<T> models a wire (PWR_OK, a DC rail voltage, an interrupt
+ * line): it has a current level and notifies observers on change.
+ * Observers run synchronously at the tick of the change.
+ */
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wsp {
+
+/** A level-valued wire with change observers. */
+template <typename T>
+class Signal
+{
+  public:
+    using Observer = std::function<void(const T &old_value,
+                                        const T &new_value)>;
+
+    explicit Signal(T initial = T{}) : value_(std::move(initial)) {}
+
+    const T &value() const { return value_; }
+
+    /** Drive the wire; observers fire only when the level changes. */
+    void
+    set(const T &new_value)
+    {
+        if (new_value == value_)
+            return;
+        T old_value = value_;
+        value_ = new_value;
+        // Copy the observer list: an observer may subscribe others.
+        auto observers = observers_;
+        for (auto &obs : observers)
+            obs(old_value, value_);
+    }
+
+    /** Subscribe to level changes. */
+    void observe(Observer obs) { observers_.push_back(std::move(obs)); }
+
+    /** Subscribe to changes matching a specific new level. */
+    void
+    observeEdge(const T &level, std::function<void()> fn)
+    {
+        observers_.push_back(
+            [level, fn = std::move(fn)](const T &, const T &now_value) {
+                if (now_value == level)
+                    fn();
+            });
+    }
+
+    size_t observers() const { return observers_.size(); }
+
+  private:
+    T value_;
+    std::vector<Observer> observers_;
+};
+
+/** Convenience alias for single-bit wires such as PWR_OK. */
+using Wire = Signal<bool>;
+
+} // namespace wsp

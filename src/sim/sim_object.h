@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Base class for named simulation models.
+ */
+
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "sim/event_queue.h"
+
+namespace wsp {
+
+/**
+ * A named model attached to an EventQueue.
+ *
+ * SimObjects never own the queue; the experiment harness constructs
+ * one queue and wires every model to it, mirroring how the paper's
+ * prototype hangs every component off one physical power domain.
+ */
+class SimObject
+{
+  public:
+    SimObject(EventQueue &queue, std::string name)
+        : queue_(queue), name_(std::move(name))
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return name_; }
+    EventQueue &queue() { return queue_; }
+    const EventQueue &queue() const { return queue_; }
+    Tick now() const { return queue_.now(); }
+
+  protected:
+    EventQueue &queue_;
+
+  private:
+    std::string name_;
+};
+
+} // namespace wsp

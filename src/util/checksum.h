@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Checksums for crash-consistency markers and logs.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace wsp {
+
+/** FNV-1a 64-bit hash over a byte span. */
+constexpr uint64_t
+fnv1a(std::span<const uint8_t> bytes, uint64_t seed = 0xcbf29ce484222325ull)
+{
+    uint64_t hash = seed;
+    for (uint8_t byte : bytes) {
+        hash ^= byte;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+/** FNV-1a over a single 64-bit word (for marker fields). */
+constexpr uint64_t
+fnv1aU64(uint64_t value, uint64_t seed = 0xcbf29ce484222325ull)
+{
+    uint64_t hash = seed;
+    for (int i = 0; i < 8; ++i) {
+        hash ^= value & 0xff;
+        hash *= 0x100000001b3ull;
+        value >>= 8;
+    }
+    return hash;
+}
+
+} // namespace wsp

@@ -1,0 +1,86 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wsp {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::Normal;
+
+/** Shared formatter: prefix + user message + newline to the stream. */
+void
+emit(FILE *stream, const char *prefix, const char *fmt, va_list args)
+{
+    std::fprintf(stream, "%s", prefix);
+    std::vfprintf(stream, fmt, args);
+    std::fprintf(stream, "\n");
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (globalLevel < LogLevel::Normal)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    emit(stdout, "info: ", fmt, args);
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit(stderr, "warn: ", fmt, args);
+    va_end(args);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    if (globalLevel < LogLevel::Debug)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    emit(stdout, "debug: ", fmt, args);
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit(stderr, "fatal: ", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit(stderr, "panic: ", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+} // namespace wsp

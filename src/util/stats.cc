@@ -1,0 +1,205 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace wsp {
+
+void
+RunningStat::add(double sample)
+{
+    ++count_;
+    sum_ += sample;
+    if (count_ == 1) {
+        mean_ = sample;
+        min_ = sample;
+        max_ = sample;
+        m2_ = 0.0;
+        return;
+    }
+    const double delta = sample - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (sample - mean_);
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    WSP_CHECK(buckets >= 1);
+    WSP_CHECK(hi > lo);
+}
+
+void
+Histogram::add(double sample)
+{
+    ++total_;
+    if (sample < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (sample >= hi_) {
+        ++overflow_;
+        return;
+    }
+    const double frac = (sample - lo_) / (hi_ - lo_);
+    auto idx = static_cast<size_t>(frac * static_cast<double>(counts_.size()));
+    idx = std::min(idx, counts_.size() - 1);
+    ++counts_[idx];
+}
+
+double
+Histogram::bucketLo(size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+}
+
+double
+Histogram::quantile(double q) const
+{
+    WSP_CHECK(q >= 0.0 && q <= 1.0);
+    if (total_ == 0)
+        return lo_;
+    const auto target = static_cast<uint64_t>(
+        q * static_cast<double>(total_));
+    uint64_t seen = underflow_;
+    if (seen > target)
+        return lo_;
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen > target)
+            return bucketLo(i) + width / 2.0;
+    }
+    return hi_;
+}
+
+std::string
+Histogram::render(size_t width) const
+{
+    uint64_t peak = 1;
+    for (uint64_t c : counts_)
+        peak = std::max(peak, c);
+
+    std::string out;
+    char line[160];
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        const auto bar_len = static_cast<size_t>(
+            static_cast<double>(counts_[i]) /
+            static_cast<double>(peak) * static_cast<double>(width));
+        std::snprintf(line, sizeof(line), "%12.4g | ", bucketLo(i));
+        out += line;
+        out.append(bar_len, '#');
+        std::snprintf(line, sizeof(line), " %llu\n",
+                      static_cast<unsigned long long>(counts_[i]));
+        out += line;
+    }
+    return out;
+}
+
+double
+Series::at(double x) const
+{
+    WSP_CHECK(!xs.empty());
+    if (x <= xs.front())
+        return ys.front();
+    if (x >= xs.back())
+        return ys.back();
+    for (size_t i = 1; i < xs.size(); ++i) {
+        if (x <= xs[i]) {
+            const double span = xs[i] - xs[i - 1];
+            if (span <= 0.0)
+                return ys[i];
+            const double frac = (x - xs[i - 1]) / span;
+            return ys[i - 1] + frac * (ys[i] - ys[i - 1]);
+        }
+    }
+    return ys.back();
+}
+
+double
+Series::maxY() const
+{
+    double best = ys.empty() ? 0.0 : ys.front();
+    for (double y : ys)
+        best = std::max(best, y);
+    return best;
+}
+
+double
+Series::minY() const
+{
+    double best = ys.empty() ? 0.0 : ys.front();
+    for (double y : ys)
+        best = std::min(best, y);
+    return best;
+}
+
+bool
+findCrossover(const Series &a, const Series &b, double *x_out)
+{
+    WSP_CHECK(a.size() == b.size());
+    for (size_t i = 1; i < a.size(); ++i) {
+        const double d0 = a.ys[i - 1] - b.ys[i - 1];
+        const double d1 = a.ys[i] - b.ys[i];
+        if (d0 == 0.0) {
+            *x_out = a.xs[i - 1];
+            return true;
+        }
+        if ((d0 < 0.0 && d1 >= 0.0) || (d0 > 0.0 && d1 <= 0.0)) {
+            // Interpolate the zero of (a - b) within this segment.
+            const double frac = d0 / (d0 - d1);
+            *x_out = a.xs[i - 1] + frac * (a.xs[i] - a.xs[i - 1]);
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace wsp

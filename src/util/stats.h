@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Statistics helpers used by benches and timing models.
+ *
+ * RunningStat accumulates mean/variance/min/max in one pass (Welford's
+ * algorithm); Histogram buckets samples for latency distributions;
+ * Series records (x, y) points for figure-style output.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wsp {
+
+/** One-pass accumulator for count, mean, stddev, min, and max. */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double sample);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat &other);
+
+    /** Remove all samples. */
+    void reset();
+
+    uint64_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    /** Sample variance (n-1 denominator); 0 with fewer than 2 samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+  private:
+    uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-width linear histogram over [lo, hi); out-of-range samples
+ * land in saturating underflow/overflow buckets.
+ */
+class Histogram
+{
+  public:
+    /** @param buckets number of in-range buckets (>= 1). */
+    Histogram(double lo, double hi, size_t buckets);
+
+    void add(double sample);
+
+    size_t buckets() const { return counts_.size(); }
+    uint64_t bucketCount(size_t i) const { return counts_.at(i); }
+    uint64_t underflow() const { return underflow_; }
+    uint64_t overflow() const { return overflow_; }
+    uint64_t total() const { return total_; }
+
+    /** Lower edge of bucket @p i. */
+    double bucketLo(size_t i) const;
+
+    /** Approximate quantile (0 <= q <= 1) from bucket midpoints. */
+    double quantile(double q) const;
+
+    /** Render a fixed-width ASCII bar chart. */
+    std::string render(size_t width = 50) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+};
+
+/** An (x, y) series with a name; the unit of exchange for figures. */
+struct Series
+{
+    std::string name;
+    std::vector<double> xs;
+    std::vector<double> ys;
+
+    void
+    add(double x, double y)
+    {
+        xs.push_back(x);
+        ys.push_back(y);
+    }
+
+    size_t size() const { return xs.size(); }
+
+    /** Linear interpolation of y at @p x; clamps outside the range. */
+    double at(double x) const;
+
+    /** Largest y value (0 when empty). */
+    double maxY() const;
+
+    /** Smallest y value (0 when empty). */
+    double minY() const;
+};
+
+/**
+ * Find the x position where series @p a crosses from below @p b to
+ * above it (or vice versa). Returns false when they never cross.
+ * Both series must be sampled at identical x positions.
+ */
+bool findCrossover(const Series &a, const Series &b, double *x_out);
+
+} // namespace wsp

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the section-6 extensions: process persistence and the
+ * replica-management tradeoff.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/cluster.h"
+#include "apps/kv_store.h"
+#include "core/system.h"
+
+namespace wsp {
+namespace {
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig config;
+    config.nvdimmCount = 2;
+    config.nvdimm.capacityBytes = 4 * kMiB;
+    config.nvdimm.flashChannels = 1;
+    config.devices.clear();
+    config.wsp.firmwareBootLatency = fromMillis(100.0);
+    config.wsp.osResumeLatency = fromMillis(1.0);
+    config.wsp.freshKernelBootLatency = fromSeconds(2.0);
+    return config;
+}
+
+// Process persistence ---------------------------------------------------
+
+TEST(ProcessPersistence, AppMemorySurvivesContextsDoNot)
+{
+    SystemConfig config = smallConfig();
+    config.wsp.restoreMode = RestoreMode::ProcessOnly;
+    WspSystem system(config);
+    system.start();
+
+    apps::KvStore store(system.cache(), 0, 256);
+    store.put(7, 77);
+    const uint64_t checksum = store.checksum();
+    Rng rng(1);
+    system.machine().randomizeContexts(rng);
+    const CpuContext before = system.machine().core(2).context;
+
+    auto outcome = system.powerFailAndRestore(fromMillis(5.0),
+                                              fromSeconds(10.0));
+    EXPECT_TRUE(outcome.restore.usedWsp);
+    EXPECT_FALSE(outcome.restore.contextsRestored);
+    EXPECT_NE(system.machine().core(2).context, before);
+
+    auto attached = apps::KvStore::attach(system.cache(), 0);
+    ASSERT_TRUE(attached.has_value());
+    EXPECT_EQ(attached->checksum(), checksum);
+}
+
+TEST(ProcessPersistence, PaysFreshKernelBoot)
+{
+    Tick durations[2] = {};
+    int index = 0;
+    for (RestoreMode mode :
+         {RestoreMode::WholeSystem, RestoreMode::ProcessOnly}) {
+        SystemConfig config = smallConfig();
+        config.wsp.restoreMode = mode;
+        WspSystem system(config);
+        system.start();
+        auto outcome = system.powerFailAndRestore(fromMillis(5.0),
+                                                  fromSeconds(10.0));
+        durations[index++] = outcome.restore.duration();
+    }
+    EXPECT_GT(durations[1],
+              durations[0] + fromSeconds(1.5)); // the kernel boot
+}
+
+TEST(ProcessPersistence, MarkerStillClearedAfterResume)
+{
+    SystemConfig config = smallConfig();
+    config.wsp.restoreMode = RestoreMode::ProcessOnly;
+    WspSystem system(config);
+    system.start();
+    system.powerFailAndRestore(fromMillis(5.0), fromSeconds(10.0));
+    EXPECT_FALSE(system.wsp().marker().read(system.memory()).valid);
+}
+
+TEST(ProcessPersistence, TornSaveStillFallsBack)
+{
+    SystemConfig config = smallConfig();
+    config.wsp.restoreMode = RestoreMode::ProcessOnly;
+    config.psu.windowJitter = 0;
+    config.psu.pwrOkDetectDelay = 0;
+    config.psu.busyWindow = fromMicros(1.0);
+    config.psu.idleWindow = fromMicros(1.0);
+    WspSystem system(config);
+    system.start();
+    bool backend_ran = false;
+    auto outcome = system.powerFailAndRestore(
+        fromMillis(5.0), fromSeconds(10.0), [&] { backend_ran = true; });
+    EXPECT_FALSE(outcome.restore.usedWsp);
+    EXPECT_TRUE(backend_ran);
+}
+
+TEST(ProcessPersistence, ModeNames)
+{
+    EXPECT_EQ(restoreModeName(RestoreMode::WholeSystem), "whole-system");
+    EXPECT_EQ(restoreModeName(RestoreMode::ProcessOnly), "process-only");
+}
+
+// Replica tradeoff ------------------------------------------------------
+
+TEST(ReplicaTradeoff, ReReplicationTimeIsStateOverBandwidth)
+{
+    apps::ReplicationConfig config;
+    config.stateBytes = 125ull * 1000 * 1000 * 1000; // 125 GB
+    config.copyBandwidth = 1.25e9;
+    EXPECT_NEAR(toSeconds(apps::reReplicationTime(config)), 100.0, 0.1);
+}
+
+TEST(ReplicaTradeoff, CatchupGrowsWithOutage)
+{
+    apps::ReplicationConfig config;
+    const Tick short_outage =
+        apps::wspCatchupTime(config, fromSeconds(10.0));
+    const Tick long_outage =
+        apps::wspCatchupTime(config, fromSeconds(100.0));
+    EXPECT_GT(long_outage, short_outage);
+    // Waiting costs at least the outage plus the local recovery.
+    EXPECT_GE(short_outage,
+              fromSeconds(10.0) + config.wspRecoveryTime);
+}
+
+TEST(ReplicaTradeoff, BreakEvenIsConsistent)
+{
+    apps::ReplicationConfig config;
+    const Tick break_even = apps::breakEvenOutage(config);
+    ASSERT_GT(break_even, 0u);
+    const Tick rereplicate = apps::reReplicationTime(config);
+    // At the break-even point both strategies cost the same.
+    EXPECT_NEAR(toSeconds(apps::wspCatchupTime(config, break_even)),
+                toSeconds(rereplicate), 0.5);
+    // Just below, waiting wins; just above, re-replication wins.
+    EXPECT_LT(apps::wspCatchupTime(config,
+                                   break_even - fromSeconds(5.0)),
+              rereplicate);
+    EXPECT_GT(apps::wspCatchupTime(config,
+                                   break_even + fromSeconds(5.0)),
+              rereplicate);
+}
+
+TEST(ReplicaTradeoff, TinyStateMeansNoBreakEven)
+{
+    apps::ReplicationConfig config;
+    config.stateBytes = 1024; // copying is nearly free
+    EXPECT_EQ(apps::breakEvenOutage(config), 0u);
+}
+
+TEST(ReplicaTradeoff, HigherUpdateRateShrinksBreakEven)
+{
+    apps::ReplicationConfig slow;
+    slow.updateRateBytesPerSec = 1e6;
+    apps::ReplicationConfig fast;
+    fast.updateRateBytesPerSec = 500e6;
+    EXPECT_GT(apps::breakEvenOutage(slow), apps::breakEvenOutage(fast));
+}
+
+} // namespace
+} // namespace wsp

@@ -1,0 +1,477 @@
+/**
+ * @file
+ * Tests for the LDAP-style wire protocol: BER codec, DN
+ * normalization, ACL engine, and the full request pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/ldap_protocol.h"
+#include "pheap/policies.h"
+
+namespace wsp::apps {
+namespace {
+
+using pmem::PHeap;
+using pmem::PHeapConfig;
+using pmem::RawPolicy;
+
+DirectoryEntry
+sampleEntry()
+{
+    DirectoryEntry entry;
+    entry.dn = "uid=ada.lovelace.1,ou=people,dc=example,dc=com";
+    entry.attributes = {
+        {"objectClass", "inetOrgPerson"},
+        {"cn", "Ada Lovelace"},
+        {"mail", "ada@example.com"},
+    };
+    return entry;
+}
+
+// BER codec -------------------------------------------------------------
+
+TEST(Ber, AddRequestRoundTrip)
+{
+    const DirectoryEntry entry = sampleEntry();
+    const auto bytes = encodeAddRequest(entry, 77);
+    uint32_t id = 0;
+    DirectoryEntry back;
+    ASSERT_TRUE(decodeAddRequest(bytes, &id, &back));
+    EXPECT_EQ(id, 77u);
+    EXPECT_EQ(back.dn, entry.dn);
+    ASSERT_EQ(back.attributes.size(), entry.attributes.size());
+    for (size_t i = 0; i < entry.attributes.size(); ++i) {
+        EXPECT_EQ(back.attributes[i], entry.attributes[i]);
+    }
+}
+
+TEST(Ber, ResponseRoundTrip)
+{
+    const auto bytes = encodeResponse(LdapOp::AddResponse, 9,
+                                      LdapCode::EntryAlreadyExists);
+    uint32_t id = 0;
+    LdapCode code = LdapCode::Success;
+    ASSERT_TRUE(decodeResponse(bytes, &id, &code));
+    EXPECT_EQ(id, 9u);
+    EXPECT_EQ(code, LdapCode::EntryAlreadyExists);
+}
+
+TEST(Ber, EmptyBufferRejected)
+{
+    uint32_t id = 0;
+    DirectoryEntry entry;
+    EXPECT_FALSE(decodeAddRequest({}, &id, &entry));
+}
+
+TEST(Ber, TruncatedBufferRejected)
+{
+    auto bytes = encodeAddRequest(sampleEntry(), 1);
+    for (size_t cut : {size_t{1}, bytes.size() / 2, bytes.size() - 1}) {
+        uint32_t id = 0;
+        DirectoryEntry entry;
+        std::vector<uint8_t> cut_bytes(bytes.begin(),
+                                       bytes.begin() +
+                                           static_cast<ptrdiff_t>(cut));
+        EXPECT_FALSE(decodeAddRequest(cut_bytes, &id, &entry))
+            << "cut at " << cut;
+    }
+}
+
+TEST(Ber, WrongTagRejected)
+{
+    auto bytes = encodeAddRequest(sampleEntry(), 1);
+    bytes[0] = 0x55; // clobber the message tag
+    uint32_t id = 0;
+    DirectoryEntry entry;
+    EXPECT_FALSE(decodeAddRequest(bytes, &id, &entry));
+}
+
+TEST(Ber, RandomGarbageNeverCrashes)
+{
+    Rng rng(123);
+    for (int trial = 0; trial < 500; ++trial) {
+        std::vector<uint8_t> garbage(rng.next(200));
+        for (auto &b : garbage)
+            b = static_cast<uint8_t>(rng());
+        uint32_t id = 0;
+        DirectoryEntry entry;
+        decodeAddRequest(garbage, &id, &entry); // must not crash
+        LdapCode code;
+        decodeResponse(garbage, &id, &code);
+    }
+    SUCCEED();
+}
+
+TEST(Ber, LargeValuesSurvive)
+{
+    DirectoryEntry entry = sampleEntry();
+    entry.attributes.push_back({"description", std::string(100000, 'x')});
+    const auto bytes = encodeAddRequest(entry, 5);
+    uint32_t id = 0;
+    DirectoryEntry back;
+    ASSERT_TRUE(decodeAddRequest(bytes, &id, &back));
+    EXPECT_EQ(back.attributes.back().second.size(), 100000u);
+}
+
+TEST(Ber, MessageIdBoundaries)
+{
+    for (uint32_t id : {0u, 1u, 127u, 128u, 65535u, ~0u}) {
+        const auto bytes = encodeAddRequest(sampleEntry(), id);
+        uint32_t back = 1;
+        DirectoryEntry entry;
+        ASSERT_TRUE(decodeAddRequest(bytes, &back, &entry));
+        EXPECT_EQ(back, id);
+    }
+}
+
+// DN normalization ---------------------------------------------------------
+
+TEST(NormalizeDn, LowercasesAndTrims)
+{
+    std::string out;
+    ASSERT_TRUE(normalizeDn("UID = Ada , OU=People, DC=Example", &out));
+    EXPECT_EQ(out, "uid=ada,ou=people,dc=example");
+}
+
+TEST(NormalizeDn, IdempotentOnNormalForm)
+{
+    std::string once;
+    std::string twice;
+    ASSERT_TRUE(normalizeDn("uid=x,dc=example,dc=com", &once));
+    ASSERT_TRUE(normalizeDn(once, &twice));
+    EXPECT_EQ(once, twice);
+}
+
+TEST(NormalizeDn, RejectsMissingEquals)
+{
+    std::string out;
+    EXPECT_FALSE(normalizeDn("nodice", &out));
+    EXPECT_FALSE(normalizeDn("uid=x,bogus,dc=com", &out));
+}
+
+TEST(NormalizeDn, RejectsEmptyParts)
+{
+    std::string out;
+    EXPECT_FALSE(normalizeDn("", &out));
+    EXPECT_FALSE(normalizeDn("=value", &out));
+    EXPECT_FALSE(normalizeDn("uid=", &out));
+    EXPECT_FALSE(normalizeDn("uid= ,dc=com", &out));
+}
+
+TEST(NormalizeDn, PreservesComponentOrder)
+{
+    std::string out;
+    ASSERT_TRUE(normalizeDn("cn=A,ou=B,dc=C", &out));
+    EXPECT_EQ(out, "cn=a,ou=b,dc=c");
+}
+
+// ACL ----------------------------------------------------------------------
+
+TEST(Acl, FirstMatchWins)
+{
+    AccessControl acl;
+    acl.addRule(AclRule{"ou=secret,dc=example", false, false});
+    acl.addRule(AclRule{"dc=example", true, true});
+    EXPECT_FALSE(acl.mayAdd("uid=x,ou=secret,dc=example"));
+    EXPECT_TRUE(acl.mayAdd("uid=x,ou=people,dc=example"));
+    EXPECT_FALSE(acl.maySearch("uid=x,ou=secret,dc=example"));
+}
+
+TEST(Acl, DefaultPolicyApplies)
+{
+    AccessControl acl;
+    acl.setDefault(false, true);
+    EXPECT_FALSE(acl.mayAdd("uid=x,dc=other"));
+    EXPECT_TRUE(acl.maySearch("uid=x,dc=other"));
+}
+
+TEST(Acl, EmptySuffixMatchesEverything)
+{
+    AccessControl acl;
+    acl.addRule(AclRule{"", true, false});
+    EXPECT_TRUE(acl.mayAdd("anything=really"));
+    EXPECT_FALSE(acl.maySearch("anything=really"));
+}
+
+TEST(Acl, SuffixMustMatchAtEnd)
+{
+    AccessControl acl;
+    acl.addRule(AclRule{"dc=example", false, true});
+    acl.setDefault(true, true);
+    // "dc=example" in the middle does not match the subtree rule.
+    EXPECT_TRUE(acl.mayAdd("dc=example,dc=org"));
+    EXPECT_FALSE(acl.mayAdd("ou=x,dc=example"));
+}
+
+// Pipeline -------------------------------------------------------------
+
+struct PipelineFixture : ::testing::Test
+{
+    PipelineFixture() : heap(makeConfig()), server(heap)
+    {
+        acl.addRule(AclRule{"dc=example,dc=com", true, true});
+        acl.setDefault(false, true);
+    }
+
+    static PHeapConfig
+    makeConfig()
+    {
+        PHeapConfig config;
+        config.regionSize = 32ull * 1024 * 1024;
+        config.durableLogs = false;
+        return config;
+    }
+
+    LdapCode
+    submit(const DirectoryEntry &entry, uint32_t id = 1)
+    {
+        const auto response =
+            handleAddRequest(server, acl, encodeAddRequest(entry, id));
+        uint32_t out_id = 0;
+        LdapCode code = LdapCode::ProtocolError;
+        decodeResponse(response, &out_id, &code);
+        EXPECT_EQ(out_id, id);
+        return code;
+    }
+
+    PHeap heap;
+    DirectoryServer<RawPolicy> server;
+    AccessControl acl;
+};
+
+TEST_F(PipelineFixture, SuccessfulAdd)
+{
+    EXPECT_EQ(submit(sampleEntry()), LdapCode::Success);
+    EXPECT_EQ(server.entryCount(), 1u);
+}
+
+TEST_F(PipelineFixture, DuplicateReported)
+{
+    EXPECT_EQ(submit(sampleEntry()), LdapCode::Success);
+    EXPECT_EQ(submit(sampleEntry()), LdapCode::EntryAlreadyExists);
+}
+
+TEST_F(PipelineFixture, DnsNormalizedBeforeIndexing)
+{
+    DirectoryEntry entry = sampleEntry();
+    EXPECT_EQ(submit(entry), LdapCode::Success);
+    // The same DN with different case is the same entry.
+    entry.dn = "UID=Ada.Lovelace.1, OU=People, DC=Example, DC=Com";
+    EXPECT_EQ(submit(entry), LdapCode::EntryAlreadyExists);
+}
+
+TEST_F(PipelineFixture, AclDeniesOutsideSuffix)
+{
+    DirectoryEntry entry = sampleEntry();
+    entry.dn = "uid=intruder,dc=evil,dc=org";
+    EXPECT_EQ(submit(entry), LdapCode::InsufficientAccessRights);
+    EXPECT_EQ(server.entryCount(), 0u);
+}
+
+TEST_F(PipelineFixture, BadDnRejected)
+{
+    DirectoryEntry entry = sampleEntry();
+    entry.dn = "notadn";
+    EXPECT_EQ(submit(entry), LdapCode::InvalidDnSyntax);
+}
+
+TEST_F(PipelineFixture, UnknownAttributeRejected)
+{
+    DirectoryEntry entry = sampleEntry();
+    entry.attributes.push_back({"flavour", "vanilla"});
+    EXPECT_EQ(submit(entry), LdapCode::UndefinedAttributeType);
+}
+
+TEST_F(PipelineFixture, GarbageRequestGetsProtocolError)
+{
+    const std::vector<uint8_t> garbage = {0x30, 0x03, 0x01, 0x02, 0x03};
+    const auto response = handleAddRequest(server, acl, garbage);
+    uint32_t id = 0;
+    LdapCode code = LdapCode::Success;
+    ASSERT_TRUE(decodeResponse(response, &id, &code));
+    EXPECT_EQ(code, LdapCode::ProtocolError);
+}
+
+TEST_F(PipelineFixture, DeleteRoundTrip)
+{
+    EXPECT_EQ(submit(sampleEntry()), LdapCode::Success);
+    const auto response = handleDelRequest(
+        server, acl, encodeDelRequest(sampleEntry().dn, 2));
+    uint32_t id = 0;
+    LdapCode code = LdapCode::ProtocolError;
+    ASSERT_TRUE(decodeResponse(response, &id, &code));
+    EXPECT_EQ(code, LdapCode::Success);
+    EXPECT_EQ(server.entryCount(), 0u);
+    EXPECT_EQ(server.search(sampleEntry().dn),
+              DirectoryResult::NoSuchObject);
+}
+
+TEST_F(PipelineFixture, DeleteMissingEntry)
+{
+    const auto response = handleDelRequest(
+        server, acl, encodeDelRequest("uid=ghost,dc=example,dc=com", 3));
+    uint32_t id = 0;
+    LdapCode code = LdapCode::Success;
+    ASSERT_TRUE(decodeResponse(response, &id, &code));
+    EXPECT_EQ(code, LdapCode::NoSuchObject);
+}
+
+TEST_F(PipelineFixture, DeleteDeniedByAcl)
+{
+    const auto response = handleDelRequest(
+        server, acl, encodeDelRequest("uid=x,dc=evil,dc=org", 4));
+    uint32_t id = 0;
+    LdapCode code = LdapCode::Success;
+    ASSERT_TRUE(decodeResponse(response, &id, &code));
+    EXPECT_EQ(code, LdapCode::InsufficientAccessRights);
+}
+
+TEST_F(PipelineFixture, ModifyReplacesAttributes)
+{
+    EXPECT_EQ(submit(sampleEntry()), LdapCode::Success);
+    DirectoryEntry changed = sampleEntry();
+    changed.attributes = {{"cn", "Augusta Ada King"},
+                          {"mail", "countess@example.com"}};
+    const auto response = handleModifyRequest(
+        server, acl, encodeModifyRequest(changed, 5));
+    uint32_t id = 0;
+    LdapCode code = LdapCode::ProtocolError;
+    ASSERT_TRUE(decodeResponse(response, &id, &code));
+    EXPECT_EQ(code, LdapCode::Success);
+
+    DirectoryEntry found;
+    std::string normalized;
+    ASSERT_TRUE(normalizeDn(changed.dn, &normalized));
+    ASSERT_EQ(server.search(normalized, &found),
+              DirectoryResult::Success);
+    ASSERT_EQ(found.attributes.size(), 2u);
+    EXPECT_EQ(found.attributes[0].second, "Augusta Ada King");
+}
+
+TEST_F(PipelineFixture, ModifyMissingEntryFails)
+{
+    const auto response = handleModifyRequest(
+        server, acl, encodeModifyRequest(sampleEntry(), 6));
+    uint32_t id = 0;
+    LdapCode code = LdapCode::Success;
+    ASSERT_TRUE(decodeResponse(response, &id, &code));
+    EXPECT_EQ(code, LdapCode::NoSuchObject);
+}
+
+TEST(Ber, DelRequestRoundTrip)
+{
+    const auto bytes = encodeDelRequest("uid=x,dc=example", 11);
+    uint32_t id = 0;
+    std::string dn;
+    ASSERT_TRUE(decodeDelRequest(bytes, &id, &dn));
+    EXPECT_EQ(id, 11u);
+    EXPECT_EQ(dn, "uid=x,dc=example");
+}
+
+TEST(Ber, ModifyRequestRoundTrip)
+{
+    DirectoryEntry entry;
+    entry.dn = "uid=y,dc=example";
+    entry.attributes = {{"cn", "Y"}, {"sn", "Z"}};
+    const auto bytes = encodeModifyRequest(entry, 12);
+    uint32_t id = 0;
+    DirectoryEntry back;
+    ASSERT_TRUE(decodeModifyRequest(bytes, &id, &back));
+    EXPECT_EQ(id, 12u);
+    EXPECT_EQ(back.dn, entry.dn);
+    EXPECT_EQ(back.attributes, entry.attributes);
+}
+
+TEST(Ber, CrossOpDecodeRejected)
+{
+    // A Del request must not decode as an Add or Modify.
+    const auto bytes = encodeDelRequest("uid=x,dc=example", 13);
+    uint32_t id = 0;
+    DirectoryEntry entry;
+    EXPECT_FALSE(decodeAddRequest(bytes, &id, &entry));
+    EXPECT_FALSE(decodeModifyRequest(bytes, &id, &entry));
+}
+
+TEST_F(PipelineFixture, SearchRoundTripReturnsEntry)
+{
+    EXPECT_EQ(submit(sampleEntry()), LdapCode::Success);
+    const auto response = handleSearchRequest(
+        server, acl,
+        encodeSearchRequest("UID=Ada.Lovelace.1, OU=People, "
+                            "DC=Example, DC=Com",
+                            7));
+    uint32_t id = 0;
+    LdapCode code = LdapCode::ProtocolError;
+    DirectoryEntry entry;
+    ASSERT_TRUE(decodeSearchResponse(response, &id, &code, &entry));
+    EXPECT_EQ(id, 7u);
+    EXPECT_EQ(code, LdapCode::Success);
+    // The stored entry carries the normalized DN.
+    EXPECT_EQ(entry.dn, "uid=ada.lovelace.1,ou=people,dc=example,dc=com");
+    EXPECT_EQ(entry.attributes.size(), sampleEntry().attributes.size());
+}
+
+TEST_F(PipelineFixture, SearchMissReturnsNoSuchObject)
+{
+    const auto response = handleSearchRequest(
+        server, acl, encodeSearchRequest("uid=ghost,dc=example,dc=com", 8));
+    uint32_t id = 0;
+    LdapCode code = LdapCode::Success;
+    ASSERT_TRUE(decodeSearchResponse(response, &id, &code, nullptr));
+    EXPECT_EQ(code, LdapCode::NoSuchObject);
+}
+
+TEST_F(PipelineFixture, SearchDeniedBySearchAcl)
+{
+    AccessControl strict;
+    strict.addRule(AclRule{"ou=secret,dc=example,dc=com", true, false});
+    strict.setDefault(true, true);
+    DirectoryEntry entry = sampleEntry();
+    entry.dn = "uid=spy,ou=secret,dc=example,dc=com";
+    handleAddRequest(server, strict, encodeAddRequest(entry, 1));
+    const auto response = handleSearchRequest(
+        server, strict, encodeSearchRequest(entry.dn, 9));
+    uint32_t id = 0;
+    LdapCode code = LdapCode::Success;
+    ASSERT_TRUE(decodeSearchResponse(response, &id, &code, nullptr));
+    EXPECT_EQ(code, LdapCode::InsufficientAccessRights);
+}
+
+TEST(Ber, SearchRequestRoundTrip)
+{
+    const auto bytes = encodeSearchRequest("uid=q,dc=example", 14);
+    uint32_t id = 0;
+    std::string dn;
+    ASSERT_TRUE(decodeSearchRequest(bytes, &id, &dn));
+    EXPECT_EQ(id, 14u);
+    EXPECT_EQ(dn, "uid=q,dc=example");
+}
+
+TEST(Ber, SearchResponseWithoutEntry)
+{
+    const auto bytes =
+        encodeSearchResponse(15, LdapCode::NoSuchObject, nullptr);
+    uint32_t id = 0;
+    LdapCode code = LdapCode::Success;
+    DirectoryEntry entry;
+    ASSERT_TRUE(decodeSearchResponse(bytes, &id, &code, &entry));
+    EXPECT_EQ(code, LdapCode::NoSuchObject);
+    EXPECT_TRUE(entry.attributes.empty());
+}
+
+TEST(LdapCodeMapping, CoversDirectoryResults)
+{
+    EXPECT_EQ(toLdapCode(DirectoryResult::Success), LdapCode::Success);
+    EXPECT_EQ(toLdapCode(DirectoryResult::EntryAlreadyExists),
+              LdapCode::EntryAlreadyExists);
+    EXPECT_EQ(toLdapCode(DirectoryResult::NoSuchObject),
+              LdapCode::NoSuchObject);
+    EXPECT_EQ(toLdapCode(DirectoryResult::UndefinedAttributeType),
+              LdapCode::UndefinedAttributeType);
+    EXPECT_EQ(toLdapCode(DirectoryResult::InvalidSyntax),
+              LdapCode::InvalidDnSyntax);
+}
+
+} // namespace
+} // namespace wsp::apps

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Unit tests for the machine substrate: contexts, caches, platforms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "machine/cache.h"
+#include "machine/cpu_context.h"
+#include "machine/machine.h"
+#include "nvram/nvdimm.h"
+#include "nvram/nvram_space.h"
+
+namespace wsp {
+namespace {
+
+// CpuContext -----------------------------------------------------------
+
+TEST(CpuContext, SerializeRoundTrip)
+{
+    Rng rng(1);
+    CpuContext ctx;
+    ctx.randomize(rng);
+    ctx.apicId = 5;
+    std::vector<uint8_t> image(CpuContext::serializedSize());
+    ctx.serialize(image);
+    const CpuContext back = CpuContext::deserialize(image);
+    EXPECT_EQ(ctx, back);
+}
+
+TEST(CpuContext, RandomizeChangesState)
+{
+    Rng rng(2);
+    CpuContext a;
+    CpuContext b;
+    b.randomize(rng);
+    EXPECT_NE(a, b);
+}
+
+TEST(CpuContext, ReservedFlagBitAlwaysSet)
+{
+    Rng rng(3);
+    for (int i = 0; i < 20; ++i) {
+        CpuContext ctx;
+        ctx.randomize(rng);
+        EXPECT_TRUE(ctx.rflags & 0x2);
+        EXPECT_EQ(ctx.cr3 & 0xfff, 0u); // page aligned
+    }
+}
+
+// CacheModel -----------------------------------------------------------
+
+struct CacheFixture : ::testing::Test
+{
+    CacheFixture()
+        : dimm(queue, "d",
+               [] {
+                   NvdimmConfig config;
+                   config.capacityBytes = 4 * kMiB;
+                   config.flashChannels = 1;
+                   return config;
+               }())
+    {
+        space.addModule(dimm);
+    }
+
+    CacheModel
+    makeCache(uint64_t capacity = 64 * kKiB)
+    {
+        return CacheModel("L3", capacity, CacheTiming{}, space);
+    }
+
+    EventQueue queue;
+    NvdimmModule dimm;
+    NvramSpace space;
+};
+
+TEST_F(CacheFixture, WriteStaysInCacheUntilFlush)
+{
+    CacheModel cache = makeCache();
+    cache.writeU64(128, 42);
+    EXPECT_EQ(cache.readU64(128), 42u);
+    // NVRAM does not see it yet: the line is dirty.
+    EXPECT_EQ(space.readU64(128), 0u);
+    EXPECT_EQ(cache.dirtyLines(), 1u);
+
+    cache.flushLine(128);
+    EXPECT_EQ(space.readU64(128), 42u);
+    EXPECT_EQ(cache.dirtyLines(), 0u);
+}
+
+TEST_F(CacheFixture, ReadThroughForCleanLines)
+{
+    CacheModel cache = makeCache();
+    space.writeU64(64, 7);
+    EXPECT_EQ(cache.readU64(64), 7u);
+    EXPECT_EQ(cache.dirtyLines(), 0u);
+}
+
+TEST_F(CacheFixture, PartialLineWritePreservesRest)
+{
+    CacheModel cache = makeCache();
+    space.writeU64(0, 0x1111111111111111ull);
+    space.writeU64(8, 0x2222222222222222ull);
+    // Dirty only the second word of the line.
+    cache.writeU64(8, 0x3333333333333333ull);
+    EXPECT_EQ(cache.readU64(0), 0x1111111111111111ull);
+    cache.wbinvd();
+    EXPECT_EQ(space.readU64(0), 0x1111111111111111ull);
+    EXPECT_EQ(space.readU64(8), 0x3333333333333333ull);
+}
+
+TEST_F(CacheFixture, WbinvdWritesBackEverything)
+{
+    CacheModel cache = makeCache();
+    Rng rng(4);
+    cache.fillDirty(0, 16 * kKiB, rng);
+    EXPECT_EQ(cache.dirtyBytes(), 16 * kKiB);
+    cache.wbinvd();
+    EXPECT_EQ(cache.dirtyBytes(), 0u);
+    // Data visible in NVRAM afterwards: compare via the cache (which
+    // now reads through).
+    Rng rng2(4);
+    CacheModel check = makeCache();
+    std::vector<uint8_t> expect(64);
+    std::vector<uint8_t> got(64);
+    for (uint64_t addr = 0; addr < 16 * kKiB; addr += 64) {
+        for (auto &byte : expect)
+            byte = static_cast<uint8_t>(rng2());
+        space.read(addr, got);
+        EXPECT_EQ(expect, got) << "line at " << addr;
+    }
+}
+
+TEST_F(CacheFixture, EvictionWritesBackLru)
+{
+    CacheModel cache = makeCache(2 * CacheModel::kLineSize);
+    cache.writeU64(0, 1);    // line 0
+    cache.writeU64(64, 2);   // line 1
+    cache.writeU64(128, 3);  // line 2 -> evicts line 0 (LRU)
+    EXPECT_EQ(cache.dirtyLines(), 2u);
+    EXPECT_EQ(space.readU64(0), 1u);  // written back
+    EXPECT_EQ(space.readU64(64), 0u); // still dirty
+}
+
+TEST_F(CacheFixture, RecencyRefreshOnRewrite)
+{
+    CacheModel cache = makeCache(2 * CacheModel::kLineSize);
+    cache.writeU64(0, 1);   // line 0
+    cache.writeU64(64, 2);  // line 1
+    cache.writeU64(0, 10);  // refresh line 0
+    cache.writeU64(128, 3); // evicts line 1 now
+    EXPECT_EQ(space.readU64(64), 2u);
+    EXPECT_EQ(space.readU64(0), 0u); // line 0 still cached
+    EXPECT_EQ(cache.readU64(0), 10u);
+}
+
+TEST_F(CacheFixture, WbinvdCostNearlyFlatInDirtyBytes)
+{
+    CacheModel cache = makeCache();
+    const Tick empty_cost = cache.wbinvdCost();
+    Rng rng(5);
+    cache.fillDirty(0, 64 * kKiB, rng);
+    const Tick full_cost = cache.wbinvdCost();
+    EXPECT_GT(full_cost, empty_cost);
+    // "Little dependence on the number of dirty cache lines" (Fig. 8):
+    // full vs empty differs by well under 10%.
+    EXPECT_LT(static_cast<double>(full_cost - empty_cost) /
+                  static_cast<double>(empty_cost),
+              0.10);
+}
+
+TEST_F(CacheFixture, ClflushCostScalesWithLines)
+{
+    CacheModel cache = makeCache();
+    EXPECT_EQ(cache.clflushLoopCost(100), 100 * CacheTiming{}.clflushPerLine);
+    EXPECT_LT(cache.clflushLoopCost(1), cache.clflushLoopCost(1000));
+}
+
+TEST_F(CacheFixture, DropDirtyLosesData)
+{
+    CacheModel cache = makeCache();
+    cache.writeU64(0, 99);
+    cache.dropDirty();
+    EXPECT_EQ(cache.dirtyBytes(), 0u);
+    EXPECT_EQ(cache.readU64(0), 0u); // NVRAM never saw the write
+}
+
+TEST_F(CacheFixture, FillDirtyBeyondCapacityDies)
+{
+    CacheModel cache = makeCache(2 * CacheModel::kLineSize);
+    Rng rng(6);
+    EXPECT_DEATH(cache.fillDirty(0, 4 * CacheModel::kLineSize, rng),
+                 "exceeds cache capacity");
+}
+
+// Platform presets --------------------------------------------------------
+
+TEST(Platforms, Table2WbinvdCalibration)
+{
+    // Table 2: worst-case (all dirty) flush times.
+    EventQueue queue;
+    NvdimmConfig dimm_config;
+    dimm_config.capacityBytes = 64 * kMiB;
+    NvdimmModule dimm(queue, "d", dimm_config);
+    NvramSpace space;
+    space.addModule(dimm);
+
+    {
+        PlatformSpec spec = platformIntelC5528();
+        CacheModel cache("c", spec.cachePerSocket, spec.cacheTiming, space);
+        // Dirty the whole per-socket cache.
+        Rng rng(7);
+        cache.fillDirty(0, spec.cachePerSocket, rng);
+        EXPECT_NEAR(toMillis(cache.wbinvdCost()), 2.8, 0.15);
+        // clflush over both sockets' lines, serial software loop.
+        const uint64_t total_lines = 2 * spec.cachePerSocket / 64;
+        EXPECT_NEAR(toMillis(cache.clflushLoopCost(total_lines)), 2.3, 0.2);
+        EXPECT_NEAR(toMillis(cache.theoreticalBestCost()), 0.79, 0.05);
+    }
+    {
+        PlatformSpec spec = platformAmd4180();
+        CacheModel cache("c", spec.cachePerSocket, spec.cacheTiming, space);
+        Rng rng(8);
+        cache.fillDirty(0, spec.cachePerSocket, rng);
+        EXPECT_NEAR(toMillis(cache.wbinvdCost()), 1.3, 0.1);
+        const uint64_t lines = spec.cachePerSocket / 64;
+        EXPECT_NEAR(toMillis(cache.clflushLoopCost(lines)), 1.6, 0.2);
+        EXPECT_NEAR(toMillis(cache.theoreticalBestCost()), 0.65, 0.05);
+    }
+}
+
+TEST(Platforms, AllFourPresetsSane)
+{
+    for (const PlatformSpec &spec : allPlatforms()) {
+        EXPECT_FALSE(spec.name.empty());
+        EXPECT_GE(spec.logicalCpus(), 2u);
+        EXPECT_GT(spec.cachePerSocket, 0u);
+        EXPECT_GT(spec.load.busyWatts, spec.load.idleWatts);
+        // Fig. 8: save time must land under 5 ms everywhere, which
+        // requires the wbinvd calibration to stay under ~4.5 ms.
+        EXPECT_LT(toMillis(spec.cacheTiming.wbinvdFixed), 4.5) << spec.name;
+    }
+}
+
+// MachineModel ------------------------------------------------------------
+
+struct MachineFixture : ::testing::Test
+{
+    MachineFixture()
+    {
+        NvdimmConfig config;
+        config.capacityBytes = 64 * kMiB;
+        dimm = std::make_unique<NvdimmModule>(queue, "d", config);
+        space.addModule(*dimm);
+        machine = std::make_unique<MachineModel>(
+            queue, platformIntelC5528(), space);
+    }
+
+    EventQueue queue;
+    std::unique_ptr<NvdimmModule> dimm;
+    NvramSpace space;
+    std::unique_ptr<MachineModel> machine;
+};
+
+TEST_F(MachineFixture, TopologyMatchesSpec)
+{
+    EXPECT_EQ(machine->coreCount(), 16u); // 2 sockets x 4 cores x 2 ht
+    EXPECT_EQ(machine->socketCount(), 2u);
+    EXPECT_EQ(machine->core(0).socket, 0u);
+    EXPECT_EQ(machine->core(15).socket, 1u);
+    EXPECT_EQ(machine->core(3).context.apicId, 3u);
+    EXPECT_EQ(machine->totalCacheBytes(), 16 * kMiB);
+}
+
+TEST_F(MachineFixture, CacheOfCoreMapsToSocket)
+{
+    EXPECT_EQ(&machine->cacheOfCore(0), &machine->socketCache(0));
+    EXPECT_EQ(&machine->cacheOfCore(15), &machine->socketCache(1));
+}
+
+TEST_F(MachineFixture, FillCachesDirtyDistributes)
+{
+    Rng rng(9);
+    machine->fillCachesDirty(32 * kKiB, rng);
+    EXPECT_EQ(machine->totalDirtyBytes(), 64 * kKiB);
+    EXPECT_EQ(machine->socketCache(0).dirtyBytes(), 32 * kKiB);
+    EXPECT_EQ(machine->socketCache(1).dirtyBytes(), 32 * kKiB);
+}
+
+TEST_F(MachineFixture, PowerLossScrubsRunningState)
+{
+    Rng rng(10);
+    machine->randomizeContexts(rng);
+    machine->fillCachesDirty(4 * kKiB, rng);
+    const CpuContext before = machine->core(1).context;
+
+    machine->onPowerLost();
+    EXPECT_FALSE(machine->powerOn());
+    EXPECT_TRUE(machine->allHalted());
+    EXPECT_NE(machine->core(1).context, before); // registers gone
+    EXPECT_EQ(machine->totalDirtyBytes(), 0u);   // dirty lines dropped
+}
+
+TEST_F(MachineFixture, HaltedCoreKeepsContextAcrossPowerLoss)
+{
+    Rng rng(11);
+    machine->randomizeContexts(rng);
+    const CpuContext ctx = machine->core(2).context;
+    machine->core(2).halted = true;
+    machine->onPowerLost();
+    // A halted core's context was already saved elsewhere; the model
+    // keeps it to represent "no longer running" (the resume block is
+    // authoritative). Un-halted cores lose theirs.
+    EXPECT_EQ(machine->core(2).context, ctx);
+}
+
+TEST_F(MachineFixture, ResetForBootClearsHalt)
+{
+    machine->onPowerLost();
+    machine->resetForBoot();
+    EXPECT_TRUE(machine->powerOn());
+    EXPECT_FALSE(machine->allHalted());
+    EXPECT_FALSE(machine->core(0).halted);
+}
+
+TEST_F(MachineFixture, InterruptsDeliverAfterLatency)
+{
+    Tick delivered = 0;
+    unsigned who = 99;
+    machine->interrupts().sendIpi(3, [&](unsigned cpu) {
+        delivered = queue.now();
+        who = cpu;
+    });
+    queue.run();
+    EXPECT_EQ(delivered, machine->spec().ipiLatency);
+    EXPECT_EQ(who, 3u);
+    EXPECT_EQ(machine->interrupts().ipisSent(), 1u);
+}
+
+} // namespace
+} // namespace wsp

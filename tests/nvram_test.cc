@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Unit tests for the NVRAM substrate: sparse memory, NVDIMM modules,
+ * controller, address space.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "nvram/controller.h"
+#include "nvram/nvdimm.h"
+#include "nvram/nvram_space.h"
+#include "nvram/sparse_memory.h"
+
+namespace wsp {
+namespace {
+
+// SparseMemory ---------------------------------------------------------
+
+TEST(SparseMemory, ReadsZeroWhenUntouched)
+{
+    SparseMemory mem(1 * kMiB);
+    uint8_t buf[16] = {0xff};
+    mem.read(1000, buf);
+    for (uint8_t b : buf)
+        EXPECT_EQ(b, 0);
+    EXPECT_EQ(mem.allocatedPages(), 0u);
+}
+
+TEST(SparseMemory, WriteReadRoundTrip)
+{
+    SparseMemory mem(1 * kMiB);
+    const uint8_t data[] = {1, 2, 3, 4, 5};
+    mem.write(12345, data);
+    uint8_t out[5] = {};
+    mem.read(12345, out);
+    EXPECT_EQ(std::memcmp(data, out, 5), 0);
+}
+
+TEST(SparseMemory, CrossPageAccess)
+{
+    SparseMemory mem(1 * kMiB);
+    std::vector<uint8_t> data(SparseMemory::kPageSize + 100, 0xab);
+    const uint64_t addr = SparseMemory::kPageSize - 50;
+    mem.write(addr, data);
+    EXPECT_EQ(mem.allocatedPages(), 3u);
+    std::vector<uint8_t> out(data.size());
+    mem.read(addr, out);
+    EXPECT_EQ(data, out);
+}
+
+TEST(SparseMemory, U64RoundTrip)
+{
+    SparseMemory mem(64 * kKiB);
+    mem.writeU64(8, 0x0123456789abcdefull);
+    EXPECT_EQ(mem.readU64(8), 0x0123456789abcdefull);
+    // Little-endian layout.
+    uint8_t b = 0;
+    mem.read(8, {&b, 1});
+    EXPECT_EQ(b, 0xef);
+}
+
+TEST(SparseMemory, PoisonReadsPoisonByte)
+{
+    SparseMemory mem(64 * kKiB);
+    mem.writeU64(0, 42);
+    mem.poison();
+    EXPECT_TRUE(mem.poisoned());
+    uint8_t b = 0;
+    mem.read(0, {&b, 1});
+    EXPECT_EQ(b, SparseMemory::kPoisonByte);
+}
+
+TEST(SparseMemory, WriteAfterPoisonIsTrustworthy)
+{
+    SparseMemory mem(64 * kKiB);
+    mem.poison();
+    mem.writeU64(100, 7);
+    EXPECT_EQ(mem.readU64(100), 7u);
+    // Adjacent unwritten bytes in the same page stay poisoned.
+    uint8_t b = 0;
+    mem.read(200, {&b, 1});
+    EXPECT_EQ(b, SparseMemory::kPoisonByte);
+}
+
+TEST(SparseMemory, ClearResetsPoison)
+{
+    SparseMemory mem(64 * kKiB);
+    mem.poison();
+    mem.clear();
+    EXPECT_FALSE(mem.poisoned());
+    uint8_t b = 0xff;
+    mem.read(0, {&b, 1});
+    EXPECT_EQ(b, 0);
+}
+
+TEST(SparseMemory, SnapshotIsDeepCopy)
+{
+    SparseMemory mem(64 * kKiB);
+    mem.writeU64(0, 1);
+    SparseMemory snap = mem.snapshot();
+    mem.writeU64(0, 2);
+    EXPECT_EQ(snap.readU64(0), 1u);
+    EXPECT_EQ(mem.readU64(0), 2u);
+}
+
+TEST(SparseMemory, RestoreFromImage)
+{
+    SparseMemory mem(64 * kKiB);
+    mem.writeU64(0, 1);
+    SparseMemory snap = mem.snapshot();
+    mem.writeU64(0, 99);
+    mem.restoreFrom(snap);
+    EXPECT_EQ(mem.readU64(0), 1u);
+}
+
+TEST(SparseMemory, ContentEquals)
+{
+    SparseMemory a(64 * kKiB);
+    SparseMemory b(64 * kKiB);
+    EXPECT_TRUE(a.contentEquals(b));
+    a.writeU64(8, 5);
+    EXPECT_FALSE(a.contentEquals(b));
+    b.writeU64(8, 5);
+    EXPECT_TRUE(a.contentEquals(b));
+    // Explicit zeros equal untouched pages.
+    a.writeU64(4096, 0);
+    EXPECT_TRUE(a.contentEquals(b));
+}
+
+TEST(SparseMemory, PoisonedVsZeroNotEqual)
+{
+    SparseMemory a(64 * kKiB);
+    SparseMemory b(64 * kKiB);
+    a.poison();
+    EXPECT_FALSE(a.contentEquals(b));
+}
+
+// NvdimmModule -----------------------------------------------------------
+
+NvdimmConfig
+smallDimm()
+{
+    NvdimmConfig config;
+    config.capacityBytes = 1 * kMiB;
+    config.flashChannels = 1;
+    return config;
+}
+
+TEST(Nvdimm, AutoChannelsScaleWithCapacity)
+{
+    EventQueue queue;
+    NvdimmConfig config;
+    config.capacityBytes = 4 * kGiB;
+    NvdimmModule dimm(queue, "d", config);
+    EXPECT_EQ(dimm.flashChannels(), 4u);
+    EXPECT_GT(dimm.savePowerWatts(), 0.0);
+}
+
+TEST(Nvdimm, SaveTimeUnderTenSecondsUpTo8GiB)
+{
+    // Paper section 2: save < 10 s for modules up to 8 GiB.
+    EventQueue queue;
+    for (uint64_t gib : {1, 2, 4, 8}) {
+        NvdimmConfig config;
+        config.capacityBytes = gib * kGiB;
+        NvdimmModule dimm(queue, "d" + std::to_string(gib), config);
+        EXPECT_LT(toSeconds(dimm.saveDuration()), 10.0) << gib << " GiB";
+    }
+}
+
+TEST(Nvdimm, UltracapSuppliesAtLeastTwiceSaveTime)
+{
+    // Paper Fig. 2: the bank can power the module for at least twice
+    // the save time.
+    EventQueue queue;
+    NvdimmModule dimm(queue, "d", NvdimmConfig{});
+    const Tick supply = dimm.ultracap().supplyTime(dimm.savePowerWatts());
+    EXPECT_GE(supply, 2 * dimm.saveDuration());
+}
+
+TEST(Nvdimm, HostAccessOnlyWhenActive)
+{
+    EventQueue queue;
+    NvdimmModule dimm(queue, "d", smallDimm());
+    const uint8_t data[] = {9};
+    dimm.hostWrite(0, data);
+    uint8_t out = 0;
+    dimm.hostRead(0, {&out, 1});
+    EXPECT_EQ(out, 9);
+    dimm.enterSelfRefresh();
+    EXPECT_DEATH(dimm.hostWrite(0, data), "host write");
+}
+
+TEST(Nvdimm, SaveRestoreRoundTrip)
+{
+    EventQueue queue;
+    NvdimmModule dimm(queue, "d", smallDimm());
+    const uint8_t data[] = {1, 2, 3};
+    dimm.hostWrite(100, data);
+
+    dimm.enterSelfRefresh();
+    dimm.startSave();
+    EXPECT_EQ(dimm.state(), NvdimmState::Saving);
+    queue.run();
+    EXPECT_EQ(dimm.state(), NvdimmState::SelfRefresh);
+    EXPECT_TRUE(dimm.flashValid());
+    EXPECT_EQ(dimm.savesCompleted(), 1u);
+
+    // Clobber DRAM, restore from flash.
+    dimm.exitSelfRefresh();
+    const uint8_t junk[] = {7, 7, 7};
+    dimm.hostWrite(100, junk);
+    dimm.enterSelfRefresh();
+    dimm.startRestore();
+    queue.run();
+    dimm.exitSelfRefresh();
+
+    uint8_t out[3] = {};
+    dimm.hostRead(100, out);
+    EXPECT_EQ(std::memcmp(out, data, 3), 0);
+}
+
+TEST(Nvdimm, PowerLossWhileActiveUnarmedLosesContent)
+{
+    EventQueue queue;
+    NvdimmModule dimm(queue, "d", smallDimm());
+    const uint8_t data[] = {5};
+    dimm.hostWrite(0, data);
+    dimm.hostPowerLost();
+    queue.run();
+    EXPECT_FALSE(dimm.flashValid());
+    uint8_t out = 0;
+    dimm.hostRead(0, {&out, 1});
+    EXPECT_EQ(out, SparseMemory::kPoisonByte);
+}
+
+TEST(Nvdimm, PowerLossWhileArmedTriggersAutoSave)
+{
+    EventQueue queue;
+    NvdimmModule dimm(queue, "d", smallDimm());
+    const uint8_t data[] = {5};
+    dimm.hostWrite(0, data);
+    dimm.arm();
+    dimm.hostPowerLost();
+    EXPECT_EQ(dimm.state(), NvdimmState::Saving);
+    queue.run();
+    EXPECT_TRUE(dimm.flashValid());
+    EXPECT_EQ(dimm.savesCompleted(), 1u);
+}
+
+TEST(Nvdimm, PowerLossDuringSaveDoesNotAbortIt)
+{
+    EventQueue queue;
+    NvdimmModule dimm(queue, "d", smallDimm());
+    const uint8_t data[] = {5};
+    dimm.hostWrite(0, data);
+    dimm.enterSelfRefresh();
+    dimm.startSave();
+    dimm.hostPowerLost(); // save continues on ultracap power
+    queue.run();
+    EXPECT_TRUE(dimm.flashValid());
+}
+
+TEST(Nvdimm, ExhaustedUltracapFailsSaveCleanly)
+{
+    EventQueue queue;
+    NvdimmConfig config;
+    config.capacityBytes = 8 * kGiB;
+    config.flashChannels = 1; // ~64 s save on one channel
+    config.savePowerWatts = 10.0;
+    config.ultracap.ratedCapacitanceF = 1.0; // far too small
+    NvdimmModule dimm(queue, "d", config);
+    const uint8_t data[] = {5};
+    dimm.hostWrite(0, data);
+    dimm.enterSelfRefresh();
+    dimm.startSave();
+    queue.run();
+    EXPECT_EQ(dimm.state(), NvdimmState::SaveFailed);
+    EXPECT_FALSE(dimm.flashValid());
+    EXPECT_EQ(dimm.savesCompleted(), 0u);
+}
+
+TEST(Nvdimm, RestoreRequiresValidFlash)
+{
+    EventQueue queue;
+    NvdimmModule dimm(queue, "d", smallDimm());
+    dimm.enterSelfRefresh();
+    EXPECT_DEATH(dimm.startRestore(), "without a valid flash image");
+}
+
+TEST(Nvdimm, PowerRestoredRechargesBank)
+{
+    EventQueue queue;
+    NvdimmModule dimm(queue, "d", smallDimm());
+    dimm.arm();
+    dimm.hostPowerLost();
+    queue.run();
+    const double low = dimm.ultracap().voltage();
+    EXPECT_LT(low, dimm.ultracap().config().maxVoltage);
+    dimm.hostPowerRestored();
+    EXPECT_DOUBLE_EQ(dimm.ultracap().voltage(),
+                     dimm.ultracap().config().maxVoltage);
+}
+
+// NvdimmController -------------------------------------------------------
+
+TEST(NvdimmController, SaveAllRunsInParallel)
+{
+    EventQueue queue;
+    NvdimmController controller(queue);
+    std::vector<std::unique_ptr<NvdimmModule>> dimms;
+    for (int i = 0; i < 4; ++i) {
+        dimms.push_back(std::make_unique<NvdimmModule>(
+            queue, "d" + std::to_string(i), smallDimm()));
+        controller.attach(*dimms.back());
+    }
+    controller.saveAll();
+    const Tick finished = queue.run();
+    // Parallel: total time is one module's save, not four.
+    EXPECT_NEAR(toSeconds(finished),
+                toSeconds(dimms[0]->saveDuration()), 0.1);
+    EXPECT_TRUE(controller.allFlashValid());
+    EXPECT_TRUE(controller.allIdle());
+    EXPECT_FALSE(controller.anySaveFailed());
+}
+
+TEST(NvdimmController, RestoreAllBarrierFiresOnce)
+{
+    EventQueue queue;
+    NvdimmController controller(queue);
+    NvdimmModule dimm(queue, "d", smallDimm());
+    controller.attach(dimm);
+    controller.saveAll();
+    queue.run();
+
+    int done_count = 0;
+    controller.restoreAll([&] { ++done_count; });
+    queue.run();
+    EXPECT_EQ(done_count, 1);
+    EXPECT_EQ(dimm.state(), NvdimmState::Active);
+    EXPECT_EQ(dimm.restoresCompleted(), 1u);
+}
+
+TEST(NvdimmController, ArmDisarmFanOut)
+{
+    EventQueue queue;
+    NvdimmController controller(queue);
+    NvdimmModule a(queue, "a", smallDimm());
+    NvdimmModule b(queue, "b", smallDimm());
+    controller.attach(a);
+    controller.attach(b);
+    controller.armAll();
+    EXPECT_TRUE(a.armed());
+    EXPECT_TRUE(b.armed());
+    controller.disarmAll();
+    EXPECT_FALSE(a.armed());
+    EXPECT_FALSE(b.armed());
+}
+
+TEST(NvdimmController, CommandSinkMapsCommands)
+{
+    EventQueue queue;
+    NvdimmController controller(queue);
+    NvdimmModule dimm(queue, "d", smallDimm());
+    controller.attach(dimm);
+    auto sink = controller.commandSink();
+    sink(PowerMonitor::Command::Arm);
+    EXPECT_TRUE(dimm.armed());
+    sink(PowerMonitor::Command::Save);
+    EXPECT_EQ(dimm.state(), NvdimmState::Saving);
+    queue.run();
+    EXPECT_TRUE(dimm.flashValid());
+}
+
+// NvramSpace ---------------------------------------------------------------
+
+TEST(NvramSpace, ConcatenatesModules)
+{
+    EventQueue queue;
+    NvdimmModule a(queue, "a", smallDimm());
+    NvdimmModule b(queue, "b", smallDimm());
+    NvramSpace space;
+    space.addModule(a);
+    space.addModule(b);
+    EXPECT_EQ(space.capacity(), 2 * kMiB);
+    EXPECT_EQ(space.moduleBase(0), 0u);
+    EXPECT_EQ(space.moduleBase(1), 1 * kMiB);
+}
+
+TEST(NvramSpace, CrossModuleAccess)
+{
+    EventQueue queue;
+    NvdimmModule a(queue, "a", smallDimm());
+    NvdimmModule b(queue, "b", smallDimm());
+    NvramSpace space;
+    space.addModule(a);
+    space.addModule(b);
+
+    std::vector<uint8_t> data(100, 0x3c);
+    const uint64_t addr = 1 * kMiB - 50;
+    space.write(addr, data);
+    std::vector<uint8_t> out(100);
+    space.read(addr, out);
+    EXPECT_EQ(data, out);
+
+    // The split really landed in both modules.
+    uint8_t b0 = 0;
+    b.hostRead(0, {&b0, 1});
+    EXPECT_EQ(b0, 0x3c);
+}
+
+TEST(NvramSpace, U64RoundTrip)
+{
+    EventQueue queue;
+    NvdimmModule a(queue, "a", smallDimm());
+    NvramSpace space;
+    space.addModule(a);
+    space.writeU64(128, 0xfeedfacecafebeefull);
+    EXPECT_EQ(space.readU64(128), 0xfeedfacecafebeefull);
+}
+
+TEST(NvramSpace, OutOfRangeDies)
+{
+    EventQueue queue;
+    NvdimmModule a(queue, "a", smallDimm());
+    NvramSpace space;
+    space.addModule(a);
+    uint8_t b = 0;
+    EXPECT_DEATH(space.read(2 * kMiB, {&b, 1}), "beyond NVRAM capacity");
+}
+
+} // namespace
+} // namespace wsp

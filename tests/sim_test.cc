@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Unit tests for the discrete-event engine and signals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/signal.h"
+#include "sim/sim_object.h"
+
+namespace wsp {
+namespace {
+
+TEST(EventQueue, StartsAtZero)
+{
+    EventQueue queue;
+    EXPECT_EQ(queue.now(), 0u);
+    EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(30, [&] { order.push_back(3); });
+    queue.schedule(10, [&] { order.push_back(1); });
+    queue.schedule(20, [&] { order.push_back(2); });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(queue.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifo)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        queue.schedule(10, [&order, i] { order.push_back(i); });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative)
+{
+    EventQueue queue;
+    Tick fired_at = 0;
+    queue.schedule(100, [&] {
+        queue.scheduleAfter(50, [&] { fired_at = queue.now(); });
+    });
+    queue.run();
+    EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(EventQueue, PastScheduleClampsToNow)
+{
+    EventQueue queue;
+    Tick fired_at = 1;
+    queue.schedule(100, [&] {
+        queue.schedule(10, [&] { fired_at = queue.now(); });
+    });
+    queue.run();
+    EXPECT_EQ(fired_at, 100u);
+}
+
+TEST(EventQueue, CancelPreventsDispatch)
+{
+    EventQueue queue;
+    bool fired = false;
+    const EventId id = queue.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(queue.cancel(id));
+    queue.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails)
+{
+    EventQueue queue;
+    const EventId id = queue.schedule(10, [] {});
+    EXPECT_TRUE(queue.cancel(id));
+    EXPECT_FALSE(queue.cancel(id));
+    queue.run();
+}
+
+TEST(EventQueue, CancelUnknownFails)
+{
+    EventQueue queue;
+    EXPECT_FALSE(queue.cancel(kEventNone));
+    EXPECT_FALSE(queue.cancel(12345));
+}
+
+TEST(EventQueue, RunUntilStopsAtTarget)
+{
+    EventQueue queue;
+    std::vector<Tick> fired;
+    queue.schedule(10, [&] { fired.push_back(10); });
+    queue.schedule(20, [&] { fired.push_back(20); });
+    queue.schedule(30, [&] { fired.push_back(30); });
+    queue.runUntil(20);
+    EXPECT_EQ(fired, (std::vector<Tick>{10, 20}));
+    EXPECT_EQ(queue.now(), 20u);
+    EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWithoutEvents)
+{
+    EventQueue queue;
+    queue.runUntil(500);
+    EXPECT_EQ(queue.now(), 500u);
+}
+
+TEST(EventQueue, RunUntilSkipsCancelledWithoutOverrunning)
+{
+    EventQueue queue;
+    bool late_fired = false;
+    const EventId id = queue.schedule(10, [] {});
+    queue.schedule(100, [&] { late_fired = true; });
+    queue.cancel(id);
+    queue.runUntil(50);
+    EXPECT_FALSE(late_fired);
+    EXPECT_EQ(queue.now(), 50u);
+}
+
+TEST(EventQueue, StepFiresExactlyOne)
+{
+    EventQueue queue;
+    int count = 0;
+    queue.schedule(1, [&] { ++count; });
+    queue.schedule(2, [&] { ++count; });
+    EXPECT_TRUE(queue.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(queue.step());
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(queue.step());
+}
+
+TEST(EventQueue, StopRequestHaltsRun)
+{
+    EventQueue queue;
+    int count = 0;
+    queue.schedule(1, [&] {
+        ++count;
+        queue.requestStop();
+    });
+    queue.schedule(2, [&] { ++count; });
+    queue.run();
+    EXPECT_EQ(count, 1);
+    queue.clearStop();
+    queue.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, PendingTracksCancellations)
+{
+    EventQueue queue;
+    const EventId a = queue.schedule(1, [] {});
+    queue.schedule(2, [] {});
+    EXPECT_EQ(queue.pending(), 2u);
+    queue.cancel(a);
+    EXPECT_EQ(queue.pending(), 1u);
+    queue.run();
+    EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(EventQueue, EventsScheduledDuringRunAreDispatched)
+{
+    EventQueue queue;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 5)
+            queue.scheduleAfter(10, recurse);
+    };
+    queue.schedule(0, recurse);
+    queue.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(queue.now(), 40u);
+}
+
+// Signal --------------------------------------------------------------
+
+TEST(Signal, ObserverSeesOldAndNew)
+{
+    Signal<int> sig(1);
+    int seen_old = 0;
+    int seen_new = 0;
+    sig.observe([&](const int &o, const int &n) {
+        seen_old = o;
+        seen_new = n;
+    });
+    sig.set(5);
+    EXPECT_EQ(seen_old, 1);
+    EXPECT_EQ(seen_new, 5);
+}
+
+TEST(Signal, NoNotificationWithoutChange)
+{
+    Signal<int> sig(3);
+    int fires = 0;
+    sig.observe([&](const int &, const int &) { ++fires; });
+    sig.set(3);
+    EXPECT_EQ(fires, 0);
+    sig.set(4);
+    EXPECT_EQ(fires, 1);
+}
+
+TEST(Signal, ObserveEdgeFiltersLevel)
+{
+    Wire wire(true);
+    int falls = 0;
+    int rises = 0;
+    wire.observeEdge(false, [&] { ++falls; });
+    wire.observeEdge(true, [&] { ++rises; });
+    wire.set(false);
+    wire.set(true);
+    wire.set(false);
+    EXPECT_EQ(falls, 2);
+    EXPECT_EQ(rises, 1);
+}
+
+TEST(Signal, ObserverMaySubscribeMore)
+{
+    Signal<int> sig(0);
+    int second_fired = 0;
+    sig.observe([&](const int &, const int &) {
+        sig.observe([&](const int &, const int &) { ++second_fired; });
+    });
+    sig.set(1); // subscribing during notification must not fire it
+    EXPECT_EQ(second_fired, 0);
+    sig.set(2);
+    EXPECT_GE(second_fired, 1);
+}
+
+// SimObject -----------------------------------------------------------
+
+TEST(SimObject, NameAndClock)
+{
+    EventQueue queue;
+    SimObject obj(queue, "thing");
+    EXPECT_EQ(obj.name(), "thing");
+    queue.schedule(25, [] {});
+    queue.run();
+    EXPECT_EQ(obj.now(), 25u);
+}
+
+} // namespace
+} // namespace wsp

@@ -1,0 +1,435 @@
+/**
+ * @file
+ * Unit tests for the util module: rng, stats, units, table, checksum.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/checksum.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace wsp {
+namespace {
+
+// Rng ----------------------------------------------------------------
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a() == b()) ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(7);
+    const uint64_t first = a();
+    a();
+    a.reseed(7);
+    EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, NextRespectsBound)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.next(17), 17u);
+}
+
+TEST(Rng, NextCoversAllResidues)
+{
+    Rng rng(5);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.next(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    Rng rng(11);
+    bool hit_lo = false;
+    bool hit_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        hit_lo |= v == -3;
+        hit_hi |= v == 3;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, RangeSingleValue)
+{
+    Rng rng(13);
+    EXPECT_EQ(rng.range(5, 5), 5);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(17);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(19);
+    RunningStat stat;
+    for (int i = 0; i < 100000; ++i)
+        stat.add(rng.uniform());
+    EXPECT_NEAR(stat.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(23);
+    RunningStat stat;
+    for (int i = 0; i < 100000; ++i)
+        stat.add(rng.gaussian(10.0, 2.0));
+    EXPECT_NEAR(stat.mean(), 10.0, 0.05);
+    EXPECT_NEAR(stat.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(29);
+    RunningStat stat;
+    for (int i = 0; i < 100000; ++i)
+        stat.add(rng.exponential(5.0));
+    EXPECT_NEAR(stat.mean(), 5.0, 0.2);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(31);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ForkIndependentStreams)
+{
+    Rng parent(37);
+    Rng a = parent.fork(0);
+    Rng b = parent.fork(1);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a() == b()) ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+// RunningStat ---------------------------------------------------------
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat stat;
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_EQ(stat.mean(), 0.0);
+    EXPECT_EQ(stat.stddev(), 0.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat stat;
+    stat.add(4.5);
+    EXPECT_EQ(stat.count(), 1u);
+    EXPECT_EQ(stat.mean(), 4.5);
+    EXPECT_EQ(stat.min(), 4.5);
+    EXPECT_EQ(stat.max(), 4.5);
+    EXPECT_EQ(stat.stddev(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments)
+{
+    RunningStat stat;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stat.add(v);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    // Sample variance with n-1 = 32/7.
+    EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(stat.min(), 2.0);
+    EXPECT_EQ(stat.max(), 9.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined)
+{
+    Rng rng(41);
+    RunningStat all;
+    RunningStat left;
+    RunningStat right;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.gaussian(3.0, 1.5);
+        all.add(v);
+        (i % 2 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+    EXPECT_EQ(left.min(), all.min());
+    EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a;
+    a.add(1.0);
+    RunningStat b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_EQ(b.mean(), 1.0);
+}
+
+TEST(RunningStat, ResetClears)
+{
+    RunningStat stat;
+    stat.add(5.0);
+    stat.reset();
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_EQ(stat.sum(), 0.0);
+}
+
+// Histogram -----------------------------------------------------------
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram hist(0.0, 10.0, 10);
+    hist.add(-1.0);
+    hist.add(0.0);
+    hist.add(5.5);
+    hist.add(9.999);
+    hist.add(10.0);
+    hist.add(25.0);
+    EXPECT_EQ(hist.underflow(), 1u);
+    EXPECT_EQ(hist.overflow(), 2u);
+    EXPECT_EQ(hist.bucketCount(0), 1u);
+    EXPECT_EQ(hist.bucketCount(5), 1u);
+    EXPECT_EQ(hist.bucketCount(9), 1u);
+    EXPECT_EQ(hist.total(), 6u);
+}
+
+TEST(Histogram, QuantileMedian)
+{
+    Histogram hist(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        hist.add(static_cast<double>(i));
+    EXPECT_NEAR(hist.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(hist.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(Histogram, RenderHasOneLinePerBucket)
+{
+    Histogram hist(0.0, 4.0, 4);
+    hist.add(1.0);
+    const std::string out = hist.render();
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+// Series --------------------------------------------------------------
+
+TEST(Series, InterpolationAndClamping)
+{
+    Series s{"s", {}, {}};
+    s.add(0.0, 0.0);
+    s.add(1.0, 10.0);
+    s.add(2.0, 30.0);
+    EXPECT_DOUBLE_EQ(s.at(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(s.at(1.5), 20.0);
+    EXPECT_DOUBLE_EQ(s.at(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.at(5.0), 30.0);
+}
+
+TEST(Series, MinMax)
+{
+    Series s{"s", {}, {}};
+    s.add(0.0, 3.0);
+    s.add(1.0, -2.0);
+    s.add(2.0, 7.0);
+    EXPECT_EQ(s.maxY(), 7.0);
+    EXPECT_EQ(s.minY(), -2.0);
+}
+
+TEST(Series, CrossoverFound)
+{
+    Series a{"a", {}, {}};
+    Series b{"b", {}, {}};
+    for (int i = 0; i <= 4; ++i) {
+        a.add(i, static_cast<double>(i));        // 0,1,2,3,4
+        b.add(i, 2.0);                           // flat 2
+    }
+    double x = 0.0;
+    ASSERT_TRUE(findCrossover(a, b, &x));
+    EXPECT_NEAR(x, 2.0, 1e-9);
+}
+
+TEST(Series, CrossoverAbsent)
+{
+    Series a{"a", {}, {}};
+    Series b{"b", {}, {}};
+    for (int i = 0; i <= 4; ++i) {
+        a.add(i, 1.0);
+        b.add(i, 2.0);
+    }
+    double x = 0.0;
+    EXPECT_FALSE(findCrossover(a, b, &x));
+}
+
+// Units ---------------------------------------------------------------
+
+TEST(Units, RoundTripSeconds)
+{
+    EXPECT_EQ(fromSeconds(1.5), 1500000000ull);
+    EXPECT_DOUBLE_EQ(toSeconds(fromSeconds(2.25)), 2.25);
+    EXPECT_DOUBLE_EQ(toMillis(fromMillis(33.0)), 33.0);
+    EXPECT_DOUBLE_EQ(toMicros(fromMicros(250.0)), 250.0);
+}
+
+TEST(Units, FormatTimePicksUnit)
+{
+    EXPECT_EQ(formatTime(5), "5 ns");
+    EXPECT_EQ(formatTime(fromMicros(12.0)), "12.000 us");
+    EXPECT_EQ(formatTime(fromMillis(33.0)), "33.000 ms");
+    EXPECT_EQ(formatTime(fromSeconds(2.0)), "2.000 s");
+}
+
+TEST(Units, FormatBytesPicksUnit)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(8 * kMiB), "8.00 MiB");
+    EXPECT_EQ(formatBytes(3 * kGiB), "3.00 GiB");
+}
+
+// Table ---------------------------------------------------------------
+
+TEST(Table, RenderContainsHeaderAndRows)
+{
+    Table table("Table 1. Update throughput");
+    table.setHeader({"Configuration", "Updates/s"});
+    table.addRow({"Mnemosyne", "2160"});
+    table.addRow({"WSP", "5274"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("Configuration"), std::string::npos);
+    EXPECT_NE(out.find("Mnemosyne"), std::string::npos);
+    EXPECT_NE(out.find("5274"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip)
+{
+    Table table("t");
+    table.setHeader({"a", "b"});
+    table.addRow({"1", "2"});
+    EXPECT_EQ(table.renderCsv(), "a,b\n1,2\n");
+}
+
+// ShapeCheck ----------------------------------------------------------
+
+TEST(ShapeCheck, PassAndFail)
+{
+    ShapeCheck check("unit");
+    check.expectBetween("in range", 5.0, 1.0, 10.0);
+    EXPECT_TRUE(check.allPassed());
+    check.expectBetween("out of range", 50.0, 1.0, 10.0);
+    EXPECT_FALSE(check.allPassed());
+}
+
+TEST(ShapeCheck, RatioCheck)
+{
+    ShapeCheck check("unit");
+    check.expectRatio("2x", 10.0, 5.0, 1.5, 2.5);
+    EXPECT_TRUE(check.allPassed());
+    check.expectRatio("div by zero fails", 10.0, 0.0, 0.0, 100.0);
+    EXPECT_FALSE(check.allPassed());
+}
+
+TEST(ShapeCheck, GreaterAndTrue)
+{
+    ShapeCheck check("unit");
+    check.expectGreater("bigger", 2.0, 1.0);
+    check.expectTrue("holds", true);
+    EXPECT_TRUE(check.allPassed());
+}
+
+// AsciiChart ----------------------------------------------------------
+
+TEST(AsciiChart, RendersLegendPerSeries)
+{
+    AsciiChart chart("fig", "x", "y");
+    Series s1{"first", {}, {}};
+    s1.add(0, 1);
+    s1.add(1, 2);
+    Series s2{"second", {}, {}};
+    s2.add(0, 2);
+    s2.add(1, 1);
+    chart.addSeries(s1);
+    chart.addSeries(s2);
+    const std::string out = chart.render(40, 10);
+    EXPECT_NE(out.find("first"), std::string::npos);
+    EXPECT_NE(out.find("second"), std::string::npos);
+}
+
+TEST(AsciiChart, LogScaleRenders)
+{
+    AsciiChart chart("fig", "x", "y");
+    Series s{"s", {}, {}};
+    s.add(0, 0.1);
+    s.add(1, 1000.0);
+    chart.addSeries(s);
+    chart.setLogY(true);
+    EXPECT_NE(chart.render(40, 10).find("log scale"), std::string::npos);
+}
+
+// Checksum ------------------------------------------------------------
+
+TEST(Checksum, DeterministicAndSensitive)
+{
+    const uint8_t a[] = {1, 2, 3};
+    const uint8_t b[] = {1, 2, 4};
+    EXPECT_EQ(fnv1a(a), fnv1a(a));
+    EXPECT_NE(fnv1a(a), fnv1a(b));
+}
+
+TEST(Checksum, U64MatchesByteVersion)
+{
+    const uint64_t value = 0x0123456789abcdefull;
+    uint8_t bytes[8];
+    uint64_t v = value;
+    for (auto &byte : bytes) {
+        byte = static_cast<uint8_t>(v & 0xff);
+        v >>= 8;
+    }
+    EXPECT_EQ(fnv1aU64(value), fnv1a(bytes));
+}
+
+TEST(Checksum, SeedChaining)
+{
+    EXPECT_NE(fnv1aU64(1, fnv1aU64(2)), fnv1aU64(2, fnv1aU64(1)));
+}
+
+} // namespace
+} // namespace wsp
