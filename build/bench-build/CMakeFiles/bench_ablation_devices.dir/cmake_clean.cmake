@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_devices"
+  "../bench/ablation_devices.pdb"
+  "CMakeFiles/bench_ablation_devices.dir/ablation_devices.cc.o"
+  "CMakeFiles/bench_ablation_devices.dir/ablation_devices.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

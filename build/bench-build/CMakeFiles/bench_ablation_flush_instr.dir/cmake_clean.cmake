@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_flush_instr"
+  "../bench/ablation_flush_instr.pdb"
+  "CMakeFiles/bench_ablation_flush_instr.dir/ablation_flush_instr.cc.o"
+  "CMakeFiles/bench_ablation_flush_instr.dir/ablation_flush_instr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_flush_instr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

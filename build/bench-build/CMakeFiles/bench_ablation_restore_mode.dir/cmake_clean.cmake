@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_restore_mode"
+  "../bench/ablation_restore_mode.pdb"
+  "CMakeFiles/bench_ablation_restore_mode.dir/ablation_restore_mode.cc.o"
+  "CMakeFiles/bench_ablation_restore_mode.dir/ablation_restore_mode.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_restore_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_scm"
+  "../bench/ablation_scm.pdb"
+  "CMakeFiles/bench_ablation_scm.dir/ablation_scm.cc.o"
+  "CMakeFiles/bench_ablation_scm.dir/ablation_scm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_skew"
+  "../bench/ablation_skew.pdb"
+  "CMakeFiles/bench_ablation_skew.dir/ablation_skew.cc.o"
+  "CMakeFiles/bench_ablation_skew.dir/ablation_skew.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

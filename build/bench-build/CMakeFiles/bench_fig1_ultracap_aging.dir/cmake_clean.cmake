@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_ultracap_aging"
+  "../bench/fig1_ultracap_aging.pdb"
+  "CMakeFiles/bench_fig1_ultracap_aging.dir/fig1_ultracap_aging.cc.o"
+  "CMakeFiles/bench_fig1_ultracap_aging.dir/fig1_ultracap_aging.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_ultracap_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

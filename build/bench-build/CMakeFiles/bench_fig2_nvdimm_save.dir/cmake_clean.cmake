@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_nvdimm_save"
+  "../bench/fig2_nvdimm_save.pdb"
+  "CMakeFiles/bench_fig2_nvdimm_save.dir/fig2_nvdimm_save.cc.o"
+  "CMakeFiles/bench_fig2_nvdimm_save.dir/fig2_nvdimm_save.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_nvdimm_save.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_hashtable"
+  "../bench/fig5_hashtable.pdb"
+  "CMakeFiles/bench_fig5_hashtable.dir/fig5_hashtable.cc.o"
+  "CMakeFiles/bench_fig5_hashtable.dir/fig5_hashtable.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_hashtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_residual_trace"
+  "../bench/fig6_residual_trace.pdb"
+  "CMakeFiles/bench_fig6_residual_trace.dir/fig6_residual_trace.cc.o"
+  "CMakeFiles/bench_fig6_residual_trace.dir/fig6_residual_trace.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_residual_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

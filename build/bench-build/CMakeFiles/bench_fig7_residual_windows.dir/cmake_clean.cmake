@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_residual_windows"
+  "../bench/fig7_residual_windows.pdb"
+  "CMakeFiles/bench_fig7_residual_windows.dir/fig7_residual_windows.cc.o"
+  "CMakeFiles/bench_fig7_residual_windows.dir/fig7_residual_windows.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_residual_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_residual_windows.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_save_time"
+  "../bench/fig8_save_time.pdb"
+  "CMakeFiles/bench_fig8_save_time.dir/fig8_save_time.cc.o"
+  "CMakeFiles/bench_fig8_save_time.dir/fig8_save_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_save_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

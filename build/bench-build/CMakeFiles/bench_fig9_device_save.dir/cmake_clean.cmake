@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_device_save"
+  "../bench/fig9_device_save.pdb"
+  "CMakeFiles/bench_fig9_device_save.dir/fig9_device_save.cc.o"
+  "CMakeFiles/bench_fig9_device_save.dir/fig9_device_save.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_device_save.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

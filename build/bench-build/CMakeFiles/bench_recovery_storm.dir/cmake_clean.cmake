@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/recovery_storm"
+  "../bench/recovery_storm.pdb"
+  "CMakeFiles/bench_recovery_storm.dir/recovery_storm.cc.o"
+  "CMakeFiles/bench_recovery_storm.dir/recovery_storm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recovery_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_openldap"
+  "../bench/table1_openldap.pdb"
+  "CMakeFiles/bench_table1_openldap.dir/table1_openldap.cc.o"
+  "CMakeFiles/bench_table1_openldap.dir/table1_openldap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_openldap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

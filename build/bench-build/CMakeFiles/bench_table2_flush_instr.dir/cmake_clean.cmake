@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_flush_instr"
+  "../bench/table2_flush_instr.pdb"
+  "CMakeFiles/bench_table2_flush_instr.dir/table2_flush_instr.cc.o"
+  "CMakeFiles/bench_table2_flush_instr.dir/table2_flush_instr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_flush_instr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/microbench_primitives"
+  "../bench/microbench_primitives.pdb"
+  "CMakeFiles/microbench_primitives.dir/microbench_primitives.cc.o"
+  "CMakeFiles/microbench_primitives.dir/microbench_primitives.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

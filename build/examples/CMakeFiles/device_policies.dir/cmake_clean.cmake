@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_policies.dir/device_policies.cpp.o"
+  "CMakeFiles/device_policies.dir/device_policies.cpp.o.d"
+  "device_policies"
+  "device_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

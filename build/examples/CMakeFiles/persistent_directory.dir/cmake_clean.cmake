@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_directory.dir/persistent_directory.cpp.o"
+  "CMakeFiles/persistent_directory.dir/persistent_directory.cpp.o.d"
+  "persistent_directory"
+  "persistent_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

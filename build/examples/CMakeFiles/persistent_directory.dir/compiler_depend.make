@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for persistent_directory.
+# This may be replaced when dependencies are built.

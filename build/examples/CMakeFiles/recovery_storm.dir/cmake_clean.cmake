@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_storm.dir/recovery_storm.cpp.o"
+  "CMakeFiles/recovery_storm.dir/recovery_storm.cpp.o.d"
+  "recovery_storm"
+  "recovery_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

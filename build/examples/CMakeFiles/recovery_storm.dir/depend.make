@@ -1,0 +1,2 @@
+# Empty dependencies file for recovery_storm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiered_recovery.dir/tiered_recovery.cpp.o"
+  "CMakeFiles/tiered_recovery.dir/tiered_recovery.cpp.o.d"
+  "tiered_recovery"
+  "tiered_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiered_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

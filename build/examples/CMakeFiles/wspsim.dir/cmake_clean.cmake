@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wspsim.dir/wspsim.cpp.o"
+  "CMakeFiles/wspsim.dir/wspsim.cpp.o.d"
+  "wspsim"
+  "wspsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wspsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

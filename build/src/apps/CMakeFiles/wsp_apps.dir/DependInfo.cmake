@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/backend_store.cc" "src/apps/CMakeFiles/wsp_apps.dir/backend_store.cc.o" "gcc" "src/apps/CMakeFiles/wsp_apps.dir/backend_store.cc.o.d"
+  "/root/repo/src/apps/checkpoint.cc" "src/apps/CMakeFiles/wsp_apps.dir/checkpoint.cc.o" "gcc" "src/apps/CMakeFiles/wsp_apps.dir/checkpoint.cc.o.d"
+  "/root/repo/src/apps/cluster.cc" "src/apps/CMakeFiles/wsp_apps.dir/cluster.cc.o" "gcc" "src/apps/CMakeFiles/wsp_apps.dir/cluster.cc.o.d"
+  "/root/repo/src/apps/directory_server.cc" "src/apps/CMakeFiles/wsp_apps.dir/directory_server.cc.o" "gcc" "src/apps/CMakeFiles/wsp_apps.dir/directory_server.cc.o.d"
+  "/root/repo/src/apps/kv_store.cc" "src/apps/CMakeFiles/wsp_apps.dir/kv_store.cc.o" "gcc" "src/apps/CMakeFiles/wsp_apps.dir/kv_store.cc.o.d"
+  "/root/repo/src/apps/ldap_protocol.cc" "src/apps/CMakeFiles/wsp_apps.dir/ldap_protocol.cc.o" "gcc" "src/apps/CMakeFiles/wsp_apps.dir/ldap_protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/wsp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvram/CMakeFiles/wsp_nvram.dir/DependInfo.cmake"
+  "/root/repo/build/src/pheap/CMakeFiles/wsp_pheap.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wsp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/wsp_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wsp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_apps.dir/backend_store.cc.o"
+  "CMakeFiles/wsp_apps.dir/backend_store.cc.o.d"
+  "CMakeFiles/wsp_apps.dir/checkpoint.cc.o"
+  "CMakeFiles/wsp_apps.dir/checkpoint.cc.o.d"
+  "CMakeFiles/wsp_apps.dir/cluster.cc.o"
+  "CMakeFiles/wsp_apps.dir/cluster.cc.o.d"
+  "CMakeFiles/wsp_apps.dir/directory_server.cc.o"
+  "CMakeFiles/wsp_apps.dir/directory_server.cc.o.d"
+  "CMakeFiles/wsp_apps.dir/kv_store.cc.o"
+  "CMakeFiles/wsp_apps.dir/kv_store.cc.o.d"
+  "CMakeFiles/wsp_apps.dir/ldap_protocol.cc.o"
+  "CMakeFiles/wsp_apps.dir/ldap_protocol.cc.o.d"
+  "libwsp_apps.a"
+  "libwsp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

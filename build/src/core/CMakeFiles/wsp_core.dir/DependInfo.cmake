@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/restore_routine.cc" "src/core/CMakeFiles/wsp_core.dir/restore_routine.cc.o" "gcc" "src/core/CMakeFiles/wsp_core.dir/restore_routine.cc.o.d"
+  "/root/repo/src/core/resume_block.cc" "src/core/CMakeFiles/wsp_core.dir/resume_block.cc.o" "gcc" "src/core/CMakeFiles/wsp_core.dir/resume_block.cc.o.d"
+  "/root/repo/src/core/save_routine.cc" "src/core/CMakeFiles/wsp_core.dir/save_routine.cc.o" "gcc" "src/core/CMakeFiles/wsp_core.dir/save_routine.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/wsp_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/wsp_core.dir/system.cc.o.d"
+  "/root/repo/src/core/valid_marker.cc" "src/core/CMakeFiles/wsp_core.dir/valid_marker.cc.o" "gcc" "src/core/CMakeFiles/wsp_core.dir/valid_marker.cc.o.d"
+  "/root/repo/src/core/wsp_controller.cc" "src/core/CMakeFiles/wsp_core.dir/wsp_controller.cc.o" "gcc" "src/core/CMakeFiles/wsp_core.dir/wsp_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/devices/CMakeFiles/wsp_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/wsp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvram/CMakeFiles/wsp_nvram.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/wsp_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_core.dir/restore_routine.cc.o"
+  "CMakeFiles/wsp_core.dir/restore_routine.cc.o.d"
+  "CMakeFiles/wsp_core.dir/resume_block.cc.o"
+  "CMakeFiles/wsp_core.dir/resume_block.cc.o.d"
+  "CMakeFiles/wsp_core.dir/save_routine.cc.o"
+  "CMakeFiles/wsp_core.dir/save_routine.cc.o.d"
+  "CMakeFiles/wsp_core.dir/system.cc.o"
+  "CMakeFiles/wsp_core.dir/system.cc.o.d"
+  "CMakeFiles/wsp_core.dir/valid_marker.cc.o"
+  "CMakeFiles/wsp_core.dir/valid_marker.cc.o.d"
+  "CMakeFiles/wsp_core.dir/wsp_controller.cc.o"
+  "CMakeFiles/wsp_core.dir/wsp_controller.cc.o.d"
+  "libwsp_core.a"
+  "libwsp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/device.cc" "src/devices/CMakeFiles/wsp_devices.dir/device.cc.o" "gcc" "src/devices/CMakeFiles/wsp_devices.dir/device.cc.o.d"
+  "/root/repo/src/devices/device_manager.cc" "src/devices/CMakeFiles/wsp_devices.dir/device_manager.cc.o" "gcc" "src/devices/CMakeFiles/wsp_devices.dir/device_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_devices.dir/device.cc.o"
+  "CMakeFiles/wsp_devices.dir/device.cc.o.d"
+  "CMakeFiles/wsp_devices.dir/device_manager.cc.o"
+  "CMakeFiles/wsp_devices.dir/device_manager.cc.o.d"
+  "libwsp_devices.a"
+  "libwsp_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_machine.dir/cache.cc.o"
+  "CMakeFiles/wsp_machine.dir/cache.cc.o.d"
+  "CMakeFiles/wsp_machine.dir/cpu_context.cc.o"
+  "CMakeFiles/wsp_machine.dir/cpu_context.cc.o.d"
+  "CMakeFiles/wsp_machine.dir/machine.cc.o"
+  "CMakeFiles/wsp_machine.dir/machine.cc.o.d"
+  "libwsp_machine.a"
+  "libwsp_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvram/controller.cc" "src/nvram/CMakeFiles/wsp_nvram.dir/controller.cc.o" "gcc" "src/nvram/CMakeFiles/wsp_nvram.dir/controller.cc.o.d"
+  "/root/repo/src/nvram/nvdimm.cc" "src/nvram/CMakeFiles/wsp_nvram.dir/nvdimm.cc.o" "gcc" "src/nvram/CMakeFiles/wsp_nvram.dir/nvdimm.cc.o.d"
+  "/root/repo/src/nvram/nvram_space.cc" "src/nvram/CMakeFiles/wsp_nvram.dir/nvram_space.cc.o" "gcc" "src/nvram/CMakeFiles/wsp_nvram.dir/nvram_space.cc.o.d"
+  "/root/repo/src/nvram/sparse_memory.cc" "src/nvram/CMakeFiles/wsp_nvram.dir/sparse_memory.cc.o" "gcc" "src/nvram/CMakeFiles/wsp_nvram.dir/sparse_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/wsp_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_nvram.dir/controller.cc.o"
+  "CMakeFiles/wsp_nvram.dir/controller.cc.o.d"
+  "CMakeFiles/wsp_nvram.dir/nvdimm.cc.o"
+  "CMakeFiles/wsp_nvram.dir/nvdimm.cc.o.d"
+  "CMakeFiles/wsp_nvram.dir/nvram_space.cc.o"
+  "CMakeFiles/wsp_nvram.dir/nvram_space.cc.o.d"
+  "CMakeFiles/wsp_nvram.dir/sparse_memory.cc.o"
+  "CMakeFiles/wsp_nvram.dir/sparse_memory.cc.o.d"
+  "libwsp_nvram.a"
+  "libwsp_nvram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_nvram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pheap/flush.cc" "src/pheap/CMakeFiles/wsp_pheap.dir/flush.cc.o" "gcc" "src/pheap/CMakeFiles/wsp_pheap.dir/flush.cc.o.d"
+  "/root/repo/src/pheap/heap.cc" "src/pheap/CMakeFiles/wsp_pheap.dir/heap.cc.o" "gcc" "src/pheap/CMakeFiles/wsp_pheap.dir/heap.cc.o.d"
+  "/root/repo/src/pheap/redo_log.cc" "src/pheap/CMakeFiles/wsp_pheap.dir/redo_log.cc.o" "gcc" "src/pheap/CMakeFiles/wsp_pheap.dir/redo_log.cc.o.d"
+  "/root/repo/src/pheap/region.cc" "src/pheap/CMakeFiles/wsp_pheap.dir/region.cc.o" "gcc" "src/pheap/CMakeFiles/wsp_pheap.dir/region.cc.o.d"
+  "/root/repo/src/pheap/stm.cc" "src/pheap/CMakeFiles/wsp_pheap.dir/stm.cc.o" "gcc" "src/pheap/CMakeFiles/wsp_pheap.dir/stm.cc.o.d"
+  "/root/repo/src/pheap/tornbit_log.cc" "src/pheap/CMakeFiles/wsp_pheap.dir/tornbit_log.cc.o" "gcc" "src/pheap/CMakeFiles/wsp_pheap.dir/tornbit_log.cc.o.d"
+  "/root/repo/src/pheap/undo_log.cc" "src/pheap/CMakeFiles/wsp_pheap.dir/undo_log.cc.o" "gcc" "src/pheap/CMakeFiles/wsp_pheap.dir/undo_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_pheap.dir/flush.cc.o"
+  "CMakeFiles/wsp_pheap.dir/flush.cc.o.d"
+  "CMakeFiles/wsp_pheap.dir/heap.cc.o"
+  "CMakeFiles/wsp_pheap.dir/heap.cc.o.d"
+  "CMakeFiles/wsp_pheap.dir/redo_log.cc.o"
+  "CMakeFiles/wsp_pheap.dir/redo_log.cc.o.d"
+  "CMakeFiles/wsp_pheap.dir/region.cc.o"
+  "CMakeFiles/wsp_pheap.dir/region.cc.o.d"
+  "CMakeFiles/wsp_pheap.dir/stm.cc.o"
+  "CMakeFiles/wsp_pheap.dir/stm.cc.o.d"
+  "CMakeFiles/wsp_pheap.dir/tornbit_log.cc.o"
+  "CMakeFiles/wsp_pheap.dir/tornbit_log.cc.o.d"
+  "CMakeFiles/wsp_pheap.dir/undo_log.cc.o"
+  "CMakeFiles/wsp_pheap.dir/undo_log.cc.o.d"
+  "libwsp_pheap.a"
+  "libwsp_pheap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_pheap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

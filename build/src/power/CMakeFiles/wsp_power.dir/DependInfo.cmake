@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/load_model.cc" "src/power/CMakeFiles/wsp_power.dir/load_model.cc.o" "gcc" "src/power/CMakeFiles/wsp_power.dir/load_model.cc.o.d"
+  "/root/repo/src/power/power_monitor.cc" "src/power/CMakeFiles/wsp_power.dir/power_monitor.cc.o" "gcc" "src/power/CMakeFiles/wsp_power.dir/power_monitor.cc.o.d"
+  "/root/repo/src/power/psu.cc" "src/power/CMakeFiles/wsp_power.dir/psu.cc.o" "gcc" "src/power/CMakeFiles/wsp_power.dir/psu.cc.o.d"
+  "/root/repo/src/power/signal_tracer.cc" "src/power/CMakeFiles/wsp_power.dir/signal_tracer.cc.o" "gcc" "src/power/CMakeFiles/wsp_power.dir/signal_tracer.cc.o.d"
+  "/root/repo/src/power/ultracapacitor.cc" "src/power/CMakeFiles/wsp_power.dir/ultracapacitor.cc.o" "gcc" "src/power/CMakeFiles/wsp_power.dir/ultracapacitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

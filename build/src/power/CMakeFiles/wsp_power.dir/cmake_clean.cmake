@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_power.dir/load_model.cc.o"
+  "CMakeFiles/wsp_power.dir/load_model.cc.o.d"
+  "CMakeFiles/wsp_power.dir/power_monitor.cc.o"
+  "CMakeFiles/wsp_power.dir/power_monitor.cc.o.d"
+  "CMakeFiles/wsp_power.dir/psu.cc.o"
+  "CMakeFiles/wsp_power.dir/psu.cc.o.d"
+  "CMakeFiles/wsp_power.dir/signal_tracer.cc.o"
+  "CMakeFiles/wsp_power.dir/signal_tracer.cc.o.d"
+  "CMakeFiles/wsp_power.dir/ultracapacitor.cc.o"
+  "CMakeFiles/wsp_power.dir/ultracapacitor.cc.o.d"
+  "libwsp_power.a"
+  "libwsp_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_sim.dir/event_queue.cc.o"
+  "CMakeFiles/wsp_sim.dir/event_queue.cc.o.d"
+  "libwsp_sim.a"
+  "libwsp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsp_util.dir/logging.cc.o"
+  "CMakeFiles/wsp_util.dir/logging.cc.o.d"
+  "CMakeFiles/wsp_util.dir/stats.cc.o"
+  "CMakeFiles/wsp_util.dir/stats.cc.o.d"
+  "CMakeFiles/wsp_util.dir/table.cc.o"
+  "CMakeFiles/wsp_util.dir/table.cc.o.d"
+  "CMakeFiles/wsp_util.dir/units.cc.o"
+  "CMakeFiles/wsp_util.dir/units.cc.o.d"
+  "libwsp_util.a"
+  "libwsp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

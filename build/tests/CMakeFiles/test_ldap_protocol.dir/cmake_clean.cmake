@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ldap_protocol.dir/ldap_protocol_test.cc.o"
+  "CMakeFiles/test_ldap_protocol.dir/ldap_protocol_test.cc.o.d"
+  "test_ldap_protocol"
+  "test_ldap_protocol.pdb"
+  "test_ldap_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ldap_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_property.dir/machine_property_test.cc.o"
+  "CMakeFiles/test_machine_property.dir/machine_property_test.cc.o.d"
+  "test_machine_property"
+  "test_machine_property.pdb"
+  "test_machine_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvram.dir/nvram_test.cc.o"
+  "CMakeFiles/test_nvram.dir/nvram_test.cc.o.d"
+  "test_nvram"
+  "test_nvram.pdb"
+  "test_nvram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pheap.dir/pheap_test.cc.o"
+  "CMakeFiles/test_pheap.dir/pheap_test.cc.o.d"
+  "test_pheap"
+  "test_pheap.pdb"
+  "test_pheap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pheap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pheap_property_test.cc" "tests/CMakeFiles/test_pheap_property.dir/pheap_property_test.cc.o" "gcc" "tests/CMakeFiles/test_pheap_property.dir/pheap_property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/wsp_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/wsp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvram/CMakeFiles/wsp_nvram.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/wsp_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wsp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/wsp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/pheap/CMakeFiles/wsp_pheap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

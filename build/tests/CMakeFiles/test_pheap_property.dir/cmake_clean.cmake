@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pheap_property.dir/pheap_property_test.cc.o"
+  "CMakeFiles/test_pheap_property.dir/pheap_property_test.cc.o.d"
+  "test_pheap_property"
+  "test_pheap_property.pdb"
+  "test_pheap_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pheap_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wsp_property.dir/wsp_property_test.cc.o"
+  "CMakeFiles/test_wsp_property.dir/wsp_property_test.cc.o.d"
+  "test_wsp_property"
+  "test_wsp_property.pdb"
+  "test_wsp_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wsp_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
