@@ -59,8 +59,9 @@ run(DevicePolicy policy, bool intel, bool busy)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init("ablation_devices", argc, argv);
     Table table("Device recovery strategies across testbeds");
     table.setHeader({"testbed", "load", "policy", "save path",
                      "restore (s)", "recovered", "replayed",

@@ -56,8 +56,9 @@ trackedClflushMs(const PlatformSpec &spec, uint64_t dirty_per_socket)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init("ablation_flush_instr", argc, argv);
     ShapeCheck check("ablation: save-path flush mechanism");
 
     for (const PlatformSpec &spec :

@@ -63,8 +63,9 @@ run(RestoreMode mode)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init("ablation_restore_mode", argc, argv);
     const Outcome whole = run(RestoreMode::WholeSystem);
     const Outcome process = run(RestoreMode::ProcessOnly);
 

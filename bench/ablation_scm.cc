@@ -79,8 +79,9 @@ project(const Measurement &m, double factor, double dram_flush_us,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init("ablation_scm", argc, argv);
     const uint64_t operations = bench::fullRuns() ? 400000 : 100000;
     // Approximate DRAM costs of the durability primitives.
     constexpr double kFlushUs = 0.08;   // one clflush(opt) round trip

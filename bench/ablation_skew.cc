@@ -68,8 +68,9 @@ measure(bool durable, KeyDistribution distribution, uint64_t operations)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init("ablation_skew", argc, argv);
     const uint64_t operations = bench::fullRuns() ? 500000 : 150000;
 
     Table table("Key-distribution ablation at p(update)=0.5 "

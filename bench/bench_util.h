@@ -7,6 +7,22 @@
  * measured shape drifts from the paper's. Set WSP_BENCH_FULL=1 to run
  * the paper-sized workloads (the default sizes are trimmed so the
  * whole bench suite finishes quickly).
+ *
+ * Observability: call init("<bench>", argc, argv) first. It applies
+ * WSP_LOG_LEVEL and WSP_TRACE from the environment and parses the
+ * standard flags:
+ *
+ *   --trace-out=<file>    write a Chrome trace-event JSON (Perfetto)
+ *                         at exit; implies WSP_TRACE=all if no
+ *                         category was enabled explicitly
+ *   --metrics-out=<file>  write the flat metrics snapshot (JSON, or
+ *                         CSV when the path ends in .csv) at exit,
+ *                         and append one BENCH_<name>.json record
+ *                         (bench id, host, wall time, counters) next
+ *                         to it for the perf trajectory
+ *
+ * finish(check) writes the requested files before returning the exit
+ * code, so benches need no extra code beyond init()/finish().
  */
 
 #pragma once
@@ -14,7 +30,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
+#include "trace/export.h"
+#include "trace/trace.h"
+#include "util/logging.h"
 #include "util/table.h"
 #include "util/units.h"
 
@@ -49,10 +70,97 @@ class Stopwatch
     double start_;
 };
 
-/** Standard bench epilogue: summarize and exit code. */
+namespace detail {
+
+/** Per-process bench state filled in by init(). */
+struct BenchState
+{
+    std::string name = "bench";
+    std::string traceOut;
+    std::string metricsOut;
+    double startedAt = 0.0;
+};
+
+inline BenchState &
+state()
+{
+    static BenchState instance;
+    return instance;
+}
+
+} // namespace detail
+
+/**
+ * Standard bench prologue: apply WSP_LOG_LEVEL / WSP_TRACE and parse
+ * the --trace-out= / --metrics-out= flags. Unknown flags warn and are
+ * ignored so figure-specific options can be added later.
+ */
+inline void
+init(const char *name, int argc, char **argv)
+{
+    auto &bench = detail::state();
+    bench.name = name;
+    bench.startedAt = nowSeconds();
+
+    configureLogLevelFromEnv();
+    trace::TraceManager::instance().configureFromEnv();
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+            bench.traceOut = arg + 12;
+        } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+            bench.metricsOut = arg + 14;
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            std::printf("usage: %s [--trace-out=FILE] "
+                        "[--metrics-out=FILE]\n"
+                        "env: WSP_TRACE=<cat,...|all>  "
+                        "WSP_LOG_LEVEL=<quiet|normal|debug>  "
+                        "WSP_BENCH_FULL=1\n",
+                        name);
+            std::exit(0);
+        } else {
+            warn("%s: ignoring unknown argument '%s'", name, arg);
+        }
+    }
+
+    // Asking for a trace file is asking for tracing: if no category
+    // was enabled via WSP_TRACE (or the build default), enable all.
+    if (!bench.traceOut.empty() && !trace::anyEnabled())
+        trace::TraceManager::instance().enableAll();
+}
+
+/** Write the files requested via init() flags (idempotent). */
+inline void
+writeOutputs()
+{
+    auto &bench = detail::state();
+    if (!bench.traceOut.empty()) {
+        if (trace::writeChromeTrace(bench.traceOut))
+            inform("%s: wrote trace to %s", bench.name.c_str(),
+                   bench.traceOut.c_str());
+    }
+    if (!bench.metricsOut.empty()) {
+        if (trace::writeMetrics(bench.metricsOut))
+            inform("%s: wrote metrics to %s", bench.name.c_str(),
+                   bench.metricsOut.c_str());
+        // Perf-trajectory record: BENCH_<name>.json next to the
+        // metrics file, one JSON object appended per run.
+        std::string record = bench.metricsOut;
+        const size_t slash = record.find_last_of('/');
+        record.erase(slash == std::string::npos ? 0 : slash + 1);
+        record += "BENCH_" + bench.name + ".json";
+        trace::appendBenchRecord(record, bench.name,
+                                 nowSeconds() - bench.startedAt);
+    }
+}
+
+/** Standard bench epilogue: emit outputs, summarize, and exit code. */
 inline int
 finish(const ShapeCheck &check)
 {
+    writeOutputs();
     return check.summarize() ? 0 : 1;
 }
 

@@ -16,8 +16,9 @@
 using namespace wsp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init("fig1_ultracap_aging", argc, argv);
     const AgingCurve curves[] = {AgingCurve::BestCase,
                                  AgingCurve::DataSheet,
                                  AgingCurve::WorstCase,

@@ -17,8 +17,9 @@
 using namespace wsp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init("fig2_nvdimm_save", argc, argv);
     EventQueue queue;
     NvdimmConfig config;
     config.capacityBytes = 1 * kGiB;

@@ -97,8 +97,9 @@ measure(bool durable, double update_prob, uint64_t prepopulate,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init("fig5_hashtable", argc, argv);
     const uint64_t prepopulate = bench::fullRuns() ? 100000 : 100000;
     const uint64_t operations = bench::fullRuns() ? 1000000 : 200000;
     std::printf("Figure 5 reproduction: %llu-entry table, %llu ops per "

@@ -15,8 +15,9 @@
 using namespace wsp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init("fig6_residual_trace", argc, argv);
     EventQueue queue;
     PsuPreset preset = psuPresetIntel1050W();
     preset.windowJitter = 0; // the paper's figure shows one trace

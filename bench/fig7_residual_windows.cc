@@ -71,8 +71,9 @@ worstOfThree(const PsuPreset &preset, double load_watts, uint64_t seed0)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init("fig7_residual_windows", argc, argv);
     struct Config
     {
         PsuPreset preset;

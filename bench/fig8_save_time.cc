@@ -52,8 +52,9 @@ measure(const PlatformSpec &spec, uint64_t dirty_bytes, uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init("fig8_save_time", argc, argv);
     const std::vector<uint64_t> dirty_sizes = {
         128,       512,        2 * kKiB,  8 * kKiB, 32 * kKiB,
         128 * kKiB, 512 * kKiB, 2 * kMiB, 4 * kMiB, 8 * kMiB,
@@ -62,11 +63,13 @@ main()
 
     const auto platforms = allPlatforms();
     std::vector<Series> series;
+    std::vector<Histogram> dists;
     Table table("Figure 8 data: state save time (ms) vs dirty bytes");
     std::vector<std::string> header = {"dirty bytes"};
     for (const auto &spec : platforms) {
         header.push_back(spec.name);
         series.push_back(Series{spec.name, {}, {}});
+        dists.push_back(Histogram(0.0, 6.0, 120));
     }
     table.setHeader(header);
 
@@ -74,9 +77,12 @@ main()
         std::vector<std::string> row = {formatBytes(bytes)};
         for (size_t p = 0; p < platforms.size(); ++p) {
             RunningStat stat;
-            for (int run = 0; run < runs; ++run)
-                stat.add(measure(platforms[p], bytes,
-                                 1000 + static_cast<uint64_t>(run)));
+            for (int run = 0; run < runs; ++run) {
+                const double ms = measure(platforms[p], bytes,
+                                          1000 + static_cast<uint64_t>(run));
+                stat.add(ms);
+                dists[p].add(ms);
+            }
             series[p].add(std::log2(static_cast<double>(bytes)),
                           stat.mean());
             row.push_back(formatDouble(stat.mean(), 3));
@@ -84,6 +90,16 @@ main()
         table.addRow(row);
     }
     table.print();
+    std::printf("\n");
+
+    // Save-time distribution across every dirty size and run: the
+    // tail matters, since one slow save can blow the residual window.
+    for (size_t p = 0; p < platforms.size(); ++p) {
+        std::printf("%-18s save time p50 %.3f ms  p95 %.3f ms  "
+                    "p99 %.3f ms\n",
+                    platforms[p].name.c_str(), dists[p].percentile(50),
+                    dists[p].percentile(95), dists[p].percentile(99));
+    }
     std::printf("\n");
 
     AsciiChart chart("Figure 8. Context save and cache flush times",

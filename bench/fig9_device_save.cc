@@ -40,8 +40,9 @@ measure(const std::vector<DeviceConfig> &set, bool busy, uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init("fig9_device_save", argc, argv);
     struct Config
     {
         const char *testbed;
@@ -65,11 +66,15 @@ main()
     double amd_idle = 0.0;
     double intel_busy = 0.0;
     double intel_idle = 0.0;
+    Histogram dist(0.0, 10.0, 200); // all suspend-all samples, seconds
     for (const Config &config : configs) {
         RunningStat stat;
         for (uint64_t run = 0; run < 5; ++run) {
-            stat.add(measure(config.set, config.load == LoadClass::Busy,
-                             run * 13 + 7));
+            const double s = measure(config.set,
+                                     config.load == LoadClass::Busy,
+                                     run * 13 + 7);
+            stat.add(s);
+            dist.add(s);
         }
         table.addRow({config.testbed, loadClassName(config.load),
                       formatDouble(stat.mean(), 2) + " s",
@@ -89,6 +94,10 @@ main()
     }
     table.print();
 
+    std::printf("\nsuspend-all distribution: p50 %.2f s  p95 %.2f s  "
+                "p99 %.2f s\n",
+                dist.percentile(50), dist.percentile(95),
+                dist.percentile(99));
     std::printf("\nEven idle saves take seconds: per-driver D3 "
                 "timeouts dominate, not queue drain.\n");
     check.expectGreater("Intel slower than AMD (GPU/disk/NIC heavier)",

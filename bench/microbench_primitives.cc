@@ -10,7 +10,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "apps/hash_table.h"
+#include "bench/bench_util.h"
 #include "pheap/flush.h"
 #include "pheap/policies.h"
 #include "util/rng.h"
@@ -258,4 +262,31 @@ BENCHMARK(BM_HashOp_FoF);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN(): the standard --trace-out/--metrics-out
+// flags are split off for bench::init(); everything else goes to the
+// google-benchmark flag parser.
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> ours{argv[0]};
+    std::vector<char *> theirs{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--trace-out=", 12) == 0 ||
+            std::strncmp(argv[i], "--metrics-out=", 14) == 0)
+            ours.push_back(argv[i]);
+        else
+            theirs.push_back(argv[i]);
+    }
+    int ours_argc = static_cast<int>(ours.size());
+    bench::init("microbench_primitives", ours_argc, ours.data());
+
+    int theirs_argc = static_cast<int>(theirs.size());
+    benchmark::Initialize(&theirs_argc, theirs.data());
+    if (benchmark::ReportUnrecognizedArguments(theirs_argc,
+                                               theirs.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    bench::writeOutputs();
+    return 0;
+}

@@ -19,8 +19,9 @@ using namespace wsp;
 using namespace wsp::apps;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init("recovery_storm", argc, argv);
     // Claim 1: single-server recovery is minutes even at full stream
     // bandwidth.
     BackendConfig stream;

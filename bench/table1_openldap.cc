@@ -152,8 +152,9 @@ runOnce(bool durable_logs, uint64_t entries, uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init("table1_openldap", argc, argv);
     const uint64_t entries = bench::fullRuns() ? 100000 : 20000;
     const int runs = 5;
     std::printf("Table 1 reproduction: %llu entries per run, %d runs "

@@ -69,8 +69,9 @@ measure(const PlatformSpec &spec)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init("table2_flush_instr", argc, argv);
     const Row intel = measure(platformIntelC5528());
     const Row amd = measure(platformAmd4180());
 

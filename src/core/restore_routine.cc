@@ -1,5 +1,9 @@
 #include "core/restore_routine.h"
 
+#include <cstdio>
+
+#include "trace/stat_registry.h"
+#include "trace/trace.h"
 #include "util/logging.h"
 
 namespace wsp {
@@ -20,6 +24,18 @@ void
 RestoreRoutine::record(const char *step, Tick start, Tick end)
 {
     report_.steps.push_back(StepTiming{step, start, end});
+    if (trace::enabled(trace::Category::Core)) {
+        auto &manager = trace::TraceManager::instance();
+        manager.emitAt(trace::Category::Core, trace::Phase::Begin, step,
+                       start);
+        manager.emitAt(trace::Category::Core, trace::Phase::End, step,
+                       end);
+    }
+    char name[48];
+    std::snprintf(name, sizeof(name), "core.restore.step%zu_ns",
+                  report_.steps.size());
+    trace::StatRegistry::instance().gauge(name).set(
+        static_cast<double>(end - start));
 }
 
 void
@@ -30,6 +46,9 @@ RestoreRoutine::run(std::function<void()> backend_recovery,
     done_ = std::move(done);
     report_ = RestoreReport{};
     report_.started = queue_.now();
+    trace::TraceManager::instance().emitAt(
+        trace::Category::Core, trace::Phase::Instant,
+        "RestoreRoutine start", report_.started);
     machine_.resetForBoot();
 
     // Firmware: POST, memory re-initialization, boot loader.
@@ -159,6 +178,8 @@ void
 RestoreRoutine::fallbackColdBoot(const char *reason)
 {
     inform("restore: falling back to cold boot (%s)", reason);
+    trace::StatRegistry::instance().counter("core.cold_boots").add();
+    TRACE_INSTANT(Core, "fallback to cold boot");
     const Tick start = queue_.now();
     machine_.resetForBoot();
     nvdimms_.resetToActive();
@@ -182,6 +203,10 @@ RestoreRoutine::finish(bool used_wsp)
 {
     report_.usedWsp = used_wsp;
     report_.finished = queue_.now();
+    auto &registry = trace::StatRegistry::instance();
+    registry.counter("core.restores_completed").add();
+    registry.gauge("core.restore.total_ns")
+        .set(static_cast<double>(report_.finished - report_.started));
     if (done_)
         done_(report_);
 }

@@ -1,7 +1,10 @@
 #include "core/save_routine.h"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "trace/stat_registry.h"
+#include "trace/trace.h"
 #include "util/logging.h"
 
 namespace wsp {
@@ -59,6 +62,20 @@ void
 SaveRoutine::record(const char *step, Tick start, Tick end)
 {
     report_.steps.push_back(StepTiming{step, start, end});
+    // Steps complete inside event callbacks with explicit (start, end)
+    // ticks, so emit the span retroactively rather than via RAII.
+    if (trace::enabled(trace::Category::Core)) {
+        auto &manager = trace::TraceManager::instance();
+        manager.emitAt(trace::Category::Core, trace::Phase::Begin, step,
+                       start);
+        manager.emitAt(trace::Category::Core, trace::Phase::End, step,
+                       end);
+    }
+    char name[48];
+    std::snprintf(name, sizeof(name), "core.save.step%zu_ns",
+                  report_.steps.size());
+    trace::StatRegistry::instance().gauge(name).set(
+        static_cast<double>(end - start));
 }
 
 void
@@ -69,6 +86,10 @@ SaveRoutine::run(uint64_t boot_sequence,
     done_ = std::move(done);
     report_ = SaveReport{};
     report_.started = queue_.now();
+    trace::StatRegistry::instance().counter("core.saves_started").add();
+    trace::TraceManager::instance().emitAt(
+        trace::Category::Core, trace::Phase::Instant, "SaveRoutine start",
+        report_.started);
     report_.dirtyBytesFlushed = machine_.totalDirtyBytes();
     record("interrupt control processor", queue_.now(), queue_.now());
 
@@ -212,6 +233,10 @@ SaveRoutine::stepInitiateNvdimmSave()
         record("halt control processor", queue_.now(), queue_.now());
         report_.halted = queue_.now();
         report_.completed = true;
+        auto &registry = trace::StatRegistry::instance();
+        registry.counter("core.saves_completed").add();
+        registry.gauge("core.save.total_ns")
+            .set(static_cast<double>(report_.halted - report_.started));
         if (done_)
             done_(report_);
     });

@@ -1,5 +1,6 @@
 #include "core/system.h"
 
+#include "trace/trace.h"
 #include "util/logging.h"
 
 namespace wsp {
@@ -7,6 +8,12 @@ namespace wsp {
 WspSystem::WspSystem(SystemConfig config)
     : config_(std::move(config)), rng_(config_.seed)
 {
+    // Stamp trace records with this system's simulated time. Benches
+    // build many systems in sequence; the owner token makes sure a
+    // dying system only clears its own source.
+    trace::TraceManager::instance().setTickSource(
+        this, [this] { return queue_.now(); });
+
     psu_ = std::make_unique<AtxPowerSupply>(queue_, config_.psu,
                                             rng_.fork(1));
     psu_->setLoadWatts(config_.platform.load.watts(config_.load));
@@ -32,6 +39,11 @@ WspSystem::WspSystem(SystemConfig config)
     wsp_ = std::make_unique<WspController>(
         queue_, *machine_, *psu_, *monitor_, *nvdimmController_,
         config_.devices.empty() ? nullptr : devices_.get(), config_.wsp);
+}
+
+WspSystem::~WspSystem()
+{
+    trace::TraceManager::instance().clearTickSource(this);
 }
 
 void

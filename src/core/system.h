@@ -69,6 +69,7 @@ class WspSystem
 {
   public:
     explicit WspSystem(SystemConfig config);
+    ~WspSystem();
 
     EventQueue &queue() { return queue_; }
     MachineModel &machine() { return *machine_; }

@@ -1,8 +1,29 @@
 #include "devices/device_manager.h"
 
+#include <cstdio>
+
+#include "trace/stat_registry.h"
+#include "trace/trace.h"
 #include "util/logging.h"
 
 namespace wsp {
+
+namespace {
+
+/** Emit a per-device span edge ("nic suspend" B/E). */
+void
+traceDeviceEdge(const std::string &device, const char *what,
+                trace::Phase phase)
+{
+    if (!trace::enabled(trace::Category::Devices))
+        return;
+    char span[trace::Record::kNameBytes];
+    std::snprintf(span, sizeof(span), "%s %s", device.c_str(), what);
+    trace::TraceManager::instance().emit(trace::Category::Devices, phase,
+                                         span);
+}
+
+} // namespace
 
 std::string
 devicePolicyName(DevicePolicy policy)
@@ -70,8 +91,13 @@ DeviceManager::suspendNext(size_t index, Tick started,
             done(now() - started);
         return;
     }
+    traceDeviceEdge(devices_[index]->name(), "suspend",
+                    trace::Phase::Begin);
     devices_[index]->suspend([this, index, started,
                               done = std::move(done)](Tick) mutable {
+        traceDeviceEdge(devices_[index]->name(), "suspend",
+                        trace::Phase::End);
+        trace::StatRegistry::instance().counter("devices.suspends").add();
         suspendNext(index + 1, started, std::move(done));
     });
 }
@@ -121,9 +147,14 @@ DeviceManager::resumeChain(size_t index, Tick started,
             done(report);
         return;
     }
+    traceDeviceEdge(devices_[index]->name(), "resume",
+                    trace::Phase::Begin);
     devices_[index]->resume([this, index, started, report,
                              done = std::move(done)](Tick) mutable {
+        traceDeviceEdge(devices_[index]->name(), "resume",
+                        trace::Phase::End);
         ++report.devicesRestarted;
+        trace::StatRegistry::instance().counter("devices.restarts").add();
         resumeChain(index + 1, started, report, std::move(done));
     });
 }
@@ -150,11 +181,18 @@ DeviceManager::restartNext(size_t index, DevicePolicy policy, Tick started,
         return;
     }
 
+    traceDeviceEdge(device.name(), "restart", trace::Phase::Begin);
     device.restart([this, index, policy, started, report,
                     dev = &device, done = std::move(done)](Tick) mutable {
+        traceDeviceEdge(dev->name(), "restart", trace::Phase::End);
         ++report.devicesRestarted;
-        if (policy == DevicePolicy::VirtualizedReplay)
-            report.opsReplayed += dev->replayLostOps();
+        auto &registry = trace::StatRegistry::instance();
+        registry.counter("devices.restarts").add();
+        if (policy == DevicePolicy::VirtualizedReplay) {
+            const size_t replayed = dev->replayLostOps();
+            report.opsReplayed += replayed;
+            registry.counter("devices.ops_replayed").add(replayed);
+        }
         restartNext(index + 1, policy, started, report, std::move(done));
     });
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "trace/stat_registry.h"
+#include "trace/trace.h"
 #include "util/logging.h"
 
 namespace wsp {
@@ -146,6 +148,10 @@ Tick
 CacheModel::wbinvd()
 {
     const Tick cost = wbinvdCost();
+    auto &registry = trace::StatRegistry::instance();
+    registry.counter("machine.wbinvd_count").add();
+    registry.counter("machine.wbinvd_dirty_bytes").add(dirtyBytes());
+    TRACE_INSTANT(Machine, "wbinvd");
     // Write back everything; order is irrelevant to the memory image.
     while (!lruOrder_.empty())
         writeBack(lruOrder_.back());

@@ -14,6 +14,8 @@
 #include <functional>
 
 #include "sim/sim_object.h"
+#include "trace/stat_registry.h"
+#include "trace/trace.h"
 #include "util/units.h"
 
 namespace wsp {
@@ -36,6 +38,9 @@ class InterruptController : public SimObject
     sendIpi(unsigned cpu, Handler handler)
     {
         ++ipisSent_;
+        trace::StatRegistry::instance()
+            .counter("machine.ipis_sent").add();
+        TRACE_INSTANT(Machine, "IPI");
         queue_.scheduleAfter(ipiLatency_,
                              [cpu, handler = std::move(handler)] {
             handler(cpu);

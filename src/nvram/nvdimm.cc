@@ -1,10 +1,30 @@
 #include "nvram/nvdimm.h"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "trace/stat_registry.h"
+#include "trace/trace.h"
 #include "util/logging.h"
 
 namespace wsp {
+
+namespace {
+
+/** Emit a per-module span edge ("nvdimm0 save" B/E) on its track. */
+void
+traceModuleEdge(const std::string &module, const char *what,
+                trace::Phase phase)
+{
+    if (!trace::enabled(trace::Category::Nvram))
+        return;
+    char span[trace::Record::kNameBytes];
+    std::snprintf(span, sizeof(span), "%s %s", module.c_str(), what);
+    trace::TraceManager::instance().emit(trace::Category::Nvram, phase,
+                                         span);
+}
+
+} // namespace
 
 std::string
 nvdimmStateName(NvdimmState state)
@@ -128,6 +148,8 @@ NvdimmModule::startSave()
     saveStarted_ = now();
     lastSaveStep_ = now();
     saveDeadline_ = now() + saveDuration();
+    trace::StatRegistry::instance().counter("nvram.saves_started").add();
+    traceModuleEdge(name(), "save", trace::Phase::Begin);
     debugLog("%s: save started, duration %s, energy %.1f J",
              name().c_str(), formatTime(saveDuration()).c_str(),
              saveEnergy());
@@ -166,6 +188,10 @@ NvdimmModule::finishSave()
     flashValid_ = true;
     state_ = NvdimmState::SelfRefresh;
     ++savesCompleted_;
+    auto &registry = trace::StatRegistry::instance();
+    registry.counter("nvram.saves_completed").add();
+    registry.counter("nvram.bytes_saved").add(config_.capacityBytes);
+    traceModuleEdge(name(), "save", trace::Phase::End);
     debugLog("%s: save completed at %s", name().c_str(),
              formatTime(now()).c_str());
     if (!hostPower_) {
@@ -183,6 +209,9 @@ NvdimmModule::failSave(const char *reason)
          formatTime(now() - saveStarted_).c_str());
     flashValid_ = false;
     state_ = NvdimmState::SaveFailed;
+    trace::StatRegistry::instance().counter("nvram.save_failures").add();
+    traceModuleEdge(name(), "save", trace::Phase::End);
+    TRACE_INSTANT(Nvram, "NVDIMM save failed");
     if (!hostPower_)
         dram_.poison();
 }
@@ -198,6 +227,7 @@ NvdimmModule::startRestore()
     WSP_CHECKF(flashValid_, "%s: restore without a valid flash image",
                name().c_str());
     state_ = NvdimmState::Restoring;
+    traceModuleEdge(name(), "restore", trace::Phase::Begin);
     queue_.scheduleAfter(restoreDuration(), [this] { finishRestore(); });
 }
 
@@ -209,6 +239,10 @@ NvdimmModule::finishRestore()
     dram_.restoreFrom(flash_);
     state_ = NvdimmState::SelfRefresh;
     ++restoresCompleted_;
+    auto &registry = trace::StatRegistry::instance();
+    registry.counter("nvram.restores_completed").add();
+    registry.counter("nvram.bytes_restored").add(config_.capacityBytes);
+    traceModuleEdge(name(), "restore", trace::Phase::End);
     debugLog("%s: restore completed at %s", name().c_str(),
              formatTime(now()).c_str());
 }
@@ -217,6 +251,7 @@ void
 NvdimmModule::hostPowerLost()
 {
     hostPower_ = false;
+    TRACE_INSTANT(Nvram, "host power lost");
     switch (state_) {
       case NvdimmState::Active:
         if (armed_) {
@@ -264,6 +299,7 @@ void
 NvdimmModule::hostPowerRestored()
 {
     hostPower_ = true;
+    TRACE_INSTANT(Nvram, "host power restored");
     // The bank recharges from the 12 V rail; model the recharge as
     // complete by the time the host is back up (tens of seconds).
     if (ultracap_.voltage() < ultracap_.config().maxVoltage)

@@ -48,6 +48,9 @@ uint64_t flushCount();
 /** Number of ntStore64 words issued (incl. ntCopy bulk). */
 uint64_t ntStoreCount();
 
+/** Number of storeFence calls issued. */
+uint64_t fenceCount();
+
 /** Reset the instrumentation counters. */
 void resetCounters();
 

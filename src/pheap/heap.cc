@@ -1,11 +1,26 @@
 #include "pheap/heap.h"
 
+#include "pheap/flush.h"
+#include "trace/stat_registry.h"
 #include "util/logging.h"
 
 namespace wsp::pmem {
 
 PHeap::PHeap(PHeapConfig config) : config_(std::move(config))
 {
+    // The flush primitives keep their own atomic counters; export
+    // them as probes so snapshots read them with no hot-path cost.
+    auto &registry = trace::StatRegistry::instance();
+    registry.registerProbe("pheap.clflush_count", [] {
+        return static_cast<double>(flushCount());
+    });
+    registry.registerProbe("pheap.fence_count", [] {
+        return static_cast<double>(fenceCount());
+    });
+    registry.registerProbe("pheap.ntstore_count", [] {
+        return static_cast<double>(ntStoreCount());
+    });
+
     if (config_.path.empty()) {
         region_ = std::make_unique<PersistentRegion>(config_.regionSize);
     } else {

@@ -3,9 +3,31 @@
 #include <cstring>
 
 #include "pheap/flush.h"
+#include "trace/stat_registry.h"
+#include "trace/trace.h"
 #include "util/logging.h"
 
 namespace wsp::pmem {
+
+namespace {
+
+trace::Counter &
+redoCommitCounter()
+{
+    static trace::Counter &counter =
+        trace::StatRegistry::instance().counter("pheap.redo_commits");
+    return counter;
+}
+
+trace::Counter &
+redoTruncationCounter()
+{
+    static trace::Counter &counter =
+        trace::StatRegistry::instance().counter("pheap.redo_truncations");
+    return counter;
+}
+
+} // namespace
 
 RedoLog::RedoLog(PersistentRegion &region, bool flush_on_commit,
                  unsigned truncate_every)
@@ -22,6 +44,7 @@ RedoLog::RedoLog(PersistentRegion &region, bool flush_on_commit,
 void
 RedoLog::commit(const std::vector<RedoWrite> &writes)
 {
+    TRACE_SPAN(Pheap, "redo commit");
     log_.appendMarker(LogRecordType::TxnBegin, nextTxnId_);
     for (const RedoWrite &write : writes) {
         log_.appendData(write.target, write.bytes.data(), write.len);
@@ -34,6 +57,7 @@ RedoLog::commit(const std::vector<RedoWrite> &writes)
     log_.fence();
     ++nextTxnId_;
     ++stats_.txnsCommitted;
+    redoCommitCounter().add();
 
     // Apply in place through the cache; durability already holds via
     // the log, so these stores need no immediate flush.
@@ -70,6 +94,7 @@ RedoLog::truncate()
     // checkpoint; the dead words are simply never scanned again.
     log_.persistCheckpoint();
     ++stats_.truncations;
+    redoTruncationCounter().add();
 }
 
 size_t

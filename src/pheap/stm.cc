@@ -2,7 +2,38 @@
 
 #include <algorithm>
 
+#include "trace/stat_registry.h"
+#include "trace/trace.h"
+
 namespace wsp::pmem {
+
+namespace {
+
+// Registry handles are resolved once and cached: the commit path is
+// hot in the Fig. 5 benches, so it must not take the registry lock.
+trace::Counter &
+stmAbortCounter()
+{
+    static trace::Counter &counter =
+        trace::StatRegistry::instance().counter("pheap.stm_aborts");
+    return counter;
+}
+
+trace::Counter &
+stmCommitCounter()
+{
+    static trace::Counter &counter =
+        trace::StatRegistry::instance().counter("pheap.stm_commits");
+    return counter;
+}
+
+} // namespace
+
+void
+noteStmAbort()
+{
+    stmAbortCounter().add();
+}
 
 bool
 StmTx::tryCommit()
@@ -11,7 +42,8 @@ StmTx::tryCommit()
         return false;
 
     // Read-only fast path: a consistent read set at a fixed version
-    // needs no locks and no clock bump.
+    // needs no locks and no clock bump. Deliberately uninstrumented —
+    // read-mostly Fig. 5 workloads live here.
     if (writeSet_.empty()) {
         for (const auto *lock : readSet_) {
             const uint64_t v = lock->load(std::memory_order_acquire);
@@ -20,6 +52,8 @@ StmTx::tryCommit()
         }
         return true;
     }
+
+    TRACE_SPAN(Pheap, "stm commit");
 
     // Acquire write locks in address order to avoid deadlock.
     std::vector<StmRuntime::LockWord *> acquired;
@@ -97,6 +131,7 @@ StmTx::tryCommit()
     // Publish the new version and release the locks.
     for (auto *lock : acquired)
         lock->store(write_version, std::memory_order_release);
+    stmCommitCounter().add();
     return true;
 }
 

@@ -30,6 +30,9 @@
 
 namespace wsp::pmem {
 
+/** Bump the global pheap.stm_aborts statistic (one relaxed add). */
+void noteStmAbort();
+
 /** Shared STM state: the clock and the lock table. */
 class StmRuntime
 {
@@ -63,7 +66,13 @@ class StmRuntime
     }
 
     uint64_t aborts() const { return aborts_.load(); }
-    void countAbort() { aborts_.fetch_add(1, std::memory_order_relaxed); }
+
+    void
+    countAbort()
+    {
+        aborts_.fetch_add(1, std::memory_order_relaxed);
+        noteStmAbort();
+    }
 
   private:
     std::atomic<uint64_t> clock_{0};

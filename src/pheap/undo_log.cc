@@ -3,9 +3,23 @@
 #include <cstring>
 
 #include "pheap/flush.h"
+#include "trace/stat_registry.h"
+#include "trace/trace.h"
 #include "util/logging.h"
 
 namespace wsp::pmem {
+
+namespace {
+
+trace::Counter &
+undoCommitCounter()
+{
+    static trace::Counter &counter =
+        trace::StatRegistry::instance().counter("pheap.undo_commits");
+    return counter;
+}
+
+} // namespace
 
 UndoLog::UndoLog(PersistentRegion &region, bool flush_on_commit)
     : region_(region),
@@ -52,6 +66,7 @@ void
 UndoLog::txCommit()
 {
     WSP_CHECK(inTxn_);
+    TRACE_SPAN(Pheap, "undo commit");
     if (flushOnCommit_) {
         // Make the in-place updates durable, then retire the undo
         // records with a commit marker. Several fields of one object
@@ -71,6 +86,7 @@ UndoLog::txCommit()
     log_.fence();
     ++nextTxnId_;
     ++stats_.txnsCommitted;
+    undoCommitCounter().add();
     inTxn_ = false;
     touched_.clear();
 }

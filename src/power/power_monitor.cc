@@ -1,5 +1,7 @@
 #include "power/power_monitor.h"
 
+#include "trace/stat_registry.h"
+#include "trace/trace.h"
 #include "util/logging.h"
 
 namespace wsp {
@@ -33,6 +35,9 @@ PowerMonitor::onPwrOkDropped()
     }
     queue_.scheduleAfter(notifyLatency(), [this] {
         ++interruptsRaised_;
+        trace::StatRegistry::instance()
+            .counter("power.monitor_interrupts").add();
+        TRACE_INSTANT(Power, "power-fail interrupt");
         powerFailHandler_();
     });
 }
@@ -42,6 +47,8 @@ PowerMonitor::sendCommand(Command command)
 {
     WSP_CHECKF(commandSink_ != nullptr,
                "power monitor has no NVDIMM command sink");
+    trace::StatRegistry::instance().counter("power.i2c_commands").add();
+    TRACE_INSTANT(Power, "I2C command to NVDIMMs");
     queue_.scheduleAfter(config_.i2cCommandLatency,
                          [this, command] { commandSink_(command); });
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "trace/stat_registry.h"
+#include "trace/trace.h"
 #include "util/logging.h"
 
 namespace wsp {
@@ -148,9 +150,17 @@ AtxPowerSupply::onInputFailed()
     pwrOkDropTick_ = now() + preset_.pwrOkDetectDelay;
     regulationEnd_ = pwrOkDropTick_ + residualWindow_;
 
+    auto &registry = trace::StatRegistry::instance();
+    registry.counter("power.input_failures").add();
+    registry.gauge("power.residual_window_ns")
+        .set(static_cast<double>(residualWindow_));
+    TRACE_INSTANT(Power, "AC input failed");
+
     queue_.schedule(pwrOkDropTick_, [this] {
-        if (inputFailed_)
+        if (inputFailed_) {
             pwrOk_.set(false);
+            TRACE_INSTANT(Power, "PWR_OK drop");
+        }
     });
 }
 
@@ -186,6 +196,7 @@ AtxPowerSupply::restoreInput()
     regulationEnd_ = kTickNever;
     residualWindow_ = 0;
     pwrOk_.set(true);
+    TRACE_INSTANT(Power, "AC input restored");
 }
 
 } // namespace wsp

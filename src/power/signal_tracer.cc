@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "trace/trace.h"
 #include "util/logging.h"
 
 namespace wsp {
@@ -43,8 +44,15 @@ SignalTracer::sampleAll()
     if (!running_)
         return;
     const double t = toSeconds(now() - startTick_);
-    for (auto &ch : channels_)
-        ch.trace.add(t, ch.probe());
+    const bool traced = trace::enabled(trace::Category::Power);
+    for (auto &ch : channels_) {
+        const double value = ch.probe();
+        ch.trace.add(t, value);
+        // Bridge analog channels onto the event trace as counter
+        // tracks ("12V rail", "PWR_OK", ...).
+        if (traced)
+            TRACE_COUNTER(Power, ch.name.c_str(), value);
+    }
     queue_.scheduleAfter(samplePeriod_, [this] { sampleAll(); });
 }
 

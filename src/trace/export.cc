@@ -1,0 +1,288 @@
+#include "trace/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <set>
+#include <unistd.h>
+
+#include "trace/stat_registry.h"
+#include "trace/trace.h"
+#include "util/logging.h"
+
+namespace wsp::trace {
+
+namespace {
+
+// Chrome trace-event pids: one fake "process" per timebase so
+// Perfetto never mixes simulated and host timestamps on one track.
+constexpr int kSimPid = 1;
+constexpr int kHostPid = 2;
+
+const char *
+phaseLetter(Phase phase)
+{
+    switch (phase) {
+      case Phase::Begin:
+        return "B";
+      case Phase::End:
+        return "E";
+      case Phase::Instant:
+        return "i";
+      case Phase::Counter:
+        return "C";
+    }
+    return "i";
+}
+
+/** Format a double as minimal JSON (no NaN/Inf, no trailing zeros). */
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "0";
+    if (value == static_cast<double>(static_cast<int64_t>(value))) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(value));
+        return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+std::string
+hostName()
+{
+    char buf[256] = {};
+    if (gethostname(buf, sizeof(buf) - 1) != 0)
+        return "unknown";
+    return buf;
+}
+
+bool
+writeFile(const std::string &path, const std::string &content,
+          const char *what)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        warn("cannot open %s output file '%s'", what, path.c_str());
+        return false;
+    }
+    out << content;
+    out.close();
+    return static_cast<bool>(out);
+}
+
+} // namespace
+
+std::string
+jsonQuote(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    out.push_back('"');
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+chromeTraceJson()
+{
+    auto &manager = TraceManager::instance();
+    const std::vector<Record> records = manager.snapshot();
+
+    // Host timestamps are steady-clock ns since boot; rebase to the
+    // earliest record so the Perfetto timeline starts near zero.
+    uint64_t host_base = 0;
+    bool have_host_base = false;
+    for (const Record &record : records) {
+        if (!record.hasSimTick &&
+            (!have_host_base || record.wallNs < host_base)) {
+            host_base = record.wallNs;
+            have_host_base = true;
+        }
+    }
+
+    std::string out;
+    out.reserve(records.size() * 96 + 1024);
+    out += "{\"traceEvents\":[\n";
+
+    // Metadata: name the two timebase "processes" and each category
+    // "thread" actually used, so the Perfetto tracks are labelled.
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+           "\"name\":\"process_name\",\"args\":{\"name\":"
+           "\"simulated time (1us = 1000 ticks)\"}}";
+    out += ",\n{\"ph\":\"M\",\"pid\":2,\"tid\":0,"
+           "\"name\":\"process_name\",\"args\":{\"name\":"
+           "\"host wall clock\"}}";
+    std::set<std::pair<int, int>> seen_tracks;
+    for (const Record &record : records) {
+        const int pid = record.hasSimTick ? kSimPid : kHostPid;
+        const int tid = static_cast<int>(record.category);
+        if (!seen_tracks.insert({pid, tid}).second)
+            continue;
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      ",\n{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+                      "\"name\":\"thread_name\",\"args\":{\"name\":"
+                      "\"%s\"}}",
+                      pid, tid, categoryName(record.category));
+        out += buf;
+    }
+
+    for (const Record &record : records) {
+        const int pid = record.hasSimTick ? kSimPid : kHostPid;
+        const int tid = static_cast<int>(record.category);
+        // ts is in microseconds; ticks are simulated ns.
+        const uint64_t ns = record.hasSimTick
+                                ? record.simTick
+                                : record.wallNs - host_base;
+        char ts[48];
+        std::snprintf(ts, sizeof(ts), "%llu.%03u",
+                      static_cast<unsigned long long>(ns / 1000),
+                      static_cast<unsigned>(ns % 1000));
+
+        out += ",\n{\"name\":";
+        out += jsonQuote(record.name);
+        out += ",\"cat\":\"";
+        out += categoryName(record.category);
+        out += "\",\"ph\":\"";
+        out += phaseLetter(record.phase);
+        out += "\",\"ts\":";
+        out += ts;
+        char ids[48];
+        std::snprintf(ids, sizeof(ids), ",\"pid\":%d,\"tid\":%d", pid,
+                      tid);
+        out += ids;
+        if (record.phase == Phase::Counter) {
+            out += ",\"args\":{\"value\":";
+            out += jsonNumber(record.value);
+            out += "}";
+        } else if (record.phase == Phase::Instant) {
+            out += ",\"s\":\"g\"";
+        }
+        out += "}";
+    }
+
+    out += "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{";
+    out += "\"recordsEmitted\":" +
+           jsonNumber(static_cast<double>(manager.totalEmitted()));
+    out += ",\"recordsDropped\":" +
+           jsonNumber(static_cast<double>(manager.dropped()));
+    out += ",\"ringCapacity\":" +
+           jsonNumber(static_cast<double>(manager.capacity()));
+    out += "}}\n";
+    return out;
+}
+
+std::string
+metricsJson()
+{
+    const auto samples = StatRegistry::instance().snapshot();
+    std::string out = "{\n";
+    bool first = true;
+    for (const auto &sample : samples) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += "  " + jsonQuote(sample.name) + ": " +
+               jsonNumber(sample.value);
+    }
+    out += "\n}\n";
+    return out;
+}
+
+std::string
+metricsCsv()
+{
+    const auto samples = StatRegistry::instance().snapshot();
+    std::string out = "name,value\n";
+    for (const auto &sample : samples) {
+        // Stat names are dotted identifiers: no quoting needed.
+        out += sample.name + "," + jsonNumber(sample.value) + "\n";
+    }
+    return out;
+}
+
+bool
+writeChromeTrace(const std::string &path)
+{
+    return writeFile(path, chromeTraceJson(), "trace");
+}
+
+bool
+writeMetrics(const std::string &path)
+{
+    const bool csv = path.size() >= 4 &&
+                     path.compare(path.size() - 4, 4, ".csv") == 0;
+    return writeFile(path, csv ? metricsCsv() : metricsJson(),
+                     "metrics");
+}
+
+bool
+appendBenchRecord(const std::string &path, const std::string &bench,
+                  double wall_seconds)
+{
+    std::ofstream out(path, std::ios::app);
+    if (!out) {
+        warn("cannot open bench-record file '%s'", path.c_str());
+        return false;
+    }
+
+    char stamp[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    if (gmtime_r(&now, &tm_utc) != nullptr)
+        std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ",
+                      &tm_utc);
+
+    std::string line = "{\"bench\":" + jsonQuote(bench);
+    line += ",\"host\":" + jsonQuote(hostName());
+    line += ",\"utc\":" + jsonQuote(stamp);
+    line += ",\"wall_seconds\":" + jsonNumber(wall_seconds);
+    line += ",\"counters\":{";
+    bool first = true;
+    for (const auto &sample : StatRegistry::instance().snapshot()) {
+        if (!first)
+            line += ",";
+        first = false;
+        line += jsonQuote(sample.name) + ":" + jsonNumber(sample.value);
+    }
+    line += "}}\n";
+    out << line;
+    out.close();
+    return static_cast<bool>(out);
+}
+
+} // namespace wsp::trace

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Exporters for the trace ring and the stat registry.
+ *
+ * Two formats:
+ *
+ *  - Chrome trace-event JSON ({"traceEvents":[...]}), loadable in
+ *    Perfetto / chrome://tracing. Records carrying a simulated Tick
+ *    are emitted under pid 1 ("simulated time", 1 tick = 1ns mapped
+ *    to microseconds); records with only a host timestamp (the real
+ *    pheap code paths) go under pid 2 ("host wall clock") so the two
+ *    timebases never mix on one track.
+ *
+ *  - Flat metrics as JSON ({"name": value, ...}) or CSV
+ *    (name,value per line) from a StatRegistry snapshot.
+ *
+ * appendBenchRecord() writes one JSON object per line (JSON-lines)
+ * so repeated bench runs accumulate into a single machine-readable
+ * results file.
+ */
+
+#pragma once
+
+#include <string>
+
+namespace wsp::trace {
+
+/** Serialize the current trace ring as Chrome trace-event JSON. */
+std::string chromeTraceJson();
+
+/** Current stat snapshot as a flat JSON object. */
+std::string metricsJson();
+
+/** Current stat snapshot as "name,value" CSV with a header line. */
+std::string metricsCsv();
+
+/**
+ * Write chromeTraceJson() to @p path.
+ * @return false (with a warning) when the file cannot be written.
+ */
+bool writeChromeTrace(const std::string &path);
+
+/**
+ * Write the metrics snapshot to @p path; the format is CSV when the
+ * path ends in ".csv", JSON otherwise.
+ */
+bool writeMetrics(const std::string &path);
+
+/**
+ * Append one bench-result line to @p path (JSON-lines): bench id,
+ * host name, wall-clock seconds, and the full counter snapshot.
+ */
+bool appendBenchRecord(const std::string &path, const std::string &bench,
+                       double wall_seconds);
+
+/** Escape a string for embedding in a JSON document (adds quotes). */
+std::string jsonQuote(const std::string &text);
+
+} // namespace wsp::trace

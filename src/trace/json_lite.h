@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Minimal JSON parser for validating exporter output.
+ *
+ * The trace/metrics exporters emit JSON; the tests and the ctest
+ * smoke checker parse it back to prove the output is well-formed
+ * without adding a third-party dependency. Supports the full JSON
+ * grammar the exporters produce: objects, arrays, strings with
+ * escapes, numbers, booleans, null. Header-only, test/tool support —
+ * not a general-purpose parser (no \u surrogate pairs, doubles only).
+ */
+
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wsp::trace::json {
+
+/** One parsed JSON value (tree). */
+struct Value
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Value> array;
+    std::map<std::string, Value> object;
+
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Value *
+    find(const std::string &key) const
+    {
+        if (type != Type::Object)
+            return nullptr;
+        auto it = object.find(key);
+        return it == object.end() ? nullptr : &it->second;
+    }
+};
+
+/** Recursive-descent parser over a string. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    /** Parse one document; @return false on any syntax error. */
+    bool
+    parse(Value *out)
+    {
+        pos_ = 0;
+        if (!parseValue(out))
+            return false;
+        skipSpace();
+        return pos_ == text_.size();
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    parseValue(Value *out)
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return false;
+        const char c = text_[pos_];
+        switch (c) {
+          case '{':
+            return parseObject(out);
+          case '[':
+            return parseArray(out);
+          case '"':
+            out->type = Value::Type::String;
+            return parseString(&out->string);
+          case 't':
+            out->type = Value::Type::Bool;
+            out->boolean = true;
+            return literal("true");
+          case 'f':
+            out->type = Value::Type::Bool;
+            out->boolean = false;
+            return literal("false");
+          case 'n':
+            out->type = Value::Type::Null;
+            return literal("null");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        if (text_[pos_] != '"')
+            return false;
+        ++pos_;
+        out->clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out->push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return false;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out->push_back('"'); break;
+              case '\\': out->push_back('\\'); break;
+              case '/': out->push_back('/'); break;
+              case 'b': out->push_back('\b'); break;
+              case 'f': out->push_back('\f'); break;
+              case 'n': out->push_back('\n'); break;
+              case 'r': out->push_back('\r'); break;
+              case 't': out->push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return false;
+                const std::string hex = text_.substr(pos_, 4);
+                pos_ += 4;
+                char *end = nullptr;
+                const long code = std::strtol(hex.c_str(), &end, 16);
+                if (end != hex.c_str() + 4)
+                    return false;
+                // Exporters only escape control characters, which fit
+                // one byte.
+                out->push_back(static_cast<char>(code & 0xff));
+                break;
+              }
+              default:
+                return false;
+            }
+        }
+        return false;
+    }
+
+    bool
+    parseNumber(Value *out)
+    {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start)
+            return false;
+        const std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        out->type = Value::Type::Number;
+        out->number = std::strtod(token.c_str(), &end);
+        return end == token.c_str() + token.size();
+    }
+
+    bool
+    parseObject(Value *out)
+    {
+        out->type = Value::Type::Object;
+        ++pos_; // '{'
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipSpace();
+            std::string key;
+            if (pos_ >= text_.size() || !parseString(&key))
+                return false;
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return false;
+            ++pos_;
+            Value value;
+            if (!parseValue(&value))
+                return false;
+            out->object.emplace(std::move(key), std::move(value));
+            skipSpace();
+            if (pos_ >= text_.size())
+                return false;
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    parseArray(Value *out)
+    {
+        out->type = Value::Type::Array;
+        ++pos_; // '['
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            Value value;
+            if (!parseValue(&value))
+                return false;
+            out->array.push_back(std::move(value));
+            skipSpace();
+            if (pos_ >= text_.size())
+                return false;
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+/** Convenience one-shot parse. */
+inline bool
+parse(const std::string &text, Value *out)
+{
+    return Parser(text).parse(out);
+}
+
+} // namespace wsp::trace::json

@@ -1,0 +1,247 @@
+#include "trace/trace.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace wsp::trace {
+
+namespace detail {
+std::atomic<uint32_t> g_enabledMask{0};
+} // namespace detail
+
+namespace {
+
+constexpr size_t kDefaultCapacity = 65536;
+
+uint64_t
+wallNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+const char *
+categoryName(Category category)
+{
+    switch (category) {
+      case Category::Core:
+        return "core";
+      case Category::Nvram:
+        return "nvram";
+      case Category::Power:
+        return "power";
+      case Category::Pheap:
+        return "pheap";
+      case Category::Machine:
+        return "machine";
+      case Category::Devices:
+        return "devices";
+      case Category::Apps:
+        return "apps";
+    }
+    return "unknown";
+}
+
+bool
+parseCategoryList(const char *list, uint32_t *mask_out)
+{
+    *mask_out = 0;
+    if (list == nullptr || *list == '\0')
+        return true;
+    const std::string text(list);
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string token = text.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (token.empty())
+            continue;
+        if (token == "all") {
+            *mask_out = kAllCategories;
+            continue;
+        }
+        bool found = false;
+        for (unsigned i = 0; i < kCategoryCount; ++i) {
+            if (token == categoryName(static_cast<Category>(i))) {
+                *mask_out |= 1u << i;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            return false;
+    }
+    return true;
+}
+
+TraceManager &
+TraceManager::instance()
+{
+    static TraceManager manager;
+    return manager;
+}
+
+TraceManager::TraceManager() : ring_(kDefaultCapacity) {}
+
+void
+TraceManager::enable(uint32_t mask)
+{
+    detail::g_enabledMask.store(mask & kAllCategories,
+                                std::memory_order_relaxed);
+    // Tracing doubles as a debug-message sink: with any category
+    // active, debugLog() lines become instant events on the trace.
+    if ((mask & kAllCategories) != 0) {
+        setDebugSink([](const char *message) {
+            TraceManager::instance().emit(Category::Apps, Phase::Instant,
+                                          message);
+        });
+    } else {
+        setDebugSink(nullptr);
+    }
+}
+
+bool
+TraceManager::configureFromEnv()
+{
+    const char *capacity_env = std::getenv("WSP_TRACE_CAPACITY");
+    if (capacity_env != nullptr) {
+        const long parsed = std::atol(capacity_env);
+        if (parsed > 0)
+            setCapacity(static_cast<size_t>(parsed));
+    }
+
+    const char *list = std::getenv("WSP_TRACE");
+    if (list == nullptr) {
+#if defined(WSP_TRACE_DEFAULT_ON)
+        enableAll();
+        return true;
+#else
+        return enabledMask() != 0;
+#endif
+    }
+    uint32_t mask = 0;
+    if (!parseCategoryList(list, &mask)) {
+        warn("WSP_TRACE=%s contains an unknown category; expected a "
+             "comma list of core,nvram,power,pheap,machine,devices,"
+             "apps or 'all'",
+             list);
+        return enabledMask() != 0;
+    }
+    enable(mask);
+    return mask != 0;
+}
+
+uint32_t
+TraceManager::enabledMask() const
+{
+    return detail::g_enabledMask.load(std::memory_order_relaxed);
+}
+
+void
+TraceManager::setCapacity(size_t records)
+{
+    WSP_CHECK(records >= 1);
+    ring_.assign(records, Record{});
+    next_.store(0, std::memory_order_relaxed);
+}
+
+void
+TraceManager::setTickSource(const void *owner,
+                            std::function<uint64_t()> now)
+{
+    tickOwner_ = owner;
+    tickSource_ = std::move(now);
+}
+
+void
+TraceManager::clearTickSource(const void *owner)
+{
+    if (tickOwner_ != owner)
+        return;
+    tickOwner_ = nullptr;
+    tickSource_ = nullptr;
+}
+
+void
+TraceManager::emit(Category category, Phase phase, const char *name,
+                   double value)
+{
+    if (!enabled(category))
+        return;
+    uint64_t sim_tick = 0;
+    bool has_sim_tick = false;
+    if (tickSource_) {
+        sim_tick = tickSource_();
+        has_sim_tick = true;
+    }
+    store(category, phase, name, sim_tick, has_sim_tick, value);
+}
+
+void
+TraceManager::emitAt(Category category, Phase phase, const char *name,
+                     uint64_t sim_tick, double value)
+{
+    if (!enabled(category))
+        return;
+    store(category, phase, name, sim_tick, true, value);
+}
+
+void
+TraceManager::store(Category category, Phase phase, const char *name,
+                    uint64_t sim_tick, bool has_sim_tick, double value)
+{
+    const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+    Record &slot = ring_[seq % ring_.size()];
+    slot.simTick = sim_tick;
+    slot.wallNs = wallNowNs();
+    slot.value = value;
+    slot.category = category;
+    slot.phase = phase;
+    slot.hasSimTick = has_sim_tick;
+    std::strncpy(slot.name, name, Record::kNameBytes - 1);
+    slot.name[Record::kNameBytes - 1] = '\0';
+}
+
+std::vector<Record>
+TraceManager::snapshot() const
+{
+    const uint64_t total = next_.load(std::memory_order_relaxed);
+    const uint64_t count =
+        std::min<uint64_t>(total, static_cast<uint64_t>(ring_.size()));
+    std::vector<Record> out;
+    out.reserve(count);
+    for (uint64_t i = total - count; i < total; ++i)
+        out.push_back(ring_[i % ring_.size()]);
+    return out;
+}
+
+uint64_t
+TraceManager::totalEmitted() const
+{
+    return next_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+TraceManager::dropped() const
+{
+    const uint64_t total = next_.load(std::memory_order_relaxed);
+    const auto cap = static_cast<uint64_t>(ring_.size());
+    return total > cap ? total - cap : 0;
+}
+
+void
+TraceManager::clear()
+{
+    next_.store(0, std::memory_order_relaxed);
+}
+
+} // namespace wsp::trace

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tick-stamped trace events over a fixed-capacity ring buffer.
+ *
+ * Every subsystem can emit named events into one global TraceManager:
+ * begin/end span pairs, instants, and counter samples, each stamped
+ * with both the simulated Tick (when a tick source is installed; the
+ * WspSystem constructor installs its event queue) and the host
+ * steady-clock time (always, so the real-code pheap paths are
+ * traceable too). Records land in a preallocated ring; when it wraps,
+ * the newest records win and the overwritten ones are counted as
+ * dropped.
+ *
+ * Runtime control: WSP_TRACE=<cat,cat|all> enables categories from
+ * the environment (applied by TraceManager::configureFromEnv(), which
+ * bench_util's init() calls), or programmatically via enable().
+ * Emission is a no-op costing one relaxed load when a category is
+ * disabled, so instrumentation can stay in hot paths.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace wsp::trace {
+
+/** Trace categories, one per subsystem. */
+enum class Category : uint8_t {
+    Core = 0,
+    Nvram,
+    Power,
+    Pheap,
+    Machine,
+    Devices,
+    Apps,
+};
+
+/** Number of categories (mask width). */
+constexpr unsigned kCategoryCount = 7;
+
+/** Mask covering every category. */
+constexpr uint32_t kAllCategories = (1u << kCategoryCount) - 1;
+
+/** Short lowercase name ("core", "nvram", ...). */
+const char *categoryName(Category category);
+
+/**
+ * Parse a WSP_TRACE-style list ("core,pheap", "all", "") into a mask.
+ * @return false when an unknown category name is present.
+ */
+bool parseCategoryList(const char *list, uint32_t *mask_out);
+
+/** Event kinds, mirroring the Chrome trace-event phases. */
+enum class Phase : uint8_t {
+    Begin,   ///< span start ("B")
+    End,     ///< span end ("E")
+    Instant, ///< point event ("i")
+    Counter, ///< sampled value ("C")
+};
+
+namespace detail {
+/** Global enabled-category mask; read inline on every emit. */
+extern std::atomic<uint32_t> g_enabledMask;
+} // namespace detail
+
+/** True when @p category is currently traced (one relaxed load). */
+inline bool
+enabled(Category category)
+{
+    const uint32_t mask =
+        detail::g_enabledMask.load(std::memory_order_relaxed);
+    return (mask & (1u << static_cast<unsigned>(category))) != 0;
+}
+
+/** True when any category is traced. */
+inline bool
+anyEnabled()
+{
+    return detail::g_enabledMask.load(std::memory_order_relaxed) != 0;
+}
+
+/** One trace record (fixed size; the name is copied and truncated). */
+struct Record
+{
+    static constexpr size_t kNameBytes = 46;
+
+    uint64_t simTick = 0; ///< simulated ns (valid when hasSimTick)
+    uint64_t wallNs = 0;  ///< host steady-clock ns
+    double value = 0.0;   ///< Counter payload
+    Category category = Category::Core;
+    Phase phase = Phase::Instant;
+    bool hasSimTick = false;
+    char name[kNameBytes] = {};
+};
+
+/**
+ * The global trace sink: configuration, the ring, and snapshots.
+ *
+ * Emission is wait-free for concurrent emitters (an atomic slot
+ * reservation plus a plain slot write); configuration and snapshots
+ * are expected from one thread, as in the single-threaded benches.
+ */
+class TraceManager
+{
+  public:
+    static TraceManager &instance();
+
+    // Configuration ---------------------------------------------------
+
+    /** Enable exactly the categories in @p mask. */
+    void enable(uint32_t mask);
+
+    void enableAll() { enable(kAllCategories); }
+    void disableAll() { enable(0); }
+
+    /**
+     * Apply WSP_TRACE from the environment (and, when the library is
+     * built with WSP_TRACE_DEFAULT_ON, enable everything if the
+     * variable is unset). @return true when any category ended up
+     * enabled.
+     */
+    bool configureFromEnv();
+
+    uint32_t enabledMask() const;
+
+    /**
+     * Resize the ring (default 65536 records; WSP_TRACE_CAPACITY
+     * overrides at configureFromEnv() time). Discards the content.
+     */
+    void setCapacity(size_t records);
+
+    size_t capacity() const { return ring_.size(); }
+
+    /**
+     * Install the simulated-time source; records emitted while it is
+     * set carry queue.now(). @p owner disambiguates nested systems:
+     * clearTickSource() only resets when the owner matches.
+     */
+    void setTickSource(const void *owner, std::function<uint64_t()> now);
+    void clearTickSource(const void *owner);
+
+    // Emission --------------------------------------------------------
+
+    /** Emit a record stamped with the tick source (if installed). */
+    void emit(Category category, Phase phase, const char *name,
+              double value = 0.0);
+
+    /** Emit a record with an explicit simulated tick (async spans). */
+    void emitAt(Category category, Phase phase, const char *name,
+                uint64_t sim_tick, double value = 0.0);
+
+    // Draining --------------------------------------------------------
+
+    /** Records still in the ring, oldest first. */
+    std::vector<Record> snapshot() const;
+
+    /** Total records ever emitted (including overwritten ones). */
+    uint64_t totalEmitted() const;
+
+    /** Records lost to ring wrap-around. */
+    uint64_t dropped() const;
+
+    /** Discard all records and reset the drop count. */
+    void clear();
+
+  private:
+    TraceManager();
+
+    void store(Category category, Phase phase, const char *name,
+               uint64_t sim_tick, bool has_sim_tick, double value);
+
+    std::vector<Record> ring_;
+    std::atomic<uint64_t> next_{0};
+    std::function<uint64_t()> tickSource_;
+    const void *tickOwner_ = nullptr;
+};
+
+/**
+ * RAII begin/end span. Emits nothing when the category is disabled
+ * at construction time.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(Category category, const char *name)
+        : category_(category), name_(name), active_(enabled(category))
+    {
+        if (active_)
+            TraceManager::instance().emit(category_, Phase::Begin, name_);
+    }
+
+    ~ScopedSpan()
+    {
+        if (active_)
+            TraceManager::instance().emit(category_, Phase::End, name_);
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    Category category_;
+    const char *name_;
+    bool active_;
+};
+
+/** Emit an instant event when the category is enabled. */
+inline void
+instant(Category category, const char *name)
+{
+    if (enabled(category))
+        TraceManager::instance().emit(category, Phase::Instant, name);
+}
+
+/** Emit a counter sample when the category is enabled. */
+inline void
+counter(Category category, const char *name, double value)
+{
+    if (enabled(category))
+        TraceManager::instance().emit(category, Phase::Counter, name,
+                                      value);
+}
+
+#define WSP_TRACE_CONCAT2(a, b) a##b
+#define WSP_TRACE_CONCAT(a, b) WSP_TRACE_CONCAT2(a, b)
+
+/** Scoped duration event: TRACE_SPAN(Pheap, "undo commit"); */
+#define TRACE_SPAN(cat, name)                                         \
+    ::wsp::trace::ScopedSpan WSP_TRACE_CONCAT(wsp_trace_span_,        \
+                                              __LINE__)(             \
+        ::wsp::trace::Category::cat, name)
+
+/** Point event: TRACE_INSTANT(Power, "PWR_OK drop"); */
+#define TRACE_INSTANT(cat, name)                                      \
+    ::wsp::trace::instant(::wsp::trace::Category::cat, name)
+
+/** Counter sample: TRACE_COUNTER(Power, "rail.v12", volts); */
+#define TRACE_COUNTER(cat, name, value)                               \
+    ::wsp::trace::counter(::wsp::trace::Category::cat, name, value)
+
+} // namespace wsp::trace

@@ -29,6 +29,22 @@ void setLogLevel(LogLevel level);
 /** Get the current global verbosity. */
 LogLevel logLevel();
 
+/**
+ * Apply the WSP_LOG_LEVEL environment variable if set. Accepts
+ * "quiet"/"normal"/"debug" or the numeric levels "0"/"1"/"2"; an
+ * unrecognized value is warned about and ignored. Called once by
+ * bench_util's init(); safe to call repeatedly.
+ */
+void configureLogLevelFromEnv();
+
+/**
+ * Install a sink that also receives every formatted debugLog() line
+ * (without the "debug: " prefix), regardless of the current level.
+ * The tracing layer uses this to turn debug messages into trace
+ * instants. Pass nullptr to uninstall.
+ */
+void setDebugSink(void (*sink)(const char *message));
+
 /** Print an informational message (printf-style) when verbosity allows. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 

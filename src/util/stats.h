@@ -73,6 +73,9 @@ class Histogram
     /** Approximate quantile (0 <= q <= 1) from bucket midpoints. */
     double quantile(double q) const;
 
+    /** Percentile form of quantile(): percentile(99) == quantile(0.99). */
+    double percentile(double p) const { return quantile(p / 100.0); }
+
     /** Render a fixed-width ASCII bar chart. */
     std::string render(size_t width = 50) const;
 
