@@ -18,8 +18,12 @@
  *   --metrics-out=<file>  write the flat metrics snapshot (JSON, or
  *                         CSV when the path ends in .csv) at exit,
  *                         and append one BENCH_<name>.json record
- *                         (bench id, host, wall time, counters) next
- *                         to it for the perf trajectory
+ *                         (bench id, host, wall time, seed,
+ *                         counters) next to it for the perf
+ *                         trajectory
+ *   --seed=N              override the bench's base RNG seed; benches
+ *                         obtain it via rngSeed(default) so the value
+ *                         actually used lands in the bench record
  *
  * finish(check) writes the requested files before returning the exit
  * code, so benches need no extra code beyond init()/finish().
@@ -28,6 +32,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -79,6 +84,8 @@ struct BenchState
     std::string traceOut;
     std::string metricsOut;
     double startedAt = 0.0;
+    uint64_t seed = 0;
+    bool seedExplicit = false;
 };
 
 inline BenchState &
@@ -111,10 +118,13 @@ init(const char *name, int argc, char **argv)
             bench.traceOut = arg + 12;
         } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
             bench.metricsOut = arg + 14;
+        } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+            bench.seed = std::strtoull(arg + 7, nullptr, 0);
+            bench.seedExplicit = true;
         } else if (std::strcmp(arg, "--help") == 0 ||
                    std::strcmp(arg, "-h") == 0) {
             std::printf("usage: %s [--trace-out=FILE] "
-                        "[--metrics-out=FILE]\n"
+                        "[--metrics-out=FILE] [--seed=N]\n"
                         "env: WSP_TRACE=<cat,...|all>  "
                         "WSP_LOG_LEVEL=<quiet|normal|debug>  "
                         "WSP_BENCH_FULL=1\n",
@@ -129,6 +139,20 @@ init(const char *name, int argc, char **argv)
     // was enabled via WSP_TRACE (or the build default), enable all.
     if (!bench.traceOut.empty() && !trace::anyEnabled())
         trace::TraceManager::instance().enableAll();
+}
+
+/**
+ * The base RNG seed for this run: @p fallback unless the user passed
+ * --seed=N. Whatever value wins is recorded in the BENCH_<name>.json
+ * line so any run can be reproduced exactly.
+ */
+inline uint64_t
+rngSeed(uint64_t fallback)
+{
+    auto &bench = detail::state();
+    if (!bench.seedExplicit)
+        bench.seed = fallback;
+    return bench.seed;
 }
 
 /** Write the files requested via init() flags (idempotent). */
@@ -152,7 +176,8 @@ writeOutputs()
         record.erase(slash == std::string::npos ? 0 : slash + 1);
         record += "BENCH_" + bench.name + ".json";
         trace::appendBenchRecord(record, bench.name,
-                                 nowSeconds() - bench.startedAt);
+                                 nowSeconds() - bench.startedAt,
+                                 bench.seed);
     }
 }
 

@@ -120,8 +120,9 @@ main(int argc, char **argv)
     table.setHeader({"p(update)", "FoC+STM", "FoC+UL", "FoF+STM",
                      "FoF+UL", "FoF"});
 
+    const uint64_t base_seed = bench::rngSeed(1000);
     for (double p : probs) {
-        const uint64_t seed = 1000 + static_cast<uint64_t>(p * 100);
+        const uint64_t seed = base_seed + static_cast<uint64_t>(p * 100);
         const double us_foc_stm =
             1e6 * measure<pmem::StmPolicy>(true, p, prepopulate,
                                            operations, seed);

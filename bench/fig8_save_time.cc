@@ -73,13 +73,15 @@ main(int argc, char **argv)
     }
     table.setHeader(header);
 
+    const uint64_t base_seed = bench::rngSeed(1000);
     for (uint64_t bytes : dirty_sizes) {
         std::vector<std::string> row = {formatBytes(bytes)};
         for (size_t p = 0; p < platforms.size(); ++p) {
             RunningStat stat;
             for (int run = 0; run < runs; ++run) {
-                const double ms = measure(platforms[p], bytes,
-                                          1000 + static_cast<uint64_t>(run));
+                const double ms =
+                    measure(platforms[p], bytes,
+                            base_seed + static_cast<uint64_t>(run));
                 stat.add(ms);
                 dists[p].add(ms);
             }

@@ -33,6 +33,28 @@ flushMethodName(FlushMethod method)
     return "unknown";
 }
 
+std::string
+saveOrderName(SaveOrder order)
+{
+    switch (order) {
+      case SaveOrder::MarkerAfterFlush:
+        return "marker-after-flush";
+      case SaveOrder::MarkerBeforeFlush:
+        return "marker-before-flush";
+    }
+    return "unknown";
+}
+
+bool
+SaveRoutine::stepReached(const SaveReport &report, const char *step)
+{
+    for (const auto &timing : report.steps) {
+        if (timing.step == step)
+            return true;
+    }
+    return false;
+}
+
 SaveRoutine::SaveRoutine(MachineModel &machine, PowerMonitor &monitor,
                          ValidMarker &marker, ResumeBlock &resume_block,
                          DeviceManager *devices, const WspConfig &config)
@@ -149,7 +171,12 @@ SaveRoutine::stepContextsAndFlush()
         for (unsigned i = 0; i < machine_.coreCount(); ++i)
             resumeBlock_.saveContext(i, machine_.core(i).context);
         record("save processor contexts", start, queue_.now());
-        stepFinishFlush();
+        // The broken ordering stamps the marker first and flushes
+        // afterwards — the bug the crashsim sweep exists to catch.
+        if (config_.saveOrder == SaveOrder::MarkerBeforeFlush)
+            stepMarkerPrepare();
+        else
+            stepFinishFlush();
     });
 }
 
@@ -180,7 +207,10 @@ SaveRoutine::stepFinishFlush()
         for (unsigned i = 1; i < machine_.coreCount(); ++i)
             machine_.core(i).halted = true;
         record("halt N-1 processors", queue_.now(), queue_.now());
-        stepMarkerPrepare();
+        if (config_.saveOrder == SaveOrder::MarkerBeforeFlush)
+            stepInitiateNvdimmSave(); // marker was stamped already
+        else
+            stepMarkerPrepare();
     });
 }
 
@@ -212,7 +242,10 @@ SaveRoutine::stepMarkerStamp()
             return;
         marker_.stamp();
         record("mark image as valid", start, queue_.now());
-        stepInitiateNvdimmSave();
+        if (config_.saveOrder == SaveOrder::MarkerBeforeFlush)
+            stepFinishFlush();
+        else
+            stepInitiateNvdimmSave();
     });
 }
 

@@ -55,6 +55,17 @@ class SaveRoutine
      */
     Tick predictDuration() const;
 
+    /**
+     * The report of the save attempt in progress (or the last one).
+     * Unlike the done-callback report this is readable after a power
+     * loss cut the routine short, so crash checkers can see exactly
+     * which steps had completed when the lights went out.
+     */
+    const SaveReport &progress() const { return report_; }
+
+    /** True when @p report records completion of @p step. */
+    static bool stepReached(const SaveReport &report, const char *step);
+
   private:
     void stepIpis();
     void stepContextsAndFlush();

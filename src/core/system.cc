@@ -58,6 +58,35 @@ WspSystem::runFor(Tick duration)
     queue_.runUntil(queue_.now() + duration);
 }
 
+NvramImage
+WspSystem::captureNvramImage() const
+{
+    return NvramImage::capture(memory_);
+}
+
+void
+WspSystem::adoptNvramImage(const NvramImage &image)
+{
+    image.adoptInto(memory_);
+}
+
+RestoreReport
+WspSystem::bootFromImage(const NvramImage &image,
+                         std::function<void()> backend_recovery)
+{
+    adoptNvramImage(image);
+    bool boot_done = false;
+    RestoreReport report;
+    wsp_->boot(std::move(backend_recovery), [&](RestoreReport r) {
+        report = r;
+        boot_done = true;
+    });
+    while (!boot_done && queue_.step()) {
+    }
+    WSP_CHECKF(boot_done, "boot from image never completed");
+    return report;
+}
+
 PowerFailureOutcome
 WspSystem::powerFailAndRestore(Tick fail_delay, Tick outage,
                                std::function<void()> backend_recovery)

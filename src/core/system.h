@@ -30,6 +30,7 @@
 #include "devices/device_manager.h"
 #include "machine/machine.h"
 #include "nvram/controller.h"
+#include "nvram/nvram_image.h"
 #include "nvram/nvram_space.h"
 #include "power/power_monitor.h"
 #include "power/psu.h"
@@ -101,6 +102,29 @@ class WspSystem
 
     /** Advance simulated time (runs pending events). */
     void runFor(Tick duration);
+
+    // Crash exploration hooks (src/crashsim) --------------------------
+
+    /**
+     * Snapshot the non-volatile state that would survive pulling the
+     * DIMMs out of this machine: per-module flash plus validity. Call
+     * only once no module is mid save/restore (run the queue past the
+     * outage first).
+     */
+    NvramImage captureNvramImage() const;
+
+    /** Socket a captured image into this (fresh, un-started) system. */
+    void adoptNvramImage(const NvramImage &image);
+
+    /**
+     * Adopt @p image and run the full boot path to completion, as a
+     * replacement chassis would: firmware, NVDIMM restore, marker
+     * check, devices, context restore — or back-end recovery when the
+     * image is unusable. Returns the restore report.
+     */
+    RestoreReport
+    bootFromImage(const NvramImage &image,
+                  std::function<void()> backend_recovery = nullptr);
 
   private:
     SystemConfig config_;

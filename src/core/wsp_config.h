@@ -44,6 +44,24 @@ enum class RestoreMode {
 /** Human-readable restore mode name. */
 std::string restoreModeName(RestoreMode mode);
 
+/**
+ * Order of the valid-marker write relative to the cache flush in the
+ * save routine. MarkerAfterFlush is the paper's (correct) protocol:
+ * the marker is stamped only once every dirty line is safely in
+ * NVRAM. MarkerBeforeFlush is a deliberately broken variant kept for
+ * the crashsim harness: a power loss between the stamp and the flush
+ * leaves a marker that vouches for an image whose application state
+ * never reached memory — the exact bug class the crash-point sweep
+ * must be able to catch.
+ */
+enum class SaveOrder {
+    MarkerAfterFlush,
+    MarkerBeforeFlush,
+};
+
+/** Human-readable save order name. */
+std::string saveOrderName(SaveOrder order);
+
 /** Tunable behaviour of the WSP save/restore machinery. */
 struct WspConfig
 {
@@ -60,6 +78,9 @@ struct WspConfig
 
     /** Arm NVDIMMs for hardware-triggered save on power loss. */
     bool armNvdimms = true;
+
+    /** Marker-vs-flush ordering; only crashsim sets the broken one. */
+    SaveOrder saveOrder = SaveOrder::MarkerAfterFlush;
 
     /** Firmware (BIOS + bootloader) latency on the boot path. */
     Tick firmwareBootLatency = fromSeconds(5.0);

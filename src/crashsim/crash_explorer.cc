@@ -1,0 +1,301 @@
+#include "crashsim/crash_explorer.h"
+
+#include <set>
+
+#include "core/failure_injector.h"
+#include "trace/stat_registry.h"
+#include "trace/trace.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace wsp::crashsim {
+
+namespace {
+
+/** Reference-run residual window: longer than the whole pipeline. */
+constexpr Tick kHugeWindow = fromSeconds(2.0);
+
+/** How far past the AC failure the enumeration run observes. */
+constexpr Tick kObserveSpan = fromMillis(500.0);
+
+} // namespace
+
+SystemConfig
+CrashExplorer::configFor(const CrashSchedule &schedule)
+{
+    SystemConfig config;
+    config.seed = schedule.seed;
+    config.nvdimmCount = 2;
+    config.nvdimm.capacityBytes = 4 * kMiB;
+    config.nvdimm.flashChannels = 1;
+    if (!schedule.withDevices)
+        config.devices.clear();
+    config.wsp.firmwareBootLatency = fromMillis(50.0);
+    config.wsp.osResumeLatency = fromMillis(1.0);
+    config.wsp.hostStackBootLatency = fromMillis(50.0);
+    config.wsp.saveOrder = schedule.saveOrder;
+    config = FailureInjector::withExactWindow(std::move(config),
+                                              schedule.window);
+    if (schedule.undersizedCaps)
+        config = FailureInjector::withUndersizedUltracaps(
+            std::move(config));
+    return config;
+}
+
+CrashPointResult
+CrashExplorer::runSchedule(const CrashSchedule &schedule)
+{
+    CrashPointResult result;
+    result.schedule = schedule;
+
+    // The machine that crashes.
+    WspSystem crashed(configFor(schedule));
+    crashed.start();
+
+    auto checkers = standardCheckers();
+    auto *kv = dynamic_cast<KvPrefixChecker *>(checkers.front().get());
+    for (auto &checker : checkers)
+        checker->prepare(crashed, schedule);
+
+    FailureInjector injector(crashed);
+    if (schedule.drainModule >= 0 &&
+        static_cast<size_t>(schedule.drainModule) <
+            crashed.memory().moduleCount())
+        injector.drainUltracap(
+            static_cast<size_t>(schedule.drainModule),
+            schedule.drainVoltage);
+
+    const auto backendOnCrashed = [&checkers, &crashed]() {
+        for (auto &checker : checkers)
+            checker->onBackendRecovery(crashed);
+    };
+
+    // Optional same-system outage train before the captured crash.
+    for (unsigned cycle = 1; cycle < schedule.trainCycles; ++cycle)
+        crashed.powerFailAndRestore(schedule.trainSpacing,
+                                    schedule.outage, backendOnCrashed);
+
+    // The final failure: power never comes back on this chassis.
+    crashed.psu().failInputAt(crashed.queue().now() +
+                              schedule.failDelay);
+    crashed.runFor(schedule.failDelay + schedule.outage);
+
+    // A module still mid-save runs on its ultracapacitor; let it
+    // conclude (finish or exhaust) before pulling the DIMMs.
+    unsigned guard = 0;
+    while (!crashed.nvdimms().allIdle() && guard++ < 1000)
+        crashed.runFor(fromMillis(10.0));
+    WSP_CHECKF(crashed.nvdimms().allIdle(),
+               "NVDIMMs never settled after the crash");
+
+    // Pull the DIMMs and socket them into a fresh chassis.
+    const NvramImage image = crashed.captureNvramImage();
+    WspSystem revived(configFor(schedule));
+    bool backend_ran = false;
+    result.restore = revived.bootFromImage(
+        image, [&checkers, &revived, &backend_ran]() {
+            backend_ran = true;
+            for (auto &checker : checkers)
+                checker->onBackendRecovery(revived);
+        });
+    result.backendRan = backend_ran;
+    result.appliedOps = kv != nullptr ? kv->appliedOps() : 0;
+
+    for (auto &checker : checkers)
+        checker->check(crashed, revived, result.restore, backend_ran,
+                       &result.violations);
+
+    auto &stats = trace::StatRegistry::instance();
+    stats.counter("crashsim.points_explored").add();
+    if (result.restore.usedWsp)
+        stats.counter("crashsim.wsp_recoveries").add();
+    else
+        stats.counter("crashsim.fallbacks").add();
+    if (!result.held()) {
+        stats.counter("crashsim.violations")
+            .add(result.violations.size());
+        TRACE_INSTANT(Crashsim, "invariant VIOLATED");
+    }
+    return result;
+}
+
+std::vector<Tick>
+CrashExplorer::enumerateCrashPoints(size_t max_points)
+{
+    // Reference run: same scenario, but the residual window is far
+    // longer than the save pipeline, so every step dispatches and the
+    // observer sees the complete event-boundary set.
+    CrashSchedule reference = base_;
+    reference.window = kHugeWindow;
+    reference.trainCycles = 1;
+
+    WspSystem system(configFor(reference));
+    system.start();
+    auto checkers = standardCheckers();
+    for (auto &checker : checkers)
+        checker->prepare(system, reference);
+
+    const Tick fail_at = system.queue().now() + reference.failDelay;
+    std::vector<Tick> dispatches;
+    system.queue().setDispatchObserver(
+        [&dispatches, fail_at](Tick when) {
+            if (when >= fail_at)
+                dispatches.push_back(when);
+        });
+    system.psu().failInputAt(fail_at);
+    system.runFor(reference.failDelay + kObserveSpan);
+    system.queue().setDispatchObserver(nullptr);
+
+    // Windows to sweep: just-before (the hard-loss event at an equal
+    // tick was scheduled first, so it fires first) and just-after
+    // every observed dispatch, plus gap midpoints, plus the edges.
+    std::set<Tick> points{0, 1};
+    Tick prev = fail_at;
+    for (Tick when : dispatches) {
+        const Tick offset = when - fail_at;
+        points.insert(offset);
+        points.insert(offset + 1);
+        if (when > prev + 1)
+            points.insert(((prev - fail_at) + offset) / 2);
+        prev = when;
+    }
+
+    std::vector<Tick> all(points.begin(), points.end());
+    if (all.size() <= max_points)
+        return all;
+    std::vector<Tick> thinned;
+    thinned.reserve(max_points);
+    for (size_t i = 0; i < max_points; ++i)
+        thinned.push_back(all[i * all.size() / max_points]);
+    thinned.back() = all.back(); // always sweep "save completed"
+    inform("crashsim: thinned %zu crash points to %zu",
+           all.size(), thinned.size());
+    return thinned;
+}
+
+SweepReport
+CrashExplorer::sweepEnumerated(bool stop_on_first_violation,
+                               size_t max_points)
+{
+    SweepReport report;
+    for (Tick window : enumerateCrashPoints(max_points)) {
+        CrashSchedule schedule = base_;
+        schedule.window = window;
+        CrashPointResult result = runSchedule(schedule);
+        ++report.points;
+        if (result.restore.usedWsp)
+            ++report.wspRecoveries;
+        else
+            ++report.fallbacks;
+        if (!result.held()) {
+            report.failures.push_back(std::move(result));
+            if (stop_on_first_violation)
+                break;
+        }
+    }
+    return report;
+}
+
+SweepReport
+CrashExplorer::fuzz(unsigned runs, uint64_t seed)
+{
+    SweepReport report;
+    Rng rng(seed);
+    for (unsigned i = 0; i < runs; ++i) {
+        CrashSchedule schedule = base_;
+        schedule.seed = rng();
+        schedule.window = rng.next(fromMillis(40.0) + 1);
+        schedule.ops = 16 + static_cast<unsigned>(rng.next(96));
+        schedule.outage = fromMillis(200.0) + rng.next(fromSeconds(2.0));
+        if (rng.chance(0.25)) {
+            schedule.trainCycles =
+                2 + static_cast<unsigned>(rng.next(3));
+        }
+        if (rng.chance(0.15)) {
+            schedule.drainModule = static_cast<int>(rng.next(2));
+            schedule.drainVoltage = rng.uniform(4.0, 9.0);
+        }
+        if (rng.chance(0.10))
+            schedule.undersizedCaps = true;
+
+        CrashPointResult result = runSchedule(schedule);
+        ++report.points;
+        if (result.restore.usedWsp)
+            ++report.wspRecoveries;
+        else
+            ++report.fallbacks;
+        if (!result.held())
+            report.failures.push_back(std::move(result));
+    }
+    return report;
+}
+
+CrashSchedule
+CrashExplorer::minimize(CrashSchedule failing, unsigned budget)
+{
+    const auto stillFails = [&budget](const CrashSchedule &candidate) {
+        if (budget == 0)
+            return false;
+        --budget;
+        return !runSchedule(candidate).held();
+    };
+
+    if (!stillFails(failing))
+        return failing; // not (or no longer) a failing schedule
+
+    // Greedy shrink to fixpoint: accept any simplification that
+    // preserves the violation.
+    bool changed = true;
+    while (changed && budget > 0) {
+        changed = false;
+        const auto tryAccept = [&](CrashSchedule candidate) {
+            if (candidate == failing)
+                return;
+            if (stillFails(candidate)) {
+                failing = candidate;
+                changed = true;
+            }
+        };
+
+        {
+            CrashSchedule c = failing;
+            c.trainCycles = 1;
+            tryAccept(c);
+        }
+        {
+            CrashSchedule c = failing;
+            c.drainModule = -1;
+            c.drainVoltage = 0.0;
+            tryAccept(c);
+        }
+        {
+            CrashSchedule c = failing;
+            c.undersizedCaps = false;
+            tryAccept(c);
+        }
+        {
+            CrashSchedule c = failing;
+            c.withDevices = false;
+            tryAccept(c);
+        }
+        if (failing.ops > 8) {
+            CrashSchedule c = failing;
+            c.ops /= 2;
+            tryAccept(c);
+        }
+        if (failing.outage > fromMillis(200.0)) {
+            CrashSchedule c = failing;
+            c.outage = fromMillis(200.0);
+            tryAccept(c);
+        }
+        for (Tick grid : {fromMillis(1.0), fromMicros(100.0),
+                          fromMicros(10.0)}) {
+            CrashSchedule c = failing;
+            c.window = c.window / grid * grid;
+            tryAccept(c);
+        }
+    }
+    return failing;
+}
+
+} // namespace wsp::crashsim

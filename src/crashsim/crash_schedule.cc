@@ -1,0 +1,144 @@
+#include "crashsim/crash_schedule.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace wsp::crashsim {
+
+namespace {
+
+constexpr const char *kHeader = "wsp-crash-schedule v1";
+
+} // namespace
+
+std::string
+CrashSchedule::serialize() const
+{
+    std::ostringstream out;
+    out << kHeader << "\n";
+    out << "seed=" << seed << "\n";
+    out << "fail_delay_ns=" << failDelay << "\n";
+    out << "window_ns=" << window << "\n";
+    out << "outage_ns=" << outage << "\n";
+    out << "ops=" << ops << "\n";
+    out << "op_spacing_ns=" << opSpacing << "\n";
+    out << "train_cycles=" << trainCycles << "\n";
+    out << "train_spacing_ns=" << trainSpacing << "\n";
+    out << "drain_module=" << drainModule << "\n";
+    out << "drain_voltage=" << drainVoltage << "\n";
+    out << "undersized_caps=" << (undersizedCaps ? 1 : 0) << "\n";
+    out << "with_devices=" << (withDevices ? 1 : 0) << "\n";
+    out << "save_order="
+        << (saveOrder == SaveOrder::MarkerBeforeFlush
+                ? "marker-before-flush"
+                : "marker-after-flush")
+        << "\n";
+    return out.str();
+}
+
+std::optional<CrashSchedule>
+CrashSchedule::parse(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line) || line != kHeader)
+        return std::nullopt;
+
+    CrashSchedule schedule;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        const size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            return std::nullopt;
+        const std::string key = line.substr(0, eq);
+        const std::string value = line.substr(eq + 1);
+        try {
+            if (key == "seed")
+                schedule.seed = std::stoull(value);
+            else if (key == "fail_delay_ns")
+                schedule.failDelay = std::stoull(value);
+            else if (key == "window_ns")
+                schedule.window = std::stoull(value);
+            else if (key == "outage_ns")
+                schedule.outage = std::stoull(value);
+            else if (key == "ops")
+                schedule.ops = static_cast<unsigned>(std::stoul(value));
+            else if (key == "op_spacing_ns")
+                schedule.opSpacing = std::stoull(value);
+            else if (key == "train_cycles")
+                schedule.trainCycles =
+                    static_cast<unsigned>(std::stoul(value));
+            else if (key == "train_spacing_ns")
+                schedule.trainSpacing = std::stoull(value);
+            else if (key == "drain_module")
+                schedule.drainModule = std::stoi(value);
+            else if (key == "drain_voltage")
+                schedule.drainVoltage = std::stod(value);
+            else if (key == "undersized_caps")
+                schedule.undersizedCaps = value == "1";
+            else if (key == "with_devices")
+                schedule.withDevices = value == "1";
+            else if (key == "save_order")
+                schedule.saveOrder = value == "marker-before-flush"
+                                         ? SaveOrder::MarkerBeforeFlush
+                                         : SaveOrder::MarkerAfterFlush;
+            else
+                return std::nullopt; // unknown key: refuse to guess
+        } catch (const std::exception &) {
+            return std::nullopt;
+        }
+    }
+    if (schedule.trainCycles == 0)
+        return std::nullopt;
+    return schedule;
+}
+
+bool
+CrashSchedule::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write crash schedule to '%s'", path.c_str());
+        return false;
+    }
+    out << serialize();
+    out.close();
+    return static_cast<bool>(out);
+}
+
+std::optional<CrashSchedule>
+CrashSchedule::readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        warn("cannot read crash schedule from '%s'", path.c_str());
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parse(text.str());
+}
+
+std::string
+CrashSchedule::summary() const
+{
+    char line[256];
+    std::snprintf(
+        line, sizeof(line),
+        "window=%s ops=%u train=%u outage=%s%s%s%s%s seed=%llu",
+        formatTime(window).c_str(), ops, trainCycles,
+        formatTime(outage).c_str(),
+        drainModule >= 0 ? " drained-cap" : "",
+        undersizedCaps ? " undersized-caps" : "",
+        withDevices ? " devices" : "",
+        saveOrder == SaveOrder::MarkerBeforeFlush ? " BROKEN-ORDER"
+                                                  : "",
+        static_cast<unsigned long long>(seed));
+    return line;
+}
+
+} // namespace wsp::crashsim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * One fully-specified crash scenario, serializable for replay.
+ *
+ * A CrashSchedule pins down everything that makes a crash run
+ * deterministic: the RNG seed, the workload size, the instant of the
+ * AC failure, the exact residual-energy window (which is where the
+ * hard power loss lands relative to the save sequence), the outage
+ * length, and the sabotage knobs (outage trains, drained or
+ * undersized ultracapacitors, the deliberately broken save order).
+ * The explorer enumerates and fuzzes over schedules; any failing one
+ * is minimized and written to a small text file that tools/crash_replay
+ * re-executes bit-for-bit.
+ */
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/wsp_config.h"
+#include "util/units.h"
+
+namespace wsp::crashsim {
+
+/** Deterministic description of one crash/recovery scenario. */
+struct CrashSchedule
+{
+    /** Seed for the system and the workload stream. */
+    uint64_t seed = 0x43524153ull; // "CRAS"
+
+    /** AC input failure, this long after the workload starts. */
+    Tick failDelay = fromMillis(5.0);
+
+    /**
+     * Exact residual window: the hard power loss lands this long
+     * after the PWR_OK drop. This is the crash instant being swept.
+     */
+    Tick window = fromMillis(33.0);
+
+    /** Outage length before power returns. */
+    Tick outage = fromSeconds(2.0);
+
+    /** KV workload operations scheduled onto the event queue. */
+    unsigned ops = 64;
+
+    /** Spacing between successive workload operations. */
+    Tick opSpacing = fromMicros(50.0);
+
+    /** Same-system outage/restore cycles before the final captured
+     *  crash (1 = no train, just the one crash). */
+    unsigned trainCycles = 1;
+
+    /** Uptime between train cycles. */
+    Tick trainSpacing = fromMillis(5.0);
+
+    /** Pre-drain this module's ultracapacitor (-1 = none). */
+    int drainModule = -1;
+
+    /** Target voltage of the pre-drain. */
+    double drainVoltage = 0.0;
+
+    /** Undersize every module's ultracapacitor bank. */
+    bool undersizedCaps = false;
+
+    /** Attach the paper's device set (slower, more crash points). */
+    bool withDevices = false;
+
+    /** Marker-vs-flush ordering (the broken one is the planted bug). */
+    SaveOrder saveOrder = SaveOrder::MarkerAfterFlush;
+
+    /** Replay-file serialization (text, one key=value per line). */
+    std::string serialize() const;
+
+    /** Parse serialize() output. @return nullopt on malformed input. */
+    static std::optional<CrashSchedule> parse(const std::string &text);
+
+    /** Write the serialized schedule to @p path. */
+    bool writeFile(const std::string &path) const;
+
+    /** Read and parse a schedule file. */
+    static std::optional<CrashSchedule> readFile(const std::string &path);
+
+    /** One-line human summary ("window=2.95ms ops=64 train=1 ..."). */
+    std::string summary() const;
+
+    bool operator==(const CrashSchedule &other) const = default;
+};
+
+} // namespace wsp::crashsim

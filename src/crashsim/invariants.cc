@@ -1,0 +1,253 @@
+#include "crashsim/invariants.h"
+
+#include <cstdio>
+
+#include "apps/kv_store.h"
+#include "util/rng.h"
+
+namespace wsp::crashsim {
+
+namespace {
+
+/** Keys are drawn from [1, kKeyUniverse] so absence is checkable. */
+constexpr uint64_t kKeyUniverse = 128;
+
+} // namespace
+
+void
+addViolation(std::vector<std::string> *violations, const char *fmt, ...)
+{
+    char line[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(line, sizeof(line), fmt, args);
+    va_end(args);
+    violations->emplace_back(line);
+}
+
+// KvPrefixChecker ------------------------------------------------------
+
+void
+KvPrefixChecker::prepare(WspSystem &system, const CrashSchedule &schedule)
+{
+    model_.clear();
+    appliedOps_ = 0;
+
+    apps::KvStore store(system.cache(), kBase, kCapacity);
+    (void)store;
+
+    // Pre-draw the whole operation stream so determinism does not
+    // depend on how far the run gets before the lights go out.
+    Rng rng(schedule.seed ^ 0x6b76ull); // "kv"
+    struct Op
+    {
+        bool isPut;
+        uint64_t key;
+        uint64_t value;
+    };
+    auto ops = std::make_shared<std::vector<Op>>();
+    ops->reserve(schedule.ops);
+    for (unsigned i = 0; i < schedule.ops; ++i) {
+        Op op;
+        op.isPut = rng.chance(0.8);
+        op.key = rng.next(kKeyUniverse) + 1;
+        op.value = rng.next(1u << 20) + 1;
+        ops->push_back(op);
+    }
+
+    // Each operation is its own event: every op boundary is a
+    // distinguishable crash point, and ops silently stop applying
+    // while the machine is down (then resume if a train cycle brings
+    // it back with time to spare).
+    EventQueue &queue = system.queue();
+    for (unsigned i = 0; i < schedule.ops; ++i) {
+        queue.scheduleAfter(
+            static_cast<Tick>(i + 1) * schedule.opSpacing,
+            [this, &system, ops, i]() {
+                if (!system.wsp().running() ||
+                    !system.machine().powerOn())
+                    return;
+                auto store =
+                    apps::KvStore::attach(system.cache(), kBase);
+                if (!store)
+                    return;
+                const Op &op = (*ops)[i];
+                if (op.isPut) {
+                    if (store->put(op.key, op.value))
+                        model_[op.key] = op.value;
+                } else {
+                    store->erase(op.key);
+                    model_.erase(op.key);
+                }
+                ++appliedOps_;
+            });
+    }
+}
+
+void
+KvPrefixChecker::onBackendRecovery(WspSystem &system)
+{
+    // "Fetch from the storage back end": rebuild the store from the
+    // model, exactly what a real KV server would do from its log.
+    apps::KvStore store(system.cache(), kBase, kCapacity);
+    for (const auto &[key, value] : model_)
+        store.put(key, value);
+}
+
+void
+KvPrefixChecker::check(WspSystem &crashed, WspSystem &revived,
+                       const RestoreReport &restore, bool backend_ran,
+                       std::vector<std::string> *violations)
+{
+    (void)crashed;
+    if (!restore.usedWsp && !backend_ran) {
+        addViolation(violations,
+                     "kv-prefix: neither WSP restore nor back-end "
+                     "recovery ran; store state is undefined");
+        return;
+    }
+
+    // Whether the image came back verbatim (WSP) or was rebuilt from
+    // the back end, the revived store must equal the applied prefix.
+    auto store = apps::KvStore::attach(revived.cache(), kBase);
+    if (!store) {
+        addViolation(violations,
+                     "kv-prefix: no valid store header after %s "
+                     "(applied ops: %llu)",
+                     restore.usedWsp ? "WSP restore" : "back-end recovery",
+                     static_cast<unsigned long long>(appliedOps_));
+        return;
+    }
+
+    if (store->size() != model_.size())
+        addViolation(violations,
+                     "kv-prefix: size %llu != expected %llu",
+                     static_cast<unsigned long long>(store->size()),
+                     static_cast<unsigned long long>(model_.size()));
+
+    uint64_t expected_checksum = 0;
+    for (const auto &[key, value] : model_) {
+        // Mirrors KvStore::checksum()'s slot hash.
+        expected_checksum += key * 0x9e3779b97f4a7c15ull + value;
+        uint64_t got = 0;
+        if (!store->get(key, &got))
+            addViolation(violations,
+                         "kv-prefix: key %llu missing (expected %llu)",
+                         static_cast<unsigned long long>(key),
+                         static_cast<unsigned long long>(value));
+        else if (got != value)
+            addViolation(violations,
+                         "kv-prefix: key %llu holds %llu, expected %llu",
+                         static_cast<unsigned long long>(key),
+                         static_cast<unsigned long long>(got),
+                         static_cast<unsigned long long>(value));
+    }
+
+    for (uint64_t key = 1; key <= kKeyUniverse; ++key) {
+        if (model_.count(key) != 0)
+            continue;
+        if (store->get(key))
+            addViolation(violations,
+                         "kv-prefix: stale key %llu present after "
+                         "recovery",
+                         static_cast<unsigned long long>(key));
+    }
+
+    if (store->checksum() != expected_checksum)
+        addViolation(violations,
+                     "kv-prefix: checksum %llu != expected %llu",
+                     static_cast<unsigned long long>(store->checksum()),
+                     static_cast<unsigned long long>(expected_checksum));
+}
+
+// MarkerAtomicityChecker -----------------------------------------------
+
+void
+MarkerAtomicityChecker::check(WspSystem &crashed, WspSystem &revived,
+                              const RestoreReport &restore,
+                              bool backend_ran,
+                              std::vector<std::string> *violations)
+{
+    (void)revived;
+    const SaveReport &save = crashed.wsp().saveRoutine().progress();
+
+    // A marker that decodes as valid must have been stamped by the
+    // save routine; it can never materialize out of a torn write.
+    if (restore.markerValid &&
+        !SaveRoutine::stepReached(save, "mark image as valid"))
+        addViolation(violations,
+                     "marker-atomicity: marker decoded as valid but the "
+                     "stamp step never completed");
+
+    // The paper's protocol: the marker vouches for the image, so a WSP
+    // resume implies the caches were flushed before the crash. The
+    // deliberately broken marker-before-flush order violates exactly
+    // this.
+    if (restore.usedWsp &&
+        !SaveRoutine::stepReached(save, "flush caches (all sockets)"))
+        addViolation(violations,
+                     "marker-atomicity: WSP resume from an image whose "
+                     "caches were never flushed (marker stamped before "
+                     "wbinvd?)");
+
+    const bool image_usable = restore.flashValid &&
+                              restore.markerValid && restore.checksumOk;
+    if (restore.usedWsp != image_usable)
+        addViolation(violations,
+                     "marker-atomicity: usedWsp=%d inconsistent with "
+                     "flashValid=%d markerValid=%d checksumOk=%d",
+                     restore.usedWsp ? 1 : 0, restore.flashValid ? 1 : 0,
+                     restore.markerValid ? 1 : 0,
+                     restore.checksumOk ? 1 : 0);
+
+    // Exactly one recovery path must run.
+    if (restore.usedWsp == backend_ran)
+        addViolation(violations,
+                     "marker-atomicity: usedWsp=%d and backend_ran=%d; "
+                     "exactly one recovery path must run",
+                     restore.usedWsp ? 1 : 0, backend_ran ? 1 : 0);
+}
+
+// DeviceReinitChecker --------------------------------------------------
+
+void
+DeviceReinitChecker::prepare(WspSystem &system,
+                             const CrashSchedule &schedule)
+{
+    (void)schedule;
+    deviceCount_ = system.devices().devices().size();
+}
+
+void
+DeviceReinitChecker::check(WspSystem &crashed, WspSystem &revived,
+                           const RestoreReport &restore, bool backend_ran,
+                           std::vector<std::string> *violations)
+{
+    (void)crashed;
+    (void)revived;
+    (void)backend_ran;
+    if (!restore.usedWsp || deviceCount_ == 0)
+        return;
+
+    // Every device must be accounted for on the restore path: either
+    // restarted or explicitly reported unsupported — none skipped.
+    const size_t accounted = restore.deviceReport.devicesRestarted +
+                             restore.deviceReport.devicesUnsupported;
+    if (accounted != deviceCount_)
+        addViolation(violations,
+                     "device-reinit: %zu of %zu devices accounted for "
+                     "after WSP resume",
+                     accounted, deviceCount_);
+}
+
+std::vector<std::unique_ptr<InvariantChecker>>
+standardCheckers()
+{
+    std::vector<std::unique_ptr<InvariantChecker>> checkers;
+    checkers.push_back(std::make_unique<KvPrefixChecker>());
+    checkers.push_back(std::make_unique<MarkerAtomicityChecker>());
+    checkers.push_back(std::make_unique<DeviceReinitChecker>());
+    return checkers;
+}
+
+} // namespace wsp::crashsim

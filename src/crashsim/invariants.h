@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Pluggable invariant checkers for crash-point exploration.
+ *
+ * A checker sees three moments of a crash run:
+ *
+ *  - prepare():  the pre-crash system, where it installs a workload
+ *    and records what it expects to survive,
+ *  - onBackendRecovery(): invoked inside same-system train cycles
+ *    whenever WSP recovery fell back, so the checker can rebuild its
+ *    application state from the "storage back end" (its own model),
+ *  - check():    after the surviving NVRAM image was socketed into a
+ *    fresh system and booted, where it appends human-readable
+ *    violation strings for anything that does not hold.
+ *
+ * The central invariant (DESIGN.md §5) splits into the concrete
+ * checks here: a WSP restore must reproduce exactly the applied
+ * prefix of the workload; the valid marker must never vouch for an
+ * unflushed image; devices must all be reinitialized; and exactly one
+ * of {WSP restore, back-end recovery} must happen.
+ */
+
+#pragma once
+
+#include <cstdarg>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "crashsim/crash_schedule.h"
+
+namespace wsp::crashsim {
+
+/** Append a printf-formatted violation to @p violations. */
+void addViolation(std::vector<std::string> *violations, const char *fmt,
+                  ...) __attribute__((format(printf, 2, 3)));
+
+/** Interface of one invariant checker. */
+class InvariantChecker
+{
+  public:
+    virtual ~InvariantChecker() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Install workload / record expectations on the pre-crash system. */
+    virtual void prepare(WspSystem &system, const CrashSchedule &schedule)
+    {
+        (void)system;
+        (void)schedule;
+    }
+
+    /** Back-end recovery hook for same-system train cycles. */
+    virtual void onBackendRecovery(WspSystem &system) { (void)system; }
+
+    /**
+     * Judge the revived system. @p crashed is the original machine
+     * (post-outage, power off), @p revived the fresh chassis that
+     * booted from the captured image.
+     */
+    virtual void check(WspSystem &crashed, WspSystem &revived,
+                       const RestoreReport &restore, bool backend_ran,
+                       std::vector<std::string> *violations) = 0;
+};
+
+/**
+ * KV-store prefix consistency: schedules put/erase operations onto
+ * the event queue (they stop applying the instant the power-fail
+ * interrupt lands) and tracks the applied prefix in a volatile model.
+ * A WSP restore must reproduce the model exactly — no missing, extra,
+ * or stale entries.
+ */
+class KvPrefixChecker : public InvariantChecker
+{
+  public:
+    static constexpr uint64_t kBase = 0;
+    static constexpr uint64_t kCapacity = 512;
+
+    const char *name() const override { return "kv-prefix"; }
+    void prepare(WspSystem &system, const CrashSchedule &schedule) override;
+    void onBackendRecovery(WspSystem &system) override;
+    void check(WspSystem &crashed, WspSystem &revived,
+               const RestoreReport &restore, bool backend_ran,
+               std::vector<std::string> *violations) override;
+
+    uint64_t appliedOps() const { return appliedOps_; }
+
+  private:
+    std::map<uint64_t, uint64_t> model_;
+    uint64_t appliedOps_ = 0;
+};
+
+/**
+ * Valid-marker atomicity: a marker that decodes as valid must imply
+ * the stamp step actually executed, and a WSP restore must imply the
+ * caches were flushed before the crash. Also checks the structural
+ * identity usedWsp == (flashValid && markerValid && checksumOk) and
+ * that exactly one recovery path ran.
+ */
+class MarkerAtomicityChecker : public InvariantChecker
+{
+  public:
+    const char *name() const override { return "marker-atomicity"; }
+    void check(WspSystem &crashed, WspSystem &revived,
+               const RestoreReport &restore, bool backend_ran,
+               std::vector<std::string> *violations) override;
+};
+
+/**
+ * Device reinit completeness: after a WSP restore with devices
+ * attached, every device must have been restarted or explicitly
+ * reported unsupported — none silently skipped.
+ */
+class DeviceReinitChecker : public InvariantChecker
+{
+  public:
+    const char *name() const override { return "device-reinit"; }
+    void prepare(WspSystem &system, const CrashSchedule &schedule) override;
+    void check(WspSystem &crashed, WspSystem &revived,
+               const RestoreReport &restore, bool backend_ran,
+               std::vector<std::string> *violations) override;
+
+  private:
+    size_t deviceCount_ = 0;
+};
+
+/** The standard checker set for system-level sweeps. */
+std::vector<std::unique_ptr<InvariantChecker>> standardCheckers();
+
+} // namespace wsp::crashsim

@@ -114,6 +114,19 @@ NvdimmModule::hostWrite(uint64_t addr, std::span<const uint8_t> data)
 }
 
 void
+NvdimmModule::adoptFlashImage(const SparseMemory &flash, bool valid)
+{
+    WSP_CHECKF(state_ == NvdimmState::Active,
+               "%s: adoptFlashImage requires Active (state %s)",
+               name().c_str(), nvdimmStateName(state_).c_str());
+    WSP_CHECKF(flash.capacity() == config_.capacityBytes,
+               "%s: adopted image capacity mismatch", name().c_str());
+    flash_.restoreFrom(flash);
+    flashValid_ = valid;
+    dram_.poison();
+}
+
+void
 NvdimmModule::enterSelfRefresh()
 {
     WSP_CHECKF(state_ == NvdimmState::Active,

@@ -139,6 +139,17 @@ class NvdimmModule : public SimObject
     /** A completed save produced a valid flash image. */
     bool flashValid() const { return flashValid_; }
 
+    /** Deep copy of the current flash content (crashsim capture). */
+    SparseMemory cloneFlash() const { return flash_.snapshot(); }
+
+    /**
+     * Replace the flash content and validity, as if this module had
+     * been pulled from a crashed machine and socketed here: the DRAM
+     * side is poisoned (it was unpowered in transit). Only legal in
+     * Active state, i.e. on a freshly built system.
+     */
+    void adoptFlashImage(const SparseMemory &flash, bool valid);
+
     /** True while a save or restore is in flight. */
     bool busy() const;
 

@@ -1,0 +1,44 @@
+#include "nvram/nvram_image.h"
+
+#include "util/logging.h"
+
+namespace wsp {
+
+NvramImage
+NvramImage::capture(const NvramSpace &space)
+{
+    NvramImage image;
+    image.modules_.reserve(space.moduleCount());
+    for (size_t i = 0; i < space.moduleCount(); ++i) {
+        const NvdimmModule &module = space.module(i);
+        WSP_CHECKF(!module.busy(),
+                   "capture while %s is mid save/restore",
+                   module.name().c_str());
+        image.modules_.push_back(
+            ModuleImage{module.cloneFlash(), module.flashValid()});
+    }
+    return image;
+}
+
+void
+NvramImage::adoptInto(NvramSpace &space) const
+{
+    WSP_CHECKF(space.moduleCount() == modules_.size(),
+               "image has %zu modules, space has %zu", modules_.size(),
+               space.moduleCount());
+    for (size_t i = 0; i < modules_.size(); ++i)
+        space.module(i).adoptFlashImage(modules_[i].flash,
+                                        modules_[i].valid);
+}
+
+bool
+NvramImage::allValid() const
+{
+    for (const auto &module : modules_) {
+        if (!module.valid)
+            return false;
+    }
+    return true;
+}
+
+} // namespace wsp

@@ -33,6 +33,10 @@ class NvramSpace
 
     size_t moduleCount() const { return ranges_.size(); }
     NvdimmModule &module(size_t i) { return *ranges_.at(i).module; }
+    const NvdimmModule &module(size_t i) const
+    {
+        return *ranges_.at(i).module;
+    }
 
     /** Base physical address of module @p i. */
     uint64_t moduleBase(size_t i) const { return ranges_.at(i).base; }

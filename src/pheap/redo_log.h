@@ -53,6 +53,9 @@ class RedoLog
 
     const RedoLogStats &stats() const { return stats_; }
 
+    /** The backing ring; crash sweeps read positions to tear at. */
+    const TornBitLog &log() const { return log_; }
+
     /**
      * Commit a write set: append Begin + Data records + Commit with
      * NT stores, fence so the Commit is ordered after the data, then

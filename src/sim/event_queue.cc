@@ -50,6 +50,8 @@ EventQueue::dispatch(Entry &entry)
     WSP_CHECK(entry.when >= now_);
     now_ = entry.when;
     live_.erase(entry.id);
+    if (dispatchObserver_)
+        dispatchObserver_(entry.when);
     entry.fn();
 }
 

@@ -83,6 +83,18 @@ class EventQueue
     /** Clear a pending stop request. */
     void clearStop() { stopRequested_ = false; }
 
+    /**
+     * Install a callback invoked with the dispatch tick just before
+     * every event fires (nullptr uninstalls). Event boundaries are
+     * exactly the instants at which simulated state changes, so an
+     * observer sees the complete set of distinguishable crash points
+     * of a run; the crashsim enumerator uses this to build its sweep.
+     */
+    void setDispatchObserver(std::function<void(Tick)> observer)
+    {
+        dispatchObserver_ = std::move(observer);
+    }
+
   private:
     struct Entry
     {
@@ -106,6 +118,7 @@ class EventQueue
     void purgeCancelledTop();
 
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+    std::function<void(Tick)> dispatchObserver_;
     std::unordered_set<EventId> live_;
     std::unordered_set<EventId> cancelled_;
     Tick now_ = 0;

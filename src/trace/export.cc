@@ -252,7 +252,7 @@ writeMetrics(const std::string &path)
 
 bool
 appendBenchRecord(const std::string &path, const std::string &bench,
-                  double wall_seconds)
+                  double wall_seconds, uint64_t seed)
 {
     std::ofstream out(path, std::ios::app);
     if (!out) {
@@ -271,6 +271,9 @@ appendBenchRecord(const std::string &path, const std::string &bench,
     line += ",\"host\":" + jsonQuote(hostName());
     line += ",\"utc\":" + jsonQuote(stamp);
     line += ",\"wall_seconds\":" + jsonNumber(wall_seconds);
+    // to_string, not jsonNumber: seeds are full 64-bit values and
+    // must not round-trip through a double.
+    line += ",\"seed\":" + std::to_string(seed);
     line += ",\"counters\":{";
     bool first = true;
     for (const auto &sample : StatRegistry::instance().snapshot()) {

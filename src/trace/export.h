@@ -21,6 +21,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace wsp::trace {
@@ -48,10 +49,11 @@ bool writeMetrics(const std::string &path);
 
 /**
  * Append one bench-result line to @p path (JSON-lines): bench id,
- * host name, wall-clock seconds, and the full counter snapshot.
+ * host name, wall-clock seconds, the RNG seed the run used (0 when
+ * the bench has no randomness), and the full counter snapshot.
  */
 bool appendBenchRecord(const std::string &path, const std::string &bench,
-                       double wall_seconds);
+                       double wall_seconds, uint64_t seed = 0);
 
 /** Escape a string for embedding in a JSON document (adds quotes). */
 std::string jsonQuote(const std::string &text);

@@ -45,6 +45,8 @@ categoryName(Category category)
         return "devices";
       case Category::Apps:
         return "apps";
+      case Category::Crashsim:
+        return "crashsim";
     }
     return "unknown";
 }
@@ -132,7 +134,7 @@ TraceManager::configureFromEnv()
     if (!parseCategoryList(list, &mask)) {
         warn("WSP_TRACE=%s contains an unknown category; expected a "
              "comma list of core,nvram,power,pheap,machine,devices,"
-             "apps or 'all'",
+             "apps,crashsim or 'all'",
              list);
         return enabledMask() != 0;
     }

@@ -37,10 +37,11 @@ enum class Category : uint8_t {
     Machine,
     Devices,
     Apps,
+    Crashsim,
 };
 
 /** Number of categories (mask width). */
-constexpr unsigned kCategoryCount = 7;
+constexpr unsigned kCategoryCount = 8;
 
 /** Mask covering every category. */
 constexpr uint32_t kAllCategories = (1u << kCategoryCount) - 1;

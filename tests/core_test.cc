@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "core/failure_injector.h"
 #include "core/system.h"
 #include "core/valid_marker.h"
 
@@ -441,6 +442,77 @@ TEST(FailureInjection, UnarmedModulesStillRecoverViaExplicitCommand)
     // the residual window.
     EXPECT_TRUE(outcome.restore.usedWsp);
     EXPECT_TRUE(checkPattern(system, 0, 128, 5));
+}
+
+// Failure-injector scenarios ---------------------------------------------
+
+TEST(FailureInjectorScenarios, OutageTrainRecoversEveryCycle)
+{
+    // Five outages back to back: every cycle must recover via WSP
+    // with the memory image intact, the back end never consulted, and
+    // the boot sequence advancing once per cycle.
+    WspSystem system(testConfig());
+    system.start();
+    writePattern(system, 0, 256, 21);
+
+    FailureInjector injector(system);
+    int backend_calls = 0;
+    const int recovered = injector.outageTrain(
+        5, fromMillis(5.0), fromSeconds(1.0), [&] { ++backend_calls; });
+
+    EXPECT_EQ(recovered, 5);
+    EXPECT_EQ(backend_calls, 0);
+    EXPECT_TRUE(checkPattern(system, 0, 256, 21));
+    EXPECT_TRUE(system.wsp().running());
+    EXPECT_EQ(system.wsp().bootSequence(), 1u + 5u);
+}
+
+TEST(FailureInjectorScenarios, ShortWindowTrainFallsBackEachCycle)
+{
+    // A 1 us residual window can never finish a save, so every cycle
+    // of the train must take the back-end path — and still leave the
+    // system running for the next cycle.
+    WspSystem system(
+        FailureInjector::withExactWindow(testConfig(), fromMicros(1.0)));
+    system.start();
+
+    FailureInjector injector(system);
+    int backend_calls = 0;
+    const int recovered = injector.outageTrain(
+        4, fromMillis(5.0), fromSeconds(1.0), [&] { ++backend_calls; });
+
+    EXPECT_EQ(recovered, 0);
+    EXPECT_EQ(backend_calls, 4);
+    EXPECT_TRUE(system.wsp().running());
+}
+
+TEST(FailureInjectorScenarios, DrainedUltracapRechargesAndRecovers)
+{
+    // Drain one bank below its usable floor: the first failure cannot
+    // finish the flash save, so recovery falls back. Power restore
+    // recharges the bank, so a second failure recovers via WSP again.
+    WspSystem system(testConfig());
+    system.start();
+    FailureInjector injector(system);
+    // The drain stops at the usable floor (the ESR drop blocks any
+    // further draw), leaving the bank with almost no usable energy.
+    injector.drainUltracap(0, 5.0);
+    ASSERT_LT(system.memory().module(0).ultracap().voltage(), 6.1);
+
+    bool backend_ran = false;
+    auto first = system.powerFailAndRestore(
+        fromMillis(5.0), fromSeconds(30.0), [&] { backend_ran = true; });
+    EXPECT_FALSE(first.restore.usedWsp);
+    EXPECT_FALSE(system.memory().module(0).flashValid());
+    EXPECT_TRUE(backend_ran);
+
+    writePattern(system, 0, 128, 34);
+    backend_ran = false;
+    auto second = system.powerFailAndRestore(
+        fromMillis(5.0), fromSeconds(30.0), [&] { backend_ran = true; });
+    EXPECT_TRUE(second.restore.usedWsp);
+    EXPECT_FALSE(backend_ran);
+    EXPECT_TRUE(checkPattern(system, 0, 128, 34));
 }
 
 // Prediction --------------------------------------------------------------

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the crash-point exploration harness.
+ *
+ * The exhaustive claims live here: the enumerated sweep over every
+ * distinguishable power-failure instant must hold for the correct
+ * save order, all four pheap disciplines must survive their own
+ * exhaustive sweeps, and the deliberately broken marker-before-flush
+ * order must be caught, minimized, and reproducible from its replay
+ * file.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "crashsim/crash_explorer.h"
+#include "crashsim/pheap_crash.h"
+
+namespace wsp::crashsim {
+namespace {
+
+/** Fast base scenario for the system-level sweeps. */
+CrashSchedule
+fastSchedule()
+{
+    CrashSchedule schedule;
+    schedule.ops = 48;
+    schedule.outage = fromMillis(500.0);
+    return schedule;
+}
+
+// Schedule serialization ----------------------------------------------
+
+TEST(CrashSchedule, SerializationRoundTrips)
+{
+    CrashSchedule schedule;
+    schedule.seed = 0xabcdef;
+    schedule.window = fromMicros(123.0) + 7;
+    schedule.ops = 17;
+    schedule.trainCycles = 3;
+    schedule.drainModule = 1;
+    schedule.drainVoltage = 5.5;
+    schedule.undersizedCaps = true;
+    schedule.withDevices = true;
+    schedule.saveOrder = SaveOrder::MarkerBeforeFlush;
+
+    const auto parsed = CrashSchedule::parse(schedule.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(*parsed == schedule);
+}
+
+TEST(CrashSchedule, ParseRejectsMalformedInput)
+{
+    EXPECT_FALSE(CrashSchedule::parse("").has_value());
+    EXPECT_FALSE(CrashSchedule::parse("not-a-schedule\n").has_value());
+    EXPECT_FALSE(CrashSchedule::parse("wsp-crash-schedule v1\n"
+                                      "unknown_key=3\n")
+                     .has_value());
+    EXPECT_FALSE(CrashSchedule::parse("wsp-crash-schedule v1\n"
+                                      "train_cycles=0\n")
+                     .has_value());
+    EXPECT_FALSE(CrashSchedule::parse("wsp-crash-schedule v1\n"
+                                      "seed=banana\n")
+                     .has_value());
+}
+
+// Single crash points, both regimes -----------------------------------
+
+TEST(CrashPoint, GenerousWindowRecoversViaWsp)
+{
+    CrashSchedule schedule = fastSchedule();
+    schedule.window = fromMillis(200.0); // the whole pipeline fits
+    const CrashPointResult result = CrashExplorer::runSchedule(schedule);
+    EXPECT_TRUE(result.held()) << (result.violations.empty()
+                                       ? ""
+                                       : result.violations.front());
+    EXPECT_TRUE(result.restore.usedWsp);
+    EXPECT_FALSE(result.backendRan);
+    EXPECT_EQ(result.appliedOps, schedule.ops);
+}
+
+TEST(CrashPoint, ZeroWindowFallsBackToBackend)
+{
+    CrashSchedule schedule = fastSchedule();
+    schedule.window = 0; // lights out with the fail interrupt
+    const CrashPointResult result = CrashExplorer::runSchedule(schedule);
+    EXPECT_TRUE(result.held()) << (result.violations.empty()
+                                       ? ""
+                                       : result.violations.front());
+    EXPECT_FALSE(result.restore.usedWsp);
+    EXPECT_TRUE(result.backendRan);
+}
+
+TEST(CrashPoint, DrainedUltracapStillRecoversConsistently)
+{
+    CrashSchedule schedule = fastSchedule();
+    schedule.window = fromMillis(200.0);
+    schedule.drainModule = 0;
+    schedule.drainVoltage = 5.0; // below the DC-DC floor: save fails
+    const CrashPointResult result = CrashExplorer::runSchedule(schedule);
+    EXPECT_TRUE(result.held()) << (result.violations.empty()
+                                       ? ""
+                                       : result.violations.front());
+    // One module's image is unusable, so WSP resume is impossible —
+    // but the invariants still hold via the back end.
+    EXPECT_FALSE(result.restore.usedWsp);
+    EXPECT_TRUE(result.backendRan);
+}
+
+// Enumeration and the exhaustive sweep --------------------------------
+
+TEST(CrashEnumeration, FindsTheWholePipeline)
+{
+    CrashExplorer explorer(fastSchedule());
+    const std::vector<Tick> points = explorer.enumerateCrashPoints(400);
+    EXPECT_GT(points.size(), 20u);
+    // Sorted, unique, starting at the failure instant itself.
+    EXPECT_EQ(points.front(), 0u);
+    for (size_t i = 1; i < points.size(); ++i)
+        EXPECT_LT(points[i - 1], points[i]);
+    // The save pipeline spans milliseconds; enumeration must reach
+    // past the marker stamp into the NVDIMM save.
+    EXPECT_GT(points.back(), fromMillis(5.0));
+}
+
+TEST(CrashSweep, EveryEnumeratedPointHolds)
+{
+    CrashExplorer explorer(fastSchedule());
+    const SweepReport report =
+        explorer.sweepEnumerated(false, 120);
+    EXPECT_TRUE(report.allHeld())
+        << report.failures.size() << " failing points; first: "
+        << (report.failures.empty()
+                ? ""
+                : report.failures.front().schedule.summary() + " - " +
+                      report.failures.front().violations.front());
+    // The sweep must exercise both recovery regimes: early crashes
+    // fall back to the back end, late ones resume via WSP.
+    EXPECT_GT(report.wspRecoveries, 0u);
+    EXPECT_GT(report.fallbacks, 0u);
+    EXPECT_GT(report.points, 20u);
+}
+
+TEST(CrashSweep, OutageTrainPointsHold)
+{
+    CrashSchedule base = fastSchedule();
+    base.trainCycles = 3;
+    base.trainSpacing = fromMillis(2.0);
+    CrashExplorer explorer(base);
+    const SweepReport report = explorer.sweepEnumerated(false, 24);
+    EXPECT_TRUE(report.allHeld())
+        << (report.failures.empty()
+                ? ""
+                : report.failures.front().violations.front());
+}
+
+TEST(CrashFuzz, RandomSchedulesHold)
+{
+    CrashExplorer explorer(fastSchedule());
+    const SweepReport report = explorer.fuzz(12, 0xfadedull);
+    EXPECT_EQ(report.points, 12u);
+    EXPECT_TRUE(report.allHeld())
+        << (report.failures.empty()
+                ? ""
+                : report.failures.front().schedule.summary() + " - " +
+                      report.failures.front().violations.front());
+}
+
+// The planted bug -----------------------------------------------------
+
+TEST(BrokenMarkerOrder, IsCaughtMinimizedAndReplayable)
+{
+    CrashSchedule base = fastSchedule();
+    base.saveOrder = SaveOrder::MarkerBeforeFlush;
+    CrashExplorer explorer(base);
+
+    // The sweep must catch the bug: some window lands between the
+    // (early) marker stamp and the cache flush.
+    const SweepReport report = explorer.sweepEnumerated(true, 120);
+    ASSERT_FALSE(report.allHeld())
+        << "marker-before-flush survived the sweep";
+    const CrashPointResult &failure = report.failures.front();
+    EXPECT_FALSE(failure.violations.empty());
+
+    // Minimization keeps it failing.
+    const CrashSchedule minimized =
+        CrashExplorer::minimize(failure.schedule, 32);
+    EXPECT_EQ(minimized.saveOrder, SaveOrder::MarkerBeforeFlush);
+    const CrashPointResult replayed =
+        CrashExplorer::runSchedule(minimized);
+    EXPECT_FALSE(replayed.held());
+
+    // And the replay file reproduces it bit-for-bit.
+    const std::string path = ::testing::TempDir() +
+                             "wsp_crashsim_replay_" +
+                             std::to_string(::getpid()) + ".txt";
+    ASSERT_TRUE(minimized.writeFile(path));
+    const auto reread = CrashSchedule::readFile(path);
+    ASSERT_TRUE(reread.has_value());
+    EXPECT_TRUE(*reread == minimized);
+    const CrashPointResult from_file =
+        CrashExplorer::runSchedule(*reread);
+    EXPECT_FALSE(from_file.held());
+    EXPECT_EQ(from_file.violations.size(),
+              replayed.violations.size());
+    std::remove(path.c_str());
+}
+
+// Pheap discipline sweeps ---------------------------------------------
+
+class PheapDisciplineSweep
+    : public ::testing::TestWithParam<PheapDiscipline>
+{
+};
+
+TEST_P(PheapDisciplineSweep, ExhaustiveCrashPointsHold)
+{
+    const PheapSweepReport report = sweepPheapCrashPoints(
+        GetParam(), 0x9e3779b9ull, 6, ::testing::TempDir());
+    EXPECT_GT(report.crashPoints, 6u);
+    EXPECT_GT(report.recoveries, 0u);
+    EXPECT_TRUE(report.allHeld())
+        << report.violations.size() << " violations; first: "
+        << (report.violations.empty() ? "" : report.violations.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDisciplines, PheapDisciplineSweep,
+    ::testing::Values(PheapDiscipline::Undo, PheapDiscipline::Stm,
+                      PheapDiscipline::Redo, PheapDiscipline::TornBit),
+    [](const ::testing::TestParamInfo<PheapDiscipline> &info) {
+        return pheapDisciplineName(info.param);
+    });
+
+} // namespace
+} // namespace wsp::crashsim

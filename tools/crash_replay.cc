@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Re-execute a crash schedule written by tools/crash_sweep (or by
+ * CrashSchedule::writeFile from a test). The run is bit-for-bit
+ * deterministic, so a minimized failing schedule reproduces its
+ * violation exactly.
+ *
+ * Exit codes: 0 = invariants held, 2 = violation reproduced,
+ * 1 = unreadable/malformed schedule file.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "crashsim/crash_explorer.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace wsp::crashsim;
+
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: crash_replay <schedule-file>\n");
+        return 1;
+    }
+
+    const auto schedule = CrashSchedule::readFile(argv[1]);
+    if (!schedule) {
+        std::fprintf(stderr,
+                     "crash_replay: cannot parse schedule '%s'\n",
+                     argv[1]);
+        return 1;
+    }
+
+    std::printf("replaying: %s\n", schedule->summary().c_str());
+    const CrashPointResult result =
+        CrashExplorer::runSchedule(*schedule);
+
+    std::printf("restore: usedWsp=%d flashValid=%d markerValid=%d "
+                "checksumOk=%d backend=%d appliedOps=%llu\n",
+                result.restore.usedWsp ? 1 : 0,
+                result.restore.flashValid ? 1 : 0,
+                result.restore.markerValid ? 1 : 0,
+                result.restore.checksumOk ? 1 : 0,
+                result.backendRan ? 1 : 0,
+                static_cast<unsigned long long>(result.appliedOps));
+
+    if (result.held()) {
+        std::printf("all invariants held\n");
+        return 0;
+    }
+    for (const std::string &violation : result.violations)
+        std::printf("VIOLATION: %s\n", violation.c_str());
+    return 2;
+}

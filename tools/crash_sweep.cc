@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Crash-point sweep driver.
+ *
+ * Enumerates every distinguishable power-failure instant of the
+ * standard crash scenario, proves recovery at each one, optionally
+ * fuzzes beyond the enumerable points and sweeps the pheap
+ * disciplines. With --broken-marker the deliberately broken
+ * marker-before-flush save order is used instead; the sweep is then
+ * expected to catch it, minimize the failing schedule, and (with
+ * --replay-out) write a replay file for tools/crash_replay.
+ *
+ * Exit codes: 0 = every invariant held, 3 = violations found,
+ * 1 = bad usage or internal error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "crashsim/crash_explorer.h"
+#include "crashsim/pheap_crash.h"
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: crash_sweep [options]\n"
+        "  --broken-marker     use the marker-before-flush save order\n"
+        "  --fuzz=N            add N fuzzed random schedules\n"
+        "  --points=N          cap enumerated crash points (default 160)\n"
+        "  --pheap             also sweep the pheap disciplines\n"
+        "  --pheap-txns=N      transactions per pheap sweep (default 6)\n"
+        "  --replay-out=PATH   write the minimized failing schedule\n"
+        "  --seed=N            base RNG seed\n"
+        "  --stop-on-first     stop the sweep at the first violation\n");
+}
+
+bool
+parseUint(const char *text, uint64_t *out)
+{
+    char *end = nullptr;
+    *out = std::strtoull(text, &end, 0);
+    return end != nullptr && *end == '\0' && end != text;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace wsp::crashsim;
+
+    CrashSchedule base;
+    uint64_t fuzz_runs = 0;
+    uint64_t max_points = 160;
+    uint64_t pheap_txns = 6;
+    bool sweep_pheap = false;
+    bool stop_on_first = false;
+    std::string replay_out;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--broken-marker") {
+            base.saveOrder = wsp::SaveOrder::MarkerBeforeFlush;
+        } else if (arg.rfind("--fuzz=", 0) == 0) {
+            if (!parseUint(arg.c_str() + 7, &fuzz_runs)) {
+                usage();
+                return 1;
+            }
+        } else if (arg.rfind("--points=", 0) == 0) {
+            if (!parseUint(arg.c_str() + 9, &max_points) ||
+                max_points == 0) {
+                usage();
+                return 1;
+            }
+        } else if (arg == "--pheap") {
+            sweep_pheap = true;
+        } else if (arg.rfind("--pheap-txns=", 0) == 0) {
+            if (!parseUint(arg.c_str() + 13, &pheap_txns)) {
+                usage();
+                return 1;
+            }
+        } else if (arg.rfind("--replay-out=", 0) == 0) {
+            replay_out = arg.substr(13);
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            if (!parseUint(arg.c_str() + 7, &base.seed)) {
+                usage();
+                return 1;
+            }
+        } else if (arg == "--stop-on-first") {
+            stop_on_first = true;
+        } else {
+            usage();
+            return 1;
+        }
+    }
+
+    CrashExplorer explorer(base);
+    bool violated = false;
+
+    SweepReport sweep = explorer.sweepEnumerated(
+        stop_on_first, static_cast<size_t>(max_points));
+    std::printf("enumerated sweep: %zu points, %zu WSP recoveries, "
+                "%zu fallbacks, %zu failing\n",
+                sweep.points, sweep.wspRecoveries, sweep.fallbacks,
+                sweep.failures.size());
+    for (const CrashPointResult &failure : sweep.failures) {
+        std::printf("  FAIL %s\n", failure.schedule.summary().c_str());
+        for (const std::string &violation : failure.violations)
+            std::printf("       %s\n", violation.c_str());
+    }
+    violated |= !sweep.allHeld();
+
+    if (fuzz_runs > 0 && !(violated && stop_on_first)) {
+        SweepReport fuzzed = explorer.fuzz(
+            static_cast<unsigned>(fuzz_runs), base.seed ^ 0xf0f0ull);
+        std::printf("fuzz: %zu runs, %zu WSP recoveries, %zu "
+                    "fallbacks, %zu failing\n",
+                    fuzzed.points, fuzzed.wspRecoveries,
+                    fuzzed.fallbacks, fuzzed.failures.size());
+        for (CrashPointResult &failure : fuzzed.failures) {
+            std::printf("  FAIL %s\n",
+                        failure.schedule.summary().c_str());
+            sweep.failures.push_back(std::move(failure));
+        }
+        violated |= !fuzzed.allHeld();
+    }
+
+    if (sweep_pheap && !(violated && stop_on_first)) {
+        const std::string scratch = "/tmp";
+        for (PheapDiscipline discipline : allPheapDisciplines()) {
+            PheapSweepReport report = sweepPheapCrashPoints(
+                discipline, base.seed,
+                static_cast<int>(pheap_txns), scratch);
+            std::printf("pheap %s: %zu crash points, %zu recoveries, "
+                        "%zu violations\n",
+                        pheapDisciplineName(discipline),
+                        report.crashPoints, report.recoveries,
+                        report.violations.size());
+            for (const std::string &violation : report.violations)
+                std::printf("  FAIL %s\n", violation.c_str());
+            violated |= !report.allHeld();
+        }
+    }
+
+    if (!violated) {
+        std::printf("all invariants held\n");
+        return 0;
+    }
+
+    if (!sweep.failures.empty() && !replay_out.empty()) {
+        std::printf("minimizing first failing schedule...\n");
+        const CrashSchedule minimized =
+            CrashExplorer::minimize(sweep.failures.front().schedule);
+        if (!minimized.writeFile(replay_out))
+            return 1;
+        std::printf("replay file: %s\n  %s\n", replay_out.c_str(),
+                    minimized.summary().c_str());
+    }
+    return 3;
+}
