@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Sharded KV serving throughput vs worker threads.
+ *
+ * The serving-layer half of the parallel tentpole: a lock-striped
+ * ShardedKvStore driven by a real thread pool, swept at 1/2/4/8
+ * workers over 8 shards. Each point reports ops/sec and is checked
+ * against the sequential single-shard reference for observational
+ * equivalence — concurrency must change the wall clock only, never
+ * the final state.
+ *
+ * Shape checks are deliberately lenient on raw scaling (CI boxes may
+ * pin us to few physical cores); the hard claims are equivalence,
+ * determinism, and "more threads never lose ops".
+ */
+
+#include <vector>
+
+#include "apps/kv_service.h"
+#include "bench/bench_util.h"
+#include "trace/stat_registry.h"
+
+using namespace wsp;
+using apps::KvService;
+using apps::KvServiceConfig;
+using apps::KvServiceSummary;
+
+int
+main(int argc, char **argv)
+{
+    bench::init("kv_throughput", argc, argv);
+    const std::vector<unsigned> thread_counts = {1, 2, 4, 8};
+    const uint64_t seed = bench::rngSeed(20260805);
+    const uint64_t ops_per_thread = bench::fullRuns() ? 200000 : 40000;
+
+    Table table("Sharded KV throughput: 8 shards, lock-striped");
+    table.setHeader({"threads", "ops", "wall (ms)", "ops/sec",
+                     "final size", "matches reference"});
+
+    auto &stats = trace::StatRegistry::instance();
+    std::vector<double> ops_per_sec;
+    bool all_equivalent = true;
+    bool deterministic = true;
+    for (unsigned threads : thread_counts) {
+        KvServiceConfig config;
+        config.shards = 8;
+        config.threads = threads;
+        config.perShardCapacity = 4096;
+        config.opsPerThread = ops_per_thread;
+        config.keysPerWorker = 512;
+        config.seed = seed;
+
+        KvService service(config);
+        const KvServiceSummary run = service.run();
+        const KvServiceSummary reference =
+            KvService::runReference(config);
+        const bool equivalent =
+            run.finalSize == reference.finalSize &&
+            run.finalChecksum == reference.finalChecksum &&
+            run.getHits == reference.getHits;
+        all_equivalent = all_equivalent && equivalent;
+
+        // Same seed, same thread count: the fingerprint must repeat.
+        KvService again(config);
+        deterministic = deterministic &&
+                        again.run().fingerprint() == run.fingerprint();
+
+        const double rate =
+            run.wallSeconds > 0.0
+                ? static_cast<double>(run.opsApplied) / run.wallSeconds
+                : 0.0;
+        ops_per_sec.push_back(rate);
+        table.addRow({std::to_string(threads),
+                      std::to_string(run.opsApplied),
+                      formatDouble(run.wallSeconds * 1000.0, 2),
+                      formatDouble(rate, 0),
+                      std::to_string(run.finalSize),
+                      equivalent ? "yes" : "NO"});
+        const std::string prefix =
+            "bench.kv_throughput.t" + std::to_string(threads);
+        stats.gauge(prefix + ".ops_per_sec").set(rate);
+        stats.gauge(prefix + ".ops").set(double(run.opsApplied));
+    }
+    table.print();
+    std::printf("\n");
+
+    AsciiChart chart("KV throughput vs worker threads", "threads",
+                     "ops/sec");
+    Series series{"8 shards", {}, {}};
+    for (size_t i = 0; i < thread_counts.size(); ++i)
+        series.add(thread_counts[i], ops_per_sec[i]);
+    chart.addSeries(series);
+    chart.print();
+
+    ShapeCheck check("Sharded KV throughput");
+    check.expectTrue("every thread count matches the sequential "
+                     "reference state",
+                     all_equivalent);
+    check.expectTrue("same seed reproduces the same fingerprint",
+                     deterministic);
+    for (size_t i = 0; i < thread_counts.size(); ++i)
+        check.expectTrue("positive throughput", ops_per_sec[i] > 0.0);
+    // Lenient scaling claims: striped locking must not collapse under
+    // contention. Multi-thread runs process threads x ops, so even
+    // modest hardware should clear half the single-thread rate.
+    check.expectTrue("2 threads at least match 1 thread's rate x0.5",
+                     ops_per_sec[1] > 0.5 * ops_per_sec[0]);
+    check.expectTrue("8 threads at least match 1 thread's rate x0.5",
+                     ops_per_sec[3] > 0.5 * ops_per_sec[0]);
+    return bench::finish(check);
+}

@@ -1,0 +1,55 @@
+# ThreadSanitizer smoke test, run as a ctest:
+#
+#   cmake -DSOURCE_DIR=<repo> -DOUT_DIR=<dir> -P tsan_smoke.cmake
+#
+# Configures a sub-build of the tree with -DWSP_SANITIZE=thread (the
+# existing sanitizer hook), builds only the concurrency test binary,
+# and runs its genuinely-threaded suites under TSan. The sub-build
+# directory persists across runs, so re-runs are incremental.
+
+if(NOT SOURCE_DIR OR NOT OUT_DIR)
+    message(FATAL_ERROR "tsan_smoke: SOURCE_DIR and OUT_DIR are required")
+endif()
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -G Ninja -S ${SOURCE_DIR} -B ${OUT_DIR}
+        -DCMAKE_BUILD_TYPE=Release
+        -DWSP_SANITIZE=thread
+    RESULT_VARIABLE configure_rc
+    OUTPUT_VARIABLE configure_out
+    ERROR_VARIABLE configure_out
+)
+if(NOT configure_rc EQUAL 0)
+    message(FATAL_ERROR
+        "tsan_smoke: configure failed (rc=${configure_rc}):\n${configure_out}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} --build ${OUT_DIR} --target test_concurrency
+    RESULT_VARIABLE build_rc
+    OUTPUT_VARIABLE build_out
+    ERROR_VARIABLE build_out
+)
+if(NOT build_rc EQUAL 0)
+    message(FATAL_ERROR
+        "tsan_smoke: build failed (rc=${build_rc}):\n${build_out}")
+endif()
+
+# The threaded suites: thread-pool scheduling, concurrent sharded
+# serving vs the sequential reference, and the determinism battery
+# (which runs the pool twice per test). halt_on_error turns any TSan
+# report into a nonzero exit so the ctest fails loudly.
+set(ENV{TSAN_OPTIONS} "halt_on_error=1")
+execute_process(
+    COMMAND ${OUT_DIR}/tests/test_concurrency
+        --gtest_filter=ThreadPool.*:ShardedEquivalence.*:Determinism.*
+    RESULT_VARIABLE run_rc
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_out
+)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR
+        "tsan_smoke: TSan run failed (rc=${run_rc}):\n${run_out}")
+endif()
+message(STATUS "tsan_smoke: threaded suites clean under TSan")

@@ -1,0 +1,234 @@
+#include "apps/kv_service.h"
+
+#include <chrono>
+#include <mutex>
+
+#include "apps/directory_server.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace wsp::apps {
+
+namespace {
+
+/** Per-worker op counters, merged in worker-index order. */
+struct WorkerStats
+{
+    uint64_t ops = 0;
+    uint64_t puts = 0;
+    uint64_t gets = 0;
+    uint64_t getHits = 0;
+    uint64_t erases = 0;
+};
+
+/**
+ * Apply worker @p worker's deterministic op stream to @p store.
+ * Works against both ShardedKvStore and a plain KvStore (the
+ * reference), which share the put/get/erase signatures.
+ */
+template <typename Store>
+WorkerStats
+runWorkerOps(Store &store, const KvServiceConfig &config, unsigned worker)
+{
+    // stream() depends only on (seed, worker), so the draw sequence is
+    // identical no matter which thread runs the worker, or when.
+    Rng rng = Rng(config.seed).stream(worker);
+    const uint64_t lo = 1 + worker * config.keysPerWorker;
+    WorkerStats stats;
+    for (uint64_t i = 0; i < config.opsPerThread; ++i) {
+        const uint64_t key = lo + rng.next(config.keysPerWorker);
+        const double draw = rng.uniform();
+        if (draw < config.putProbability) {
+            const uint64_t value = rng() | 1;
+            WSP_CHECK(store.put(key, value));
+            ++stats.puts;
+        } else if (draw <
+                   config.putProbability + config.eraseProbability) {
+            store.erase(key);
+            ++stats.erases;
+        } else {
+            uint64_t value = 0;
+            if (store.get(key, &value))
+                ++stats.getHits;
+            ++stats.gets;
+        }
+        ++stats.ops;
+    }
+    return stats;
+}
+
+/** Merge per-worker stats (worker order) into a summary. */
+void
+mergeStats(KvServiceSummary &summary, const std::vector<WorkerStats> &stats)
+{
+    for (const WorkerStats &s : stats) {
+        summary.opsApplied += s.ops;
+        summary.puts += s.puts;
+        summary.gets += s.gets;
+        summary.getHits += s.getHits;
+        summary.erases += s.erases;
+    }
+}
+
+uint64_t
+mix(uint64_t h, uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+}
+
+NvdimmConfig
+moduleConfig(uint64_t bytes)
+{
+    NvdimmConfig config;
+    // Round up to a MiB so tiny stores don't create degenerate
+    // modules; flash channels stay on the one-per-GiB auto rule.
+    config.capacityBytes = ((bytes + kMiB - 1) / kMiB) * kMiB;
+    return config;
+}
+
+} // namespace
+
+uint64_t
+KvServiceSummary::fingerprint() const
+{
+    uint64_t h = 0x5753502d6b767376ull; // "WSP-kvsv"
+    h = mix(h, opsApplied);
+    h = mix(h, puts);
+    h = mix(h, gets);
+    h = mix(h, getHits);
+    h = mix(h, erases);
+    h = mix(h, finalSize);
+    h = mix(h, finalChecksum);
+    for (uint64_t size : shardSizes)
+        h = mix(h, size);
+    return h;
+}
+
+ShardEnvironment::ShardEnvironment(const std::string &name,
+                                   uint64_t nvdimm_bytes)
+    : dimm(queue, name, moduleConfig(nvdimm_bytes)),
+      cache(name + ".cache", 2 * kMiB, CacheTiming{}, space)
+{
+    space.addModule(dimm);
+}
+
+KvService::KvService(KvServiceConfig config) : config_(std::move(config))
+{
+    WSP_CHECKF(config_.shards >= 1 &&
+                   (config_.shards & (config_.shards - 1)) == 0,
+               "KvService shard count must be a power of two");
+    WSP_CHECKF(config_.threads >= 1, "KvService needs at least one thread");
+    // Each shard addresses its slice of the striped layout inside its
+    // own private space, so every module must span the full region.
+    const uint64_t region =
+        ShardedKvStore::regionBytes(config_.shards, config_.perShardCapacity);
+    for (unsigned i = 0; i < config_.shards; ++i) {
+        environments_.push_back(std::make_unique<ShardEnvironment>(
+            "kvsvc.shard" + std::to_string(i), region));
+        caches_.push_back(&environments_.back()->cache);
+    }
+    store_ = std::make_unique<ShardedKvStore>(
+        std::span<CacheModel *const>(caches_), 0, config_.perShardCapacity);
+}
+
+KvServiceSummary
+KvService::run()
+{
+    ThreadPool pool(config_.threads);
+    std::vector<WorkerStats> stats(config_.threads);
+    const auto begin = std::chrono::steady_clock::now();
+    pool.runWorkers([this, &stats](unsigned worker) {
+        stats[worker] = runWorkerOps(*store_, config_, worker);
+    });
+    const auto end = std::chrono::steady_clock::now();
+
+    KvServiceSummary summary;
+    mergeStats(summary, stats);
+    summary.finalSize = store_->size();
+    summary.finalChecksum = store_->checksum();
+    summary.shardSizes = store_->shardSizes();
+    summary.wallSeconds =
+        std::chrono::duration<double>(end - begin).count();
+    return summary;
+}
+
+KvServiceSummary
+KvService::runReference(const KvServiceConfig &config)
+{
+    // One shard, total capacity, workers applied sequentially in
+    // worker order. Because workers own disjoint key ranges, this is
+    // observationally the state every interleaving of run() reaches.
+    const uint64_t capacity = config.perShardCapacity * config.shards;
+    ShardEnvironment environment("kvsvc.reference",
+                                 KvStore::regionBytes(capacity));
+    KvStore store(environment.cache, 0, capacity);
+
+    std::vector<WorkerStats> stats(config.threads);
+    for (unsigned worker = 0; worker < config.threads; ++worker)
+        stats[worker] = runWorkerOps(store, config, worker);
+
+    KvServiceSummary summary;
+    mergeStats(summary, stats);
+    summary.finalSize = store.size();
+    summary.finalChecksum = store.checksum();
+    summary.shardSizes = {store.size()};
+    return summary;
+}
+
+uint64_t
+runShardedDirectoryWorkload(unsigned shards, unsigned threads,
+                            uint64_t entries_per_thread, uint64_t seed)
+{
+    WSP_CHECKF(shards >= 1 && (shards & (shards - 1)) == 0,
+               "directory shard count must be a power of two");
+    // Per-shard server in a private heap behind a stripe lock: the
+    // Table 1 data path (parse -> validate -> serialize -> index)
+    // runs concurrently across shards.
+    struct DirectoryShard
+    {
+        DirectoryShard(pmem::PHeapConfig config)
+            : heap(config), server(heap)
+        {
+        }
+        pmem::PHeap heap;
+        DirectoryServer<pmem::RawPolicy> server;
+        std::mutex lock;
+    };
+
+    pmem::PHeapConfig heap_config;
+    heap_config.regionSize = 16 * kMiB; // two 4 MiB logs + header + arena
+    std::vector<std::unique_ptr<DirectoryShard>> stripes;
+    stripes.reserve(shards);
+    for (unsigned i = 0; i < shards; ++i)
+        stripes.push_back(std::make_unique<DirectoryShard>(heap_config));
+
+    ThreadPool pool(threads);
+    pool.runWorkers([&](unsigned worker) {
+        Rng rng = Rng(seed).stream(worker);
+        for (uint64_t i = 0; i < entries_per_thread; ++i) {
+            // Index is globally unique, so DNs never collide across
+            // workers and the final count is exact.
+            const uint64_t index = worker * entries_per_thread + i;
+            const DirectoryEntry entry = randomEntry(rng, index);
+            uint64_t h = 0;
+            for (char c : entry.dn)
+                h = h * 131 + static_cast<unsigned char>(c);
+            DirectoryShard &stripe = *stripes[h & (shards - 1)];
+            std::lock_guard<std::mutex> guard(stripe.lock);
+            const DirectoryResult added =
+                stripe.server.add(renderEntry(entry));
+            WSP_CHECK(added == DirectoryResult::Success);
+            // Read-your-write through the full search path.
+            const DirectoryResult found = stripe.server.search(entry.dn);
+            WSP_CHECK(found == DirectoryResult::Success);
+        }
+    });
+
+    uint64_t total = 0;
+    for (const auto &stripe : stripes)
+        total += stripe->server.entryCount();
+    return total;
+}
+
+} // namespace wsp::apps

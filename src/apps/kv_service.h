@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Concurrent KV serving layer over the sharded store.
+ *
+ * The paper's motivating deployments are main-memory stores serving
+ * heavy concurrent traffic (sections 1-2). KvService is that serving
+ * tier for the simulator: N lock-striped shards, each running over a
+ * *private* simulated environment (event queue, NVDIMM, NVRAM space,
+ * write-back cache), driven by a pool of real worker threads.
+ *
+ * Shard privacy is the concurrency-soundness argument: the cache and
+ * sparse-memory models are deliberately simple and not thread-safe,
+ * so the service gives every shard its own copies and serializes
+ * access per shard with the stripe lock. Two threads on different
+ * shards share no simulator state at all; two threads on the same
+ * shard queue on its mutex, exactly like a striped production store.
+ *
+ * Determinism: worker w draws its operations from Rng::stream(w) —
+ * order-independent of scheduling — and workers operate on disjoint
+ * key ranges, so the final store state and the merged per-worker
+ * counters depend only on the seed, never on thread interleaving.
+ * The same property makes the N-shard run observationally equal to a
+ * sequential single-shard reference, which the concurrency battery
+ * checks.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/kv_store.h"
+#include "machine/cache.h"
+#include "nvram/nvdimm.h"
+#include "nvram/nvram_space.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace wsp::apps {
+
+/** Parameters of one service run. */
+struct KvServiceConfig
+{
+    unsigned shards = 4;  ///< power of two
+    unsigned threads = 4; ///< worker threads driving clients
+    uint64_t perShardCapacity = 4096;
+    uint64_t opsPerThread = 20000;
+
+    /** Keys per worker; worker w owns [1 + w*keysPerWorker,
+     *  (w+1)*keysPerWorker], so interleaving cannot change the final
+     *  state. */
+    uint64_t keysPerWorker = 512;
+
+    double putProbability = 0.5;
+    double eraseProbability = 0.1; ///< remainder are gets
+
+    uint64_t seed = 42;
+};
+
+/** Deterministic outcome of a run (plus wall-clock, which is not). */
+struct KvServiceSummary
+{
+    uint64_t opsApplied = 0;
+    uint64_t puts = 0;
+    uint64_t gets = 0;
+    uint64_t getHits = 0;
+    uint64_t erases = 0;
+    uint64_t finalSize = 0;
+    uint64_t finalChecksum = 0;
+    std::vector<uint64_t> shardSizes;
+
+    /** Wall-clock seconds of the op phase; excluded from the
+     *  fingerprint because it varies run to run. */
+    double wallSeconds = 0.0;
+
+    /** Order-sensitive mix of every deterministic field. */
+    uint64_t fingerprint() const;
+};
+
+/**
+ * One shard's private simulated machine slice. Members are declared
+ * in dependency order: the queue feeds the NVDIMM, the space routes
+ * to it, the cache writes through to the space.
+ */
+struct ShardEnvironment
+{
+    ShardEnvironment(const std::string &name, uint64_t nvdimm_bytes);
+
+    EventQueue queue;
+    NvdimmModule dimm;
+    NvramSpace space;
+    CacheModel cache;
+};
+
+/** The serving tier: shard environments + striped store + pool. */
+class KvService
+{
+  public:
+    explicit KvService(KvServiceConfig config);
+
+    const KvServiceConfig &config() const { return config_; }
+    ShardedKvStore &store() { return *store_; }
+
+    /**
+     * Drive config.threads workers for config.opsPerThread ops each
+     * through the sharded store and return the merged summary.
+     * Repeated calls continue mutating the same store.
+     */
+    KvServiceSummary run();
+
+    /**
+     * Sequential single-shard reference: the same per-worker op
+     * streams applied worker-by-worker to a 1-shard store of equal
+     * total capacity. The concurrency battery checks run() against
+     * this for observational equality.
+     */
+    static KvServiceSummary runReference(const KvServiceConfig &config);
+
+  private:
+    KvServiceConfig config_;
+    std::vector<std::unique_ptr<ShardEnvironment>> environments_;
+    std::vector<CacheModel *> caches_;
+    std::unique_ptr<ShardedKvStore> store_;
+};
+
+/**
+ * Sharded directory serving (the Table 1 workload, striped): worker
+ * threads add and search LDIF entries against per-shard
+ * DirectoryServer instances, each in its own persistent heap behind
+ * its own stripe lock. Returns the summed entry count (deterministic
+ * for the same seed and shape, by the same disjoint-range argument).
+ */
+uint64_t runShardedDirectoryWorkload(unsigned shards, unsigned threads,
+                                     uint64_t entries_per_thread,
+                                     uint64_t seed);
+
+} // namespace wsp::apps

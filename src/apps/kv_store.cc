@@ -168,4 +168,140 @@ KvStore::checksum() const
     return sum;
 }
 
+ShardedKvStore::ShardedKvStore(std::span<CacheModel *const> caches,
+                               uint64_t base, uint64_t per_shard_capacity)
+{
+    const auto shards = static_cast<unsigned>(caches.size());
+    WSP_CHECKF(shards >= 1 && (shards & (shards - 1)) == 0,
+               "shard count must be a power of two");
+    const uint64_t stride = shardStride(per_shard_capacity);
+    shards_.reserve(shards);
+    for (unsigned i = 0; i < shards; ++i) {
+        shards_.emplace_back(*caches[i], base + i * stride,
+                             per_shard_capacity);
+    }
+    locks_ = std::make_unique<std::mutex[]>(shards);
+}
+
+uint64_t
+ShardedKvStore::shardStride(uint64_t per_shard_capacity)
+{
+    const uint64_t bytes = KvStore::regionBytes(per_shard_capacity);
+    return (bytes + CacheModel::kLineSize - 1) & ~(CacheModel::kLineSize - 1);
+}
+
+uint64_t
+ShardedKvStore::regionBytes(unsigned shards, uint64_t per_shard_capacity)
+{
+    return shards * shardStride(per_shard_capacity);
+}
+
+std::optional<ShardedKvStore>
+ShardedKvStore::attach(std::span<CacheModel *const> caches, uint64_t base)
+{
+    const auto shards = static_cast<unsigned>(caches.size());
+    if (shards == 0 || (shards & (shards - 1)) != 0)
+        return std::nullopt;
+    // Shard 0's header fixes the per-shard capacity, hence the stride
+    // at which the remaining shards must be found.
+    auto first = KvStore::attach(*caches[0], base);
+    if (!first)
+        return std::nullopt;
+    const uint64_t stride = shardStride(first->capacity());
+
+    ShardedKvStore store;
+    store.shards_.reserve(shards);
+    store.shards_.push_back(*first);
+    for (unsigned i = 1; i < shards; ++i) {
+        auto shard = KvStore::attach(*caches[i], base + i * stride);
+        if (!shard || shard->capacity() != first->capacity())
+            return std::nullopt;
+        store.shards_.push_back(*shard);
+    }
+    store.locks_ = std::make_unique<std::mutex[]>(shards);
+    return store;
+}
+
+unsigned
+ShardedKvStore::shardOf(uint64_t key) const
+{
+    // Distinct mix from KvStore::probeStart so shard choice and probe
+    // position stay uncorrelated.
+    uint64_t h = key;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 29;
+    return static_cast<unsigned>(h & (shards_.size() - 1));
+}
+
+bool
+ShardedKvStore::put(uint64_t key, uint64_t value)
+{
+    const unsigned shard = shardOf(key);
+    std::lock_guard<std::mutex> guard(locks_[shard]);
+    return shards_[shard].put(key, value);
+}
+
+bool
+ShardedKvStore::get(uint64_t key, uint64_t *value_out) const
+{
+    const unsigned shard = shardOf(key);
+    std::lock_guard<std::mutex> guard(locks_[shard]);
+    return shards_[shard].get(key, value_out);
+}
+
+bool
+ShardedKvStore::erase(uint64_t key)
+{
+    const unsigned shard = shardOf(key);
+    std::lock_guard<std::mutex> guard(locks_[shard]);
+    return shards_[shard].erase(key);
+}
+
+uint64_t
+ShardedKvStore::size() const
+{
+    uint64_t total = 0;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+        std::lock_guard<std::mutex> guard(locks_[i]);
+        total += shards_[i].size();
+    }
+    return total;
+}
+
+uint64_t
+ShardedKvStore::checksum() const
+{
+    // Per-slot terms are order-independent, so the sharded checksum
+    // equals a single-shard store's checksum over the same pairs.
+    uint64_t sum = 0;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+        std::lock_guard<std::mutex> guard(locks_[i]);
+        sum += shards_[i].checksum();
+    }
+    return sum;
+}
+
+std::vector<uint64_t>
+ShardedKvStore::shardSizes() const
+{
+    std::vector<uint64_t> sizes;
+    sizes.reserve(shards_.size());
+    for (size_t i = 0; i < shards_.size(); ++i) {
+        std::lock_guard<std::mutex> guard(locks_[i]);
+        sizes.push_back(shards_[i].size());
+    }
+    return sizes;
+}
+
+void
+ShardedKvStore::forEach(
+    const std::function<void(uint64_t, uint64_t)> &visit) const
+{
+    for (size_t i = 0; i < shards_.size(); ++i) {
+        std::lock_guard<std::mutex> guard(locks_[i]);
+        shards_[i].forEach(visit);
+    }
+}
+
 } // namespace wsp::apps

@@ -15,7 +15,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "machine/cache.h"
 
@@ -82,6 +86,95 @@ class KvStore
     CacheModel &cache_;
     uint64_t base_;
     uint64_t capacity_;
+};
+
+/**
+ * Lock-striped sharded view over N KvStore shards.
+ *
+ * Keys are assigned to shards by a mixed hash, each shard owns a
+ * disjoint NVRAM region (shard i at base + i * shardStride), and each
+ * shard has its own mutex, so operations on different shards never
+ * contend. Two deployment modes:
+ *
+ *  - crashsim mode: every shard runs over the *same* CacheModel (one
+ *    cache pointer repeated). The event queue is single-threaded, so
+ *    the per-shard locks are uncontended formality; what matters is
+ *    that the persistent layout is shard-striped exactly as in the
+ *    concurrent deployment, so crash/recovery invariants cover it.
+ *  - serving mode: every shard gets a *private* CacheModel (and
+ *    backing NVRAM). The simulator's cache and sparse memory are not
+ *    thread-safe, so shard privacy plus the per-shard lock is what
+ *    makes real-thread concurrency sound.
+ *
+ * Shard count must be a power of two.
+ */
+class ShardedKvStore
+{
+  public:
+    /**
+     * Create fresh shards. @p caches supplies one cache per shard
+     * (pointers may repeat for the shared-cache mode); shard count is
+     * caches.size().
+     */
+    ShardedKvStore(std::span<CacheModel *const> caches, uint64_t base,
+                   uint64_t per_shard_capacity);
+
+    /** NVRAM stride between consecutive shards (cache-line aligned). */
+    static uint64_t shardStride(uint64_t per_shard_capacity);
+
+    /** Total NVRAM bytes for @p shards shards. */
+    static uint64_t regionBytes(unsigned shards, uint64_t per_shard_capacity);
+
+    /**
+     * Attach to a previously created sharded store at @p base (after
+     * a restore); shard count is caches.size() and must match the
+     * creation-time count. @return nullopt when any shard header is
+     * invalid or capacities disagree.
+     */
+    static std::optional<ShardedKvStore>
+    attach(std::span<CacheModel *const> caches, uint64_t base);
+
+    unsigned shardCount() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+
+    /** The shard owning @p key. */
+    unsigned shardOf(uint64_t key) const;
+
+    uint64_t perShardCapacity() const { return shards_.front().capacity(); }
+
+    /** Insert or update @p key in its shard. False when full. */
+    bool put(uint64_t key, uint64_t value);
+
+    /** Look up @p key in its shard. */
+    bool get(uint64_t key, uint64_t *value_out = nullptr) const;
+
+    /** Remove @p key; false when absent. */
+    bool erase(uint64_t key);
+
+    /** Total live keys across shards. */
+    uint64_t size() const;
+
+    /** Order-independent checksum across shards. */
+    uint64_t checksum() const;
+
+    /** Live key count per shard (for balance checks). */
+    std::vector<uint64_t> shardSizes() const;
+
+    /** Visit every live pair, shard by shard (scan order). */
+    void forEach(const std::function<void(uint64_t key, uint64_t value)>
+                     &visit) const;
+
+  private:
+    ShardedKvStore() = default;
+
+    KvStore &shardFor(uint64_t key) { return shards_[shardOf(key)]; }
+
+    std::vector<KvStore> shards_;
+    /// Heap-allocated because std::mutex is immovable and the class
+    /// must move (attach returns by value).
+    std::unique_ptr<std::mutex[]> locks_;
 };
 
 } // namespace wsp::apps

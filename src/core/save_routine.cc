@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "trace/stat_registry.h"
 #include "trace/trace.h"
@@ -81,21 +82,29 @@ SaveRoutine::flushCost(unsigned socket) const
 }
 
 void
-SaveRoutine::record(const char *step, Tick start, Tick end)
+SaveRoutine::record(const std::string &step, Tick start, Tick end)
 {
     report_.steps.push_back(StepTiming{step, start, end});
     // Steps complete inside event callbacks with explicit (start, end)
     // ticks, so emit the span retroactively rather than via RAII.
     if (trace::enabled(trace::Category::Core)) {
         auto &manager = trace::TraceManager::instance();
-        manager.emitAt(trace::Category::Core, trace::Phase::Begin, step,
-                       start);
-        manager.emitAt(trace::Category::Core, trace::Phase::End, step,
-                       end);
+        manager.emitAt(trace::Category::Core, trace::Phase::Begin,
+                       step.c_str(), start);
+        manager.emitAt(trace::Category::Core, trace::Phase::End,
+                       step.c_str(), end);
     }
-    char name[48];
-    std::snprintf(name, sizeof(name), "core.save.step%zu_ns",
-                  report_.steps.size());
+    // Gauge names derive from the step name, not its position in the
+    // report: under the parallel flush the per-core steps land in
+    // completion order, so a positional name would bind a different
+    // step from run to run.
+    std::string name = "core.save.step.";
+    for (char c : step) {
+        const bool word = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9');
+        name += word ? c : '_';
+    }
+    name += "_ns";
     trace::StatRegistry::instance().gauge(name).set(
         static_cast<double>(end - start));
 }
@@ -121,13 +130,17 @@ SaveRoutine::run(uint64_t boot_sequence,
         // Fig. 9 shows why this is infeasible within the residual
         // window.
         const Tick start = queue_.now();
-        devices_->suspendAll([this, start](Tick total) {
+        auto after = [this, start](Tick total) {
             if (!machine_.powerOn())
                 return;
             report_.deviceSuspendTime = total;
             record("acpi device suspend", start, queue_.now());
             stepIpis();
-        });
+        };
+        if (config_.parallelDeviceSuspend)
+            devices_->suspendAllParallel(std::move(after));
+        else
+            devices_->suspendAll(std::move(after));
         return;
     }
     stepIpis();
@@ -180,9 +193,23 @@ SaveRoutine::stepContextsAndFlush()
     });
 }
 
+unsigned
+SaveRoutine::flushWorkers(unsigned socket) const
+{
+    (void)socket; // all presets are symmetric across sockets
+    const unsigned cpus = std::max(1u, machine_.spec().logicalCpusPerSocket());
+    if (config_.flushWorkersPerSocket == 0)
+        return cpus;
+    return std::min(config_.flushWorkersPerSocket, cpus);
+}
+
 void
 SaveRoutine::stepFinishFlush()
 {
+    if (config_.parallelFlush) {
+        stepParallelFlush(queue_.now());
+        return;
+    }
     // One designated processor per socket flushes that socket's
     // cache; sockets proceed in parallel, so the barrier is the
     // slowest socket.
@@ -202,16 +229,66 @@ SaveRoutine::stepFinishFlush()
             machine_.socketCache(socket).wbinvd();
         }
         record("flush caches (all sockets)", start, queue_.now());
-
-        // Step 4: halt the N-1 non-control processors.
-        for (unsigned i = 1; i < machine_.coreCount(); ++i)
-            machine_.core(i).halted = true;
-        record("halt N-1 processors", queue_.now(), queue_.now());
-        if (config_.saveOrder == SaveOrder::MarkerBeforeFlush)
-            stepInitiateNvdimmSave(); // marker was stamped already
-        else
-            stepMarkerPrepare();
+        afterFlush();
     });
+}
+
+void
+SaveRoutine::stepParallelFlush(Tick start)
+{
+    // Every logical CPU of a socket flushes its own partition of that
+    // socket's dirty lines; partitions proceed concurrently across the
+    // whole machine, so the residual-energy window is charged the
+    // slowest worker (the barrier), never the sum. Each worker's
+    // completion is its own event: a power loss mid-step leaves
+    // exactly the partitions that finished written back, and each
+    // worker records its own progress step, so the post-failure report
+    // stays readable without any cross-core ordering assumption.
+    Tick worst = 0;
+    auto remaining = std::make_shared<unsigned>(0);
+    for (unsigned socket = 0; socket < machine_.socketCount(); ++socket) {
+        const unsigned workers = flushWorkers(socket);
+        CacheModel &cache = machine_.socketCache(socket);
+        *remaining += workers;
+        for (unsigned w = 0; w < workers; ++w) {
+            const Tick cost = cache.partitionFlushCost(w, workers);
+            worst = std::max(worst, cost);
+            queue_.scheduleAfter(
+                cost, [this, start, socket, w, workers, remaining] {
+                    if (!machine_.powerOn())
+                        return;
+                    machine_.socketCache(socket).flushPartition(w, workers);
+                    char step[64];
+                    std::snprintf(step, sizeof(step),
+                                  "flush partition socket%u core%u", socket,
+                                  w);
+                    record(step, start, queue_.now());
+                    WSP_CHECK(*remaining > 0);
+                    if (--*remaining > 0)
+                        return;
+                    // Barrier: the canonical step name is recorded
+                    // only when every partition is in NVRAM, so the
+                    // marker-ordering invariants hold unchanged.
+                    record("flush caches (all sockets)", start,
+                           queue_.now());
+                    afterFlush();
+                });
+        }
+    }
+    report_.cacheFlushTime = worst;
+}
+
+void
+SaveRoutine::afterFlush()
+{
+    // Step 4: halt the N-1 non-control processors.
+    for (unsigned i = 1; i < machine_.coreCount(); ++i)
+        machine_.core(i).halted = true;
+    record("halt N-1 processors", queue_.now(), queue_.now());
+    if (config_.saveOrder == SaveOrder::MarkerBeforeFlush)
+        stepInitiateNvdimmSave(); // marker was stamped already
+    else
+        stepMarkerPrepare();
 }
 
 void
@@ -287,8 +364,14 @@ SaveRoutine::predictDuration() const
     total += machine_.socketCache(0).clflushLoopCost(slot_lines);
 
     Tick worst = 0;
-    for (unsigned socket = 0; socket < machine_.socketCount(); ++socket)
-        worst = std::max(worst, flushCost(socket));
+    for (unsigned socket = 0; socket < machine_.socketCount(); ++socket) {
+        const Tick cost =
+            config_.parallelFlush
+                ? machine_.socketCache(socket).parallelFlushCost(
+                      flushWorkers(socket))
+                : flushCost(socket);
+        worst = std::max(worst, cost);
+    }
     total += worst;
 
     // Header + marker lines + command issue.

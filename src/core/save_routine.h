@@ -70,6 +70,8 @@ class SaveRoutine
     void stepIpis();
     void stepContextsAndFlush();
     void stepFinishFlush();
+    void stepParallelFlush(Tick start);
+    void afterFlush();
     void stepMarkerPrepare();
     void stepMarkerStamp();
     void stepInitiateNvdimmSave();
@@ -80,7 +82,17 @@ class SaveRoutine
     /** Execute the functional flush for @p socket. */
     Tick executeFlush(unsigned socket);
 
-    void record(const char *step, Tick start, Tick end);
+    /** Flush workers driving @p socket's cache under parallelFlush. */
+    unsigned flushWorkers(unsigned socket) const;
+
+    /**
+     * Append one completed step to the progress report. Steps carry
+     * explicit (start, end) ticks, so per-core steps of the parallel
+     * flush may be recorded in completion order — readers sort by
+     * time, never by position. Also safe after a power loss cut the
+     * routine short: whatever was recorded stays readable.
+     */
+    void record(const std::string &step, Tick start, Tick end);
 
     MachineModel &machine_;
     PowerMonitor &monitor_;

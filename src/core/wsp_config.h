@@ -82,6 +82,27 @@ struct WspConfig
     /** Marker-vs-flush ordering; only crashsim sets the broken one. */
     SaveOrder saveOrder = SaveOrder::MarkerAfterFlush;
 
+    /**
+     * Parallel flush-on-fail: partition each socket cache's dirty
+     * lines across its cores and flush the partitions concurrently,
+     * charging the residual window the slowest core instead of a
+     * whole-cache walk. Off by default so the calibrated Table 2 /
+     * Fig. 8 wbinvd numbers keep reproducing.
+     */
+    bool parallelFlush = false;
+
+    /** Flush workers per socket under parallelFlush (0 = all the
+     *  socket's logical CPUs). */
+    unsigned flushWorkersPerSocket = 0;
+
+    /**
+     * Suspend independent devices in parallel waves (grouped by
+     * DeviceConfig::suspendWave) instead of the sequential ACPI walk.
+     * Only meaningful with DevicePolicy::AcpiSuspendOnSave; off by
+     * default so Fig. 9 keeps measuring the sequential strawman.
+     */
+    bool parallelDeviceSuspend = false;
+
     /** Firmware (BIOS + bootloader) latency on the boot path. */
     Tick firmwareBootLatency = fromSeconds(5.0);
 

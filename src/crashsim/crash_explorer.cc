@@ -34,6 +34,7 @@ CrashExplorer::configFor(const CrashSchedule &schedule)
     config.wsp.osResumeLatency = fromMillis(1.0);
     config.wsp.hostStackBootLatency = fromMillis(50.0);
     config.wsp.saveOrder = schedule.saveOrder;
+    config.wsp.parallelFlush = schedule.parallelSave;
     config = FailureInjector::withExactWindow(std::move(config),
                                               schedule.window);
     if (schedule.undersizedCaps)
@@ -217,6 +218,12 @@ CrashExplorer::fuzz(unsigned runs, uint64_t seed)
         }
         if (rng.chance(0.10))
             schedule.undersizedCaps = true;
+        if (rng.chance(0.30)) {
+            // Exercise the parallel regime: striped store and/or the
+            // per-core flush path.
+            schedule.shards = 1u << rng.next(4); // 1, 2, 4, or 8
+            schedule.parallelSave = rng.chance(0.67);
+        }
 
         CrashPointResult result = runSchedule(schedule);
         ++report.points;

@@ -36,6 +36,8 @@ CrashSchedule::serialize() const
                 ? "marker-before-flush"
                 : "marker-after-flush")
         << "\n";
+    out << "shards=" << shards << "\n";
+    out << "parallel_save=" << (parallelSave ? 1 : 0) << "\n";
     return out.str();
 }
 
@@ -86,6 +88,10 @@ CrashSchedule::parse(const std::string &text)
                 schedule.saveOrder = value == "marker-before-flush"
                                          ? SaveOrder::MarkerBeforeFlush
                                          : SaveOrder::MarkerAfterFlush;
+            else if (key == "shards")
+                schedule.shards = static_cast<unsigned>(std::stoul(value));
+            else if (key == "parallel_save")
+                schedule.parallelSave = value == "1";
             else
                 return std::nullopt; // unknown key: refuse to guess
         } catch (const std::exception &) {
@@ -93,6 +99,9 @@ CrashSchedule::parse(const std::string &text)
         }
     }
     if (schedule.trainCycles == 0)
+        return std::nullopt;
+    if (schedule.shards == 0 ||
+        (schedule.shards & (schedule.shards - 1)) != 0)
         return std::nullopt;
     return schedule;
 }
@@ -129,7 +138,7 @@ CrashSchedule::summary() const
     char line[256];
     std::snprintf(
         line, sizeof(line),
-        "window=%s ops=%u train=%u outage=%s%s%s%s%s seed=%llu",
+        "window=%s ops=%u train=%u outage=%s%s%s%s%s%s seed=%llu",
         formatTime(window).c_str(), ops, trainCycles,
         formatTime(outage).c_str(),
         drainModule >= 0 ? " drained-cap" : "",
@@ -137,8 +146,12 @@ CrashSchedule::summary() const
         withDevices ? " devices" : "",
         saveOrder == SaveOrder::MarkerBeforeFlush ? " BROKEN-ORDER"
                                                   : "",
+        parallelSave ? " parallel-save" : "",
         static_cast<unsigned long long>(seed));
-    return line;
+    std::string text = line;
+    if (shards > 1)
+        text += " shards=" + std::to_string(shards);
+    return text;
 }
 
 } // namespace wsp::crashsim

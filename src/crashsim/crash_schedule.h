@@ -69,6 +69,12 @@ struct CrashSchedule
     /** Marker-vs-flush ordering (the broken one is the planted bug). */
     SaveOrder saveOrder = SaveOrder::MarkerAfterFlush;
 
+    /** KV shards the workload stripes over (power of two). */
+    unsigned shards = 1;
+
+    /** Run the save with the parallel per-core flush path. */
+    bool parallelSave = false;
+
     /** Replay-file serialization (text, one key=value per line). */
     std::string serialize() const;
 

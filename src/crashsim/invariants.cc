@@ -12,6 +12,28 @@ namespace {
 /** Keys are drawn from [1, kKeyUniverse] so absence is checkable. */
 constexpr uint64_t kKeyUniverse = 128;
 
+/**
+ * Attach the checker's store as @p shards stripes over the system's
+ * (single) cache. The striped layout with shards == 1 is bit-for-bit
+ * the plain KvStore layout, so one code path covers both regimes.
+ */
+std::optional<apps::ShardedKvStore>
+attachCheckerStore(WspSystem &system, unsigned shards)
+{
+    std::vector<CacheModel *> caches(shards, &system.cache());
+    return apps::ShardedKvStore::attach(
+        std::span<CacheModel *const>(caches), KvPrefixChecker::kBase);
+}
+
+apps::ShardedKvStore
+createCheckerStore(WspSystem &system, unsigned shards)
+{
+    std::vector<CacheModel *> caches(shards, &system.cache());
+    return apps::ShardedKvStore(std::span<CacheModel *const>(caches),
+                                KvPrefixChecker::kBase,
+                                KvPrefixChecker::kCapacity / shards);
+}
+
 } // namespace
 
 void
@@ -32,9 +54,11 @@ KvPrefixChecker::prepare(WspSystem &system, const CrashSchedule &schedule)
 {
     model_.clear();
     appliedOps_ = 0;
+    shards_ = schedule.shards;
+    WSP_CHECKF(shards_ >= 1 && kCapacity % shards_ == 0,
+               "kv-prefix shard count must divide the capacity");
 
-    apps::KvStore store(system.cache(), kBase, kCapacity);
-    (void)store;
+    createCheckerStore(system, shards_);
 
     // Pre-draw the whole operation stream so determinism does not
     // depend on how far the run gets before the lights go out.
@@ -67,8 +91,7 @@ KvPrefixChecker::prepare(WspSystem &system, const CrashSchedule &schedule)
                 if (!system.wsp().running() ||
                     !system.machine().powerOn())
                     return;
-                auto store =
-                    apps::KvStore::attach(system.cache(), kBase);
+                auto store = attachCheckerStore(system, shards_);
                 if (!store)
                     return;
                 const Op &op = (*ops)[i];
@@ -89,7 +112,7 @@ KvPrefixChecker::onBackendRecovery(WspSystem &system)
 {
     // "Fetch from the storage back end": rebuild the store from the
     // model, exactly what a real KV server would do from its log.
-    apps::KvStore store(system.cache(), kBase, kCapacity);
+    apps::ShardedKvStore store = createCheckerStore(system, shards_);
     for (const auto &[key, value] : model_)
         store.put(key, value);
 }
@@ -109,7 +132,7 @@ KvPrefixChecker::check(WspSystem &crashed, WspSystem &revived,
 
     // Whether the image came back verbatim (WSP) or was rebuilt from
     // the back end, the revived store must equal the applied prefix.
-    auto store = apps::KvStore::attach(revived.cache(), kBase);
+    auto store = attachCheckerStore(revived, shards_);
     if (!store) {
         addViolation(violations,
                      "kv-prefix: no valid store header after %s "

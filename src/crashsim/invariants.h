@@ -71,12 +71,17 @@ class InvariantChecker
  * interrupt lands) and tracks the applied prefix in a volatile model.
  * A WSP restore must reproduce the model exactly — no missing, extra,
  * or stale entries.
+ *
+ * When the schedule sets shards > 1, the workload runs against a
+ * lock-striped ShardedKvStore laid out over the same NVRAM (total
+ * capacity kCapacity split evenly), so the sweep proves the striped
+ * persistent layout recovers under the same prefix contract.
  */
 class KvPrefixChecker : public InvariantChecker
 {
   public:
     static constexpr uint64_t kBase = 0;
-    static constexpr uint64_t kCapacity = 512;
+    static constexpr uint64_t kCapacity = 512; ///< total across shards
 
     const char *name() const override { return "kv-prefix"; }
     void prepare(WspSystem &system, const CrashSchedule &schedule) override;
@@ -90,6 +95,7 @@ class KvPrefixChecker : public InvariantChecker
   private:
     std::map<uint64_t, uint64_t> model_;
     uint64_t appliedOps_ = 0;
+    unsigned shards_ = 1;
 };
 
 /**

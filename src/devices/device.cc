@@ -202,6 +202,7 @@ diskConfig()
     config.busyQueueDepth = 32;
     config.serialDrain = true;
     config.supportsPnpRestart = false; // holds the paging file
+    config.suspendWave = 1; // other drivers may page while quiescing
     return config;
 }
 

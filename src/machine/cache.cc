@@ -158,6 +158,59 @@ CacheModel::wbinvd()
     return cost;
 }
 
+size_t
+CacheModel::partitionDirtyLines(unsigned worker, unsigned workers) const
+{
+    WSP_CHECK(workers >= 1 && worker < workers);
+    size_t lines = 0;
+    for (const auto &[base, line] : dirty_) {
+        (void)line;
+        if ((base / kLineSize) % workers == worker)
+            ++lines;
+    }
+    return lines;
+}
+
+Tick
+CacheModel::partitionFlushCost(unsigned worker, unsigned workers) const
+{
+    const auto lines =
+        static_cast<uint64_t>(partitionDirtyLines(worker, workers));
+    // The clflush issue walk and the write-back traffic overlap
+    // poorly when every line is dirty, so both terms are charged.
+    const double writeback = static_cast<double>(lines * kLineSize) /
+                             timing_.memoryBwBytesPerSec;
+    return timing_.partitionFlushFixed + timing_.clflushPerLine * lines +
+           fromSeconds(writeback);
+}
+
+Tick
+CacheModel::parallelFlushCost(unsigned workers) const
+{
+    Tick worst = 0;
+    for (unsigned w = 0; w < workers; ++w)
+        worst = std::max(worst, partitionFlushCost(w, workers));
+    return worst;
+}
+
+void
+CacheModel::flushPartition(unsigned worker, unsigned workers)
+{
+    WSP_CHECK(workers >= 1 && worker < workers);
+    std::vector<uint64_t> mine;
+    mine.reserve(dirty_.size() / workers + 1);
+    for (const auto &[base, line] : dirty_) {
+        (void)line;
+        if ((base / kLineSize) % workers == worker)
+            mine.push_back(base);
+    }
+    for (uint64_t base : mine)
+        writeBack(base);
+    auto &registry = trace::StatRegistry::instance();
+    registry.counter("machine.partition_flushes").add();
+    registry.counter("machine.partition_flush_lines").add(mine.size());
+}
+
 Tick
 CacheModel::theoreticalBestCost() const
 {

@@ -52,6 +52,13 @@ struct CacheTiming
 
     /** Per-line cost of a clflush loop (issue + walk). */
     Tick clflushPerLine = 9;
+
+    /**
+     * Per-worker setup cost of the partitioned parallel flush: each
+     * flush worker reads its partition descriptor and arms its local
+     * line walk before the first clflush retires.
+     */
+    Tick partitionFlushFixed = fromMicros(3.0);
 };
 
 /**
@@ -116,6 +123,37 @@ class CacheModel
 
     /** Lower bound: cache size over memory bandwidth (Table 2). */
     Tick theoreticalBestCost() const;
+
+    // Partitioned parallel flush ---------------------------------------
+    //
+    // The save routine's parallel path splits the dirty lines of one
+    // socket cache across that socket's cores: line L belongs to
+    // worker (L / kLineSize) mod workers, a stable assignment that
+    // needs no coordination. Each core clflushes only its own
+    // partition, so the step costs the *slowest worker*, not the sum
+    // — the paper's observation that flush-on-fail is embarrassingly
+    // parallel. (This relies on the per-core dirty-line directory the
+    // simulator keeps; wbinvd needs no such directory but cannot be
+    // split.)
+
+    /** Dirty lines assigned to @p worker of @p workers. */
+    size_t partitionDirtyLines(unsigned worker, unsigned workers) const;
+
+    /**
+     * Modelled cost of @p worker's partition flush: fixed setup plus
+     * a clflush walk over its dirty lines plus its share of the
+     * write-back traffic.
+     */
+    Tick partitionFlushCost(unsigned worker, unsigned workers) const;
+
+    /** Cost of the whole parallel flush: the slowest worker. */
+    Tick parallelFlushCost(unsigned workers) const;
+
+    /**
+     * Write back and drop every dirty line of @p worker's partition
+     * (the functional effect of that core's flush completing).
+     */
+    void flushPartition(unsigned worker, unsigned workers);
 
     /**
      * Dirty @p bytes of cache by writing a pseudo-random pattern to

@@ -51,6 +51,12 @@ struct PlatformSpec
     {
         return sockets * coresPerSocket * threadsPerCore;
     }
+
+    unsigned
+    logicalCpusPerSocket() const
+    {
+        return coresPerSocket * threadsPerCore;
+    }
 };
 
 /** 2-socket Intel C5528 "Nehalem" testbed: 8 MB L3 per socket. */

@@ -34,6 +34,25 @@ struct SystemLoad
     {
         return load == LoadClass::Busy ? busyWatts : idleWatts;
     }
+
+    /**
+     * Wall power while @p active_cores of @p total_cores are running
+     * the save path. The busy/idle gap is mostly core activity, so
+     * the active-core fraction of it is added onto the idle floor —
+     * the parallel flush keeps every core busy and must pay for it,
+     * while the sequential walk idles N-1 cores after the IPI.
+     */
+    double
+    wattsDuringSave(unsigned active_cores, unsigned total_cores) const
+    {
+        if (total_cores == 0)
+            return idleWatts;
+        const double fraction =
+            static_cast<double>(active_cores > total_cores ? total_cores
+                                                           : active_cores) /
+            static_cast<double>(total_cores);
+        return idleWatts + (busyWatts - idleWatts) * fraction;
+    }
 };
 
 /** 2-socket Intel C5528 testbed, 48 GB DDR3. */

@@ -145,12 +145,34 @@ class Rng
 
     /**
      * Fork an independent child stream; children of distinct indexes
-     * are decorrelated from each other and from the parent.
+     * are decorrelated from each other and from the parent. NOTE:
+     * fork() advances this generator, so the child depends on how
+     * many draws preceded it. Concurrent workers must use stream()
+     * instead, which is order-independent.
      */
     Rng
     fork(uint64_t index)
     {
         uint64_t sm = (*this)() ^ (index * 0x9e3779b97f4a7c15ull);
+        return Rng(splitMix64(sm));
+    }
+
+    /**
+     * Independently-seeded stream for worker @p index, derived from
+     * this generator's current state WITHOUT advancing it. Unlike
+     * fork(), the result depends only on (state, index), never on the
+     * order or number of other stream() calls — so a thread pool can
+     * hand worker w stream(w) and stay deterministic no matter how
+     * the workers are scheduled.
+     */
+    Rng
+    stream(uint64_t index) const
+    {
+        uint64_t sm = state_[0] ^ rotl(state_[1], 17) ^
+                      rotl(state_[2], 31) ^ rotl(state_[3], 47) ^
+                      ((index + 1) * 0x9e3779b97f4a7c15ull);
+        // Two splitmix rounds decorrelate adjacent indexes.
+        (void)splitMix64(sm);
         return Rng(splitMix64(sm));
     }
 

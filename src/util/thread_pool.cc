@@ -1,0 +1,77 @@
+#include "util/thread_pool.h"
+
+#include "util/logging.h"
+
+namespace wsp {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    WSP_CHECK(threads >= 1);
+    workers_.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop(unsigned worker)
+{
+    uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(unsigned)> *job = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this, seen] {
+                return shutdown_ || generation_ != seen;
+            });
+            if (shutdown_)
+                return;
+            seen = generation_;
+            job = job_;
+        }
+        (*job)(worker);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--remaining_ == 0)
+                done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::runWorkers(const std::function<void(unsigned)> &fn)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    WSP_CHECKF(remaining_ == 0, "ThreadPool::runWorkers re-entered");
+    job_ = &fn;
+    remaining_ = threadCount();
+    ++generation_;
+    wake_.notify_all();
+    done_.wait(lock, [this] { return remaining_ == 0; });
+    job_ = nullptr;
+}
+
+void
+ThreadPool::parallelFor(
+    uint64_t items,
+    const std::function<void(uint64_t, uint64_t, unsigned)> &fn)
+{
+    const unsigned workers = threadCount();
+    runWorkers([items, workers, &fn](unsigned w) {
+        const auto [begin, end] = partition(items, workers, w);
+        if (begin < end)
+            fn(begin, end, w);
+    });
+}
+
+} // namespace wsp

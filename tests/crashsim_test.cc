@@ -169,6 +169,86 @@ TEST(CrashFuzz, RandomSchedulesHold)
                       report.failures.front().violations.front());
 }
 
+// Parallel save path and sharded store --------------------------------
+
+TEST(ParallelCrash, SerializationRoundTripsParallelFields)
+{
+    CrashSchedule schedule = fastSchedule();
+    schedule.shards = 4;
+    schedule.parallelSave = true;
+    const auto parsed = CrashSchedule::parse(schedule.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(*parsed == schedule);
+    EXPECT_FALSE(CrashSchedule::parse("wsp-crash-schedule v1\n"
+                                      "shards=3\n")
+                     .has_value());
+}
+
+TEST(ParallelCrash, EveryEnumeratedPointHoldsWithShardsAndParallelSave)
+{
+    // The tentpole sweep: striped persistent layout AND the per-core
+    // parallel flush, across every distinguishable crash instant —
+    // including instants where only *some* partition workers had
+    // finished their flush.
+    CrashSchedule base = fastSchedule();
+    base.shards = 4;
+    base.parallelSave = true;
+    CrashExplorer explorer(base);
+    const SweepReport report = explorer.sweepEnumerated(false, 120);
+    EXPECT_TRUE(report.allHeld())
+        << report.failures.size() << " failing points; first: "
+        << (report.failures.empty()
+                ? ""
+                : report.failures.front().schedule.summary() + " - " +
+                      report.failures.front().violations.front());
+    EXPECT_GT(report.wspRecoveries, 0u);
+    EXPECT_GT(report.fallbacks, 0u);
+    EXPECT_GT(report.points, 20u);
+}
+
+TEST(ParallelCrash, ParallelSaveRecordsPerCoreSteps)
+{
+    // Per-core-safe progress accounting: a generous-window run must
+    // record one flush step per (socket, worker) plus the canonical
+    // barrier step the marker invariants key on.
+    CrashSchedule schedule = fastSchedule();
+    schedule.window = fromMillis(200.0);
+    schedule.parallelSave = true;
+
+    WspSystem system(CrashExplorer::configFor(schedule));
+    system.start();
+    system.runFor(fromMillis(1.0));
+    system.psu().failInputAt(system.queue().now());
+    system.runFor(fromMillis(300.0));
+
+    const SaveReport &save = system.wsp().saveRoutine().progress();
+    EXPECT_TRUE(save.completed);
+    EXPECT_TRUE(
+        SaveRoutine::stepReached(save, "flush caches (all sockets)"));
+    size_t partition_steps = 0;
+    for (const auto &step : save.steps) {
+        if (step.step.find("flush partition socket") == 0)
+            ++partition_steps;
+    }
+    const PlatformSpec &spec = system.machine().spec();
+    EXPECT_EQ(partition_steps,
+              spec.sockets * spec.logicalCpusPerSocket());
+}
+
+TEST(ParallelCrash, BrokenOrderStillCaughtUnderParallelSave)
+{
+    // The planted marker-before-flush bug must not hide behind the
+    // parallel flush path.
+    CrashSchedule base = fastSchedule();
+    base.shards = 2;
+    base.parallelSave = true;
+    base.saveOrder = SaveOrder::MarkerBeforeFlush;
+    CrashExplorer explorer(base);
+    const SweepReport report = explorer.sweepEnumerated(true, 120);
+    EXPECT_FALSE(report.allHeld())
+        << "marker-before-flush survived the parallel sweep";
+}
+
 // The planted bug -----------------------------------------------------
 
 TEST(BrokenMarkerOrder, IsCaughtMinimizedAndReplayable)
