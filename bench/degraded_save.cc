@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Degraded-save fault storm: tiered flush-on-fail saves and
+ * checksummed per-region salvage under NVDIMM media faults.
+ *
+ * Sweeps the salvage regime over a grid of degraded tier cuts x
+ * injected flash media faults x a pre-drained ultracapacitor bank,
+ * running each schedule end to end through the crash explorer
+ * (workload, AC failure, image capture with faults, fresh-chassis
+ * boot, invariant evaluation). The table reports the recovery mode
+ * and per-region salvage fates for every cell; the shape check
+ * requires zero invariant violations across the storm, both whole
+ * resume and salvage-mode boots to occur, and every quarantined
+ * region to be rebuilt by its recovery hook.
+ */
+
+#include "bench/bench_util.h"
+#include "crashsim/crash_explorer.h"
+
+using namespace wsp;
+using namespace wsp::crashsim;
+
+namespace {
+
+CrashSchedule
+stormSchedule(uint64_t seed)
+{
+    CrashSchedule schedule;
+    schedule.seed = seed;
+    schedule.ops = 48;
+    schedule.window = fromMillis(200.0);
+    schedule.outage = fromMillis(500.0);
+    schedule.salvage = true;
+    return schedule;
+}
+
+const char *
+recoveryMode(const CrashPointResult &result)
+{
+    if (result.restore.usedWsp)
+        return "whole resume";
+    if (result.restore.salvageMode)
+        return "salvage";
+    return "back end";
+}
+
+std::string
+cellLabel(int tier, unsigned faults, bool drained)
+{
+    std::string label =
+        tier < 0 ? "full save" : tier == 0 ? "tier Core" : "tier Meta";
+    label += ", faults=" + std::to_string(faults);
+    if (drained)
+        label += ", drained cap";
+    return label;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::init("degraded_save", argc, argv);
+    const uint64_t seed = bench::rngSeed(0x64677264); // "dgrd"
+
+    Table table("Degraded-save fault storm: tier cut x media faults "
+                "(salvage regime, 48-op KV workload)");
+    table.setHeader({"config", "recovery", "salvaged", "quarantined",
+                     "recovered", "violations"});
+
+    size_t runs = 0;
+    size_t whole_resumes = 0;
+    size_t salvage_boots = 0;
+    size_t backend_boots = 0;
+    size_t violations = 0;
+    unsigned salvaged = 0;
+    unsigned quarantined = 0;
+    unsigned recovered = 0;
+
+    const std::vector<unsigned> fault_counts =
+        bench::fullRuns() ? std::vector<unsigned>{0u, 1u, 3u, 6u}
+                          : std::vector<unsigned>{0u, 1u, 3u};
+    for (int tier : {-1, 0, 1}) {
+        for (unsigned faults : fault_counts) {
+            for (bool drained : {false, true}) {
+                CrashSchedule schedule = stormSchedule(seed + runs);
+                schedule.degradeTier = tier;
+                schedule.mediaFaults = faults;
+                schedule.mediaFaultSeed = seed ^ (runs * 0x9e3779b9ull);
+                if (drained) {
+                    schedule.drainModule = 0;
+                    schedule.drainVoltage = 5.0;
+                }
+                const CrashPointResult result =
+                    CrashExplorer::runSchedule(schedule);
+                ++runs;
+                whole_resumes += result.restore.usedWsp;
+                salvage_boots += result.restore.salvageMode;
+                backend_boots += result.backendRan;
+                violations += result.violations.size();
+                salvaged += result.restore.regionsSalvaged;
+                quarantined += result.restore.regionsQuarantined;
+                recovered += result.restore.regionsRecovered;
+                table.addRow(
+                    {cellLabel(tier, faults, drained),
+                     recoveryMode(result),
+                     std::to_string(result.restore.regionsSalvaged),
+                     std::to_string(result.restore.regionsQuarantined),
+                     std::to_string(result.restore.regionsRecovered),
+                     std::to_string(result.violations.size())});
+            }
+        }
+    }
+    table.print();
+    std::printf("%zu storm runs: %zu whole resumes, %zu salvage "
+                "boots, %zu back-end boots; %u regions salvaged, "
+                "%u quarantined, %u recovered\n\n",
+                runs, whole_resumes, salvage_boots, backend_boots,
+                salvaged, quarantined, recovered);
+
+    ShapeCheck check("Degraded-save fault storm (flush-on-fail "
+                     "robustness)");
+    check.expectTrue("no invariant violations across the storm",
+                     violations == 0);
+    check.expectGreater("whole resumes occurred (intact images)",
+                        static_cast<double>(whole_resumes), 0.0);
+    check.expectGreater("salvage boots occurred (degraded images)",
+                        static_cast<double>(salvage_boots), 0.0);
+    check.expectGreater("media faults forced quarantines",
+                        static_cast<double>(quarantined), 0.0);
+    check.expectTrue("every quarantined region was rebuilt",
+                     recovered == quarantined);
+    check.expectGreater("intact regions were salvaged",
+                        static_cast<double>(salvaged), 0.0);
+    return bench::finish(check);
+}

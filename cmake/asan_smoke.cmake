@@ -1,0 +1,57 @@
+# AddressSanitizer smoke test, run as a ctest:
+#
+#   cmake -DSOURCE_DIR=<repo> -DOUT_DIR=<dir> -P asan_smoke.cmake
+#
+# Configures a sub-build of the tree with -DWSP_SANITIZE=address (the
+# existing sanitizer hook), builds only the salvage test binary, and
+# runs the fault-tolerant flush-on-fail suites under ASan: the salvage
+# paths shuffle raw NVRAM spans (scrubbing, CRC passes, directory
+# decode of possibly-torn bytes), which is exactly where an
+# out-of-bounds read would hide. The sub-build directory persists
+# across runs, so re-runs are incremental.
+
+if(NOT SOURCE_DIR OR NOT OUT_DIR)
+    message(FATAL_ERROR "asan_smoke: SOURCE_DIR and OUT_DIR are required")
+endif()
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -G Ninja -S ${SOURCE_DIR} -B ${OUT_DIR}
+        -DCMAKE_BUILD_TYPE=Release
+        -DWSP_SANITIZE=address
+    RESULT_VARIABLE configure_rc
+    OUTPUT_VARIABLE configure_out
+    ERROR_VARIABLE configure_out
+)
+if(NOT configure_rc EQUAL 0)
+    message(FATAL_ERROR
+        "asan_smoke: configure failed (rc=${configure_rc}):\n${configure_out}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} --build ${OUT_DIR} --target test_salvage
+    RESULT_VARIABLE build_rc
+    OUTPUT_VARIABLE build_out
+    ERROR_VARIABLE build_out
+)
+if(NOT build_rc EQUAL 0)
+    message(FATAL_ERROR
+        "asan_smoke: build failed (rc=${build_rc}):\n${build_out}")
+endif()
+
+# Death tests fork under ASan; keep them but run them threadsafe.
+# halt_on_error turns any ASan report into a nonzero exit so the ctest
+# fails loudly.
+set(ENV{ASAN_OPTIONS} "halt_on_error=1")
+execute_process(
+    COMMAND ${OUT_DIR}/tests/test_salvage
+        --gtest_death_test_style=threadsafe
+    RESULT_VARIABLE run_rc
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_out
+)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR
+        "asan_smoke: ASan run failed (rc=${run_rc}):\n${run_out}")
+endif()
+message(STATUS "asan_smoke: salvage suites clean under ASan")

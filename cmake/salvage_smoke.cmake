@@ -1,0 +1,55 @@
+# End-to-end check of the salvage regime's bug-catching path, run as
+# a ctest:
+#
+#   cmake -DSWEEP=<path> -DOUT_DIR=<dir> -P salvage_smoke.cmake
+#
+# Two runs of crash_sweep under the salvage regime:
+#
+#  1. Clean: every enumerated power-failure instant, with the KV
+#     shards registered as tiered salvage regions, must hold all
+#     invariants (exit 0) — intact regions salvaged, casualties
+#     quarantined and rebuilt per shard, never silently corrupted.
+#  2. Planted bug: with --trust-directory the restore skips the
+#     per-region CRC re-verification, so injected media faults revive
+#     corrupt bytes. The NoSilentCorruption checker must catch it
+#     (exit 3).
+
+if(NOT SWEEP OR NOT OUT_DIR)
+    message(FATAL_ERROR "salvage_smoke: SWEEP and OUT_DIR are required")
+endif()
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+execute_process(
+    COMMAND ${SWEEP}
+        --salvage
+        --points=60
+    RESULT_VARIABLE clean_rc
+    OUTPUT_VARIABLE clean_out
+    ERROR_VARIABLE clean_out
+)
+if(NOT clean_rc EQUAL 0)
+    message(FATAL_ERROR
+        "salvage_smoke: expected the salvage-regime sweep to hold "
+        "(rc=0), got rc=${clean_rc}:\n${clean_out}")
+endif()
+
+execute_process(
+    COMMAND ${SWEEP}
+        --salvage
+        --media-faults=2
+        --media-fault-kind=0
+        --trust-directory
+        --stop-on-first
+        --points=20
+    RESULT_VARIABLE bug_rc
+    OUTPUT_VARIABLE bug_out
+    ERROR_VARIABLE bug_out
+)
+if(NOT bug_rc EQUAL 3)
+    message(FATAL_ERROR
+        "salvage_smoke: expected the checksum-skipping restore to be "
+        "caught (rc=3), got rc=${bug_rc}:\n${bug_out}")
+endif()
+message(STATUS
+    "salvage_smoke: salvage sweep held; trust-directory bug caught")

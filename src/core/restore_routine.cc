@@ -1,6 +1,9 @@
 #include "core/restore_routine.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <span>
+#include <vector>
 
 #include "trace/stat_registry.h"
 #include "trace/trace.h"
@@ -13,11 +16,19 @@ RestoreRoutine::RestoreRoutine(MachineModel &machine,
                                ValidMarker &marker,
                                ResumeBlock &resume_block,
                                DeviceManager *devices,
-                               const WspConfig &config)
+                               const WspConfig &config,
+                               SalvageDirectory *directory)
     : machine_(machine), nvdimms_(nvdimms), marker_(marker),
       resumeBlock_(resume_block), devices_(devices), config_(config),
-      queue_(machine.queue())
+      directory_(directory), queue_(machine.queue())
 {
+}
+
+void
+RestoreRoutine::setRegionRecovery(
+    std::function<void(const RegionOutcome &)> hook)
+{
+    regionRecovery_ = std::move(hook);
 }
 
 void
@@ -75,8 +86,22 @@ RestoreRoutine::stepNvdimmRestore()
     }
     const Tick start = queue_.now();
     report_.flashValid = nvdimms_.allFlashValid();
-    if (!report_.flashValid) {
+    if (!nvdimms_.anyRestorable()) {
         fallbackColdBoot("no valid NVDIMM flash image");
+        return;
+    }
+    if (!report_.flashValid) {
+        // Some module's save died partway. Its programmed suffix (and
+        // every complete sibling image) is still worth reading back:
+        // the salvage directory will tell us which regions are intact.
+        nvdimms_.restoreAvailable([this, start] {
+            if (!machine_.powerOn())
+                return;
+            report_.nvdimmRestoreTime = queue_.now() - start;
+            record("restore NVDIMM contents (partial)", start,
+                   queue_.now());
+            trySalvageColdBoot("incomplete flash save");
+        });
         return;
     }
     nvdimms_.restoreAll([this, start] {
@@ -96,7 +121,22 @@ RestoreRoutine::stepCheckMarker()
     report_.markerValid = state.valid;
     if (!state.valid) {
         record("check image validity", start, queue_.now());
-        fallbackColdBoot("valid marker missing or torn");
+        trySalvageColdBoot("valid marker missing or torn");
+        return;
+    }
+    report_.imageGeneration = state.bootSequence;
+    report_.imageTierCut = static_cast<SaveTier>(
+        std::min<uint64_t>(state.tierCut,
+                           static_cast<uint64_t>(SaveTier::Bulk)));
+
+    // A marker from an earlier boot can validate only contexts from
+    // that boot: if a later save started (erasing flash) and failed,
+    // the still-readable old marker must not vouch for the new,
+    // partial image. The per-module epoch register is the tiebreak.
+    report_.generationOk = state.bootSequence == nvdimms_.currentEpoch();
+    if (!report_.generationOk) {
+        record("check image validity", start, queue_.now());
+        trySalvageColdBoot("stale image generation");
         return;
     }
 
@@ -104,11 +144,113 @@ RestoreRoutine::stepCheckMarker()
     report_.checksumOk = checksum == state.resumeChecksum;
     record("check image validity", start, queue_.now());
     if (!report_.checksumOk) {
-        fallbackColdBoot("resume block checksum mismatch");
+        trySalvageColdBoot("resume block checksum mismatch");
         return;
     }
-    record("jump to resume block", queue_.now(), queue_.now());
-    stepDevices();
+    if (report_.imageTierCut != SaveTier::Bulk) {
+        // A degraded save never wrote the bulk of memory back; whole-
+        // system resume over missing data would be silent corruption.
+        trySalvageColdBoot("degraded tier-cut image");
+        return;
+    }
+    stepVerifyRegions(state);
+}
+
+void
+RestoreRoutine::stepVerifyRegions(const MarkerState &state)
+{
+    if (directory_ == nullptr || state.directoryChecksum == 0) {
+        // No registered regions at save time: legacy whole-resume.
+        record("jump to resume block", queue_.now(), queue_.now());
+        stepDevices();
+        return;
+    }
+    const Tick start = queue_.now();
+    auto image = SalvageDirectory::read(machine_.memory(),
+                                        directory_->base());
+    if (!image || image->checksum != state.directoryChecksum ||
+        image->generation != state.bootSequence) {
+        // The marker vouched for a directory we cannot decode — the
+        // fault hit the table itself, so nothing can vouch for any
+        // region. Only the full back-end rebuild is safe.
+        report_.directoryOk = false;
+        record("verify salvage regions", start, queue_.now());
+        fallbackColdBoot("marker-bound salvage directory corrupt");
+        return;
+    }
+
+    uint64_t saved_bytes = 0;
+    for (const SalvageDirectoryEntry &entry : image->entries) {
+        if (entry.saved)
+            saved_bytes += entry.size;
+    }
+    const Tick cost = fromSeconds(static_cast<double>(saved_bytes) /
+                                  config_.salvageCrcBandwidth);
+    queue_.scheduleAfter(cost, [this, start, image = std::move(*image)] {
+        if (!machine_.powerOn())
+            return;
+        // Whole-resume still re-verifies every region: a flash media
+        // fault under an intact marker quarantines just that region
+        // while the rest of the machine resumes.
+        for (const SalvageDirectoryEntry &entry : image.entries)
+            processRegion(entry);
+        record("verify salvage regions", start, queue_.now());
+        record("jump to resume block", queue_.now(), queue_.now());
+        stepDevices();
+    });
+}
+
+void
+RestoreRoutine::processRegion(const SalvageDirectoryEntry &entry)
+{
+    RegionOutcome outcome;
+    outcome.name = entry.name;
+    outcome.base = entry.base;
+    outcome.size = entry.size;
+    outcome.tier = entry.tier;
+    outcome.saved = entry.saved;
+
+    bool intact = false;
+    if (entry.saved) {
+        // trustSalvageDirectory is the planted bug: skipping the CRC
+        // re-verification revives media-faulted bytes silently.
+        intact = config_.trustSalvageDirectory ||
+                 SalvageDirectory::regionCrc(machine_.memory(), entry.base,
+                                             entry.size) == entry.crc;
+    }
+    auto &registry = trace::StatRegistry::instance();
+    if (intact) {
+        outcome.salvaged = true;
+        ++report_.regionsSalvaged;
+        registry.counter("core.regions_salvaged").add();
+    } else {
+        // Scrub before recovery: a half-programmed or faulted region
+        // must never masquerade as data.
+        std::vector<uint8_t> zeros(
+            std::min<uint64_t>(entry.size, 256 * 1024), 0);
+        uint64_t offset = 0;
+        while (offset < entry.size) {
+            const uint64_t n =
+                std::min<uint64_t>(entry.size - offset, zeros.size());
+            machine_.memory().write(
+                entry.base + offset,
+                std::span<const uint8_t>(zeros.data(), n));
+            offset += n;
+        }
+        outcome.quarantined = true;
+        ++report_.regionsQuarantined;
+        registry.counter("core.regions_quarantined").add();
+        inform("restore: region '%s' quarantined (%s)",
+               entry.name.c_str(),
+               entry.saved ? "checksum mismatch" : "not saved");
+        if (regionRecovery_) {
+            regionRecovery_(outcome);
+            outcome.recovered = true;
+            ++report_.regionsRecovered;
+            registry.counter("core.regions_recovered").add();
+        }
+    }
+    report_.regions.push_back(std::move(outcome));
 }
 
 void
@@ -171,6 +313,67 @@ RestoreRoutine::stepRestoreContexts()
         record("restore CPU contexts, resume scheduling", start,
                queue_.now());
         finish(true);
+    });
+}
+
+void
+RestoreRoutine::trySalvageColdBoot(const char *reason)
+{
+    // Whole-system resume is off the table; see whether the save left
+    // a trustworthy directory so intact regions survive the cold boot.
+    if (directory_ == nullptr) {
+        fallbackColdBoot(reason);
+        return;
+    }
+    auto image =
+        SalvageDirectory::read(machine_.memory(), directory_->base());
+    if (!image || image->entries.empty() ||
+        image->generation != nvdimms_.currentEpoch()) {
+        // No table, a torn table, or one from an older boot: nothing
+        // vouches for any region, so everything comes from the back
+        // end.
+        fallbackColdBoot(reason);
+        return;
+    }
+
+    inform("restore: salvage cold boot (%s), %zu regions in directory",
+           reason, image->entries.size());
+    trace::StatRegistry::instance().counter("core.salvage_boots").add();
+    TRACE_INSTANT(Core, "salvage cold boot");
+    report_.salvageMode = true;
+    report_.imageTierCut = image->tierCut;
+
+    const Tick start = queue_.now();
+    machine_.resetForBoot();
+    nvdimms_.resetToActive();
+    marker_.clear();
+
+    uint64_t saved_bytes = 0;
+    for (const SalvageDirectoryEntry &entry : image->entries) {
+        if (entry.saved)
+            saved_bytes += entry.size;
+    }
+    const Tick cost = fromSeconds(static_cast<double>(saved_bytes) /
+                                  config_.salvageCrcBandwidth);
+    queue_.scheduleAfter(cost, [this, start, image = std::move(*image)] {
+        if (!machine_.powerOn())
+            return;
+        for (const SalvageDirectoryEntry &entry : image.entries)
+            processRegion(entry);
+        record("salvage checksummed regions", start, queue_.now());
+
+        // Devices cold-start as on any boot; the back-end hook does
+        // NOT run — recovery happened region by region.
+        const Tick dev_start = queue_.now();
+        auto after_devices = [this, dev_start] {
+            record("cold boot", dev_start, queue_.now());
+            finish(false);
+        };
+        if (devices_ != nullptr)
+            devices_->coldBootAll(
+                [after_devices](Tick) { after_devices(); });
+        else
+            after_devices();
     });
 }
 

@@ -12,9 +12,16 @@
  *  13. devices are re-initialized per the configured policy,
  *  14. processor contexts are restored and scheduling resumes.
  *
- * If the marker is missing, torn, or does not match the resume block
- * (a failure hit mid-save), the routine falls back to a normal cold
- * boot and invokes the caller's back-end recovery hook instead.
+ * When whole-system resume is impossible — the marker is missing or
+ * torn, the image generation is stale, a module's save died partway,
+ * or the save ran degraded — the routine no longer throws the whole
+ * image away. It decodes the salvage directory the save left at the
+ * top of memory, re-verifies each region's CRC against what actually
+ * reached flash, keeps the intact regions, scrubs and quarantines the
+ * corrupt ones (handing each to a per-region recovery hook), and cold
+ * boots around the salvaged state. Only when no trustworthy directory
+ * exists does it fall back to the legacy full cold boot with the
+ * caller's whole-store back-end recovery hook.
  */
 
 #pragma once
@@ -22,6 +29,7 @@
 #include <functional>
 
 #include "core/resume_block.h"
+#include "core/salvage_directory.h"
 #include "core/valid_marker.h"
 #include "core/wsp_config.h"
 #include "machine/machine.h"
@@ -35,7 +43,8 @@ class RestoreRoutine
   public:
     RestoreRoutine(MachineModel &machine, NvdimmController &nvdimms,
                    ValidMarker &marker, ResumeBlock &resume_block,
-                   DeviceManager *devices, const WspConfig &config);
+                   DeviceManager *devices, const WspConfig &config,
+                   SalvageDirectory *directory = nullptr);
 
     /**
      * Run the boot path. @p backend_recovery runs (if non-null) when
@@ -45,13 +54,25 @@ class RestoreRoutine
     void run(std::function<void()> backend_recovery,
              std::function<void(RestoreReport)> done);
 
+    /**
+     * Hook invoked once per quarantined region (after its scrub), so
+     * the owning application can rebuild exactly that shard from its
+     * back end instead of the whole store.
+     */
+    void setRegionRecovery(std::function<void(const RegionOutcome &)> hook);
+
   private:
     void stepNvdimmRestore();
     void stepCheckMarker();
+    void stepVerifyRegions(const MarkerState &state);
     void stepRestoreContexts();
     void stepDevices();
     void finish(bool used_wsp);
     void fallbackColdBoot(const char *reason);
+    void trySalvageColdBoot(const char *reason);
+
+    /** Verify/scrub/recover one directory entry; updates the report. */
+    void processRegion(const SalvageDirectoryEntry &entry);
 
     void record(const char *step, Tick start, Tick end);
 
@@ -61,9 +82,11 @@ class RestoreRoutine
     ResumeBlock &resumeBlock_;
     DeviceManager *devices_;
     const WspConfig &config_;
+    SalvageDirectory *directory_;
 
     EventQueue &queue_;
     std::function<void()> backendRecovery_;
+    std::function<void(const RegionOutcome &)> regionRecovery_;
     std::function<void(RestoreReport)> done_;
     RestoreReport report_;
 };

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Salvage directory: per-region checksums for partial-image recovery.
+ *
+ * A failed or degraded flush-on-fail save used to force a full cold
+ * boot: the whole-image valid marker is all-or-nothing, so one corrupt
+ * byte threw away every region that survived intact. The salvage
+ * directory makes the image divisible. During the save, after the
+ * flush and before the marker stamp, the control processor writes a
+ * small table at the top of memory: one entry per registered region
+ * carrying its address range, priority tier, whether this save
+ * persisted it, and a CRC64 of its content as stored in NVRAM. The
+ * directory's own checksum is bound into the valid marker.
+ *
+ * On restore, when the whole-image path is ruled out (incomplete
+ * flash, bad marker, stale generation, degraded tier cut), the boot
+ * code decodes the directory, re-verifies each saved region against
+ * its CRC, keeps the intact ones, scrubs the rest, and hands each
+ * casualty to a per-region recovery hook — per-shard back-end
+ * recovery instead of a whole-store rebuild.
+ *
+ * Layout (top of memory, below the resume block):
+ *   header  64 B : magic, generation, count, tier cut,
+ *                  entries-checksum, header checksum
+ *   entries 64 B each, up to kMaxRegions:
+ *                  name[24], base, size, crc64, tier|saved, entry crc
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/wsp_config.h"
+#include "machine/cache.h"
+
+namespace wsp {
+
+/** One region registered for tiered save and checksummed salvage. */
+struct SalvageRegionSpec
+{
+    std::string name; ///< at most 23 bytes; stable across boots
+    uint64_t base = 0;
+    uint64_t size = 0;
+    SaveTier tier = SaveTier::Bulk;
+};
+
+/** Decoded on-NVRAM directory entry (restore path). */
+struct SalvageDirectoryEntry
+{
+    std::string name;
+    uint64_t base = 0;
+    uint64_t size = 0;
+    uint64_t crc = 0; ///< CRC64 of the region as the save stored it
+    SaveTier tier = SaveTier::Bulk;
+    bool saved = false; ///< the save claims this region is in flash
+};
+
+/** Decoded and self-verified directory image. */
+struct SalvageDirectoryImage
+{
+    uint64_t generation = 0; ///< boot sequence of the save that wrote it
+    SaveTier tierCut = SaveTier::Bulk;
+    uint64_t checksum = 0; ///< entries-checksum, as bound into the marker
+    std::vector<SalvageDirectoryEntry> entries;
+};
+
+/**
+ * Writer/reader of the on-NVRAM salvage directory. The platform owns
+ * one instance; applications register their regions at attach time and
+ * the save routine persists the table on every save.
+ */
+class SalvageDirectory
+{
+  public:
+    static constexpr size_t kMaxRegions = 30;
+    static constexpr uint64_t kHeaderBytes = 64;
+    static constexpr uint64_t kEntryBytes = 64;
+    static constexpr uint64_t kSize = kHeaderBytes + kMaxRegions * kEntryBytes;
+    static constexpr size_t kMaxNameBytes = 23;
+
+    /**
+     * @param cache control processor's cache (writes are flushed).
+     * @param base  line-aligned NVRAM physical address.
+     */
+    SalvageDirectory(CacheModel &cache, uint64_t base);
+
+    uint64_t base() const { return base_; }
+
+    /** Register a region; rejects overlaps and directory collisions. */
+    void registerRegion(SalvageRegionSpec spec);
+
+    const std::vector<SalvageRegionSpec> &regions() const { return regions_; }
+    bool empty() const { return regions_.empty(); }
+
+    /** Cache lines covered by regions with tier <= @p cut. */
+    uint64_t regionLines(SaveTier cut) const;
+
+    /** Bytes covered by regions with tier <= @p cut. */
+    uint64_t savedBytes(SaveTier cut) const;
+
+    /** Cache lines of the directory table itself. */
+    static constexpr uint64_t directoryLines()
+    {
+        return (kSize + CacheModel::kLineSize - 1) / CacheModel::kLineSize;
+    }
+
+    /**
+     * Checksum every region with tier <= @p cut as currently stored
+     * in NVRAM, write the table through the cache, and flush it.
+     * @return the entries-checksum the marker must bind.
+     */
+    uint64_t persist(const NvramSpace &memory, uint64_t generation,
+                     SaveTier cut);
+
+    /**
+     * Decode and self-verify the directory at @p base. Returns
+     * nullopt when the magic, header checksum, or any entry checksum
+     * does not hold — a torn or corrupted table salvages nothing.
+     */
+    static std::optional<SalvageDirectoryImage> read(const NvramSpace &memory,
+                                                     uint64_t base);
+
+    /** CRC64 of @p size bytes at @p base as stored in NVRAM. */
+    static uint64_t regionCrc(const NvramSpace &memory, uint64_t base,
+                              uint64_t size);
+
+  private:
+    static constexpr uint64_t kMagic = 0x57535053414c5631ull; // "WSPSALV1"
+
+    CacheModel &cache_;
+    uint64_t base_;
+    std::vector<SalvageRegionSpec> regions_;
+};
+
+} // namespace wsp

@@ -46,6 +46,20 @@ saveOrderName(SaveOrder order)
     return "unknown";
 }
 
+std::string
+saveTierName(SaveTier tier)
+{
+    switch (tier) {
+      case SaveTier::Core:
+        return "core";
+      case SaveTier::Metadata:
+        return "metadata";
+      case SaveTier::Bulk:
+        return "bulk";
+    }
+    return "unknown";
+}
+
 bool
 SaveRoutine::stepReached(const SaveReport &report, const char *step)
 {
@@ -58,10 +72,12 @@ SaveRoutine::stepReached(const SaveReport &report, const char *step)
 
 SaveRoutine::SaveRoutine(MachineModel &machine, PowerMonitor &monitor,
                          ValidMarker &marker, ResumeBlock &resume_block,
-                         DeviceManager *devices, const WspConfig &config)
+                         DeviceManager *devices, const WspConfig &config,
+                         NvdimmController *nvdimms,
+                         SalvageDirectory *directory)
     : machine_(machine), monitor_(monitor), marker_(marker),
       resumeBlock_(resume_block), devices_(devices), config_(config),
-      queue_(machine.queue())
+      nvdimms_(nvdimms), directory_(directory), queue_(machine.queue())
 {
 }
 
@@ -113,6 +129,13 @@ void
 SaveRoutine::run(uint64_t boot_sequence,
                  std::function<void(SaveReport)> done)
 {
+    run(boot_sequence, false, std::move(done));
+}
+
+void
+SaveRoutine::run(uint64_t boot_sequence, bool degraded_hint,
+                 std::function<void(SaveReport)> done)
+{
     bootSequence_ = boot_sequence;
     done_ = std::move(done);
     report_ = SaveReport{};
@@ -122,9 +145,43 @@ SaveRoutine::run(uint64_t boot_sequence,
         trace::Category::Core, trace::Phase::Instant, "SaveRoutine start",
         report_.started);
     report_.dirtyBytesFlushed = machine_.totalDirtyBytes();
+
+    // Degraded-mode decision: a forced config, the platform's health
+    // verdict, or a promised residual window the full save cannot
+    // meet. The cut is the deepest tier predicted to fit.
+    degraded_ = config_.forceDegradedSave || degraded_hint;
+    tierCut_ = SaveTier::Bulk;
+    if (degraded_) {
+        tierCut_ = config_.degradedTierCut;
+    } else if (config_.plannedResidualWindow > 0 &&
+               predictDuration() > config_.plannedResidualWindow) {
+        degraded_ = true;
+        tierCut_ = predictDurationForTier(SaveTier::Metadata) <=
+                           config_.plannedResidualWindow
+                       ? SaveTier::Metadata
+                       : SaveTier::Core;
+    }
+    report_.degraded = degraded_;
+    report_.tierCut = tierCut_;
+    if (directory_ != nullptr) {
+        for (const SalvageRegionSpec &region : directory_->regions()) {
+            if (region.tier > tierCut_)
+                ++report_.regionsDropped;
+        }
+    }
+    if (degraded_) {
+        trace::StatRegistry::instance().counter("core.saves_degraded").add();
+        warn("save routine: DEGRADED save, tier cut '%s', %u regions "
+             "dropped",
+             saveTierName(tierCut_).c_str(), report_.regionsDropped);
+    }
     record("interrupt control processor", queue_.now(), queue_.now());
 
-    if (config_.devicePolicy == DevicePolicy::AcpiSuspendOnSave &&
+    // A degraded save never spends its window on device suspend: the
+    // strawman policy's cost is exactly what the remaining energy
+    // cannot afford.
+    if (!degraded_ &&
+        config_.devicePolicy == DevicePolicy::AcpiSuspendOnSave &&
         devices_ != nullptr) {
         // Strawman: quiesce every device before touching CPU state.
         // Fig. 9 shows why this is infeasible within the residual
@@ -188,6 +245,8 @@ SaveRoutine::stepContextsAndFlush()
         // afterwards — the bug the crashsim sweep exists to catch.
         if (config_.saveOrder == SaveOrder::MarkerBeforeFlush)
             stepMarkerPrepare();
+        else if (degraded_)
+            stepDegradedFlush();
         else
             stepFinishFlush();
     });
@@ -279,6 +338,45 @@ SaveRoutine::stepParallelFlush(Tick start)
 }
 
 void
+SaveRoutine::stepDegradedFlush()
+{
+    // Degraded mode cannot afford the whole-cache walk, so one
+    // designated processor clflushes exactly the lines of the
+    // registered regions at or above the tier cut. Everything else
+    // dirty in the caches is deliberately sacrificed: those lines
+    // never reach NVRAM and the image can only be salvaged, never
+    // whole-resumed (the marker records the cut).
+    const Tick start = queue_.now();
+    const uint64_t lines =
+        directory_ != nullptr ? directory_->regionLines(tierCut_) : 0;
+    const Tick cost = machine_.socketCache(0).clflushLoopCost(lines);
+    report_.cacheFlushTime = cost;
+
+    queue_.scheduleAfter(cost, [this, start] {
+        if (!machine_.powerOn())
+            return;
+        if (directory_ != nullptr) {
+            for (const SalvageRegionSpec &region : directory_->regions()) {
+                if (region.tier > tierCut_)
+                    continue;
+                const uint64_t first =
+                    region.base & ~(CacheModel::kLineSize - 1);
+                for (uint64_t addr = first;
+                     addr < region.base + region.size;
+                     addr += CacheModel::kLineSize) {
+                    // A line may be dirty in any socket's cache.
+                    for (unsigned socket = 0;
+                         socket < machine_.socketCount(); ++socket)
+                        machine_.socketCache(socket).flushLine(addr);
+                }
+            }
+        }
+        record("flush tier regions (degraded)", start, queue_.now());
+        afterFlush();
+    });
+}
+
+void
 SaveRoutine::afterFlush()
 {
     // Step 4: halt the N-1 non-control processors.
@@ -287,8 +385,44 @@ SaveRoutine::afterFlush()
     record("halt N-1 processors", queue_.now(), queue_.now());
     if (config_.saveOrder == SaveOrder::MarkerBeforeFlush)
         stepInitiateNvdimmSave(); // marker was stamped already
+    else if (directory_ != nullptr && !directory_->empty())
+        stepPersistDirectory();
     else
         stepMarkerPrepare();
+}
+
+void
+SaveRoutine::stepPersistDirectory()
+{
+    // Between the flush and the marker: every region at or above the
+    // cut is now in NVRAM, so checksum it there and persist the
+    // salvage directory. The marker then binds the directory's
+    // checksum — a restore can trust the table exactly as far as it
+    // trusts the marker.
+    const Tick start = queue_.now();
+    const Tick cost = directoryCost(tierCut_);
+    queue_.scheduleAfter(cost, [this, start] {
+        if (!machine_.powerOn())
+            return;
+        report_.directoryChecksum =
+            directory_->persist(machine_.memory(), bootSequence_, tierCut_);
+        record("checksum and persist salvage directory", start,
+               queue_.now());
+        stepMarkerPrepare();
+    });
+}
+
+Tick
+SaveRoutine::directoryCost(SaveTier cut) const
+{
+    if (directory_ == nullptr || directory_->empty())
+        return 0;
+    const double crc_seconds =
+        static_cast<double>(directory_->savedBytes(cut)) /
+        config_.salvageCrcBandwidth;
+    return fromSeconds(crc_seconds) +
+           machine_.socketCache(0).clflushLoopCost(
+               SalvageDirectory::directoryLines());
 }
 
 void
@@ -302,7 +436,9 @@ SaveRoutine::stepMarkerPrepare()
             return;
         resumeBlock_.writeHeader(bootSequence_);
         marker_.prepare(bootSequence_,
-                        resumeBlock_.checksum(machine_.memory()));
+                        resumeBlock_.checksum(machine_.memory()),
+                        report_.directoryChecksum,
+                        static_cast<uint64_t>(tierCut_));
         record("set up resume block", start, queue_.now());
         stepMarkerStamp();
     });
@@ -319,10 +455,12 @@ SaveRoutine::stepMarkerStamp()
             return;
         marker_.stamp();
         record("mark image as valid", start, queue_.now());
-        if (config_.saveOrder == SaveOrder::MarkerBeforeFlush)
-            stepFinishFlush();
-        else
+        if (config_.saveOrder != SaveOrder::MarkerBeforeFlush)
             stepInitiateNvdimmSave();
+        else if (degraded_)
+            stepDegradedFlush();
+        else
+            stepFinishFlush();
     });
 }
 
@@ -338,18 +476,48 @@ SaveRoutine::stepInitiateNvdimmSave()
         monitor_.sendCommand(PowerMonitor::Command::Save);
         record("initiate NVDIMM save", start, queue_.now());
 
-        // Step 8: the control processor halts.
-        machine_.core(0).halted = true;
-        record("halt control processor", queue_.now(), queue_.now());
-        report_.halted = queue_.now();
-        report_.completed = true;
-        auto &registry = trace::StatRegistry::instance();
-        registry.counter("core.saves_completed").add();
-        registry.gauge("core.save.total_ns")
-            .set(static_cast<double>(report_.halted - report_.started));
-        if (done_)
-            done_(report_);
+        if (degraded_ && nvdimms_ != nullptr) {
+            // Degraded saves assume the worst of the I2C path too:
+            // stay awake one backoff, and if no module acknowledged
+            // the command by starting its save, issue it once more
+            // before halting.
+            const uint64_t saves_before = nvdimms_->totalSavesCompleted();
+            queue_.scheduleAfter(
+                config_.saveCommandRetryBackoff, [this, saves_before] {
+                    if (!machine_.powerOn())
+                        return;
+                    if (!nvdimms_->anySaving() &&
+                        nvdimms_->totalSavesCompleted() == saves_before) {
+                        const Tick retry_start = queue_.now();
+                        ++report_.saveCommandRetries;
+                        trace::StatRegistry::instance()
+                            .counter("core.save_command_retries").add();
+                        monitor_.sendCommand(PowerMonitor::Command::Save);
+                        record("retry NVDIMM save command", retry_start,
+                               queue_.now());
+                    }
+                    stepHalt();
+                });
+            return;
+        }
+        stepHalt();
     });
+}
+
+void
+SaveRoutine::stepHalt()
+{
+    // Step 8: the control processor halts.
+    machine_.core(0).halted = true;
+    record("halt control processor", queue_.now(), queue_.now());
+    report_.halted = queue_.now();
+    report_.completed = true;
+    auto &registry = trace::StatRegistry::instance();
+    registry.counter("core.saves_completed").add();
+    registry.gauge("core.save.total_ns")
+        .set(static_cast<double>(report_.halted - report_.started));
+    if (done_)
+        done_(report_);
 }
 
 Tick
@@ -374,9 +542,34 @@ SaveRoutine::predictDuration() const
     }
     total += worst;
 
+    total += directoryCost(SaveTier::Bulk);
     // Header + marker lines + command issue.
     total += machine_.socketCache(0).clflushLoopCost(3);
     total += config_.commandIssueLatency;
+    return total;
+}
+
+Tick
+SaveRoutine::predictDurationForTier(SaveTier cut) const
+{
+    Tick total = machine_.interrupts().ipiLatency();
+    total += machine_.spec().contextSaveLatency;
+    const uint64_t slot_lines =
+        (CpuContext::serializedSize() + CacheModel::kLineSize - 1) /
+        CacheModel::kLineSize;
+    total += machine_.socketCache(0).clflushLoopCost(slot_lines);
+
+    // Tier flush instead of the whole-cache walk.
+    const uint64_t lines =
+        directory_ != nullptr ? directory_->regionLines(cut) : 0;
+    total += machine_.socketCache(0).clflushLoopCost(lines);
+
+    total += directoryCost(cut);
+    total += machine_.socketCache(0).clflushLoopCost(3);
+    total += config_.commandIssueLatency;
+    // The degraded path always waits out one retry backoff before the
+    // control processor halts.
+    total += config_.saveCommandRetryBackoff;
     return total;
 }
 

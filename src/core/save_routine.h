@@ -27,9 +27,11 @@
 #include <functional>
 
 #include "core/resume_block.h"
+#include "core/salvage_directory.h"
 #include "core/valid_marker.h"
 #include "core/wsp_config.h"
 #include "machine/machine.h"
+#include "nvram/controller.h"
 #include "power/power_monitor.h"
 
 namespace wsp {
@@ -40,7 +42,9 @@ class SaveRoutine
   public:
     SaveRoutine(MachineModel &machine, PowerMonitor &monitor,
                 ValidMarker &marker, ResumeBlock &resume_block,
-                DeviceManager *devices, const WspConfig &config);
+                DeviceManager *devices, const WspConfig &config,
+                NvdimmController *nvdimms = nullptr,
+                SalvageDirectory *directory = nullptr);
 
     /**
      * Run the save. @p done fires at the control processor's halt
@@ -50,10 +54,24 @@ class SaveRoutine
     void run(uint64_t boot_sequence, std::function<void(SaveReport)> done);
 
     /**
+     * Run the save with a degraded-mode hint from the platform (the
+     * energy health monitor's verdict at interrupt time). A degraded
+     * save skips device suspend, flushes only the registered regions
+     * at or above the tier cut, and re-issues a lost NVDIMM save
+     * command once — trading bulk data for certainty that the core
+     * tiers land within the residual energy actually available.
+     */
+    void run(uint64_t boot_sequence, bool degraded_hint,
+             std::function<void(SaveReport)> done);
+
+    /**
      * Predicted save duration for the current machine state, without
      * running it (used for energy budgeting and Fig. 8).
      */
     Tick predictDuration() const;
+
+    /** Predicted duration of a degraded save down to @p cut. */
+    Tick predictDurationForTier(SaveTier cut) const;
 
     /**
      * The report of the save attempt in progress (or the last one).
@@ -71,10 +89,16 @@ class SaveRoutine
     void stepContextsAndFlush();
     void stepFinishFlush();
     void stepParallelFlush(Tick start);
+    void stepDegradedFlush();
     void afterFlush();
+    void stepPersistDirectory();
     void stepMarkerPrepare();
     void stepMarkerStamp();
     void stepInitiateNvdimmSave();
+    void stepHalt();
+
+    /** CRC pass + table flush cost of persisting the directory. */
+    Tick directoryCost(SaveTier cut) const;
 
     /** Per-socket flush cost under the configured method. */
     Tick flushCost(unsigned socket) const;
@@ -100,9 +124,13 @@ class SaveRoutine
     ResumeBlock &resumeBlock_;
     DeviceManager *devices_;
     const WspConfig &config_;
+    NvdimmController *nvdimms_;
+    SalvageDirectory *directory_;
 
     EventQueue &queue_;
     uint64_t bootSequence_ = 0;
+    bool degraded_ = false;
+    SaveTier tierCut_ = SaveTier::Bulk;
     std::function<void(SaveReport)> done_;
     SaveReport report_;
 };

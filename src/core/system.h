@@ -86,6 +86,20 @@ class WspSystem
     /** The control processor's cache: application loads/stores. */
     CacheModel &cache() { return machine_->cacheOfCore(0); }
 
+    /** Register a region for tiered save and checksummed salvage. */
+    void
+    registerSalvageRegion(SalvageRegionSpec spec)
+    {
+        wsp_->registerSalvageRegion(std::move(spec));
+    }
+
+    /** Recovery hook invoked per quarantined region on restore. */
+    void
+    setRegionRecovery(std::function<void(const RegionOutcome &)> hook)
+    {
+        wsp_->setRegionRecovery(std::move(hook));
+    }
+
     /** Power the system on for the first time (cold start). */
     void start();
 

@@ -12,15 +12,20 @@ constexpr uint64_t kOffMagic = 0;
 constexpr uint64_t kOffSequence = 8;
 constexpr uint64_t kOffResumeChecksum = 16;
 constexpr uint64_t kOffFieldChecksum = 24;
+constexpr uint64_t kOffDirectoryChecksum = 32;
+constexpr uint64_t kOffTierCut = 40;
 constexpr uint64_t kOffStamp = CacheModel::kLineSize;
 constexpr uint64_t kOffStampChecksum = CacheModel::kLineSize + 8;
 
 uint64_t
-fieldChecksum(uint64_t magic, uint64_t sequence, uint64_t resume_checksum)
+fieldChecksum(uint64_t magic, uint64_t sequence, uint64_t resume_checksum,
+              uint64_t directory_checksum, uint64_t tier_cut)
 {
     uint64_t hash = fnv1aU64(magic);
     hash = fnv1aU64(sequence, hash);
-    return fnv1aU64(resume_checksum, hash);
+    hash = fnv1aU64(resume_checksum, hash);
+    hash = fnv1aU64(directory_checksum, hash);
+    return fnv1aU64(tier_cut, hash);
 }
 
 } // namespace
@@ -34,15 +39,19 @@ ValidMarker::ValidMarker(CacheModel &cache, uint64_t base)
 }
 
 Tick
-ValidMarker::prepare(uint64_t boot_sequence, uint64_t resume_checksum)
+ValidMarker::prepare(uint64_t boot_sequence, uint64_t resume_checksum,
+                     uint64_t directory_checksum, uint64_t tier_cut)
 {
     preparedSequence_ = boot_sequence;
     preparedChecksum_ = resume_checksum;
     cache_.writeU64(base_ + kOffMagic, kMagic);
     cache_.writeU64(base_ + kOffSequence, boot_sequence);
     cache_.writeU64(base_ + kOffResumeChecksum, resume_checksum);
+    cache_.writeU64(base_ + kOffDirectoryChecksum, directory_checksum);
+    cache_.writeU64(base_ + kOffTierCut, tier_cut);
     cache_.writeU64(base_ + kOffFieldChecksum,
-                    fieldChecksum(kMagic, boot_sequence, resume_checksum));
+                    fieldChecksum(kMagic, boot_sequence, resume_checksum,
+                                  directory_checksum, tier_cut));
     return cache_.flushLine(base_);
 }
 
@@ -74,6 +83,8 @@ ValidMarker::clear()
     cache_.writeU64(base_ + kOffSequence, 0);
     cache_.writeU64(base_ + kOffResumeChecksum, 0);
     cache_.writeU64(base_ + kOffFieldChecksum, 0);
+    cache_.writeU64(base_ + kOffDirectoryChecksum, 0);
+    cache_.writeU64(base_ + kOffTierCut, 0);
     return t0 + cache_.flushLine(base_);
 }
 
@@ -87,13 +98,17 @@ ValidMarker::read(const NvramSpace &memory) const
         memory.readU64(base_ + kOffResumeChecksum);
     const uint64_t field_checksum =
         memory.readU64(base_ + kOffFieldChecksum);
+    const uint64_t directory_checksum =
+        memory.readU64(base_ + kOffDirectoryChecksum);
+    const uint64_t tier_cut = memory.readU64(base_ + kOffTierCut);
     const uint64_t stamp = memory.readU64(base_ + kOffStamp);
     const uint64_t stamp_checksum =
         memory.readU64(base_ + kOffStampChecksum);
 
     if (magic != kMagic)
         return state;
-    if (field_checksum != fieldChecksum(magic, sequence, resume_checksum))
+    if (field_checksum != fieldChecksum(magic, sequence, resume_checksum,
+                                        directory_checksum, tier_cut))
         return state;
     if (stamp != kValidStamp)
         return state;
@@ -103,6 +118,8 @@ ValidMarker::read(const NvramSpace &memory) const
     state.valid = true;
     state.bootSequence = sequence;
     state.resumeChecksum = resume_checksum;
+    state.directoryChecksum = directory_checksum;
+    state.tierCut = tier_cut;
     return state;
 }
 

@@ -32,6 +32,8 @@ struct MarkerState
     bool valid = false;
     uint64_t bootSequence = 0;
     uint64_t resumeChecksum = 0;
+    uint64_t directoryChecksum = 0; ///< salvage directory binding
+    uint64_t tierCut = 2;           ///< deepest SaveTier persisted
 };
 
 /** The two-line marker protocol at a fixed NVRAM address. */
@@ -52,9 +54,14 @@ class ValidMarker
 
     /**
      * Write and flush line 0 (fields). Call before stamp().
+     * @p directory_checksum binds the salvage directory written by
+     * this save (0 when no regions are registered); @p tier_cut is
+     * the deepest SaveTier the save persisted (2 = Bulk = complete
+     * image). Both are folded into the field checksum.
      * @return modelled cost of the writes and flushes.
      */
-    Tick prepare(uint64_t boot_sequence, uint64_t resume_checksum);
+    Tick prepare(uint64_t boot_sequence, uint64_t resume_checksum,
+                 uint64_t directory_checksum = 0, uint64_t tier_cut = 2);
 
     /**
      * Write and flush line 1 (the VALID stamp). The image is valid

@@ -62,6 +62,22 @@ enum class SaveOrder {
 /** Human-readable save order name. */
 std::string saveOrderName(SaveOrder order);
 
+/**
+ * Priority tier of a saved memory region. When a save runs degraded
+ * (energy self-test failed, residual window too short) it persists
+ * tiers from the top down and records how far it got: Core state must
+ * always make it, shard metadata next, bulk data last. A region's
+ * tier is the price of losing it.
+ */
+enum class SaveTier {
+    Core = 0,     ///< CPU contexts, resume block, valid marker
+    Metadata = 1, ///< KV shard directories, allocator roots
+    Bulk = 2,     ///< application data; first to be dropped
+};
+
+/** Human-readable save tier name. */
+std::string saveTierName(SaveTier tier);
+
 /** Tunable behaviour of the WSP save/restore machinery. */
 struct WspConfig
 {
@@ -114,6 +130,45 @@ struct WspConfig
 
     /** Control-processor cost to issue the NVDIMM save command. */
     Tick commandIssueLatency = fromMicros(2.0);
+
+    /**
+     * Period of the energy-margin health self-test; 0 disables the
+     * monitor entirely (the seed-calibrated default).
+     */
+    Tick healthCheckPeriod = 0;
+
+    /** Safety margin the self-test demands on top of the predicted
+     *  save energy. */
+    double healthEnergyMargin = 0.25;
+
+    /**
+     * Residual window the platform promises the save routine
+     * (crashsim sets this from the schedule). 0 = unknown; the save
+     * then only degrades on the health monitor's say-so.
+     */
+    Tick plannedResidualWindow = 0;
+
+    /** Force every save to run degraded (tests and fault storms). */
+    bool forceDegradedSave = false;
+
+    /** Tier cut applied when a save degrades: tiers <= cut persist. */
+    SaveTier degradedTierCut = SaveTier::Metadata;
+
+    /** Backoff before a degraded save re-issues a lost NVDIMM save
+     *  command (I2C glitch tolerance). */
+    Tick saveCommandRetryBackoff = fromMicros(300.0);
+
+    /** Effective bandwidth of the save-path CRC pass over saved
+     *  regions (bytes/second). */
+    double salvageCrcBandwidth = 8.0e9;
+
+    /**
+     * DELIBERATE BUG KNOB for the crashsim harness: accept salvage
+     * directory entries without re-verifying region CRCs on restore.
+     * A media fault then revives corrupt data silently — the
+     * NoSilentCorruption checker must catch exactly this.
+     */
+    bool trustSalvageDirectory = false;
 };
 
 /** One timed step of the save or restore sequence. */
@@ -139,8 +194,27 @@ struct SaveReport
     uint64_t dirtyBytesFlushed = 0;
     std::vector<StepTiming> steps;
 
+    bool degraded = false; ///< ran the tiered degraded-mode path
+    SaveTier tierCut = SaveTier::Bulk; ///< deepest tier persisted
+    unsigned regionsDropped = 0; ///< registered regions beyond the cut
+    unsigned saveCommandRetries = 0; ///< NVDIMM command re-issues
+    uint64_t directoryChecksum = 0; ///< salvage directory checksum
+
     /** Total save-path latency. */
     Tick duration() const { return halted - started; }
+};
+
+/** Fate of one registered salvage region on the restore path. */
+struct RegionOutcome
+{
+    std::string name;
+    uint64_t base = 0;
+    uint64_t size = 0;
+    SaveTier tier = SaveTier::Bulk;
+    bool saved = false;       ///< the save persisted this region
+    bool salvaged = false;    ///< CRC verified, contents kept
+    bool quarantined = false; ///< scrubbed; contents discarded
+    bool recovered = false;   ///< per-region recovery hook rebuilt it
 };
 
 /** Outcome of one boot-path restore attempt (paper Fig. 4, 10-14). */
@@ -150,8 +224,17 @@ struct RestoreReport
     bool flashValid = false;  ///< NVDIMM images were restorable
     bool markerValid = false; ///< valid marker found
     bool checksumOk = false;  ///< resume block matched the marker
+    bool generationOk = true; ///< image generation matched this epoch
+    bool directoryOk = true;  ///< marker-bound salvage directory decoded
+    bool salvageMode = false; ///< cold boot salvaged checksummed regions
     bool contextsRestored = false; ///< thread contexts resumed
                                    ///< (WholeSystem mode only)
+    SaveTier imageTierCut = SaveTier::Bulk; ///< tier cut the image carries
+    uint64_t imageGeneration = 0; ///< boot sequence stamped in the marker
+    std::vector<RegionOutcome> regions; ///< per-region salvage fates
+    unsigned regionsSalvaged = 0;
+    unsigned regionsQuarantined = 0;
+    unsigned regionsRecovered = 0;
     Tick started = 0;
     Tick finished = 0;
     Tick nvdimmRestoreTime = 0;

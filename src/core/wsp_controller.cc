@@ -1,5 +1,7 @@
 #include "core/wsp_controller.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace wsp {
@@ -13,6 +15,12 @@ WspLayout::topOfMemory(uint64_t capacity, unsigned cores)
     layout.markerBase = (capacity - ValidMarker::kSize) / line * line;
     layout.resumeBase =
         (layout.markerBase - resume_size) / line * line;
+    // The directory sits below the resume block: all three control
+    // structures share the top of memory, which the NVDIMM save
+    // engine programs *first* — a save that dies early still persists
+    // the metadata describing what it managed.
+    layout.directoryBase =
+        (layout.resumeBase - SalvageDirectory::kSize) / line * line;
     return layout;
 }
 
@@ -30,13 +38,34 @@ WspController::WspController(EventQueue &queue, MachineModel &machine,
                    WspLayout::topOfMemory(machine.memory().capacity(),
                                           machine.coreCount()).resumeBase,
                    machine.coreCount()),
-      save_(machine, monitor, marker_, resumeBlock_, devices, config_),
-      restore_(machine, nvdimms, marker_, resumeBlock_, devices, config_)
+      directory_(machine.cacheOfCore(0),
+                 WspLayout::topOfMemory(machine.memory().capacity(),
+                                        machine.coreCount()).directoryBase),
+      save_(machine, monitor, marker_, resumeBlock_, devices, config_,
+            &nvdimms, &directory_),
+      restore_(machine, nvdimms, marker_, resumeBlock_, devices, config_,
+               &directory_)
 {
     monitor_.setPowerFailHandler([this] { onPowerFailInterrupt(); });
     monitor_.setCommandSink(nvdimms_.commandSink());
     if (config_.armNvdimms)
         nvdimms_.armAll();
+
+    if (config_.healthCheckPeriod > 0) {
+        // One probe per module: can its bank deliver the save's energy
+        // plus the margin right now?
+        health_ = std::make_unique<EnergyHealthMonitor>(
+            queue, HealthMonitorConfig{config_.healthCheckPeriod,
+                                       config_.healthEnergyMargin});
+        for (NvdimmModule *module : nvdimms_.modules()) {
+            health_->addProbe(HealthProbe{
+                module->name(),
+                [module] { return module->ultracap().usableEnergy(); },
+                [module] { return module->saveEnergy(); }});
+        }
+        health_->setDegradedHandler(
+            [this](bool degraded) { degraded_ = degraded; });
+    }
 
     // The instant regulation ends, everything on host power dies.
     psu_.pwrOkSignal().observeEdge(false, [this] {
@@ -47,6 +76,19 @@ WspController::WspController(EventQueue &queue, MachineModel &machine,
 }
 
 void
+WspController::registerSalvageRegion(SalvageRegionSpec spec)
+{
+    directory_.registerRegion(std::move(spec));
+}
+
+void
+WspController::setRegionRecovery(
+    std::function<void(const RegionOutcome &)> hook)
+{
+    restore_.setRegionRecovery(std::move(hook));
+}
+
+void
 WspController::onPowerFailInterrupt()
 {
     if (!running_) {
@@ -54,7 +96,9 @@ WspController::onPowerFailInterrupt()
         return;
     }
     running_ = false;
-    save_.run(bootSequence_, [this](SaveReport report) {
+    if (health_)
+        health_->stop();
+    save_.run(bootSequence_, degraded_, [this](SaveReport report) {
         lastSave_ = report;
         if (pwrOkDroppedAt_ && psu_.residualWindow() > 0) {
             windowFractionUsed_ =
@@ -71,6 +115,11 @@ WspController::start()
 {
     WSP_CHECK(!running_);
     marker_.clear();
+    nvdimms_.publishEpoch(bootSequence_);
+    if (health_) {
+        health_->checkNow();
+        health_->start();
+    }
     running_ = true;
 }
 
@@ -83,6 +132,8 @@ WspController::onHardPowerLoss()
         return; // the outage ended inside the residual window
     powerLostAt_ = now();
     running_ = false;
+    if (health_)
+        health_->stop();
     machine_.onPowerLost();
     if (devices_ != nullptr)
         devices_->onPowerLost();
@@ -111,7 +162,16 @@ WspController::boot(std::function<void()> backend_recovery,
                  [this, done = std::move(done)](RestoreReport report) {
         lastRestore_ = report;
         running_ = true;
-        ++bootSequence_;
+        // The new boot's sequence must exceed every epoch any module
+        // has seen — including a crashed chassis whose image we
+        // adopted — so a save from this boot is never mistaken for
+        // one from a previous life.
+        bootSequence_ = std::max(bootSequence_, nvdimms_.currentEpoch()) + 1;
+        nvdimms_.publishEpoch(bootSequence_);
+        if (health_) {
+            health_->checkNow();
+            health_->start();
+        }
         if (done)
             done(report);
     });

@@ -19,22 +19,26 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "core/restore_routine.h"
+#include "core/salvage_directory.h"
 #include "core/save_routine.h"
 #include "core/wsp_config.h"
 #include "nvram/controller.h"
+#include "power/health_monitor.h"
 #include "power/power_monitor.h"
 #include "power/psu.h"
 
 namespace wsp {
 
-/** Where the marker and resume block live in NVRAM. */
+/** Where the marker, resume block, and salvage directory live. */
 struct WspLayout
 {
     uint64_t markerBase = 0;
     uint64_t resumeBase = 0;
+    uint64_t directoryBase = 0;
 
     /** Place the structures at the top of a @p capacity space. */
     static WspLayout topOfMemory(uint64_t capacity, unsigned cores);
@@ -53,6 +57,19 @@ class WspController : public SimObject
     ValidMarker &marker() { return marker_; }
     ResumeBlock &resumeBlock() { return resumeBlock_; }
     SaveRoutine &saveRoutine() { return save_; }
+    SalvageDirectory &salvageDirectory() { return directory_; }
+
+    /** Register a region for tiered save and checksummed salvage. */
+    void registerSalvageRegion(SalvageRegionSpec spec);
+
+    /** Per-quarantined-region recovery hook (forwarded to restore). */
+    void setRegionRecovery(std::function<void(const RegionOutcome &)> hook);
+
+    /** The energy health monitor, if healthCheckPeriod enabled one. */
+    EnergyHealthMonitor *healthMonitor() { return health_.get(); }
+
+    /** True while the platform is in degraded mode (health verdict). */
+    bool degraded() const { return degraded_; }
 
     /** Sequence number of the current boot epoch. */
     uint64_t bootSequence() const { return bootSequence_; }
@@ -106,10 +123,13 @@ class WspController : public SimObject
 
     ValidMarker marker_;
     ResumeBlock resumeBlock_;
+    SalvageDirectory directory_;
     SaveRoutine save_;
     RestoreRoutine restore_;
+    std::unique_ptr<EnergyHealthMonitor> health_;
 
     uint64_t bootSequence_ = 1;
+    bool degraded_ = false;
     bool running_ = false;
     std::optional<SaveReport> lastSave_;
     std::optional<RestoreReport> lastRestore_;

@@ -35,6 +35,18 @@ CrashExplorer::configFor(const CrashSchedule &schedule)
     config.wsp.hostStackBootLatency = fromMillis(50.0);
     config.wsp.saveOrder = schedule.saveOrder;
     config.wsp.parallelFlush = schedule.parallelSave;
+    if (schedule.degradeTier >= 0) {
+        config.wsp.forceDegradedSave = true;
+        config.wsp.degradedTierCut =
+            static_cast<SaveTier>(schedule.degradeTier);
+    }
+    config.wsp.trustSalvageDirectory = schedule.trustDirectory;
+    if (schedule.salvage && schedule.drainModule >= 0) {
+        // A drained bank under the salvage regime also exercises the
+        // health monitor: the periodic self-test notices the missing
+        // energy margin and the next save starts out degraded.
+        config.wsp.healthCheckPeriod = fromMillis(1.0);
+    }
     config = FailureInjector::withExactWindow(std::move(config),
                                               schedule.window);
     if (schedule.undersizedCaps)
@@ -58,6 +70,14 @@ CrashExplorer::runSchedule(const CrashSchedule &schedule)
     for (auto &checker : checkers)
         checker->prepare(crashed, schedule);
 
+    if (schedule.salvage && kv != nullptr) {
+        // Per-shard recovery for train-cycle restores on this chassis.
+        crashed.setRegionRecovery(
+            [kv, &crashed](const RegionOutcome &region) {
+                kv->onRegionRecovery(crashed, region);
+            });
+    }
+
     FailureInjector injector(crashed);
     if (schedule.drainModule >= 0 &&
         static_cast<size_t>(schedule.drainModule) <
@@ -65,6 +85,8 @@ CrashExplorer::runSchedule(const CrashSchedule &schedule)
         injector.drainUltracap(
             static_cast<size_t>(schedule.drainModule),
             schedule.drainVoltage);
+    if (schedule.dropSaveCommands > 0)
+        injector.dropSaveCommands(schedule.dropSaveCommands);
 
     const auto backendOnCrashed = [&checkers, &crashed]() {
         for (auto &checker : checkers)
@@ -89,9 +111,23 @@ CrashExplorer::runSchedule(const CrashSchedule &schedule)
     WSP_CHECKF(crashed.nvdimms().allIdle(),
                "NVDIMMs never settled after the crash");
 
+    // Silent flash media faults land on the at-rest image, after the
+    // save concluded and before the DIMMs are pulled.
+    for (const PlannedMediaFault &fault :
+         plannedMediaFaults(schedule, crashed.memory().moduleCount(),
+                            crashed.memory().module(0).capacity()))
+        crashed.memory().module(fault.module).injectFlashFault(
+            fault.kind, fault.addr);
+
     // Pull the DIMMs and socket them into a fresh chassis.
     const NvramImage image = crashed.captureNvramImage();
     WspSystem revived(configFor(schedule));
+    if (schedule.salvage && kv != nullptr) {
+        revived.setRegionRecovery(
+            [kv, &revived](const RegionOutcome &region) {
+                kv->onRegionRecovery(revived, region);
+            });
+    }
     bool backend_ran = false;
     result.restore = revived.bootFromImage(
         image, [&checkers, &revived, &backend_ran]() {
@@ -224,6 +260,21 @@ CrashExplorer::fuzz(unsigned runs, uint64_t seed)
             schedule.shards = 1u << rng.next(4); // 1, 2, 4, or 8
             schedule.parallelSave = rng.chance(0.67);
         }
+        if (rng.chance(0.35)) {
+            // The salvage regime: tiered regions, media faults on the
+            // captured image, forced degraded saves, dropped commands.
+            schedule.salvage = true;
+            if (rng.chance(0.6)) {
+                schedule.mediaFaults =
+                    1 + static_cast<unsigned>(rng.next(4));
+                schedule.mediaFaultSeed = rng();
+            }
+            if (rng.chance(0.3))
+                schedule.degradeTier = static_cast<int>(rng.next(2));
+            if (rng.chance(0.2))
+                schedule.dropSaveCommands =
+                    1 + static_cast<unsigned>(rng.next(2));
+        }
 
         CrashPointResult result = runSchedule(schedule);
         ++report.points;
@@ -283,6 +334,31 @@ CrashExplorer::minimize(CrashSchedule failing, unsigned budget)
         {
             CrashSchedule c = failing;
             c.withDevices = false;
+            tryAccept(c);
+        }
+        {
+            CrashSchedule c = failing;
+            c.mediaFaults = 0;
+            c.mediaFaultSeed = 0;
+            tryAccept(c);
+        }
+        {
+            CrashSchedule c = failing;
+            c.degradeTier = -1;
+            tryAccept(c);
+        }
+        {
+            CrashSchedule c = failing;
+            c.dropSaveCommands = 0;
+            tryAccept(c);
+        }
+        {
+            CrashSchedule c = failing;
+            c.salvage = false;
+            c.mediaFaults = 0;
+            c.mediaFaultSeed = 0;
+            c.degradeTier = -1;
+            c.trustDirectory = false;
             tryAccept(c);
         }
         if (failing.ops > 8) {

@@ -38,6 +38,13 @@ CrashSchedule::serialize() const
         << "\n";
     out << "shards=" << shards << "\n";
     out << "parallel_save=" << (parallelSave ? 1 : 0) << "\n";
+    out << "salvage=" << (salvage ? 1 : 0) << "\n";
+    out << "media_faults=" << mediaFaults << "\n";
+    out << "media_fault_kind=" << mediaFaultKind << "\n";
+    out << "media_fault_seed=" << mediaFaultSeed << "\n";
+    out << "degrade_tier=" << degradeTier << "\n";
+    out << "drop_save_cmds=" << dropSaveCommands << "\n";
+    out << "trust_directory=" << (trustDirectory ? 1 : 0) << "\n";
     return out.str();
 }
 
@@ -92,6 +99,22 @@ CrashSchedule::parse(const std::string &text)
                 schedule.shards = static_cast<unsigned>(std::stoul(value));
             else if (key == "parallel_save")
                 schedule.parallelSave = value == "1";
+            else if (key == "salvage")
+                schedule.salvage = value == "1";
+            else if (key == "media_faults")
+                schedule.mediaFaults =
+                    static_cast<unsigned>(std::stoul(value));
+            else if (key == "media_fault_kind")
+                schedule.mediaFaultKind = std::stoi(value);
+            else if (key == "media_fault_seed")
+                schedule.mediaFaultSeed = std::stoull(value);
+            else if (key == "degrade_tier")
+                schedule.degradeTier = std::stoi(value);
+            else if (key == "drop_save_cmds")
+                schedule.dropSaveCommands =
+                    static_cast<unsigned>(std::stoul(value));
+            else if (key == "trust_directory")
+                schedule.trustDirectory = value == "1";
             else
                 return std::nullopt; // unknown key: refuse to guess
         } catch (const std::exception &) {
@@ -103,6 +126,10 @@ CrashSchedule::parse(const std::string &text)
     if (schedule.shards == 0 ||
         (schedule.shards & (schedule.shards - 1)) != 0)
         return std::nullopt;
+    if (schedule.mediaFaultKind < -1 || schedule.mediaFaultKind > 2)
+        return std::nullopt;
+    if (schedule.degradeTier < -1 || schedule.degradeTier > 1)
+        return std::nullopt; // only Core/Metadata cuts are degraded
     return schedule;
 }
 
@@ -151,6 +178,16 @@ CrashSchedule::summary() const
     std::string text = line;
     if (shards > 1)
         text += " shards=" + std::to_string(shards);
+    if (salvage)
+        text += " salvage";
+    if (mediaFaults > 0)
+        text += " media-faults=" + std::to_string(mediaFaults);
+    if (degradeTier >= 0)
+        text += " degrade-tier=" + std::to_string(degradeTier);
+    if (dropSaveCommands > 0)
+        text += " drop-cmds=" + std::to_string(dropSaveCommands);
+    if (trustDirectory)
+        text += " TRUST-DIR";
     return text;
 }
 

@@ -75,6 +75,31 @@ struct CrashSchedule
     /** Run the save with the parallel per-core flush path. */
     bool parallelSave = false;
 
+    /**
+     * Salvage regime: register the KV shards as tiered salvage
+     * regions and wire per-shard recovery hooks, so degraded saves
+     * and media faults recover region by region.
+     */
+    bool salvage = false;
+
+    /** Silent flash media faults injected into the captured image. */
+    unsigned mediaFaults = 0;
+
+    /** Fault kind (-1 = mixed, else a MediaFaultKind value 0..2). */
+    int mediaFaultKind = -1;
+
+    /** Extra seed for the deterministic fault placement. */
+    uint64_t mediaFaultSeed = 0;
+
+    /** Force a degraded save at this tier cut (-1 = no forcing). */
+    int degradeTier = -1;
+
+    /** Drop the next N NVDIMM commands on the I2C bus. */
+    unsigned dropSaveCommands = 0;
+
+    /** Planted bug: restore trusts the directory, skipping the CRCs. */
+    bool trustDirectory = false;
+
     /** Replay-file serialization (text, one key=value per line). */
     std::string serialize() const;
 

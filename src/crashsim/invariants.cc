@@ -1,8 +1,11 @@
 #include "crashsim/invariants.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <set>
 
 #include "apps/kv_store.h"
+#include "core/salvage_directory.h"
 #include "util/rng.h"
 
 namespace wsp::crashsim {
@@ -11,6 +14,31 @@ namespace {
 
 /** Keys are drawn from [1, kKeyUniverse] so absence is checkable. */
 constexpr uint64_t kKeyUniverse = 128;
+
+/** KvStore header bytes ahead of a shard's slot array. */
+constexpr uint64_t kKvHeaderBytes = 64;
+
+/**
+ * Mirrors ShardedKvStore::shardOf so a single wounded shard can be
+ * replayed without attaching the whole store (whose sibling headers
+ * may themselves be scrubbed at that point).
+ */
+unsigned
+shardOfKey(uint64_t key, unsigned shards)
+{
+    uint64_t h = key;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 29;
+    return static_cast<unsigned>(h & (shards - 1));
+}
+
+/** "kv<i>.meta" / "kv<i>.data" → "kv<i>"; other names pass through. */
+std::string
+shardKey(const std::string &region_name)
+{
+    return region_name.substr(0, region_name.find('.'));
+}
 
 /**
  * Attach the checker's store as @p shards stripes over the system's
@@ -59,6 +87,26 @@ KvPrefixChecker::prepare(WspSystem &system, const CrashSchedule &schedule)
                "kv-prefix shard count must divide the capacity");
 
     createCheckerStore(system, shards_);
+
+    if (schedule.salvage) {
+        // Tiered regions: shard headers outrank the bulk slot arrays,
+        // so a degraded save keeps the cheap metadata and a restore
+        // rebuilds only the shards whose data was sacrificed.
+        const uint64_t per_shard = kCapacity / shards_;
+        const uint64_t stride =
+            apps::ShardedKvStore::shardStride(per_shard);
+        for (unsigned i = 0; i < shards_; ++i) {
+            const uint64_t shard_base = kBase + i * stride;
+            char name[SalvageDirectory::kMaxNameBytes + 1];
+            std::snprintf(name, sizeof(name), "kv%u.meta", i);
+            system.registerSalvageRegion(SalvageRegionSpec{
+                name, shard_base, kKvHeaderBytes, SaveTier::Metadata});
+            std::snprintf(name, sizeof(name), "kv%u.data", i);
+            system.registerSalvageRegion(SalvageRegionSpec{
+                name, shard_base + kKvHeaderBytes, per_shard * 16,
+                SaveTier::Bulk});
+        }
+    }
 
     // Pre-draw the whole operation stream so determinism does not
     // depend on how far the run gets before the lights go out.
@@ -118,26 +166,52 @@ KvPrefixChecker::onBackendRecovery(WspSystem &system)
 }
 
 void
+KvPrefixChecker::onRegionRecovery(WspSystem &system,
+                                  const RegionOutcome &region)
+{
+    unsigned shard = 0;
+    if (std::sscanf(region.name.c_str(), "kv%u.", &shard) != 1 ||
+        shard >= shards_)
+        return;
+    const uint64_t per_shard = kCapacity / shards_;
+    const uint64_t stride = apps::ShardedKvStore::shardStride(per_shard);
+    // Reformat exactly the wounded shard, then replay its keys from
+    // the model — the "fetch from the back end" of one shard, not the
+    // whole store. A second quarantine of the same shard (header and
+    // slots both hit) just repeats the idempotent rebuild.
+    apps::KvStore fresh(system.cache(), kBase + shard * stride,
+                        per_shard);
+    for (const auto &[key, value] : model_) {
+        if (shardOfKey(key, shards_) == shard)
+            fresh.put(key, value);
+    }
+}
+
+void
 KvPrefixChecker::check(WspSystem &crashed, WspSystem &revived,
                        const RestoreReport &restore, bool backend_ran,
                        std::vector<std::string> *violations)
 {
     (void)crashed;
-    if (!restore.usedWsp && !backend_ran) {
+    if (!restore.usedWsp && !backend_ran && !restore.salvageMode) {
         addViolation(violations,
-                     "kv-prefix: neither WSP restore nor back-end "
-                     "recovery ran; store state is undefined");
+                     "kv-prefix: neither WSP restore, region salvage, "
+                     "nor back-end recovery ran; store state is "
+                     "undefined");
         return;
     }
 
-    // Whether the image came back verbatim (WSP) or was rebuilt from
-    // the back end, the revived store must equal the applied prefix.
+    // Whether the image came back verbatim (WSP), region by region
+    // (salvage), or was rebuilt from the back end, the revived store
+    // must equal the applied prefix.
     auto store = attachCheckerStore(revived, shards_);
     if (!store) {
         addViolation(violations,
                      "kv-prefix: no valid store header after %s "
                      "(applied ops: %llu)",
-                     restore.usedWsp ? "WSP restore" : "back-end recovery",
+                     restore.usedWsp      ? "WSP restore"
+                     : restore.salvageMode ? "region salvage"
+                                           : "back-end recovery",
                      static_cast<unsigned long long>(appliedOps_));
         return;
     }
@@ -213,22 +287,35 @@ MarkerAtomicityChecker::check(WspSystem &crashed, WspSystem &revived,
                      "caches were never flushed (marker stamped before "
                      "wbinvd?)");
 
-    const bool image_usable = restore.flashValid &&
-                              restore.markerValid && restore.checksumOk;
+    // Whole-system resume demands the full chain of vouchers: intact
+    // flash, a stamped marker from the current generation, a matching
+    // resume checksum, an undegraded (bulk-tier) image, and a
+    // decodable marker-bound directory.
+    const bool image_usable =
+        restore.flashValid && restore.markerValid &&
+        restore.generationOk && restore.checksumOk &&
+        restore.imageTierCut == SaveTier::Bulk && restore.directoryOk;
     if (restore.usedWsp != image_usable)
         addViolation(violations,
                      "marker-atomicity: usedWsp=%d inconsistent with "
-                     "flashValid=%d markerValid=%d checksumOk=%d",
+                     "flashValid=%d markerValid=%d generationOk=%d "
+                     "checksumOk=%d tierCut=%s directoryOk=%d",
                      restore.usedWsp ? 1 : 0, restore.flashValid ? 1 : 0,
                      restore.markerValid ? 1 : 0,
-                     restore.checksumOk ? 1 : 0);
+                     restore.generationOk ? 1 : 0,
+                     restore.checksumOk ? 1 : 0,
+                     saveTierName(restore.imageTierCut).c_str(),
+                     restore.directoryOk ? 1 : 0);
 
     // Exactly one recovery path must run.
-    if (restore.usedWsp == backend_ran)
+    const int paths = (restore.usedWsp ? 1 : 0) + (backend_ran ? 1 : 0) +
+                      (restore.salvageMode ? 1 : 0);
+    if (paths != 1)
         addViolation(violations,
-                     "marker-atomicity: usedWsp=%d and backend_ran=%d; "
-                     "exactly one recovery path must run",
-                     restore.usedWsp ? 1 : 0, backend_ran ? 1 : 0);
+                     "marker-atomicity: usedWsp=%d backend_ran=%d "
+                     "salvageMode=%d; exactly one recovery path must run",
+                     restore.usedWsp ? 1 : 0, backend_ran ? 1 : 0,
+                     restore.salvageMode ? 1 : 0);
 }
 
 // DeviceReinitChecker --------------------------------------------------
@@ -263,6 +350,223 @@ DeviceReinitChecker::check(WspSystem &crashed, WspSystem &revived,
                      accounted, deviceCount_);
 }
 
+// Media-fault planning ------------------------------------------------
+
+std::vector<PlannedMediaFault>
+plannedMediaFaults(const CrashSchedule &schedule, size_t module_count,
+                   uint64_t module_capacity)
+{
+    std::vector<PlannedMediaFault> faults;
+    if (!schedule.salvage || schedule.mediaFaults == 0 ||
+        module_count == 0)
+        return faults;
+    Rng rng(schedule.mediaFaultSeed ^ schedule.seed ^ 0x666c74ull); // "flt"
+    const uint64_t kv_bytes = apps::ShardedKvStore::regionBytes(
+        schedule.shards, KvPrefixChecker::kCapacity / schedule.shards);
+    for (unsigned i = 0; i < schedule.mediaFaults; ++i) {
+        PlannedMediaFault fault;
+        fault.kind =
+            schedule.mediaFaultKind >= 0
+                ? static_cast<MediaFaultKind>(schedule.mediaFaultKind)
+                : static_cast<MediaFaultKind>(rng.next(3));
+        if (i == 0) {
+            // The first fault always hits the KV region (module 0 owns
+            // the low addresses), so every faulted run proves at least
+            // one quarantine-and-recover.
+            fault.module = 0;
+            fault.addr = KvPrefixChecker::kBase +
+                         rng.next(std::min(kv_bytes, module_capacity));
+        } else {
+            fault.module = static_cast<size_t>(rng.next(module_count));
+            fault.addr = rng.next(module_capacity);
+        }
+        faults.push_back(fault);
+    }
+    return faults;
+}
+
+/** Global NVRAM extent a planned fault clobbers. */
+namespace {
+
+struct FaultExtent
+{
+    uint64_t base = 0;
+    uint64_t size = 0;
+};
+
+FaultExtent
+faultExtent(const PlannedMediaFault &fault, uint64_t module_base)
+{
+    switch (fault.kind) {
+      case MediaFaultKind::BitFlip:
+        return {module_base + fault.addr, 1};
+      case MediaFaultKind::BadBlock:
+        return {module_base + fault.addr / SparseMemory::kPageSize *
+                                  SparseMemory::kPageSize,
+                SparseMemory::kPageSize};
+      case MediaFaultKind::TornWrite:
+        // The first half-line programmed; the second half did not.
+        return {module_base + fault.addr / 64 * 64 + 32, 32};
+    }
+    return {};
+}
+
+bool
+overlaps(uint64_t a, uint64_t an, uint64_t b, uint64_t bn)
+{
+    return a < b + bn && b < a + an;
+}
+
+} // namespace
+
+// SalvageSoundChecker --------------------------------------------------
+
+void
+SalvageSoundChecker::prepare(WspSystem &system,
+                             const CrashSchedule &schedule)
+{
+    (void)system;
+    schedule_ = schedule;
+}
+
+void
+SalvageSoundChecker::check(WspSystem &crashed, WspSystem &revived,
+                           const RestoreReport &restore, bool backend_ran,
+                           std::vector<std::string> *violations)
+{
+    (void)revived;
+    (void)backend_ran;
+    if (restore.regions.empty())
+        return;
+
+    NvramSpace &memory = crashed.memory();
+    std::vector<FaultExtent> faulted;
+    for (const PlannedMediaFault &fault :
+         plannedMediaFaults(schedule_, memory.moduleCount(),
+                            memory.module(0).capacity()))
+        faulted.push_back(
+            faultExtent(fault, memory.moduleBase(fault.module)));
+
+    // A region byte reached flash iff its module programmed it: the
+    // copy engine writes the suffix [capacity - savedBytes, capacity)
+    // of each module, top down.
+    const auto flashCovered = [&memory](uint64_t base, uint64_t size) {
+        for (size_t i = 0; i < memory.moduleCount(); ++i) {
+            const NvdimmModule &module = memory.module(i);
+            const uint64_t mbase = memory.moduleBase(i);
+            const uint64_t mend = mbase + module.capacity();
+            const uint64_t lo = std::max(base, mbase);
+            const uint64_t hi = std::min(base + size, mend);
+            if (lo >= hi)
+                continue;
+            if (lo < mend - module.flashSavedBytes())
+                return false;
+        }
+        return true;
+    };
+
+    // Once a shard was quarantined, its recovery rebuilt the shard's
+    // bytes in place — later CRC checks over sibling regions of the
+    // same shard compare the replayed layout against the saved one,
+    // so their verdicts are exempt from the intact-must-salvage rule.
+    std::set<std::string> rebuilt;
+    for (const RegionOutcome &region : restore.regions) {
+        if (region.saved && !region.salvaged && !region.quarantined)
+            addViolation(violations,
+                         "salvage-sound: region '%s' neither salvaged "
+                         "nor quarantined",
+                         region.name.c_str());
+        if (!region.saved && region.salvaged)
+            addViolation(violations,
+                         "salvage-sound: region '%s' was never saved "
+                         "yet came back salvaged",
+                         region.name.c_str());
+
+        bool hit = false;
+        for (const FaultExtent &extent : faulted)
+            hit = hit || overlaps(region.base, region.size, extent.base,
+                                  extent.size);
+        if (region.saved && !hit && !region.salvaged &&
+            rebuilt.count(shardKey(region.name)) == 0 &&
+            flashCovered(region.base, region.size))
+            addViolation(violations,
+                         "salvage-sound: intact region '%s' (saved, "
+                         "fully in flash, no fault) was quarantined",
+                         region.name.c_str());
+
+        if (region.quarantined)
+            rebuilt.insert(shardKey(region.name));
+    }
+}
+
+// NoSilentCorruptionChecker --------------------------------------------
+
+void
+NoSilentCorruptionChecker::prepare(WspSystem &system,
+                                   const CrashSchedule &schedule)
+{
+    (void)system;
+    schedule_ = schedule;
+}
+
+void
+NoSilentCorruptionChecker::check(WspSystem &crashed, WspSystem &revived,
+                                 const RestoreReport &restore,
+                                 bool backend_ran,
+                                 std::vector<std::string> *violations)
+{
+    (void)crashed;
+    (void)backend_ran;
+    if (restore.regions.empty())
+        return;
+
+    // Shards a quarantine rebuilt hold the replayed model's byte
+    // layout, not the saved image's, so the saved CRCs no longer
+    // apply to any of their regions.
+    std::set<std::string> rebuilt;
+    for (const RegionOutcome &region : restore.regions) {
+        if (!region.quarantined)
+            continue;
+        rebuilt.insert(shardKey(region.name));
+        if (schedule_.salvage && !region.recovered)
+            addViolation(violations,
+                         "no-silent-corruption: quarantined region '%s' "
+                         "was never handed to recovery",
+                         region.name.c_str());
+    }
+
+    const uint64_t base = revived.wsp().salvageDirectory().base();
+    auto image = SalvageDirectory::read(revived.memory(), base);
+    if (!image) {
+        addViolation(violations,
+                     "no-silent-corruption: salvage directory "
+                     "unreadable after a region-verified recovery");
+        return;
+    }
+
+    for (const RegionOutcome &region : restore.regions) {
+        if (!region.salvaged || rebuilt.count(shardKey(region.name)) != 0)
+            continue;
+        const SalvageDirectoryEntry *entry = nullptr;
+        for (const SalvageDirectoryEntry &candidate : image->entries) {
+            if (candidate.name == region.name)
+                entry = &candidate;
+        }
+        if (entry == nullptr)
+            continue;
+        const uint64_t crc = SalvageDirectory::regionCrc(
+            revived.memory(), region.base, region.size);
+        if (crc != entry->crc)
+            addViolation(violations,
+                         "no-silent-corruption: region '%s' was revived "
+                         "with content that fails its saved CRC "
+                         "(got %llx, directory says %llx)",
+                         region.name.c_str(),
+                         static_cast<unsigned long long>(crc),
+                         static_cast<unsigned long long>(entry->crc));
+    }
+}
+
 std::vector<std::unique_ptr<InvariantChecker>>
 standardCheckers()
 {
@@ -270,6 +574,8 @@ standardCheckers()
     checkers.push_back(std::make_unique<KvPrefixChecker>());
     checkers.push_back(std::make_unique<MarkerAtomicityChecker>());
     checkers.push_back(std::make_unique<DeviceReinitChecker>());
+    checkers.push_back(std::make_unique<SalvageSoundChecker>());
+    checkers.push_back(std::make_unique<NoSilentCorruptionChecker>());
     return checkers;
 }
 

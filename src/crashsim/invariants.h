@@ -17,7 +17,14 @@
  * checks here: a WSP restore must reproduce exactly the applied
  * prefix of the workload; the valid marker must never vouch for an
  * unflushed image; devices must all be reinitialized; and exactly one
- * of {WSP restore, back-end recovery} must happen.
+ * of {WSP restore, region salvage, back-end recovery} must happen.
+ *
+ * The salvage regime (schedule.salvage) adds two checkers over the
+ * per-region outcomes: SalvageSound — a region the save persisted and
+ * nothing corrupted must come back salvaged, never thrown away — and
+ * NoSilentCorruption — a region reported salvaged must actually hold
+ * the bytes its saved CRC vouches for, and every quarantined region
+ * must have been handed to recovery.
  */
 
 #pragma once
@@ -90,6 +97,14 @@ class KvPrefixChecker : public InvariantChecker
                const RestoreReport &restore, bool backend_ran,
                std::vector<std::string> *violations) override;
 
+    /**
+     * Per-shard back-end recovery: a quarantined "kv<i>.meta" or
+     * "kv<i>.data" region reformats exactly shard i and replays its
+     * keys from the model — sibling shards stay untouched. Wired as
+     * the system's region-recovery hook under schedule.salvage.
+     */
+    void onRegionRecovery(WspSystem &system, const RegionOutcome &region);
+
     uint64_t appliedOps() const { return appliedOps_; }
 
   private:
@@ -130,6 +145,67 @@ class DeviceReinitChecker : public InvariantChecker
 
   private:
     size_t deviceCount_ = 0;
+};
+
+/** One planned silent flash fault of a salvage schedule. */
+struct PlannedMediaFault
+{
+    size_t module = 0; ///< crashed-system module index
+    uint64_t addr = 0; ///< module-local flash address
+    MediaFaultKind kind = MediaFaultKind::BitFlip;
+
+    bool operator==(const PlannedMediaFault &other) const = default;
+};
+
+/**
+ * The deterministic fault set a salvage schedule injects into the
+ * captured image: a pure function of the schedule, so checkers
+ * re-derive exactly what the explorer injected. Fault 0 always lands
+ * inside the KV region, guaranteeing the sweep exercises at least one
+ * quarantine. Empty unless schedule.salvage.
+ */
+std::vector<PlannedMediaFault>
+plannedMediaFaults(const CrashSchedule &schedule, size_t module_count,
+                   uint64_t module_capacity);
+
+/**
+ * Salvage soundness: a region the directory says was saved, whose
+ * bytes every module actually programmed to flash, and that no
+ * planned media fault touched, must be salvaged — the restore may
+ * never discard intact data. Conversely a region the save never
+ * persisted must not come back as salvaged.
+ */
+class SalvageSoundChecker : public InvariantChecker
+{
+  public:
+    const char *name() const override { return "salvage-sound"; }
+    void prepare(WspSystem &system, const CrashSchedule &schedule) override;
+    void check(WspSystem &crashed, WspSystem &revived,
+               const RestoreReport &restore, bool backend_ran,
+               std::vector<std::string> *violations) override;
+
+  private:
+    CrashSchedule schedule_;
+};
+
+/**
+ * No silent corruption: every region reported salvaged must, in the
+ * revived machine's NVRAM, still match the CRC the save recorded for
+ * it (this is what catches a restore that trusts the directory and
+ * skips re-verification), and every quarantined region must have been
+ * handed to the recovery hook rather than left scrubbed.
+ */
+class NoSilentCorruptionChecker : public InvariantChecker
+{
+  public:
+    const char *name() const override { return "no-silent-corruption"; }
+    void prepare(WspSystem &system, const CrashSchedule &schedule) override;
+    void check(WspSystem &crashed, WspSystem &revived,
+               const RestoreReport &restore, bool backend_ran,
+               std::vector<std::string> *violations) override;
+
+  private:
+    CrashSchedule schedule_;
 };
 
 /** The standard checker set for system-level sweeps. */

@@ -69,6 +69,75 @@ NvdimmController::restoreAll(std::function<void()> done)
     });
 }
 
+void
+NvdimmController::restoreAvailable(std::function<void()> done)
+{
+    WSP_CHECKF(!modules_.empty(),
+               "restoreAvailable with no modules attached");
+    WSP_CHECKF(anyRestorable(),
+               "restoreAvailable with no flash content anywhere");
+    Tick worst = 0;
+    for (auto *module : modules_) {
+        if (!module->flashRestorable())
+            continue;
+        if (module->state() == NvdimmState::Active)
+            module->enterSelfRefresh();
+        module->startRestore();
+        worst = std::max(worst, module->restoreDuration());
+    }
+    queue_.scheduleAfter(worst + 1, [this, done = std::move(done)] {
+        for (auto *module : modules_) {
+            if (module->state() == NvdimmState::SelfRefresh)
+                module->exitSelfRefresh();
+        }
+        if (done)
+            done();
+    });
+}
+
+bool
+NvdimmController::anyRestorable() const
+{
+    return std::any_of(modules_.begin(), modules_.end(),
+                       [](const NvdimmModule *m) {
+        return m->flashRestorable();
+    });
+}
+
+bool
+NvdimmController::anySaving() const
+{
+    return std::any_of(modules_.begin(), modules_.end(),
+                       [](const NvdimmModule *m) {
+        return m->state() == NvdimmState::Saving;
+    });
+}
+
+uint64_t
+NvdimmController::totalSavesCompleted() const
+{
+    uint64_t total = 0;
+    for (const auto *module : modules_)
+        total += module->savesCompleted();
+    return total;
+}
+
+void
+NvdimmController::publishEpoch(uint64_t epoch)
+{
+    for (auto *module : modules_)
+        module->setEpoch(epoch);
+}
+
+uint64_t
+NvdimmController::currentEpoch() const
+{
+    uint64_t epoch = 0;
+    for (const auto *module : modules_)
+        epoch = std::max(epoch, module->epoch());
+    return epoch;
+}
+
 bool
 NvdimmController::allFlashValid() const
 {

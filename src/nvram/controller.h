@@ -50,14 +50,43 @@ class NvdimmController : public SimObject
      */
     void restoreAll(std::function<void()> done);
 
+    /**
+     * Begin a restore on every module that has any flash content —
+     * full images and the partial suffix of a failed save alike —
+     * leaving empty modules untouched; @p done runs after the slowest
+     * restore and every module is back in Active state. Used by the
+     * salvage path, where allFlashValid() may be false.
+     */
+    void restoreAvailable(std::function<void()> done);
+
     /** True when every module holds a valid flash image. */
     bool allFlashValid() const;
+
+    /** True when any module holds restorable flash content. */
+    bool anyRestorable() const;
 
     /** True when no module is mid save/restore. */
     bool allIdle() const;
 
     /** True if any module's last save failed. */
     bool anySaveFailed() const;
+
+    /** True while any module is mid-save. */
+    bool anySaving() const;
+
+    /** Sum of completed saves across modules. */
+    uint64_t totalSavesCompleted() const;
+
+    /**
+     * Publish the platform's boot sequence into every module's
+     * persistent epoch register (done on every boot / start). The save
+     * engine stamps this epoch into its flash image; restore rejects
+     * images whose marker generation does not match the epoch.
+     */
+    void publishEpoch(uint64_t epoch);
+
+    /** The published epoch (max over modules; equal in practice). */
+    uint64_t currentEpoch() const;
 
     /** Worst-case save duration over the attached modules. */
     Tick maxSaveDuration() const;

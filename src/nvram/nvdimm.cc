@@ -1,7 +1,9 @@
 #include "nvram/nvdimm.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
+#include <vector>
 
 #include "trace/stat_registry.h"
 #include "trace/trace.h"
@@ -40,6 +42,20 @@ nvdimmStateName(NvdimmState state)
         return "restoring";
       case NvdimmState::SaveFailed:
         return "save-failed";
+    }
+    return "unknown";
+}
+
+std::string
+mediaFaultKindName(MediaFaultKind kind)
+{
+    switch (kind) {
+      case MediaFaultKind::BitFlip:
+        return "bit-flip";
+      case MediaFaultKind::BadBlock:
+        return "bad-block";
+      case MediaFaultKind::TornWrite:
+        return "torn-write";
     }
     return "unknown";
 }
@@ -114,7 +130,9 @@ NvdimmModule::hostWrite(uint64_t addr, std::span<const uint8_t> data)
 }
 
 void
-NvdimmModule::adoptFlashImage(const SparseMemory &flash, bool valid)
+NvdimmModule::adoptFlashImage(const SparseMemory &flash, bool valid,
+                              uint64_t flash_generation, uint64_t epoch,
+                              uint64_t saved_bytes)
 {
     WSP_CHECKF(state_ == NvdimmState::Active,
                "%s: adoptFlashImage requires Active (state %s)",
@@ -123,7 +141,47 @@ NvdimmModule::adoptFlashImage(const SparseMemory &flash, bool valid)
                "%s: adopted image capacity mismatch", name().c_str());
     flash_.restoreFrom(flash);
     flashValid_ = valid;
+    flashGeneration_ = flash_generation;
+    epoch_ = epoch;
+    flashSavedBytes_ = saved_bytes == ~0ull
+                           ? (valid ? config_.capacityBytes : 0)
+                           : saved_bytes;
     dram_.poison();
+}
+
+void
+NvdimmModule::injectFlashFault(MediaFaultKind kind, uint64_t addr)
+{
+    WSP_CHECKF(addr < config_.capacityBytes,
+               "%s: media fault beyond capacity", name().c_str());
+    WSP_CHECKF(state_ != NvdimmState::Saving,
+               "%s: media fault injection while saving", name().c_str());
+    switch (kind) {
+      case MediaFaultKind::BitFlip: {
+        uint8_t byte = 0;
+        flash_.read(addr, std::span<uint8_t>(&byte, 1));
+        byte ^= static_cast<uint8_t>(1u << (addr % 8));
+        flash_.write(addr, std::span<const uint8_t>(&byte, 1));
+        break;
+      }
+      case MediaFaultKind::BadBlock: {
+        const uint64_t block = addr / SparseMemory::kPageSize *
+                               SparseMemory::kPageSize;
+        std::vector<uint8_t> garbage(SparseMemory::kPageSize, 0xa5);
+        flash_.write(block, garbage);
+        break;
+      }
+      case MediaFaultKind::TornWrite: {
+        const uint64_t line = addr / 64 * 64;
+        const std::array<uint8_t, 32> zeros{};
+        flash_.write(line + 32, zeros); // second half never programmed
+        break;
+      }
+    }
+    trace::StatRegistry::instance().counter("nvram.media_faults").add();
+    warn("%s: injected %s flash fault at 0x%llx (silent)",
+         name().c_str(), mediaFaultKindName(kind).c_str(),
+         static_cast<unsigned long long>(addr));
 }
 
 void
@@ -161,6 +219,14 @@ NvdimmModule::startSave()
     saveStarted_ = now();
     lastSaveStep_ = now();
     saveDeadline_ = now() + saveDuration();
+    savePoweredTime_ = 0;
+    // Programming flash consumes the previous image block by block —
+    // from the moment the erase starts, the old save is gone. A
+    // restore attempt against a module that died mid-save sees only
+    // the partial suffix this attempt managed to program.
+    flashValid_ = false;
+    flashSavedBytes_ = 0;
+    flashGeneration_ = epoch_;
     trace::StatRegistry::instance().counter("nvram.saves_started").add();
     traceModuleEdge(name(), "save", trace::Phase::Begin);
     debugLog("%s: save started, duration %s, energy %.1f J",
@@ -168,6 +234,18 @@ NvdimmModule::startSave()
              saveEnergy());
     queue_.scheduleAfter(std::min(kSaveStep, saveDuration()),
                          [this] { saveStep(); });
+}
+
+void
+NvdimmModule::programFlashTo(uint64_t target_bytes)
+{
+    target_bytes = std::min(target_bytes, config_.capacityBytes);
+    if (target_bytes <= flashSavedBytes_)
+        return;
+    // Top-down: the suffix [capacity - target, capacity) is in flash.
+    flash_.copyRangeFrom(dram_, config_.capacityBytes - target_bytes,
+                         target_bytes - flashSavedBytes_);
+    flashSavedBytes_ = target_bytes;
 }
 
 void
@@ -181,7 +259,22 @@ NvdimmModule::saveStep()
     // so the copy is immune to host power state.
     const Tick elapsed = now() - lastSaveStep_;
     lastSaveStep_ = now();
-    ultracap_.discharge(savePowerWatts(), elapsed);
+    const double wanted_j = savePowerWatts() * toSeconds(elapsed);
+    const double delivered_j = ultracap_.discharge(savePowerWatts(),
+                                                   elapsed);
+    // Flash was programmed only for the portion of the step the bank
+    // actually powered; a bank that died mid-step leaves that much of
+    // the copy in flash.
+    savePoweredTime_ +=
+        wanted_j <= 0.0
+            ? elapsed
+            : static_cast<Tick>(
+                  static_cast<double>(elapsed) *
+                  std::clamp(delivered_j / wanted_j, 0.0, 1.0));
+    programFlashTo(static_cast<uint64_t>(
+        static_cast<double>(config_.capacityBytes) *
+        std::min(1.0, static_cast<double>(savePoweredTime_) /
+                          static_cast<double>(saveDuration()))));
     if (!ultracap_.canSupply(savePowerWatts())) {
         failSave("ultracapacitor exhausted");
         return;
@@ -197,7 +290,7 @@ NvdimmModule::saveStep()
 void
 NvdimmModule::finishSave()
 {
-    flash_ = dram_.snapshot();
+    programFlashTo(config_.capacityBytes);
     flashValid_ = true;
     state_ = NvdimmState::SelfRefresh;
     ++savesCompleted_;
@@ -237,8 +330,11 @@ NvdimmModule::startRestore()
     WSP_CHECKF(state_ == NvdimmState::SelfRefresh,
                "%s: startRestore requires self-refresh (state %s)",
                name().c_str(), nvdimmStateName(state_).c_str());
-    WSP_CHECKF(flashValid_, "%s: restore without a valid flash image",
-               name().c_str());
+    // A partial image (failed save) is restorable too: the firmware
+    // reads back whatever suffix was programmed so the salvage path
+    // can recover checksummed-intact regions from it.
+    WSP_CHECKF(flashRestorable(),
+               "%s: restore without any flash content", name().c_str());
     state_ = NvdimmState::Restoring;
     traceModuleEdge(name(), "restore", trace::Phase::Begin);
     queue_.scheduleAfter(restoreDuration(), [this] { finishRestore(); });

@@ -72,6 +72,21 @@ enum class NvdimmState {
 std::string nvdimmStateName(NvdimmState state);
 
 /**
+ * Injectable flash media faults (section 6, "NVRAM failures"). All
+ * three are silent at the device level — the module still reports its
+ * image valid — which is exactly why restore-side region checksums
+ * exist.
+ */
+enum class MediaFaultKind {
+    BitFlip,   ///< single bit flipped at the target address
+    BadBlock,  ///< whole 4 KiB flash block returns garbage
+    TornWrite, ///< one 64 B line left half-programmed (zeroed)
+};
+
+/** Human-readable media fault name. */
+std::string mediaFaultKindName(MediaFaultKind kind);
+
+/**
  * One NVDIMM module.
  *
  * Host byte access is only legal in Active state; the WSP save path
@@ -139,6 +154,44 @@ class NvdimmModule : public SimObject
     /** A completed save produced a valid flash image. */
     bool flashValid() const { return flashValid_; }
 
+    /**
+     * Bytes of the last save attempt that reached flash. The copy
+     * engine programs DRAM into flash from the top of the address
+     * space downwards, so a partial save always covers the suffix
+     * [capacity - flashSavedBytes, capacity) — the platform's control
+     * structures (marker, resume block, salvage directory) live at the
+     * top precisely so they hit flash first and a failed save degrades
+     * from the bulk data up. Equals capacity when flashValid().
+     */
+    uint64_t flashSavedBytes() const { return flashSavedBytes_; }
+
+    /** True when the flash holds anything restorable (full or partial). */
+    bool flashRestorable() const
+    {
+        return flashValid_ || flashSavedBytes_ > 0;
+    }
+
+    /**
+     * Boot-epoch metadata, kept in the module controller's persistent
+     * config area (tiny EEPROM writes, cost-free at this fidelity).
+     * The platform publishes its boot sequence here on every boot;
+     * the save engine stamps the epoch into the flash image, so a
+     * restore can reject an image from an older epoch — the stale
+     * image a failed save would otherwise leave restorable as current.
+     */
+    uint64_t epoch() const { return epoch_; }
+    void setEpoch(uint64_t epoch) { epoch_ = epoch; }
+
+    /** Epoch whose save produced (or last overwrote) the flash image. */
+    uint64_t flashGeneration() const { return flashGeneration_; }
+
+    /**
+     * Corrupt the flash image in place without touching the validity
+     * flag — the silent media faults of section 6. Legal whenever no
+     * save is mid-flight over the same cells.
+     */
+    void injectFlashFault(MediaFaultKind kind, uint64_t addr);
+
     /** Deep copy of the current flash content (crashsim capture). */
     SparseMemory cloneFlash() const { return flash_.snapshot(); }
 
@@ -146,9 +199,13 @@ class NvdimmModule : public SimObject
      * Replace the flash content and validity, as if this module had
      * been pulled from a crashed machine and socketed here: the DRAM
      * side is poisoned (it was unpowered in transit). Only legal in
-     * Active state, i.e. on a freshly built system.
+     * Active state, i.e. on a freshly built system. The persistent
+     * metadata (epoch, generation, saved bytes) travels with the DIMM.
      */
-    void adoptFlashImage(const SparseMemory &flash, bool valid);
+    void adoptFlashImage(const SparseMemory &flash, bool valid,
+                         uint64_t flash_generation = 0,
+                         uint64_t epoch = 0,
+                         uint64_t saved_bytes = ~0ull);
 
     /** True while a save or restore is in flight. */
     bool busy() const;
@@ -174,6 +231,9 @@ class NvdimmModule : public SimObject
     void failSave(const char *reason);
     void finishRestore();
 
+    /** Extend the programmed flash suffix to @p target_bytes. */
+    void programFlashTo(uint64_t target_bytes);
+
     NvdimmConfig config_;
     Ultracapacitor ultracap_;
     SparseMemory dram_;
@@ -186,6 +246,10 @@ class NvdimmModule : public SimObject
     Tick saveStarted_ = 0;
     Tick saveDeadline_ = 0;
     Tick lastSaveStep_ = 0;
+    Tick savePoweredTime_ = 0;
+    uint64_t flashSavedBytes_ = 0;
+    uint64_t flashGeneration_ = 0;
+    uint64_t epoch_ = 0;
     uint64_t savesCompleted_ = 0;
     uint64_t restoresCompleted_ = 0;
 

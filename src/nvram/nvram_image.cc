@@ -14,8 +14,10 @@ NvramImage::capture(const NvramSpace &space)
         WSP_CHECKF(!module.busy(),
                    "capture while %s is mid save/restore",
                    module.name().c_str());
-        image.modules_.push_back(
-            ModuleImage{module.cloneFlash(), module.flashValid()});
+        image.modules_.push_back(ModuleImage{
+            module.cloneFlash(), module.flashValid(),
+            module.flashGeneration(), module.epoch(),
+            module.flashSavedBytes()});
     }
     return image;
 }
@@ -27,8 +29,9 @@ NvramImage::adoptInto(NvramSpace &space) const
                "image has %zu modules, space has %zu", modules_.size(),
                space.moduleCount());
     for (size_t i = 0; i < modules_.size(); ++i)
-        space.module(i).adoptFlashImage(modules_[i].flash,
-                                        modules_[i].valid);
+        space.module(i).adoptFlashImage(
+            modules_[i].flash, modules_[i].valid, modules_[i].generation,
+            modules_[i].epoch, modules_[i].savedBytes);
 }
 
 bool

@@ -29,6 +29,9 @@ class NvramImage
     {
         SparseMemory flash;
         bool valid = false;
+        uint64_t generation = 0; ///< epoch stamped by the save
+        uint64_t epoch = 0;      ///< module's persistent epoch register
+        uint64_t savedBytes = 0; ///< programmed suffix of the last save
     };
 
     /** Capture the flash content and validity of every module. */

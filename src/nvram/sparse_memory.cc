@@ -134,6 +134,45 @@ SparseMemory::restoreFrom(const SparseMemory &image)
     *this = image.snapshot();
 }
 
+void
+SparseMemory::copyRangeFrom(const SparseMemory &src, uint64_t addr,
+                            uint64_t len)
+{
+    WSP_CHECKF(addr + len <= capacity_ && addr + len <= src.capacity_,
+               "copyRangeFrom [%llu, %llu) beyond capacity",
+               static_cast<unsigned long long>(addr),
+               static_cast<unsigned long long>(addr + len));
+    // A poisoned destination has no meaningful "rest of the page" to
+    // preserve; the flash side this primitive serves is never poisoned.
+    WSP_CHECK(!poisoned_);
+    while (len > 0) {
+        const uint64_t page_index = addr / kPageSize;
+        const uint64_t offset = addr % kPageSize;
+        const uint64_t chunk =
+            std::min<uint64_t>(kPageSize - offset, len);
+        const auto sit = src.pages_.find(page_index);
+        if (sit != src.pages_.end()) {
+            std::memcpy(pageForWrite(page_index) + offset,
+                        sit->second.get() + offset, chunk);
+        } else if (src.poisoned_) {
+            std::memset(pageForWrite(page_index) + offset, kPoisonByte,
+                        chunk);
+        } else {
+            // Source reads as zero there; make the destination match
+            // without allocating.
+            const auto dit = pages_.find(page_index);
+            if (dit != pages_.end()) {
+                if (chunk == kPageSize)
+                    pages_.erase(dit);
+                else
+                    std::memset(dit->second.get() + offset, 0, chunk);
+            }
+        }
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
 bool
 SparseMemory::contentEquals(const SparseMemory &other) const
 {

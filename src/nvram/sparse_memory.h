@@ -69,6 +69,17 @@ class SparseMemory
     /** Replace contents with @p image (used for flash restore). */
     void restoreFrom(const SparseMemory &image);
 
+    /**
+     * Copy @p len bytes at @p addr from @p src into this memory while
+     * preserving sparsity: where @p src has no page, the destination
+     * range reads as zero afterwards but no page is materialized (a
+     * full-page gap drops the destination page instead). This is the
+     * incremental flash-programming primitive — a GiB-scale module
+     * copying mostly-untouched DRAM must not allocate backing for it.
+     */
+    void copyRangeFrom(const SparseMemory &src, uint64_t addr,
+                       uint64_t len);
+
     /** Byte-wise equality of content (capacity must match). */
     bool contentEquals(const SparseMemory &other) const;
 

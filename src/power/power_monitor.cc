@@ -47,6 +47,16 @@ PowerMonitor::sendCommand(Command command)
 {
     WSP_CHECKF(commandSink_ != nullptr,
                "power monitor has no NVDIMM command sink");
+    if (dropCommands_ > 0) {
+        --dropCommands_;
+        ++commandsDropped_;
+        trace::StatRegistry::instance()
+            .counter("power.i2c_commands_dropped").add();
+        TRACE_INSTANT(Power, "I2C command DROPPED");
+        warn("%s: I2C command dropped (injected bus fault)",
+             name().c_str());
+        return;
+    }
     trace::StatRegistry::instance().counter("power.i2c_commands").add();
     TRACE_INSTANT(Power, "I2C command to NVDIMMs");
     queue_.scheduleAfter(config_.i2cCommandLatency,

@@ -80,6 +80,17 @@ class PowerMonitor : public SimObject
     /** Number of power-fail interrupts raised so far. */
     uint64_t interruptsRaised() const { return interruptsRaised_; }
 
+    /**
+     * Fault injection: silently drop the next @p count I2C commands
+     * (bus glitch / microcontroller brown-out during the failure
+     * race). The save routine's degraded path re-issues its save
+     * command once after a backoff to survive exactly this.
+     */
+    void failNextCommands(unsigned count) { dropCommands_ = count; }
+
+    /** Commands dropped by failNextCommands so far. */
+    uint64_t commandsDropped() const { return commandsDropped_; }
+
   private:
     void onPwrOkDropped();
 
@@ -87,6 +98,8 @@ class PowerMonitor : public SimObject
     InterruptHandler powerFailHandler_;
     CommandSink commandSink_;
     uint64_t interruptsRaised_ = 0;
+    unsigned dropCommands_ = 0;
+    uint64_t commandsDropped_ = 0;
 };
 
 } // namespace wsp

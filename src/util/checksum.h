@@ -5,6 +5,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 
@@ -33,6 +34,44 @@ fnv1aU64(uint64_t value, uint64_t seed = 0xcbf29ce484222325ull)
         value >>= 8;
     }
     return hash;
+}
+
+namespace detail {
+
+/** Reflected ECMA-182 polynomial (CRC-64/XZ). */
+constexpr uint64_t kCrc64Poly = 0xc96c5795d7870f42ull;
+
+constexpr std::array<uint64_t, 256>
+makeCrc64Table()
+{
+    std::array<uint64_t, 256> table{};
+    for (uint64_t i = 0; i < 256; ++i) {
+        uint64_t crc = i;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1) ? kCrc64Poly : 0);
+        table[i] = crc;
+    }
+    return table;
+}
+
+inline constexpr std::array<uint64_t, 256> kCrc64Table = makeCrc64Table();
+
+} // namespace detail
+
+/**
+ * CRC-64 (ECMA-182, reflected) over a byte span. Unlike FNV-1a, a CRC
+ * detects every burst error shorter than the polynomial — the media
+ * faults flash actually suffers (bit flips, torn lines, bad blocks) —
+ * which is why the per-region salvage directory binds CRCs and not
+ * hashes. Incremental use: feed the previous return value as @p crc.
+ */
+constexpr uint64_t
+crc64(std::span<const uint8_t> bytes, uint64_t crc = 0)
+{
+    crc = ~crc;
+    for (uint8_t byte : bytes)
+        crc = detail::kCrc64Table[(crc ^ byte) & 0xff] ^ (crc >> 8);
+    return ~crc;
 }
 
 } // namespace wsp

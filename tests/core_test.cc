@@ -457,10 +457,15 @@ TEST(FailureInjectorScenarios, OutageTrainRecoversEveryCycle)
 
     FailureInjector injector(system);
     int backend_calls = 0;
-    const int recovered = injector.outageTrain(
+    const OutageTrainReport report = injector.outageTrain(
         5, fromMillis(5.0), fromSeconds(1.0), [&] { ++backend_calls; });
 
-    EXPECT_EQ(recovered, 5);
+    EXPECT_EQ(report.wspRecoveries(), 5);
+    EXPECT_TRUE(report.allWsp());
+    for (const auto &cycle : report.cycles) {
+        EXPECT_FALSE(cycle.backendRan);
+        EXPECT_EQ(cycle.reason, "wsp resume");
+    }
     EXPECT_EQ(backend_calls, 0);
     EXPECT_TRUE(checkPattern(system, 0, 256, 21));
     EXPECT_TRUE(system.wsp().running());
@@ -478,11 +483,68 @@ TEST(FailureInjectorScenarios, ShortWindowTrainFallsBackEachCycle)
 
     FailureInjector injector(system);
     int backend_calls = 0;
-    const int recovered = injector.outageTrain(
+    const OutageTrainReport report = injector.outageTrain(
         4, fromMillis(5.0), fromSeconds(1.0), [&] { ++backend_calls; });
 
-    EXPECT_EQ(recovered, 0);
+    EXPECT_EQ(report.wspRecoveries(), 0);
+    EXPECT_EQ(report.coldBoots(), 4);
+    for (const auto &cycle : report.cycles)
+        EXPECT_TRUE(cycle.backendRan || cycle.salvageMode);
     EXPECT_EQ(backend_calls, 4);
+    EXPECT_TRUE(system.wsp().running());
+}
+
+TEST(FailureInjectorScenarios, DrainStopsAtEsrFloorNotBelow)
+{
+    // Asking the injector for a target far below the DC-DC floor must
+    // terminate at the floor: near it the ESR drop puts the terminal
+    // voltage under the usable minimum, so the drain's draw delivers
+    // nothing and the loop must break instead of spinning forever.
+    WspSystem system(testConfig());
+    system.start();
+    FailureInjector injector(system);
+    injector.drainUltracap(0, 0.5);
+
+    const Ultracapacitor &cap = system.memory().module(0).ultracap();
+    EXPECT_GE(cap.voltage(), 5.5);
+    EXPECT_LT(cap.voltage(), cap.config().minUsableVoltage + 0.5);
+    // Whatever charge remains is unusable for a save.
+    EXPECT_LT(cap.usableEnergy(), 5.0);
+
+    // A target above the floor is still honored exactly.
+    injector.drainUltracap(1, 8.0);
+    EXPECT_LE(system.memory().module(1).ultracap().voltage(), 8.0);
+    EXPECT_GT(system.memory().module(1).ultracap().voltage(), 7.0);
+}
+
+TEST(FailureInjection, SaveFailedModuleRearmsOnNextBoot)
+{
+    // A bank too small to finish the flash save leaves the module in
+    // SaveFailed. The next boot must not wedge on that state: power
+    // restore clears it, recharges the bank, and the following cycle
+    // runs the same deterministic fallback again.
+    SystemConfig config = testConfig();
+    config.nvdimm.capacityBytes = 64 * kMiB;
+    config.nvdimm.flashChannels = 1;
+    config.nvdimm.savePowerWatts = 50.0;
+    config.nvdimm.ultracap.ratedCapacitanceF = 0.02;
+    WspSystem system(config);
+    system.start();
+
+    int backend_calls = 0;
+    auto first = system.powerFailAndRestore(
+        fromMillis(5.0), fromSeconds(60.0), [&] { ++backend_calls; });
+    EXPECT_FALSE(first.restore.usedWsp);
+    EXPECT_EQ(backend_calls, 1);
+    // SaveFailed was cleared on power restore, not carried over.
+    EXPECT_EQ(system.memory().module(0).state(), NvdimmState::Active);
+    EXPECT_FALSE(system.nvdimms().anySaveFailed());
+    EXPECT_TRUE(system.memory().module(0).armed());
+
+    auto second = system.powerFailAndRestore(
+        fromMillis(5.0), fromSeconds(60.0), [&] { ++backend_calls; });
+    EXPECT_FALSE(second.restore.usedWsp);
+    EXPECT_EQ(backend_calls, 2);
     EXPECT_TRUE(system.wsp().running());
 }
 

@@ -233,7 +233,7 @@ TEST(FailureInjectorTest, OutageTrainAllRecover)
     system.start();
     FailureInjector injector(system);
     EXPECT_EQ(injector.outageTrain(3, fromMillis(10.0),
-                                   fromSeconds(5.0)),
+                                   fromSeconds(5.0)).wspRecoveries(),
               3);
 }
 

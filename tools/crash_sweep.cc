@@ -36,6 +36,13 @@ usage()
         "  --pheap             also sweep the pheap disciplines\n"
         "  --pheap-txns=N      transactions per pheap sweep (default 6)\n"
         "  --replay-out=PATH   write the minimized failing schedule\n"
+        "  --salvage           register KV salvage regions + recovery\n"
+        "  --media-faults=N    inject N silent flash faults per run\n"
+        "  --media-fault-seed=N  seed of the fault placement\n"
+        "  --media-fault-kind=K  0=bit-flip 1=bad-block 2=torn-write\n"
+        "  --degrade-tier=K    force degraded saves cut at tier K\n"
+        "  --drop-save-cmds=N  drop the next N NVDIMM commands\n"
+        "  --trust-directory   planted bug: skip restore-side CRCs\n"
         "  --seed=N            base RNG seed\n"
         "  --stop-on-first     stop the sweep at the first violation\n");
 }
@@ -87,6 +94,43 @@ main(int argc, char **argv)
             }
         } else if (arg.rfind("--replay-out=", 0) == 0) {
             replay_out = arg.substr(13);
+        } else if (arg == "--salvage") {
+            base.salvage = true;
+        } else if (arg.rfind("--media-faults=", 0) == 0) {
+            uint64_t n = 0;
+            if (!parseUint(arg.c_str() + 15, &n)) {
+                usage();
+                return 1;
+            }
+            base.mediaFaults = static_cast<unsigned>(n);
+        } else if (arg.rfind("--media-fault-seed=", 0) == 0) {
+            if (!parseUint(arg.c_str() + 19, &base.mediaFaultSeed)) {
+                usage();
+                return 1;
+            }
+        } else if (arg.rfind("--media-fault-kind=", 0) == 0) {
+            uint64_t kind = 0;
+            if (!parseUint(arg.c_str() + 19, &kind) || kind > 2) {
+                usage();
+                return 1;
+            }
+            base.mediaFaultKind = static_cast<int>(kind);
+        } else if (arg.rfind("--degrade-tier=", 0) == 0) {
+            uint64_t tier = 0;
+            if (!parseUint(arg.c_str() + 15, &tier) || tier > 1) {
+                usage();
+                return 1;
+            }
+            base.degradeTier = static_cast<int>(tier);
+        } else if (arg.rfind("--drop-save-cmds=", 0) == 0) {
+            uint64_t n = 0;
+            if (!parseUint(arg.c_str() + 17, &n)) {
+                usage();
+                return 1;
+            }
+            base.dropSaveCommands = static_cast<unsigned>(n);
+        } else if (arg == "--trust-directory") {
+            base.trustDirectory = true;
         } else if (arg.rfind("--seed=", 0) == 0) {
             if (!parseUint(arg.c_str() + 7, &base.seed)) {
                 usage();
