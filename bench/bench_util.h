@@ -24,6 +24,9 @@
  *   --seed=N              override the bench's base RNG seed; benches
  *                         obtain it via rngSeed(default) so the value
  *                         actually used lands in the bench record
+ *   --repeat=N            run each measured sample N times and report
+ *                         the median; benches opt in by sampling
+ *                         through medianOf(repeat(), fn)
  *
  * finish(check) writes the requested files before returning the exit
  * code, so benches need no extra code beyond init()/finish().
@@ -31,12 +34,14 @@
 
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "trace/export.h"
 #include "trace/trace.h"
@@ -86,6 +91,7 @@ struct BenchState
     double startedAt = 0.0;
     uint64_t seed = 0;
     bool seedExplicit = false;
+    unsigned repeat = 1;
 };
 
 inline BenchState &
@@ -121,10 +127,20 @@ init(const char *name, int argc, char **argv)
         } else if (std::strncmp(arg, "--seed=", 7) == 0) {
             bench.seed = std::strtoull(arg + 7, nullptr, 0);
             bench.seedExplicit = true;
+        } else if (std::strncmp(arg, "--repeat=", 9) == 0) {
+            bench.repeat = static_cast<unsigned>(
+                std::strtoul(arg + 9, nullptr, 0));
+            if (bench.repeat == 0)
+                bench.repeat = 1;
+        } else if (std::strcmp(arg, "--repeat") == 0 && i + 1 < argc) {
+            bench.repeat = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+            if (bench.repeat == 0)
+                bench.repeat = 1;
         } else if (std::strcmp(arg, "--help") == 0 ||
                    std::strcmp(arg, "-h") == 0) {
             std::printf("usage: %s [--trace-out=FILE] "
-                        "[--metrics-out=FILE] [--seed=N]\n"
+                        "[--metrics-out=FILE] [--seed=N] [--repeat=N]\n"
                         "env: WSP_TRACE=<cat,...|all>  "
                         "WSP_LOG_LEVEL=<quiet|normal|debug>  "
                         "WSP_BENCH_FULL=1\n",
@@ -153,6 +169,34 @@ rngSeed(uint64_t fallback)
     if (!bench.seedExplicit)
         bench.seed = fallback;
     return bench.seed;
+}
+
+/** The sample count requested via --repeat=N (default 1). */
+inline unsigned
+repeat()
+{
+    return detail::state().repeat;
+}
+
+/**
+ * Run @p sample @p n times and return the median of its results —
+ * the standard way for a bench to honor --repeat=N. Even counts
+ * return the mean of the two middle samples.
+ */
+template <typename Fn>
+inline double
+medianOf(unsigned n, Fn &&sample)
+{
+    if (n == 0)
+        n = 1;
+    std::vector<double> values;
+    values.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        values.push_back(static_cast<double>(sample()));
+    std::sort(values.begin(), values.end());
+    return n % 2 == 1
+               ? values[n / 2]
+               : 0.5 * (values[n / 2 - 1] + values[n / 2]);
 }
 
 /** Write the files requested via init() flags (idempotent). */

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Dirty-delta persistence: incremental save and lazy restore scaling.
+ *
+ * The flush-on-fail bill is proportional to what changed, not to what
+ * exists: after a completed save established the flash baseline, a
+ * delta save programs only the pages dirtied since, so save time (and
+ * ultracap energy) scales with the dirty footprint. The bench sweeps
+ * the dirty fraction on a 4 GiB module and reports delta-vs-full save
+ * time — at 10 % dirty the delta save must be at least 5x cheaper —
+ * then compares eager streaming restores against lazy page-in mapping
+ * across capacities, verifying the lazily restored content is
+ * byte-identical.
+ */
+
+#include "bench/bench_util.h"
+#include "nvram/nvdimm.h"
+#include "util/rng.h"
+
+using namespace wsp;
+
+namespace {
+
+/** Complete one host-powered save so the flash baseline is open. */
+void
+saveWithHostPower(EventQueue &queue, NvdimmModule &dimm)
+{
+    dimm.enterSelfRefresh();
+    dimm.startSave();
+    queue.run();
+    dimm.exitSelfRefresh();
+}
+
+/** Touch one byte in each of @p pages evenly spread pages. */
+void
+dirtyPages(NvdimmModule &dimm, uint64_t pages, Rng &rng)
+{
+    const uint64_t total =
+        dimm.config().capacityBytes / SparseMemory::kPageSize;
+    const uint64_t stride = pages == 0 ? total : total / pages;
+    for (uint64_t i = 0; i < pages; ++i) {
+        const uint64_t page = i * stride + rng.next(stride);
+        const uint8_t byte[] = {static_cast<uint8_t>(rng())};
+        dimm.hostWrite(std::min(page, total - 1) * SparseMemory::kPageSize,
+                       byte);
+    }
+}
+
+struct SavePoint
+{
+    double dirtyFraction = 0.0;
+    uint64_t dirtyBytes = 0;
+    double deltaMs = 0.0; ///< modelled delta-save time
+    double fullMs = 0.0;  ///< modelled full-save time
+    double wallMs = 0.0;  ///< measured wall time of the delta save
+};
+
+SavePoint
+runSavePoint(uint64_t capacity, double fraction, uint64_t seed)
+{
+    EventQueue queue;
+    NvdimmConfig config;
+    config.capacityBytes = capacity;
+    NvdimmModule dimm(queue, "nvdimm0", config);
+
+    // Baseline: one completed full save (a fresh module is all-dirty).
+    saveWithHostPower(queue, dimm);
+
+    Rng rng(seed);
+    const uint64_t total = capacity / SparseMemory::kPageSize;
+    dirtyPages(dimm, static_cast<uint64_t>(fraction *
+                                           static_cast<double>(total)),
+               rng);
+
+    SavePoint point;
+    point.dirtyFraction = fraction;
+    point.dirtyBytes = dimm.pendingSaveBytes();
+    point.deltaMs = toMillis(dimm.pendingSaveDuration());
+    point.fullMs = toMillis(dimm.saveDuration());
+    point.wallMs = 1e3 * bench::medianOf(bench::repeat(), [&] {
+        bench::Stopwatch watch;
+        saveWithHostPower(queue, dimm);
+        return watch.seconds();
+    });
+    return point;
+}
+
+struct RestorePoint
+{
+    uint64_t capacity = 0;
+    double eagerMs = 0.0;
+    double lazyMs = 0.0;
+    bool contentEqual = false;
+};
+
+RestorePoint
+runRestorePoint(uint64_t capacity, uint64_t seed)
+{
+    EventQueue queue;
+    NvdimmConfig config;
+    config.capacityBytes = capacity;
+    config.lazyRestore = true;
+    NvdimmModule dimm(queue, "nvdimm0", config);
+
+    // Write a recognizable image, save it, then lose DRAM entirely.
+    Rng rng(seed);
+    dirtyPages(dimm, 64, rng);
+    saveWithHostPower(queue, dimm);
+    const SparseMemory before = dimm.dram().snapshot();
+    dimm.hostPowerLost(); // unarmed: DRAM decays, flash keeps the image
+    dimm.hostPowerRestored();
+
+    RestorePoint point;
+    point.capacity = capacity;
+    point.lazyMs = toMillis(dimm.restoreDuration());
+    point.eagerMs = toMillis(dimm.fullRestoreDuration());
+    dimm.enterSelfRefresh();
+    dimm.startRestore();
+    queue.run();
+    dimm.exitSelfRefresh();
+    point.contentEqual = dimm.dram().contentEquals(before);
+    return point;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::init("incremental_save", argc, argv);
+    const uint64_t seed = bench::rngSeed(0x5e1f5a7eull);
+    const uint64_t capacity = 4 * kGiB;
+
+    // Dirty fractions above 25 % materialize gigabytes of pages; keep
+    // them behind WSP_BENCH_FULL so the default run stays light.
+    std::vector<double> fractions = {0.01, 0.05, 0.10, 0.25};
+    if (bench::fullRuns()) {
+        fractions.push_back(0.50);
+        fractions.push_back(1.00);
+    }
+
+    Table saves("Delta vs full save time, 4 GiB module");
+    saves.setHeader({"dirty", "pending bytes", "delta save", "full save",
+                     "ratio", "wall (ms)"});
+    ShapeCheck check("incremental save and lazy restore");
+
+    double ratioAt10 = 0.0;
+    std::vector<double> deltaMs;
+    for (double fraction : fractions) {
+        const SavePoint point = runSavePoint(capacity, fraction, seed);
+        const double ratio =
+            point.fullMs / std::max(point.deltaMs, 1e-9);
+        if (fraction == 0.10)
+            ratioAt10 = ratio;
+        deltaMs.push_back(point.deltaMs);
+        saves.addRow({
+            formatDouble(100.0 * fraction, 0) + " %",
+            formatBytes(point.dirtyBytes),
+            formatDouble(point.deltaMs, 2) + " ms",
+            formatDouble(point.fullMs, 2) + " ms",
+            formatDouble(ratio, 1) + "x",
+            formatDouble(point.wallMs, 2),
+        });
+    }
+    saves.print();
+
+    check.expectGreater("10 % dirty: delta save at least 5x cheaper",
+                        ratioAt10, 5.0);
+    for (size_t i = 1; i < deltaMs.size(); ++i)
+        check.expectGreater(
+            "save time grows with the dirty footprint (" +
+                formatDouble(100.0 * fractions[i], 0) + " % > " +
+                formatDouble(100.0 * fractions[i - 1], 0) + " %)",
+            deltaMs[i], deltaMs[i - 1]);
+
+    Table restores("Eager streaming vs lazy page-in restore");
+    restores.setHeader(
+        {"capacity", "eager restore", "lazy restore", "content"});
+    for (uint64_t cap : {1 * kGiB, 2 * kGiB, 4 * kGiB}) {
+        const RestorePoint point = runRestorePoint(cap, seed);
+        restores.addRow({
+            formatBytes(point.capacity),
+            formatDouble(point.eagerMs, 1) + " ms",
+            formatDouble(point.lazyMs, 2) + " ms",
+            point.contentEqual ? "identical" : "DIVERGED",
+        });
+        check.expectTrue("lazy restore content identical at " +
+                             formatBytes(point.capacity),
+                         point.contentEqual);
+        check.expectGreater("lazy beats eager at " +
+                                formatBytes(point.capacity),
+                            point.eagerMs, point.lazyMs);
+        if (cap == 4 * kGiB) {
+            // The paper's resume-latency pitch: multi-GiB images come
+            // back in tens of milliseconds when mapped lazily, versus
+            // seconds of streaming.
+            check.expectBetween("4 GiB lazy restore under 50 ms",
+                                point.lazyMs, 0.0, 50.0);
+        }
+    }
+    restores.print();
+    return bench::finish(check);
+}

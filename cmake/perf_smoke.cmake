@@ -1,0 +1,51 @@
+# Release-configuration perf smoke test, run as a ctest:
+#
+#   cmake -DSOURCE_DIR=<repo> -DOUT_DIR=<dir> -P perf_smoke.cmake
+#
+# Configures a -O2 (CMAKE_BUILD_TYPE=Release) sub-build of the tree,
+# builds the incremental-save bench, and runs it. The bench's own
+# shape check is the assertion: a delta save at 10 % dirty must be at
+# least 5x cheaper than a full save, and the lazily restored content
+# must be byte-identical to the eager image. The sub-build directory
+# persists across runs, so re-runs are incremental.
+
+if(NOT SOURCE_DIR OR NOT OUT_DIR)
+    message(FATAL_ERROR "perf_smoke: SOURCE_DIR and OUT_DIR are required")
+endif()
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -G Ninja -S ${SOURCE_DIR} -B ${OUT_DIR}
+        -DCMAKE_BUILD_TYPE=Release
+    RESULT_VARIABLE configure_rc
+    OUTPUT_VARIABLE configure_out
+    ERROR_VARIABLE configure_out
+)
+if(NOT configure_rc EQUAL 0)
+    message(FATAL_ERROR
+        "perf_smoke: configure failed (rc=${configure_rc}):\n${configure_out}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} --build ${OUT_DIR}
+        --target bench_incremental_save
+    RESULT_VARIABLE build_rc
+    OUTPUT_VARIABLE build_out
+    ERROR_VARIABLE build_out
+)
+if(NOT build_rc EQUAL 0)
+    message(FATAL_ERROR
+        "perf_smoke: build failed (rc=${build_rc}):\n${build_out}")
+endif()
+
+execute_process(
+    COMMAND ${OUT_DIR}/bench/incremental_save --repeat=3
+    RESULT_VARIABLE run_rc
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_out
+)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR
+        "perf_smoke: bench shape check failed (rc=${run_rc}):\n${run_out}")
+endif()
+message(STATUS "perf_smoke: incremental-save shape check clean at -O2")

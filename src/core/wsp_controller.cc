@@ -52,8 +52,11 @@ WspController::WspController(EventQueue &queue, MachineModel &machine,
         nvdimms_.armAll();
 
     if (config_.healthCheckPeriod > 0) {
-        // One probe per module: can its bank deliver the save's energy
-        // plus the margin right now?
+        // One probe per module: can its bank deliver the *pending*
+        // save's energy plus the margin right now? With a dirty
+        // baseline open the pending save is the delta, so margins
+        // (and the degraded-tier decisions they drive) track the
+        // bytes that actually need programming, not the capacity.
         health_ = std::make_unique<EnergyHealthMonitor>(
             queue, HealthMonitorConfig{config_.healthCheckPeriod,
                                        config_.healthEnergyMargin});
@@ -61,7 +64,7 @@ WspController::WspController(EventQueue &queue, MachineModel &machine,
             health_->addProbe(HealthProbe{
                 module->name(),
                 [module] { return module->ultracap().usableEnergy(); },
-                [module] { return module->saveEnergy(); }});
+                [module] { return module->pendingSaveEnergy(); }});
         }
         health_->setDegradedHandler(
             [this](bool degraded) { degraded_ = degraded; });

@@ -1,5 +1,6 @@
 #include "crashsim/crash_explorer.h"
 
+#include <algorithm>
 #include <set>
 
 #include "core/failure_injector.h"
@@ -41,6 +42,13 @@ CrashExplorer::configFor(const CrashSchedule &schedule)
             static_cast<SaveTier>(schedule.degradeTier);
     }
     config.wsp.trustSalvageDirectory = schedule.trustDirectory;
+    config.nvdimm.incrementalSave = schedule.incrementalSave;
+    config.nvdimm.lazyRestore = schedule.lazyRestore;
+    // Every completed (or failed) save self-checks that flash is
+    // byte-identical to what a full save would have produced; the
+    // IncrementalSaveSound checker reads the mismatch counts. Cheap
+    // at crashsim module sizes thanks to the COW page comparison.
+    config.nvdimm.verifySaves = true;
     if (schedule.salvage && schedule.drainModule >= 0) {
         // A drained bank under the salvage regime also exercises the
         // health monitor: the periodic self-test notices the missing
@@ -57,6 +65,13 @@ CrashExplorer::configFor(const CrashSchedule &schedule)
 
 CrashPointResult
 CrashExplorer::runSchedule(const CrashSchedule &schedule)
+{
+    return runSchedule(schedule, nullptr);
+}
+
+CrashPointResult
+CrashExplorer::runSchedule(const CrashSchedule &schedule,
+                           NvramImage *captured_image)
 {
     CrashPointResult result;
     result.schedule = schedule;
@@ -121,6 +136,8 @@ CrashExplorer::runSchedule(const CrashSchedule &schedule)
 
     // Pull the DIMMs and socket them into a fresh chassis.
     const NvramImage image = crashed.captureNvramImage();
+    if (captured_image != nullptr)
+        *captured_image = crashed.captureNvramImage();
     WspSystem revived(configFor(schedule));
     if (schedule.salvage && kv != nullptr) {
         revived.setRegionRecovery(
@@ -233,6 +250,58 @@ CrashExplorer::sweepEnumerated(bool stop_on_first_violation,
     return report;
 }
 
+CrashExplorer::EquivalenceReport
+CrashExplorer::incrementalEquivalenceSweep(size_t max_points)
+{
+    // Enumerate on the delta-save timeline — that is the pipeline
+    // under test; each window is then a legal crash instant for the
+    // full-save run too.
+    CrashSchedule reference = base_;
+    reference.incrementalSave = true;
+    EquivalenceReport report;
+    for (Tick window :
+         CrashExplorer(reference).enumerateCrashPoints(max_points)) {
+        CrashSchedule inc = base_;
+        inc.window = window;
+        inc.incrementalSave = true;
+        CrashSchedule full = inc;
+        full.incrementalSave = false;
+
+        NvramImage inc_image;
+        NvramImage full_image;
+        runSchedule(inc, &inc_image);
+        runSchedule(full, &full_image);
+        ++report.points;
+
+        bool equal = inc_image.moduleCount() == full_image.moduleCount();
+        bool complete = equal;
+        for (size_t m = 0; equal && m < inc_image.moduleCount(); ++m) {
+            const auto &a = inc_image.module(m);
+            const auto &b = full_image.module(m);
+            // The valid flags may legitimately differ: the delta save
+            // programs fewer bytes and completes earlier, so some
+            // windows catch only the full save mid-flight. Only the
+            // *bytes both claim programmed* must agree.
+            complete = complete && a.valid && b.valid;
+            // Both runs saw identical pre-crash histories, so DRAM at
+            // save time was identical; each image's claimed suffix
+            // equals that DRAM, hence the *common* suffix must match
+            // byte for byte — and the whole image when both saves
+            // completed.
+            const uint64_t capacity = a.flash.capacity();
+            const uint64_t covered =
+                std::min(a.savedBytes, b.savedBytes);
+            equal = a.flash.rangeEquals(b.flash, capacity - covered,
+                                        covered);
+        }
+        if (complete)
+            ++report.bothComplete;
+        if (!equal)
+            report.mismatchWindows.push_back(window);
+    }
+    return report;
+}
+
 SweepReport
 CrashExplorer::fuzz(unsigned runs, uint64_t seed)
 {
@@ -275,6 +344,12 @@ CrashExplorer::fuzz(unsigned runs, uint64_t seed)
                 schedule.dropSaveCommands =
                     1 + static_cast<unsigned>(rng.next(2));
         }
+        // Flip the persistence-engine modes so the fuzz campaign
+        // covers full-save-only and lazy-restore timelines too.
+        if (rng.chance(0.25))
+            schedule.incrementalSave = false;
+        if (rng.chance(0.25))
+            schedule.lazyRestore = true;
 
         CrashPointResult result = runSchedule(schedule);
         ++report.points;
@@ -350,6 +425,15 @@ CrashExplorer::minimize(CrashSchedule failing, unsigned budget)
         {
             CrashSchedule c = failing;
             c.dropSaveCommands = 0;
+            tryAccept(c);
+        }
+        {
+            // Simpler pipeline: every save full, eager restore. A
+            // failure that survives this is not an incremental-engine
+            // bug.
+            CrashSchedule c = failing;
+            c.incrementalSave = false;
+            c.lazyRestore = false;
             tryAccept(c);
         }
         {

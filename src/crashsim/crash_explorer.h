@@ -81,6 +81,10 @@ class CrashExplorer
      */
     static CrashPointResult runSchedule(const CrashSchedule &schedule);
 
+    /** As above, also handing out the captured NVRAM image. */
+    static CrashPointResult runSchedule(const CrashSchedule &schedule,
+                                        NvramImage *captured_image);
+
     /**
      * Every distinguishable crash window of the base scenario, in
      * ticks after the AC failure, thinned evenly to @p max_points.
@@ -90,6 +94,27 @@ class CrashExplorer
     /** Run the base schedule once per enumerated window. */
     SweepReport sweepEnumerated(bool stop_on_first_violation = false,
                                 size_t max_points = 160);
+
+    /**
+     * Full-vs-incremental image equality sweep: at every enumerated
+     * crash instant, run the base schedule once with delta saves and
+     * once forced to full saves, and compare the surviving flash
+     * images byte for byte over the suffix both runs claim
+     * programmed (the whole image when both saves completed). Any
+     * window where the two pipelines disagree is a soundness bug in
+     * the incremental engine.
+     */
+    struct EquivalenceReport
+    {
+        size_t points = 0;           ///< windows compared
+        size_t bothComplete = 0;     ///< windows with two valid images
+        std::vector<Tick> mismatchWindows;
+
+        bool allEqual() const { return mismatchWindows.empty(); }
+    };
+
+    EquivalenceReport
+    incrementalEquivalenceSweep(size_t max_points = 96);
 
     /** Seed-driven random schedules beyond the enumerable points. */
     SweepReport fuzz(unsigned runs, uint64_t seed);

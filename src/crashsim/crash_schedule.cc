@@ -45,6 +45,8 @@ CrashSchedule::serialize() const
     out << "degrade_tier=" << degradeTier << "\n";
     out << "drop_save_cmds=" << dropSaveCommands << "\n";
     out << "trust_directory=" << (trustDirectory ? 1 : 0) << "\n";
+    out << "incremental_save=" << (incrementalSave ? 1 : 0) << "\n";
+    out << "lazy_restore=" << (lazyRestore ? 1 : 0) << "\n";
     return out.str();
 }
 
@@ -115,6 +117,10 @@ CrashSchedule::parse(const std::string &text)
                     static_cast<unsigned>(std::stoul(value));
             else if (key == "trust_directory")
                 schedule.trustDirectory = value == "1";
+            else if (key == "incremental_save")
+                schedule.incrementalSave = value == "1";
+            else if (key == "lazy_restore")
+                schedule.lazyRestore = value == "1";
             else
                 return std::nullopt; // unknown key: refuse to guess
         } catch (const std::exception &) {
@@ -188,6 +194,10 @@ CrashSchedule::summary() const
         text += " drop-cmds=" + std::to_string(dropSaveCommands);
     if (trustDirectory)
         text += " TRUST-DIR";
+    if (!incrementalSave)
+        text += " full-saves-only";
+    if (lazyRestore)
+        text += " lazy-restore";
     return text;
 }
 

@@ -100,6 +100,16 @@ struct CrashSchedule
     /** Planted bug: restore trusts the directory, skipping the CRCs. */
     bool trustDirectory = false;
 
+    /**
+     * Allow delta saves: modules program only pages dirtied since
+     * their last completed save (first save is always full). Off
+     * forces every save to program the whole capacity.
+     */
+    bool incrementalSave = true;
+
+    /** Boot restores map the flash image lazily instead of streaming. */
+    bool lazyRestore = false;
+
     /** Replay-file serialization (text, one key=value per line). */
     std::string serialize() const;
 

@@ -567,6 +567,29 @@ NoSilentCorruptionChecker::check(WspSystem &crashed, WspSystem &revived,
     }
 }
 
+void
+IncrementalSaveSoundChecker::check(WspSystem &crashed, WspSystem &revived,
+                                   const RestoreReport &restore,
+                                   bool backend_ran,
+                                   std::vector<std::string> *violations)
+{
+    (void)restore;
+    (void)backend_ran;
+    const auto report = [violations](const char *which, size_t i,
+                                     uint64_t mismatches) {
+        if (mismatches > 0)
+            addViolation(violations,
+                         "incremental-save-sound: %s module %zu recorded "
+                         "%llu save image mismatch(es) against DRAM",
+                         which, i,
+                         static_cast<unsigned long long>(mismatches));
+    };
+    for (size_t i = 0; i < crashed.memory().moduleCount(); ++i)
+        report("crashed", i, crashed.memory().module(i).saveMismatches());
+    for (size_t i = 0; i < revived.memory().moduleCount(); ++i)
+        report("revived", i, revived.memory().module(i).saveMismatches());
+}
+
 std::vector<std::unique_ptr<InvariantChecker>>
 standardCheckers()
 {
@@ -576,6 +599,7 @@ standardCheckers()
     checkers.push_back(std::make_unique<DeviceReinitChecker>());
     checkers.push_back(std::make_unique<SalvageSoundChecker>());
     checkers.push_back(std::make_unique<NoSilentCorruptionChecker>());
+    checkers.push_back(std::make_unique<IncrementalSaveSoundChecker>());
     return checkers;
 }
 

@@ -208,6 +208,23 @@ class NoSilentCorruptionChecker : public InvariantChecker
     CrashSchedule schedule_;
 };
 
+/**
+ * Incremental-save soundness: with verifySaves enabled every module
+ * self-checks that a completed save left flash byte-identical to DRAM
+ * (contentEquals) and that a failed save's claimed suffix still
+ * matches (rangeEquals) — delta or full. Any recorded mismatch on the
+ * crashed or revived machine means the incremental engine produced an
+ * image a full save would not have.
+ */
+class IncrementalSaveSoundChecker : public InvariantChecker
+{
+  public:
+    const char *name() const override { return "incremental-save-sound"; }
+    void check(WspSystem &crashed, WspSystem &revived,
+               const RestoreReport &restore, bool backend_ran,
+               std::vector<std::string> *violations) override;
+};
+
 /** The standard checker set for system-level sweeps. */
 std::vector<std::unique_ptr<InvariantChecker>> standardCheckers();
 

@@ -17,6 +17,35 @@ CacheModel::CacheModel(std::string name, uint64_t capacity_bytes,
     WSP_CHECK(capacity_ >= kLineSize);
     WSP_CHECK(capacity_ % kLineSize == 0);
     WSP_CHECK(timing_.memoryBwBytesPerSec > 0.0);
+    directory_.resize(directoryWays_);
+}
+
+void
+CacheModel::ensureDirectory(unsigned workers) const
+{
+    WSP_CHECK(workers >= 1);
+    if (workers == directoryWays_)
+        return;
+    // One O(dirty) re-bucketing per way-count change; the flush paths
+    // then query and drain their own bucket without scanning.
+    directoryWays_ = workers;
+    directory_.assign(workers, {});
+    for (const auto &[base, line] : dirty_) {
+        (void)line;
+        directory_[workerOf(base, workers)].insert(base);
+    }
+}
+
+void
+CacheModel::directoryInsert(uint64_t base)
+{
+    directory_[workerOf(base, directoryWays_)].insert(base);
+}
+
+void
+CacheModel::directoryErase(uint64_t base)
+{
+    directory_[workerOf(base, directoryWays_)].erase(base);
 }
 
 void
@@ -66,6 +95,7 @@ CacheModel::lineForWrite(uint64_t addr)
     memory_.read(base, line.data);
     lruOrder_.push_front(base);
     line.lru = lruOrder_.begin();
+    directoryInsert(base);
     return dirty_.emplace(base, std::move(line)).first->second;
 }
 
@@ -115,6 +145,7 @@ CacheModel::writeBack(uint64_t line_addr)
     memory_.write(line_addr, it->second.data);
     lruOrder_.erase(it->second.lru);
     dirty_.erase(it);
+    directoryErase(line_addr);
 }
 
 Tick
@@ -162,13 +193,8 @@ size_t
 CacheModel::partitionDirtyLines(unsigned worker, unsigned workers) const
 {
     WSP_CHECK(workers >= 1 && worker < workers);
-    size_t lines = 0;
-    for (const auto &[base, line] : dirty_) {
-        (void)line;
-        if ((base / kLineSize) % workers == worker)
-            ++lines;
-    }
-    return lines;
+    ensureDirectory(workers);
+    return directory_[worker].size();
 }
 
 Tick
@@ -197,13 +223,10 @@ void
 CacheModel::flushPartition(unsigned worker, unsigned workers)
 {
     WSP_CHECK(workers >= 1 && worker < workers);
-    std::vector<uint64_t> mine;
-    mine.reserve(dirty_.size() / workers + 1);
-    for (const auto &[base, line] : dirty_) {
-        (void)line;
-        if ((base / kLineSize) % workers == worker)
-            mine.push_back(base);
-    }
+    ensureDirectory(workers);
+    // Drain a copy: writeBack() erases from the bucket being walked.
+    const std::vector<uint64_t> mine(directory_[worker].begin(),
+                                     directory_[worker].end());
     for (uint64_t base : mine)
         writeBack(base);
     auto &registry = trace::StatRegistry::instance();
@@ -240,6 +263,8 @@ CacheModel::dropDirty()
 {
     dirty_.clear();
     lruOrder_.clear();
+    for (auto &bucket : directory_)
+        bucket.clear();
 }
 
 } // namespace wsp

@@ -26,6 +26,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "nvram/nvram_space.h"
@@ -132,9 +133,13 @@ class CacheModel
     // needs no coordination. Each core clflushes only its own
     // partition, so the step costs the *slowest worker*, not the sum
     // — the paper's observation that flush-on-fail is embarrassingly
-    // parallel. (This relies on the per-core dirty-line directory the
-    // simulator keeps; wbinvd needs no such directory but cannot be
-    // split.)
+    // parallel. The model keeps that per-core dirty-line directory
+    // for real: lines are bucketed by worker as they dirty, so
+    // partitionDirtyLines is O(1), flushPartition walks only its own
+    // lines, and parallelFlushCost(W) costs O(W) instead of W full
+    // scans of the dirty map. (wbinvd needs no directory but cannot
+    // be split.) The directory re-buckets itself — one O(dirty) pass
+    // — when queried with a different worker count.
 
     /** Dirty lines assigned to @p worker of @p workers. */
     size_t partitionDirtyLines(unsigned worker, unsigned workers) const;
@@ -183,12 +188,30 @@ class CacheModel
     /** Write one line back to NVRAM and forget it. */
     void writeBack(uint64_t line_addr);
 
+    /** Worker a line belongs to under the stable assignment. */
+    unsigned workerOf(uint64_t base, unsigned workers) const
+    {
+        return static_cast<unsigned>((base / kLineSize) % workers);
+    }
+
+    /** Re-bucket the directory for @p workers ways if needed. */
+    void ensureDirectory(unsigned workers) const;
+
+    void directoryInsert(uint64_t base);
+    void directoryErase(uint64_t base);
+
     std::string name_;
     uint64_t capacity_;
     CacheTiming timing_;
     NvramSpace &memory_;
     std::unordered_map<uint64_t, Line> dirty_;
     std::list<uint64_t> lruOrder_; ///< front = most recently written
+
+    // Per-worker dirty-line directory, maintained incrementally as
+    // lines dirty and write back. Mutable because the cost queries
+    // are const but may trigger a re-bucketing for a new way count.
+    mutable std::vector<std::unordered_set<uint64_t>> directory_;
+    mutable unsigned directoryWays_ = 1;
 };
 
 } // namespace wsp

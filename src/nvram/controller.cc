@@ -36,6 +36,14 @@ NvdimmController::saveAll()
 {
     WSP_CHECKF(!modules_.empty(), "saveAll with no modules attached");
     for (auto *module : modules_) {
+        // A module without host power cannot process bus commands: it
+        // either already ran its hardware-triggered save (flash holds
+        // the image, DRAM is powered down and decayed) or is saving
+        // from its ultracap right now. Programming decayed DRAM over
+        // a good image would destroy it — the real hardware simply
+        // never sees the command.
+        if (!module->hostPowered())
+            continue;
         if (module->state() == NvdimmState::Active)
             module->enterSelfRefresh();
         if (module->state() == NvdimmState::SelfRefresh)

@@ -98,17 +98,73 @@ NvdimmModule::saveDuration() const
 }
 
 Tick
-NvdimmModule::restoreDuration() const
+NvdimmModule::fullRestoreDuration() const
 {
     const double bw =
         config_.channelRestoreBw * static_cast<double>(flashChannels());
     return fromSeconds(static_cast<double>(config_.capacityBytes) / bw);
 }
 
+Tick
+NvdimmModule::restoreDuration() const
+{
+    if (!config_.lazyRestore)
+        return fullRestoreDuration();
+    // Lazy page-in: set up the copy-on-read mapping of the flash
+    // image instead of streaming it. The cost is per mapped extent,
+    // not per byte, so multi-GiB images resume in milliseconds.
+    const uint64_t chunks =
+        (dram_.totalPages() + SparseMemory::kPagesPerChunk - 1) /
+        SparseMemory::kPagesPerChunk;
+    return config_.lazyRestoreFixedLatency +
+           config_.lazyRestorePerChunk * static_cast<Tick>(chunks);
+}
+
 double
 NvdimmModule::saveEnergy() const
 {
     return savePowerWatts() * toSeconds(saveDuration());
+}
+
+bool
+NvdimmModule::incrementalEligible() const
+{
+    return config_.incrementalSave && flashValid_ && baselineValid_ &&
+           !flashTainted_ && !dram_.allDirty() &&
+           dram_.dirtyEpoch() == baselineEpoch_;
+}
+
+uint64_t
+NvdimmModule::pendingSaveBytes() const
+{
+    if (!incrementalEligible())
+        return config_.capacityBytes;
+    // Even an empty delta programs at least one page of control
+    // metadata, so the save never models as instantaneous.
+    return std::max(dram_.dirtyBytes(), SparseMemory::kPageSize);
+}
+
+Tick
+NvdimmModule::pendingSaveDuration() const
+{
+    const double bw =
+        config_.channelSaveBw * static_cast<double>(flashChannels());
+    return std::max<Tick>(
+        1, fromSeconds(static_cast<double>(pendingSaveBytes()) / bw));
+}
+
+double
+NvdimmModule::pendingSaveEnergy() const
+{
+    return savePowerWatts() * toSeconds(pendingSaveDuration());
+}
+
+void
+NvdimmModule::establishBaseline()
+{
+    dram_.resetDirty();
+    baselineEpoch_ = dram_.dirtyEpoch();
+    baselineValid_ = true;
 }
 
 void
@@ -147,6 +203,9 @@ NvdimmModule::adoptFlashImage(const SparseMemory &flash, bool valid,
                            ? (valid ? config_.capacityBytes : 0)
                            : saved_bytes;
     dram_.poison();
+    // A socketed image has no relation to this module's DRAM history.
+    baselineValid_ = false;
+    flashTainted_ = false;
 }
 
 void
@@ -178,6 +237,10 @@ NvdimmModule::injectFlashFault(MediaFaultKind kind, uint64_t addr)
         break;
       }
     }
+    // The image no longer matches what the save wrote; a delta save
+    // on top of it would persist the corruption, so the next save
+    // falls back to full.
+    flashTainted_ = true;
     trace::StatRegistry::instance().counter("nvram.media_faults").add();
     warn("%s: injected %s flash fault at 0x%llx (silent)",
          name().c_str(), mediaFaultKindName(kind).c_str(),
@@ -218,21 +281,55 @@ NvdimmModule::startSave()
     state_ = NvdimmState::Saving;
     saveStarted_ = now();
     lastSaveStep_ = now();
-    saveDeadline_ = now() + saveDuration();
+    // Mode decision happens here, before any flash flag is touched:
+    // the delta path needs the previous image still marked valid.
+    saveIncremental_ = incrementalEligible();
+    savePendingBytes_ = pendingSaveBytes();
+    saveTotalDuration_ = pendingSaveDuration();
+    saveDeadline_ = now() + saveTotalDuration_;
     savePoweredTime_ = 0;
-    // Programming flash consumes the previous image block by block —
-    // from the moment the erase starts, the old save is gone. A
-    // restore attempt against a module that died mid-save sees only
-    // the partial suffix this attempt managed to program.
+    saveProgrammedBytes_ = 0;
+    savePlan_.clear();
+    savePlanCursor_ = 0;
+    baselineValid_ = false; // flash diverges from the baseline now
+    if (saveIncremental_) {
+        // Delta save: program only the dirty pages, highest address
+        // first so the control structures at the top of memory stay
+        // first in line. Every clean page already equals DRAM in
+        // flash (that is what the baseline means), so the up-to-date
+        // suffix extends down to the next unprogrammed dirty page.
+        savePlan_ = dram_.dirtyPagesDescending();
+        flashSavedBytes_ =
+            savePlan_.empty()
+                ? config_.capacityBytes
+                : config_.capacityBytes -
+                      std::min(config_.capacityBytes,
+                               (savePlan_.front() + 1) *
+                                   SparseMemory::kPageSize);
+    } else {
+        // Full save: programming flash consumes the previous image
+        // block by block — from the moment the erase starts, the old
+        // save is gone. A restore attempt against a module that died
+        // mid-save sees only the partial suffix this attempt managed
+        // to program.
+        flashSavedBytes_ = 0;
+    }
     flashValid_ = false;
-    flashSavedBytes_ = 0;
     flashGeneration_ = epoch_;
-    trace::StatRegistry::instance().counter("nvram.saves_started").add();
+    auto &registry = trace::StatRegistry::instance();
+    registry.counter("nvram.saves_started").add();
+    registry.gauge("nvram.dirty_pages")
+        .set(static_cast<double>(dram_.dirtyPageCount()));
+    registry.gauge("nvram.pending_save_bytes")
+        .set(static_cast<double>(savePendingBytes_));
     traceModuleEdge(name(), "save", trace::Phase::Begin);
-    debugLog("%s: save started, duration %s, energy %.1f J",
-             name().c_str(), formatTime(saveDuration()).c_str(),
-             saveEnergy());
-    queue_.scheduleAfter(std::min(kSaveStep, saveDuration()),
+    debugLog("%s: %s save started, %llu bytes, duration %s, "
+             "energy %.1f J",
+             name().c_str(), saveIncremental_ ? "incremental" : "full",
+             static_cast<unsigned long long>(savePendingBytes_),
+             formatTime(saveTotalDuration_).c_str(),
+             savePowerWatts() * toSeconds(saveTotalDuration_));
+    queue_.scheduleAfter(std::min(kSaveStep, saveTotalDuration_),
                          [this] { saveStep(); });
 }
 
@@ -246,6 +343,41 @@ NvdimmModule::programFlashTo(uint64_t target_bytes)
     flash_.copyRangeFrom(dram_, config_.capacityBytes - target_bytes,
                          target_bytes - flashSavedBytes_);
     flashSavedBytes_ = target_bytes;
+    saveProgrammedBytes_ = target_bytes;
+}
+
+void
+NvdimmModule::programIncrementalTo(uint64_t target_bytes)
+{
+    while (saveProgrammedBytes_ < target_bytes &&
+           savePlanCursor_ < savePlan_.size()) {
+        const uint64_t page = savePlan_[savePlanCursor_];
+        const uint64_t base = page * SparseMemory::kPageSize;
+        const uint64_t len = std::min(SparseMemory::kPageSize,
+                                      config_.capacityBytes - base);
+        flash_.copyRangeFrom(dram_, base, len);
+        saveProgrammedBytes_ += len;
+        ++savePlanCursor_;
+        // The up-to-date suffix now reaches down to the page above
+        // the next dirty page still waiting (clean pages in between
+        // match DRAM by the baseline invariant).
+        flashSavedBytes_ =
+            savePlanCursor_ < savePlan_.size()
+                ? config_.capacityBytes -
+                      std::min(config_.capacityBytes,
+                               (savePlan_[savePlanCursor_] + 1) *
+                                   SparseMemory::kPageSize)
+                : config_.capacityBytes;
+    }
+}
+
+void
+NvdimmModule::programProgress(uint64_t target_bytes)
+{
+    if (saveIncremental_)
+        programIncrementalTo(target_bytes);
+    else
+        programFlashTo(target_bytes);
 }
 
 void
@@ -271,10 +403,10 @@ NvdimmModule::saveStep()
             : static_cast<Tick>(
                   static_cast<double>(elapsed) *
                   std::clamp(delivered_j / wanted_j, 0.0, 1.0));
-    programFlashTo(static_cast<uint64_t>(
-        static_cast<double>(config_.capacityBytes) *
+    programProgress(static_cast<uint64_t>(
+        static_cast<double>(savePendingBytes_) *
         std::min(1.0, static_cast<double>(savePoweredTime_) /
-                          static_cast<double>(saveDuration()))));
+                          static_cast<double>(saveTotalDuration_))));
     if (!ultracap_.canSupply(savePowerWatts())) {
         failSave("ultracapacitor exhausted");
         return;
@@ -290,16 +422,43 @@ NvdimmModule::saveStep()
 void
 NvdimmModule::finishSave()
 {
-    programFlashTo(config_.capacityBytes);
+    if (saveIncremental_)
+        programIncrementalTo(~0ull);
+    else
+        programFlashTo(config_.capacityBytes);
+    flashSavedBytes_ = config_.capacityBytes;
     flashValid_ = true;
+    flashTainted_ = false;
+    lastSaveProgrammedBytes_ = saveProgrammedBytes_;
     state_ = NvdimmState::SelfRefresh;
     ++savesCompleted_;
+    if (saveIncremental_)
+        ++incrementalSavesCompleted_;
+    // The image now matches DRAM exactly: open the dirty baseline the
+    // next delta save will be relative to.
+    establishBaseline();
+    if (config_.verifySaves && !flash_.contentEquals(dram_)) {
+        // A completed save — delta or full — must leave flash
+        // byte-identical to DRAM; anything else is an engine bug.
+        ++saveMismatches_;
+        trace::StatRegistry::instance()
+            .counter("nvram.save_verify_mismatches")
+            .add();
+        warn("%s: save verify MISMATCH (%s save, %llu bytes "
+             "programmed)",
+             name().c_str(), saveIncremental_ ? "incremental" : "full",
+             static_cast<unsigned long long>(saveProgrammedBytes_));
+    }
     auto &registry = trace::StatRegistry::instance();
     registry.counter("nvram.saves_completed").add();
-    registry.counter("nvram.bytes_saved").add(config_.capacityBytes);
+    registry.counter("nvram.bytes_saved").add(saveProgrammedBytes_);
+    if (saveIncremental_)
+        registry.counter("nvram.incremental_saves").add();
     traceModuleEdge(name(), "save", trace::Phase::End);
-    debugLog("%s: save completed at %s", name().c_str(),
-             formatTime(now()).c_str());
+    debugLog("%s: %s save completed at %s (%llu bytes programmed)",
+             name().c_str(), saveIncremental_ ? "incremental" : "full",
+             formatTime(now()).c_str(),
+             static_cast<unsigned long long>(saveProgrammedBytes_));
     if (!hostPower_) {
         // With the image safely in flash the module powers down; the
         // DRAM side is no longer maintained.
@@ -313,6 +472,23 @@ NvdimmModule::failSave(const char *reason)
 {
     warn("%s: save FAILED (%s) after %s", name().c_str(), reason,
          formatTime(now() - saveStarted_).c_str());
+    lastSaveProgrammedBytes_ = saveProgrammedBytes_;
+    if (config_.verifySaves && flashSavedBytes_ > 0 &&
+        !dram_.poisoned()) {
+        // Even a failed save must leave its up-to-date suffix
+        // byte-identical to DRAM — the salvage path restores from it.
+        const uint64_t base = config_.capacityBytes - flashSavedBytes_;
+        if (!flash_.rangeEquals(dram_, base, flashSavedBytes_)) {
+            ++saveMismatches_;
+            trace::StatRegistry::instance()
+                .counter("nvram.save_verify_mismatches")
+                .add();
+            warn("%s: failed-save suffix verify MISMATCH "
+                 "(%llu bytes claimed)",
+                 name().c_str(),
+                 static_cast<unsigned long long>(flashSavedBytes_));
+        }
+    }
     flashValid_ = false;
     state_ = NvdimmState::SaveFailed;
     trace::StatRegistry::instance().counter("nvram.save_failures").add();
@@ -345,12 +521,22 @@ NvdimmModule::finishRestore()
 {
     if (state_ != NvdimmState::Restoring)
         return;
+    // Functionally both restore modes produce the same bytes: the
+    // copy-on-write page table makes even the eager restore a pointer
+    // copy, and the lazy mode only changes the modelled latency.
     dram_.restoreFrom(flash_);
+    // DRAM now equals flash byte for byte, so the next save may be a
+    // delta relative to this image (if the image is a complete one).
+    establishBaseline();
     state_ = NvdimmState::SelfRefresh;
     ++restoresCompleted_;
+    if (config_.lazyRestore)
+        ++lazyRestoresCompleted_;
     auto &registry = trace::StatRegistry::instance();
     registry.counter("nvram.restores_completed").add();
     registry.counter("nvram.bytes_restored").add(config_.capacityBytes);
+    if (config_.lazyRestore)
+        registry.counter("nvram.lazy_restores").add();
     traceModuleEdge(name(), "restore", trace::Phase::End);
     debugLog("%s: restore completed at %s", name().c_str(),
              formatTime(now()).c_str());

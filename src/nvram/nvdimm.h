@@ -24,6 +24,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "nvram/sparse_memory.h"
 #include "power/ultracapacitor.h"
@@ -55,6 +56,36 @@ struct NvdimmConfig
 
     /** Latency of entering/leaving DRAM self-refresh. */
     Tick selfRefreshLatency = fromMicros(5.0);
+
+    /**
+     * Program only pages dirtied since the last completed save when a
+     * valid baseline exists (falls back to a full save on epoch
+     * mismatch, after media faults, or when no baseline is open).
+     */
+    bool incrementalSave = true;
+
+    /**
+     * Lazy page-in restore: startRestore() maps the flash image
+     * copy-on-read instead of eagerly streaming every byte, so the
+     * modelled restore latency is the mapping setup, not
+     * capacity/bandwidth. Content is identical either way.
+     */
+    bool lazyRestore = false;
+
+    /** Fixed mapping/metadata setup cost of a lazy restore. */
+    Tick lazyRestoreFixedLatency = fromMillis(1.0);
+
+    /** Per-2MiB-extent mapping cost of a lazy restore. */
+    Tick lazyRestorePerChunk = fromMicros(10.0);
+
+    /**
+     * Self-check every save completion: assert flash is byte-identical
+     * to DRAM (what a full save would have produced) and that a failed
+     * save's programmed suffix matches DRAM. Mismatches are counted,
+     * not fatal — the crashsim IncrementalSaveSound checker reads the
+     * count. Costs a full image comparison per save; off by default.
+     */
+    bool verifySaves = false;
 
     UltracapConfig ultracap;
 };
@@ -110,14 +141,43 @@ class NvdimmModule : public SimObject
     /** Module power draw while saving (resolving the auto value). */
     double savePowerWatts() const;
 
-    /** Predicted DRAM-to-flash save duration. */
+    /** Predicted full DRAM-to-flash save duration (worst case). */
     Tick saveDuration() const;
 
-    /** Predicted flash-to-DRAM restore duration. */
+    /**
+     * Predicted restore duration: the eager flash-to-DRAM stream, or
+     * the mapping setup cost when lazyRestore is configured.
+     */
     Tick restoreDuration() const;
 
-    /** Energy required to complete a save, in joules. */
+    /** The eager capacity/bandwidth restore time, lazy or not. */
+    Tick fullRestoreDuration() const;
+
+    /** Energy required to complete a full save, in joules. */
     double saveEnergy() const;
+
+    // Incremental save --------------------------------------------------
+
+    /**
+     * True when the next save may program only the dirty delta: a
+     * valid un-tainted flash image whose baseline epoch matches the
+     * DRAM dirty bitmap. Any media fault, adopted image, or wholesale
+     * DRAM change (poison/restore) forces the next save back to full.
+     */
+    bool incrementalEligible() const;
+
+    /** Bytes the next save must program (dirty delta or capacity). */
+    uint64_t pendingSaveBytes() const;
+
+    /** Predicted duration of the next save at its pending size. */
+    Tick pendingSaveDuration() const;
+
+    /**
+     * Energy the next save needs, in joules — the bill HealthMonitor
+     * margins and degraded-tier decisions are charged against. Scales
+     * with dirty pages once a baseline exists.
+     */
+    double pendingSaveEnergy() const;
 
     // Host access (Active state only) ---------------------------------
 
@@ -130,6 +190,9 @@ class NvdimmModule : public SimObject
     void arm() { armed_ = true; }
     void disarm() { armed_ = false; }
     bool armed() const { return armed_; }
+
+    /** Whether the host 12 V rail currently energizes the module. */
+    bool hostPowered() const { return hostPower_; }
 
     /** Put the DRAM into self-refresh (required before save/restore). */
     void enterSelfRefresh();
@@ -224,6 +287,34 @@ class NvdimmModule : public SimObject
     uint64_t savesCompleted() const { return savesCompleted_; }
     uint64_t restoresCompleted() const { return restoresCompleted_; }
 
+    /** Completed saves that programmed only the dirty delta. */
+    uint64_t incrementalSavesCompleted() const
+    {
+        return incrementalSavesCompleted_;
+    }
+
+    /** Completed restores that took the lazy page-in path. */
+    uint64_t lazyRestoresCompleted() const
+    {
+        return lazyRestoresCompleted_;
+    }
+
+    /** Bytes the last completed or failed save actually programmed. */
+    uint64_t lastSaveProgrammedBytes() const
+    {
+        return lastSaveProgrammedBytes_;
+    }
+
+    /**
+     * verifySaves failures: saves whose flash image did not match the
+     * byte-identical full-save result. Always zero when the
+     * incremental engine is sound.
+     */
+    uint64_t saveMismatches() const { return saveMismatches_; }
+
+    /** Direct dirty-state access (tests, health gauges). */
+    const SparseMemory &dram() const { return dram_; }
+
   private:
     /** One integration step of the in-flight save. */
     void saveStep();
@@ -231,8 +322,17 @@ class NvdimmModule : public SimObject
     void failSave(const char *reason);
     void finishRestore();
 
+    /** Open a fresh dirty baseline: flash == DRAM right now. */
+    void establishBaseline();
+
+    /** Advance the in-flight save to @p target_bytes programmed. */
+    void programProgress(uint64_t target_bytes);
+
     /** Extend the programmed flash suffix to @p target_bytes. */
     void programFlashTo(uint64_t target_bytes);
+
+    /** Program the next dirty pages (top-down) up to @p target_bytes. */
+    void programIncrementalTo(uint64_t target_bytes);
 
     NvdimmConfig config_;
     Ultracapacitor ultracap_;
@@ -245,6 +345,7 @@ class NvdimmModule : public SimObject
 
     Tick saveStarted_ = 0;
     Tick saveDeadline_ = 0;
+    Tick saveTotalDuration_ = 0;
     Tick lastSaveStep_ = 0;
     Tick savePoweredTime_ = 0;
     uint64_t flashSavedBytes_ = 0;
@@ -252,6 +353,20 @@ class NvdimmModule : public SimObject
     uint64_t epoch_ = 0;
     uint64_t savesCompleted_ = 0;
     uint64_t restoresCompleted_ = 0;
+
+    // Incremental-save engine state ------------------------------------
+    bool flashTainted_ = false;   ///< media fault since last full image
+    bool baselineValid_ = false;  ///< flash matched DRAM at baseline
+    uint64_t baselineEpoch_ = 0;  ///< dram_ dirty epoch of the baseline
+    bool saveIncremental_ = false;    ///< in-flight save is a delta
+    uint64_t savePendingBytes_ = 0;   ///< bytes this save must program
+    uint64_t saveProgrammedBytes_ = 0;
+    std::vector<uint64_t> savePlan_;  ///< dirty pages, highest first
+    size_t savePlanCursor_ = 0;
+    uint64_t incrementalSavesCompleted_ = 0;
+    uint64_t lazyRestoresCompleted_ = 0;
+    uint64_t lastSaveProgrammedBytes_ = 0;
+    uint64_t saveMismatches_ = 0;
 
     /** Integration step for ultracap discharge during a save. */
     static constexpr Tick kSaveStep = fromMillis(10.0);

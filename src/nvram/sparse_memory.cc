@@ -1,8 +1,6 @@
 #include "nvram/sparse_memory.h"
 
-#include <algorithm>
 #include <cstring>
-#include <vector>
 
 #include "util/logging.h"
 
@@ -11,21 +9,110 @@ namespace wsp {
 SparseMemory::SparseMemory(uint64_t capacity) : capacity_(capacity)
 {
     WSP_CHECK(capacity_ > 0);
+    chunks_.resize((totalPages() + kPagesPerChunk - 1) / kPagesPerChunk);
+}
+
+const uint8_t *
+SparseMemory::pageData(uint64_t page_index) const
+{
+    const auto &chunk = chunks_[page_index / kPagesPerChunk];
+    if (!chunk)
+        return nullptr;
+    return chunk->pages[page_index % kPagesPerChunk].get();
+}
+
+SparseMemory::Page &
+SparseMemory::slotForWrite(uint64_t page_index)
+{
+    auto &chunk = chunks_[page_index / kPagesPerChunk];
+    if (!chunk)
+        chunk = std::make_unique<Chunk>();
+    return chunk->pages[page_index % kPagesPerChunk];
 }
 
 uint8_t *
 SparseMemory::pageForWrite(uint64_t page_index)
 {
-    auto it = pages_.find(page_index);
-    if (it != pages_.end())
-        return it->second.get();
-    auto page = std::make_unique<uint8_t[]>(kPageSize);
-    // After content loss, pages come back as poison rather than zero:
-    // only explicitly rewritten bytes are trustworthy.
-    std::memset(page.get(), poisoned_ ? kPoisonByte : 0, kPageSize);
-    uint8_t *raw = page.get();
-    pages_.emplace(page_index, std::move(page));
-    return raw;
+    Page &slot = slotForWrite(page_index);
+    if (!slot) {
+        slot = Page(new uint8_t[kPageSize]);
+        // After content loss, pages come back as poison rather than
+        // zero: only explicitly rewritten bytes are trustworthy.
+        std::memset(slot.get(), poisoned_ ? kPoisonByte : 0, kPageSize);
+        ++chunks_[page_index / kPagesPerChunk]->used;
+        ++pageCount_;
+    } else if (slot.use_count() > 1) {
+        // Shared with a snapshot: clone before the write lands.
+        Page clone(new uint8_t[kPageSize]);
+        std::memcpy(clone.get(), slot.get(), kPageSize);
+        slot = std::move(clone);
+    }
+    return slot.get();
+}
+
+void
+SparseMemory::erasePage(uint64_t page_index)
+{
+    auto &chunk = chunks_[page_index / kPagesPerChunk];
+    if (!chunk)
+        return;
+    Page &slot = chunk->pages[page_index % kPagesPerChunk];
+    if (!slot)
+        return;
+    slot.reset();
+    --pageCount_;
+    if (--chunk->used == 0)
+        chunk.reset();
+}
+
+void
+SparseMemory::sharePage(uint64_t page_index, const Page &src)
+{
+    Page &slot = slotForWrite(page_index);
+    if (!slot) {
+        ++chunks_[page_index / kPagesPerChunk]->used;
+        ++pageCount_;
+    }
+    slot = src;
+}
+
+void
+SparseMemory::markDirty(uint64_t page_index)
+{
+    if (allDirty_)
+        return; // no baseline open; everything already counts dirty
+    uint64_t &word = dirtyBits_[page_index / 64];
+    const uint64_t bit = 1ull << (page_index % 64);
+    if (!(word & bit)) {
+        word |= bit;
+        ++dirtyCount_;
+    }
+}
+
+void
+SparseMemory::resetDirty()
+{
+    dirtyBits_.assign((totalPages() + 63) / 64, 0);
+    dirtyCount_ = 0;
+    allDirty_ = false;
+    ++dirtyEpoch_;
+}
+
+std::vector<uint64_t>
+SparseMemory::dirtyPagesDescending() const
+{
+    WSP_CHECK(!allDirty_);
+    std::vector<uint64_t> pages;
+    pages.reserve(dirtyCount_);
+    for (size_t w = dirtyBits_.size(); w-- > 0;) {
+        uint64_t word = dirtyBits_[w];
+        while (word != 0) {
+            const int bit = 63 - __builtin_clzll(word);
+            pages.push_back(w * 64 + static_cast<uint64_t>(bit));
+            word &= ~(1ull << bit);
+        }
+    }
+    return pages;
 }
 
 void
@@ -43,10 +130,9 @@ SparseMemory::read(uint64_t addr, std::span<uint8_t> out) const
         const uint64_t offset = cur % kPageSize;
         const size_t chunk = static_cast<size_t>(
             std::min<uint64_t>(kPageSize - offset, out.size() - done));
-        auto it = pages_.find(page_index);
-        if (it != pages_.end()) {
-            std::memcpy(out.data() + done, it->second.get() + offset,
-                        chunk);
+        const uint8_t *page = pageData(page_index);
+        if (page != nullptr) {
+            std::memcpy(out.data() + done, page + offset, chunk);
         } else {
             std::memset(out.data() + done,
                         poisoned_ ? kPoisonByte : 0, chunk);
@@ -72,6 +158,7 @@ SparseMemory::write(uint64_t addr, std::span<const uint8_t> data)
             std::min<uint64_t>(kPageSize - offset, data.size() - done));
         std::memcpy(pageForWrite(page_index) + offset, data.data() + done,
                     chunk);
+        markDirty(page_index);
         done += chunk;
     }
 }
@@ -101,8 +188,11 @@ SparseMemory::writeU64(uint64_t addr, uint64_t value)
 void
 SparseMemory::clear()
 {
-    pages_.clear();
+    for (auto &chunk : chunks_)
+        chunk.reset();
+    pageCount_ = 0;
     poisoned_ = false;
+    allDirty_ = true; // wholesale change invalidates any baseline
 }
 
 void
@@ -110,8 +200,11 @@ SparseMemory::poison()
 {
     // Dropping the pages and setting the flag makes every byte read as
     // poison until rewritten.
-    pages_.clear();
+    for (auto &chunk : chunks_)
+        chunk.reset();
+    pageCount_ = 0;
     poisoned_ = true;
+    allDirty_ = true;
 }
 
 SparseMemory
@@ -119,10 +212,10 @@ SparseMemory::snapshot() const
 {
     SparseMemory copy(capacity_);
     copy.poisoned_ = poisoned_;
-    for (const auto &[index, page] : pages_) {
-        auto dup = std::make_unique<uint8_t[]>(kPageSize);
-        std::memcpy(dup.get(), page.get(), kPageSize);
-        copy.pages_.emplace(index, std::move(dup));
+    copy.pageCount_ = pageCount_;
+    for (size_t i = 0; i < chunks_.size(); ++i) {
+        if (chunks_[i])
+            copy.chunks_[i] = std::make_unique<Chunk>(*chunks_[i]);
     }
     return copy;
 }
@@ -131,7 +224,14 @@ void
 SparseMemory::restoreFrom(const SparseMemory &image)
 {
     WSP_CHECK(image.capacity_ == capacity_);
-    *this = image.snapshot();
+    for (size_t i = 0; i < chunks_.size(); ++i) {
+        chunks_[i] = image.chunks_[i]
+                         ? std::make_unique<Chunk>(*image.chunks_[i])
+                         : nullptr;
+    }
+    pageCount_ = image.pageCount_;
+    poisoned_ = image.poisoned_;
+    allDirty_ = true; // caller resets once flash and DRAM agree
 }
 
 void
@@ -150,23 +250,32 @@ SparseMemory::copyRangeFrom(const SparseMemory &src, uint64_t addr,
         const uint64_t offset = addr % kPageSize;
         const uint64_t chunk =
             std::min<uint64_t>(kPageSize - offset, len);
-        const auto sit = src.pages_.find(page_index);
-        if (sit != src.pages_.end()) {
-            std::memcpy(pageForWrite(page_index) + offset,
-                        sit->second.get() + offset, chunk);
+        const uint8_t *src_page = src.pageData(page_index);
+        if (src_page != nullptr) {
+            if (chunk == kPageSize) {
+                // Whole page: adopt the source page by reference; a
+                // later write to either side clones first.
+                const auto &src_chunk =
+                    src.chunks_[page_index / kPagesPerChunk];
+                sharePage(page_index,
+                          src_chunk->pages[page_index % kPagesPerChunk]);
+            } else {
+                std::memcpy(pageForWrite(page_index) + offset,
+                            src_page + offset, chunk);
+            }
+            markDirty(page_index);
         } else if (src.poisoned_) {
             std::memset(pageForWrite(page_index) + offset, kPoisonByte,
                         chunk);
-        } else {
+            markDirty(page_index);
+        } else if (pageData(page_index) != nullptr) {
             // Source reads as zero there; make the destination match
             // without allocating.
-            const auto dit = pages_.find(page_index);
-            if (dit != pages_.end()) {
-                if (chunk == kPageSize)
-                    pages_.erase(dit);
-                else
-                    std::memset(dit->second.get() + offset, 0, chunk);
-            }
+            if (chunk == kPageSize)
+                erasePage(page_index);
+            else
+                std::memset(pageForWrite(page_index) + offset, 0, chunk);
+            markDirty(page_index);
         }
         addr += chunk;
         len -= chunk;
@@ -178,22 +287,40 @@ SparseMemory::contentEquals(const SparseMemory &other) const
 {
     if (capacity_ != other.capacity_)
         return false;
+    return rangeEquals(other, 0, capacity_);
+}
+
+bool
+SparseMemory::rangeEquals(const SparseMemory &other, uint64_t addr,
+                          uint64_t len) const
+{
+    WSP_CHECKF(addr + len <= capacity_ && addr + len <= other.capacity_,
+               "rangeEquals [%llu, %llu) beyond capacity",
+               static_cast<unsigned long long>(addr),
+               static_cast<unsigned long long>(addr + len));
     // Stream both in page-sized chunks through read() so the poison
-    // and zero-fill rules apply uniformly.
+    // and zero-fill rules apply uniformly; shared COW pages and
+    // matching gaps compare by pointer without touching the bytes.
     std::vector<uint8_t> a(kPageSize);
     std::vector<uint8_t> b(kPageSize);
-    for (uint64_t addr = 0; addr < capacity_; addr += kPageSize) {
-        const size_t chunk = static_cast<size_t>(
-            std::min<uint64_t>(kPageSize, capacity_ - addr));
+    while (len > 0) {
         const uint64_t page_index = addr / kPageSize;
-        const bool here = pages_.count(page_index) > 0;
-        const bool there = other.pages_.count(page_index) > 0;
-        if (!here && !there && poisoned_ == other.poisoned_)
-            continue; // identical fill, skip the memcmp
-        read(addr, std::span<uint8_t>(a.data(), chunk));
-        other.read(addr, std::span<uint8_t>(b.data(), chunk));
-        if (std::memcmp(a.data(), b.data(), chunk) != 0)
-            return false;
+        const uint64_t offset = addr % kPageSize;
+        const size_t chunk = static_cast<size_t>(
+            std::min<uint64_t>(kPageSize - offset, len));
+        const uint8_t *here = pageData(page_index);
+        const uint8_t *there = other.pageData(page_index);
+        if (here == nullptr && there == nullptr) {
+            if (poisoned_ != other.poisoned_)
+                return false; // poison fill vs zero fill
+        } else if (here != there) {
+            read(addr, std::span<uint8_t>(a.data(), chunk));
+            other.read(addr, std::span<uint8_t>(b.data(), chunk));
+            if (std::memcmp(a.data(), b.data(), chunk) != 0)
+                return false;
+        }
+        addr += chunk;
+        len -= chunk;
     }
     return true;
 }

@@ -18,6 +18,7 @@
 
 #include "crashsim/crash_explorer.h"
 #include "crashsim/pheap_crash.h"
+#include "trace/stat_registry.h"
 
 namespace wsp::crashsim {
 namespace {
@@ -247,6 +248,109 @@ TEST(ParallelCrash, BrokenOrderStillCaughtUnderParallelSave)
     const SweepReport report = explorer.sweepEnumerated(true, 120);
     EXPECT_FALSE(report.allHeld())
         << "marker-before-flush survived the parallel sweep";
+}
+
+// Incremental saves and lazy restore ----------------------------------
+
+TEST(IncrementalCrash, SerializationRoundTripsPersistenceModes)
+{
+    CrashSchedule schedule = fastSchedule();
+    schedule.incrementalSave = false;
+    schedule.lazyRestore = true;
+    const auto parsed = CrashSchedule::parse(schedule.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(*parsed == schedule);
+    // Old replay files without the new keys parse to the defaults.
+    const auto old = CrashSchedule::parse("wsp-crash-schedule v1\n"
+                                          "seed=7\n");
+    ASSERT_TRUE(old.has_value());
+    EXPECT_TRUE(old->incrementalSave);
+    EXPECT_FALSE(old->lazyRestore);
+}
+
+TEST(IncrementalCrash, TrainSweepEngagesDeltaSavesAndHolds)
+{
+    // A train's second and later saves see a mostly-clean DRAM image
+    // (the restore established a flash baseline), so they must run as
+    // delta saves — and every enumerated crash instant must still
+    // satisfy all invariants, including the in-module save verifier.
+    CrashSchedule base = fastSchedule();
+    base.trainCycles = 3;
+    base.trainSpacing = fromMillis(2.0);
+    auto &incremental =
+        trace::StatRegistry::instance().counter("nvram.incremental_saves");
+    const uint64_t before = incremental.value();
+    CrashExplorer explorer(base);
+    const SweepReport report = explorer.sweepEnumerated(false, 24);
+    EXPECT_TRUE(report.allHeld())
+        << (report.failures.empty()
+                ? ""
+                : report.failures.front().violations.front());
+    EXPECT_GT(incremental.value(), before)
+        << "the outage train never completed a delta save";
+}
+
+TEST(IncrementalCrash, SurvivesSalvageMediaFaultsAndDegradedTiers)
+{
+    // Delta saves must compose with the fault machinery: media faults
+    // taint flash (forcing the next save back to full), degraded
+    // saves cut tiers, salvage recovers region by region.
+    CrashSchedule base = fastSchedule();
+    base.trainCycles = 2;
+    base.trainSpacing = fromMillis(2.0);
+    base.salvage = true;
+    base.shards = 2;
+    base.mediaFaults = 2;
+    base.degradeTier = 0;
+    CrashExplorer explorer(base);
+    const SweepReport report = explorer.sweepEnumerated(false, 24);
+    EXPECT_TRUE(report.allHeld())
+        << (report.failures.empty()
+                ? ""
+                : report.failures.front().schedule.summary() + " - " +
+                      report.failures.front().violations.front());
+}
+
+TEST(IncrementalCrash, FullAndIncrementalImagesAgreeAtEveryWindow)
+{
+    // The tentpole soundness claim: at every distinguishable crash
+    // instant, the flash image an incremental save leaves behind is
+    // byte-identical to a full save's over the suffix both claim
+    // programmed — the delta engine never changes what survives.
+    CrashSchedule base = fastSchedule();
+    base.trainCycles = 2; // the captured crash interrupts a delta save
+    base.trainSpacing = fromMillis(2.0);
+    CrashExplorer explorer(base);
+    const auto report = explorer.incrementalEquivalenceSweep(48);
+    EXPECT_GT(report.points, 10u);
+    EXPECT_GT(report.bothComplete, 0u);
+    EXPECT_TRUE(report.allEqual())
+        << report.mismatchWindows.size()
+        << " windows with divergent images; first at "
+        << formatTime(report.mismatchWindows.empty()
+                          ? 0
+                          : report.mismatchWindows.front());
+}
+
+TEST(IncrementalCrash, LazyRestoreSweepHolds)
+{
+    // Lazy restores map the image instead of streaming it; contents
+    // and invariants must be indistinguishable from eager restores.
+    CrashSchedule base = fastSchedule();
+    base.lazyRestore = true;
+    base.trainCycles = 2;
+    base.trainSpacing = fromMillis(2.0);
+    auto &lazy =
+        trace::StatRegistry::instance().counter("nvram.lazy_restores");
+    const uint64_t before = lazy.value();
+    CrashExplorer explorer(base);
+    const SweepReport report = explorer.sweepEnumerated(false, 24);
+    EXPECT_TRUE(report.allHeld())
+        << (report.failures.empty()
+                ? ""
+                : report.failures.front().violations.front());
+    EXPECT_GT(lazy.value(), before)
+        << "no run took the lazy restore path";
 }
 
 // The planted bug -----------------------------------------------------

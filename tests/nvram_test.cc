@@ -139,6 +139,120 @@ TEST(SparseMemory, PoisonedVsZeroNotEqual)
     EXPECT_FALSE(a.contentEquals(b));
 }
 
+TEST(SparseMemory, CopyRangeEndingExactlyAtCapacity)
+{
+    const uint64_t cap = 64 * kKiB;
+    SparseMemory src(cap);
+    SparseMemory dst(cap);
+    std::vector<uint8_t> tail(300, 0x7e);
+    src.write(cap - tail.size(), tail);
+    dst.copyRangeFrom(src, cap - 2 * SparseMemory::kPageSize,
+                      2 * SparseMemory::kPageSize);
+    std::vector<uint8_t> out(tail.size());
+    dst.read(cap - tail.size(), out);
+    EXPECT_EQ(out, tail);
+    EXPECT_TRUE(dst.rangeEquals(src, cap - 2 * SparseMemory::kPageSize,
+                                2 * SparseMemory::kPageSize));
+}
+
+TEST(SparseMemory, CopyRangeSubPageEndsAroundUnallocatedMiddle)
+{
+    // A sub-page head and tail with an unallocated source page in
+    // between: the copy must bring the written ends over and erase
+    // whatever the destination held across the untouched middle.
+    const uint64_t page = SparseMemory::kPageSize;
+    SparseMemory src(64 * kKiB);
+    SparseMemory dst(64 * kKiB);
+    const uint8_t head[] = {1, 2, 3};
+    const uint8_t tail[] = {7, 8, 9};
+    src.write(page - 100, head);       // page 0, near its end
+    src.write(3 * page + 50, tail);    // page 3; pages 1-2 untouched
+    std::vector<uint8_t> junk(4 * page, 0xcc);
+    dst.write(0, junk); // stale content the copy must not leave behind
+
+    const uint64_t base = page - 100;
+    const uint64_t len = (3 * page + 50 + sizeof(tail)) - base;
+    dst.copyRangeFrom(src, base, len);
+    EXPECT_TRUE(dst.rangeEquals(src, base, len));
+    uint8_t probe = 0;
+    dst.read(2 * page, {&probe, 1}); // unallocated middle reads zero
+    EXPECT_EQ(probe, 0);
+    dst.read(base - 1, {&probe, 1}); // outside the range: untouched
+    EXPECT_EQ(probe, 0xcc);
+}
+
+TEST(SparseMemory, CopyRangeFromPoisonedSource)
+{
+    SparseMemory src(64 * kKiB);
+    SparseMemory dst(64 * kKiB);
+    src.poison();
+    const uint64_t base = SparseMemory::kPageSize / 2;
+    dst.copyRangeFrom(src, base, 2 * SparseMemory::kPageSize);
+    uint8_t probe = 0;
+    dst.read(base, {&probe, 1});
+    EXPECT_EQ(probe, SparseMemory::kPoisonByte);
+    dst.read(base + 2 * SparseMemory::kPageSize - 1, {&probe, 1});
+    EXPECT_EQ(probe, SparseMemory::kPoisonByte);
+    EXPECT_TRUE(dst.rangeEquals(src, base, 2 * SparseMemory::kPageSize));
+}
+
+// Dirty tracking -------------------------------------------------------
+
+TEST(SparseMemory, FreshMemoryIsConservativelyAllDirty)
+{
+    SparseMemory mem(64 * kKiB);
+    EXPECT_TRUE(mem.allDirty());
+    EXPECT_EQ(mem.dirtyPageCount(), mem.totalPages());
+    EXPECT_EQ(mem.dirtyBytes(), mem.capacity());
+    const uint64_t epoch = mem.dirtyEpoch();
+    mem.resetDirty();
+    EXPECT_FALSE(mem.allDirty());
+    EXPECT_EQ(mem.dirtyPageCount(), 0u);
+    EXPECT_EQ(mem.dirtyEpoch(), epoch + 1);
+}
+
+TEST(SparseMemory, WritesMarkPagesDirtyPageGranular)
+{
+    SparseMemory mem(64 * kKiB);
+    mem.resetDirty();
+    const uint8_t byte[] = {1};
+    mem.write(100, byte);
+    mem.write(200, byte); // same page: still one dirty page
+    EXPECT_EQ(mem.dirtyPageCount(), 1u);
+    mem.write(5 * SparseMemory::kPageSize, byte);
+    EXPECT_EQ(mem.dirtyPageCount(), 2u);
+    const std::vector<uint64_t> pages = mem.dirtyPagesDescending();
+    ASSERT_EQ(pages.size(), 2u);
+    EXPECT_EQ(pages[0], 5u);
+    EXPECT_EQ(pages[1], 0u);
+}
+
+TEST(SparseMemory, WholesaleChangesReturnToAllDirty)
+{
+    SparseMemory mem(64 * kKiB);
+    mem.resetDirty();
+    mem.clear();
+    EXPECT_TRUE(mem.allDirty());
+    mem.resetDirty();
+    mem.poison();
+    EXPECT_TRUE(mem.allDirty());
+    mem.resetDirty();
+    SparseMemory image(64 * kKiB);
+    mem.restoreFrom(image);
+    EXPECT_TRUE(mem.allDirty());
+}
+
+TEST(SparseMemory, CopyRangeFromMarksDestinationDirty)
+{
+    SparseMemory src(64 * kKiB);
+    SparseMemory dst(64 * kKiB);
+    const uint8_t byte[] = {0x11};
+    src.write(0, byte);
+    dst.resetDirty();
+    dst.copyRangeFrom(src, 0, SparseMemory::kPageSize);
+    EXPECT_EQ(dst.dirtyPageCount(), 1u);
+}
+
 // NvdimmModule -----------------------------------------------------------
 
 NvdimmConfig
@@ -309,6 +423,99 @@ TEST(Nvdimm, PowerRestoredRechargesBank)
                      dimm.ultracap().config().maxVoltage);
 }
 
+TEST(Nvdimm, IncrementalSaveProgramsOnlyDirtyPages)
+{
+    EventQueue queue;
+    NvdimmConfig config = smallDimm();
+    config.verifySaves = true;
+    NvdimmModule dimm(queue, "d", config);
+    const uint8_t data[] = {1, 2, 3};
+    dimm.hostWrite(100, data);
+
+    // First save has no baseline: full image.
+    dimm.enterSelfRefresh();
+    dimm.startSave();
+    queue.run();
+    EXPECT_EQ(dimm.lastSaveProgrammedBytes(), dimm.capacity());
+    EXPECT_EQ(dimm.incrementalSavesCompleted(), 0u);
+    dimm.exitSelfRefresh();
+
+    // Dirty two pages; the next save programs exactly those.
+    dimm.hostWrite(0, data);
+    dimm.hostWrite(5 * SparseMemory::kPageSize, data);
+    EXPECT_TRUE(dimm.incrementalEligible());
+    EXPECT_EQ(dimm.pendingSaveBytes(), 2 * SparseMemory::kPageSize);
+    EXPECT_LT(dimm.pendingSaveDuration(), dimm.saveDuration());
+    EXPECT_LT(dimm.pendingSaveEnergy(), dimm.saveEnergy());
+    dimm.enterSelfRefresh();
+    dimm.startSave();
+    queue.run();
+    EXPECT_TRUE(dimm.flashValid());
+    EXPECT_EQ(dimm.incrementalSavesCompleted(), 1u);
+    EXPECT_EQ(dimm.lastSaveProgrammedBytes(), 2 * SparseMemory::kPageSize);
+    EXPECT_EQ(dimm.saveMismatches(), 0u);
+}
+
+TEST(Nvdimm, MediaFaultForcesNextSaveFull)
+{
+    EventQueue queue;
+    NvdimmConfig config = smallDimm();
+    config.verifySaves = true;
+    NvdimmModule dimm(queue, "d", config);
+    dimm.enterSelfRefresh();
+    dimm.startSave();
+    queue.run();
+    dimm.exitSelfRefresh();
+
+    // A silent media fault taints the baseline: a delta save on top
+    // of the corrupted image would diverge from DRAM, so the engine
+    // must fall back to a full program.
+    dimm.injectFlashFault(MediaFaultKind::BitFlip, 64 * kKiB);
+    EXPECT_FALSE(dimm.incrementalEligible());
+    EXPECT_EQ(dimm.pendingSaveBytes(), dimm.capacity());
+    const uint8_t data[] = {9};
+    dimm.hostWrite(0, data);
+    dimm.enterSelfRefresh();
+    dimm.startSave();
+    queue.run();
+    EXPECT_TRUE(dimm.flashValid());
+    EXPECT_EQ(dimm.incrementalSavesCompleted(), 0u);
+    EXPECT_EQ(dimm.lastSaveProgrammedBytes(), dimm.capacity());
+    EXPECT_EQ(dimm.saveMismatches(), 0u);
+}
+
+TEST(Nvdimm, LazyRestoreIsFastAndContentIdentical)
+{
+    EventQueue queue;
+    NvdimmConfig config = smallDimm();
+    config.lazyRestore = true;
+    NvdimmModule dimm(queue, "d", config);
+    const uint8_t data[] = {0xab, 0xcd};
+    dimm.hostWrite(512, data);
+
+    dimm.enterSelfRefresh();
+    dimm.startSave();
+    queue.run();
+    dimm.exitSelfRefresh();
+
+    // The mapping setup is what the boot path waits for, not the
+    // capacity/bandwidth stream.
+    EXPECT_LT(dimm.restoreDuration(), dimm.fullRestoreDuration());
+
+    const uint8_t junk[] = {0, 0};
+    dimm.hostWrite(512, junk);
+    dimm.enterSelfRefresh();
+    const Tick before = queue.now();
+    dimm.startRestore();
+    queue.run();
+    EXPECT_LE(queue.now() - before, dimm.restoreDuration());
+    dimm.exitSelfRefresh();
+    EXPECT_EQ(dimm.lazyRestoresCompleted(), 1u);
+    uint8_t out[2] = {};
+    dimm.hostRead(512, out);
+    EXPECT_EQ(std::memcmp(out, data, 2), 0);
+}
+
 // NvdimmController -------------------------------------------------------
 
 TEST(NvdimmController, SaveAllRunsInParallel)
@@ -377,6 +584,41 @@ TEST(NvdimmController, CommandSinkMapsCommands)
     EXPECT_EQ(dimm.state(), NvdimmState::Saving);
     queue.run();
     EXPECT_TRUE(dimm.flashValid());
+}
+
+TEST(NvdimmController, SaveAllIgnoresUnpoweredModules)
+{
+    // Regression: an armed module that already ran its hardware-
+    // triggered save after host power loss is de-energized — its DRAM
+    // is poisoned and it cannot process bus commands. A late software
+    // save command (in flight when the power died) must not re-program
+    // the poisoned DRAM over the good flash image.
+    EventQueue queue;
+    NvdimmController controller(queue);
+    NvdimmModule dimm(queue, "d", smallDimm());
+    controller.attach(dimm);
+    const uint8_t data[] = {4, 2};
+    dimm.hostWrite(0, data);
+    dimm.enterSelfRefresh();
+    dimm.arm();
+    dimm.hostPowerLost(); // hardware save from the ultracap
+    queue.run();
+    EXPECT_TRUE(dimm.flashValid());
+    EXPECT_EQ(dimm.savesCompleted(), 1u);
+
+    controller.saveAll(); // the late command: must be a no-op
+    queue.run();
+    EXPECT_EQ(dimm.savesCompleted(), 1u);
+    EXPECT_TRUE(dimm.flashValid());
+
+    dimm.hostPowerRestored();
+    dimm.enterSelfRefresh();
+    dimm.startRestore();
+    queue.run();
+    dimm.exitSelfRefresh();
+    uint8_t out[2] = {};
+    dimm.hostRead(0, out);
+    EXPECT_EQ(std::memcmp(out, data, 2), 0);
 }
 
 // NvramSpace ---------------------------------------------------------------

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Perf-trajectory collator for the bench record files.
+ *
+ * Every bench run with --metrics-out= appends one JSON line to
+ * BENCH_<name>.json (bench id, host, UTC stamp, wall seconds, seed,
+ * counter snapshot). This tool scans a directory for those files and
+ * prints the runs as one table, so a series of runs across commits
+ * reads as a trajectory: is the wall time drifting, did the seed
+ * change, which counters moved.
+ *
+ * Usage: bench_summary [dir]   (default: current directory)
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/json_lite.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace fs = std::filesystem;
+using wsp::trace::json::Parser;
+using wsp::trace::json::Value;
+
+namespace {
+
+struct Run
+{
+    std::string bench;
+    std::string utc;
+    std::string host;
+    double wallSeconds = 0.0;
+    std::string seed;
+    size_t counters = 0;
+};
+
+std::string
+stringField(const Value &record, const char *key)
+{
+    const Value *field = record.find(key);
+    return field != nullptr && field->type == Value::Type::String
+               ? field->string
+               : std::string("?");
+}
+
+bool
+collectFile(const fs::path &path, std::vector<Run> *runs)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_summary: cannot read %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::string line;
+    size_t lineno = 0;
+    bool ok = true;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        Value record;
+        if (!Parser(line).parse(&record) || !record.isObject()) {
+            std::fprintf(stderr, "bench_summary: %s:%zu: malformed "
+                         "record skipped\n",
+                         path.c_str(), lineno);
+            ok = false;
+            continue;
+        }
+        Run run;
+        run.bench = stringField(record, "bench");
+        run.utc = stringField(record, "utc");
+        run.host = stringField(record, "host");
+        if (const Value *wall = record.find("wall_seconds"))
+            run.wallSeconds = wall->number;
+        // Seeds are 64-bit and stored unquoted; reparse the raw text
+        // so they do not round-trip through a double.
+        const size_t pos = line.find("\"seed\":");
+        if (pos != std::string::npos) {
+            size_t end = line.find_first_of(",}", pos + 7);
+            run.seed = line.substr(pos + 7, end - (pos + 7));
+        }
+        if (const Value *counters = record.find("counters"))
+            run.counters = counters->object.size();
+        runs->push_back(std::move(run));
+    }
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string dir = argc > 1 ? argv[1] : ".";
+    if (argc > 1 && (dir == "--help" || dir == "-h")) {
+        std::printf("usage: bench_summary [dir]\n"
+                    "collates BENCH_*.json records (written by benches "
+                    "run with --metrics-out=) into one table\n");
+        return 0;
+    }
+
+    std::vector<fs::path> files;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("BENCH_", 0) == 0 &&
+            name.size() > 5 + 6 &&
+            name.compare(name.size() - 5, 5, ".json") == 0) {
+            files.push_back(entry.path());
+        }
+    }
+    if (ec) {
+        std::fprintf(stderr, "bench_summary: cannot scan '%s': %s\n",
+                     dir.c_str(), ec.message().c_str());
+        return 1;
+    }
+    if (files.empty()) {
+        std::printf("no BENCH_*.json records under '%s'\n", dir.c_str());
+        return 0;
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<Run> runs;
+    bool ok = true;
+    for (const fs::path &path : files)
+        ok = collectFile(path, &runs) && ok;
+
+    // Trajectory order: per bench, oldest first (the UTC stamps are
+    // ISO-8601, so lexicographic is chronological).
+    std::stable_sort(runs.begin(), runs.end(),
+                     [](const Run &a, const Run &b) {
+        return a.bench != b.bench ? a.bench < b.bench : a.utc < b.utc;
+    });
+
+    wsp::Table table("Bench trajectory (" + std::to_string(runs.size()) +
+                     " runs)");
+    table.setHeader(
+        {"bench", "utc", "host", "wall (s)", "seed", "counters"});
+    for (const Run &run : runs) {
+        table.addRow({run.bench, run.utc, run.host,
+                      wsp::formatDouble(run.wallSeconds, 3), run.seed,
+                      std::to_string(run.counters)});
+    }
+    table.print();
+    return ok ? 0 : 1;
+}

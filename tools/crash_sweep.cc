@@ -43,6 +43,11 @@ usage()
         "  --degrade-tier=K    force degraded saves cut at tier K\n"
         "  --drop-save-cmds=N  drop the next N NVDIMM commands\n"
         "  --trust-directory   planted bug: skip restore-side CRCs\n"
+        "  --train-cycles=N    outage-train cycles per run (default 1)\n"
+        "  --no-incremental    force full saves (delta engine off)\n"
+        "  --lazy-restore      lazy page-in restores on boot\n"
+        "  --incremental-equivalence  also compare full-vs-delta flash\n"
+        "                      images at every enumerated window\n"
         "  --seed=N            base RNG seed\n"
         "  --stop-on-first     stop the sweep at the first violation\n");
 }
@@ -68,6 +73,7 @@ main(int argc, char **argv)
     uint64_t pheap_txns = 6;
     bool sweep_pheap = false;
     bool stop_on_first = false;
+    bool equivalence = false;
     std::string replay_out;
 
     for (int i = 1; i < argc; ++i) {
@@ -131,6 +137,19 @@ main(int argc, char **argv)
             base.dropSaveCommands = static_cast<unsigned>(n);
         } else if (arg == "--trust-directory") {
             base.trustDirectory = true;
+        } else if (arg.rfind("--train-cycles=", 0) == 0) {
+            uint64_t n = 0;
+            if (!parseUint(arg.c_str() + 15, &n) || n == 0) {
+                usage();
+                return 1;
+            }
+            base.trainCycles = static_cast<unsigned>(n);
+        } else if (arg == "--no-incremental") {
+            base.incrementalSave = false;
+        } else if (arg == "--lazy-restore") {
+            base.lazyRestore = true;
+        } else if (arg == "--incremental-equivalence") {
+            equivalence = true;
         } else if (arg.rfind("--seed=", 0) == 0) {
             if (!parseUint(arg.c_str() + 7, &base.seed)) {
                 usage();
@@ -173,6 +192,20 @@ main(int argc, char **argv)
             sweep.failures.push_back(std::move(failure));
         }
         violated |= !fuzzed.allHeld();
+    }
+
+    if (equivalence && !(violated && stop_on_first)) {
+        CrashExplorer::EquivalenceReport eq =
+            explorer.incrementalEquivalenceSweep(
+                static_cast<size_t>(max_points));
+        std::printf("incremental equivalence: %zu windows, %zu with "
+                    "both images complete, %zu mismatching\n",
+                    eq.points, eq.bothComplete,
+                    eq.mismatchWindows.size());
+        for (wsp::Tick window : eq.mismatchWindows)
+            std::printf("  FAIL full-vs-delta images differ at "
+                        "window %.3f ms\n", wsp::toMillis(window));
+        violated |= !eq.allEqual();
     }
 
     if (sweep_pheap && !(violated && stop_on_first)) {
