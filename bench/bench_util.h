@@ -199,6 +199,24 @@ medianOf(unsigned n, Fn &&sample)
                : 0.5 * (values[n / 2 - 1] + values[n / 2]);
 }
 
+/**
+ * Run @p sample @p n times and return the minimum. For wall-clock
+ * comparisons the min is the noise-robust estimator: scheduler and
+ * cache interference only ever add time, so the floor tracks the
+ * work itself while the median still carries host jitter.
+ */
+template <typename Fn>
+inline double
+minOf(unsigned n, Fn &&sample)
+{
+    if (n == 0)
+        n = 1;
+    double best = static_cast<double>(sample());
+    for (unsigned i = 1; i < n; ++i)
+        best = std::min(best, static_cast<double>(sample()));
+    return best;
+}
+
 /** Write the files requested via init() flags (idempotent). */
 inline void
 writeOutputs()

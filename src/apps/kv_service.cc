@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "apps/directory_server.h"
+#include "trace/flight_recorder.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -35,6 +36,21 @@ runWorkerOps(Store &store, const KvServiceConfig &config, unsigned worker)
     Rng rng = Rng(config.seed).stream(worker);
     const uint64_t lo = 1 + worker * config.keysPerWorker;
     WorkerStats stats;
+    // Black-box batch marker: one record per kBatchOps completed ops,
+    // stamped with the shard of the batch's final key (sharded store
+    // only). Emission is mutex-serialized inside the recorder, so
+    // real-thread workers are safe; the granularity keeps the
+    // recorder off the per-op fast path.
+    constexpr uint64_t kBatchOps = 1024;
+    uint64_t batchOps = 0;
+    const auto emitBatch = [&](uint64_t key, uint64_t ops) {
+        uint64_t shard = 0;
+        if constexpr (requires { store.shardOf(key); })
+            shard = store.shardOf(key);
+        trace::frEmit(trace::FrEvent::KvBatch, trace::Category::Apps,
+                      (shard << 32) | worker, ops);
+    };
+    uint64_t last_key = lo;
     for (uint64_t i = 0; i < config.opsPerThread; ++i) {
         const uint64_t key = lo + rng.next(config.keysPerWorker);
         const double draw = rng.uniform();
@@ -53,7 +69,14 @@ runWorkerOps(Store &store, const KvServiceConfig &config, unsigned worker)
             ++stats.gets;
         }
         ++stats.ops;
+        last_key = key;
+        if (++batchOps == kBatchOps) {
+            emitBatch(key, batchOps);
+            batchOps = 0;
+        }
     }
+    if (batchOps > 0)
+        emitBatch(last_key, batchOps);
     return stats;
 }
 

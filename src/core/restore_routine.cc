@@ -5,11 +5,24 @@
 #include <span>
 #include <vector>
 
+#include "trace/flight_recorder.h"
 #include "trace/stat_registry.h"
 #include "trace/trace.h"
 #include "util/logging.h"
 
 namespace wsp {
+
+namespace {
+
+/** Whether the attached modules take the lazy page-in restore path. */
+bool
+lazyRestoreConfigured(NvdimmController &nvdimms)
+{
+    const auto &modules = nvdimms.modules();
+    return !modules.empty() && modules.front()->config().lazyRestore;
+}
+
+} // namespace
 
 RestoreRoutine::RestoreRoutine(MachineModel &machine,
                                NvdimmController &nvdimms,
@@ -60,6 +73,12 @@ RestoreRoutine::run(std::function<void()> backend_recovery,
     trace::TraceManager::instance().emitAt(
         trace::Category::Core, trace::Phase::Instant,
         "RestoreRoutine start", report_.started);
+    // Restore-path records stage in the recorder until the backing
+    // module is Active again; they drain into the revived ring when
+    // the boot completes.
+    trace::frEmit(trace::FrEvent::RestoreBegin, trace::Category::Core,
+                  static_cast<uint64_t>(config_.restoreMode),
+                  lazyRestoreConfigured(nvdimms_) ? 1 : 0);
     machine_.resetForBoot();
 
     // Firmware: POST, memory re-initialization, boot loader.
@@ -100,6 +119,10 @@ RestoreRoutine::stepNvdimmRestore()
             report_.nvdimmRestoreTime = queue_.now() - start;
             record("restore NVDIMM contents (partial)", start,
                    queue_.now());
+            trace::frEmit(trace::FrEvent::NvdimmRestoreDone,
+                          trace::Category::Nvram,
+                          nvdimms_.modules().size(),
+                          lazyRestoreConfigured(nvdimms_) ? 1 : 0);
             trySalvageColdBoot("incomplete flash save");
         });
         return;
@@ -109,6 +132,9 @@ RestoreRoutine::stepNvdimmRestore()
             return;
         report_.nvdimmRestoreTime = queue_.now() - start;
         record("restore NVDIMM contents", start, queue_.now());
+        trace::frEmit(trace::FrEvent::NvdimmRestoreDone,
+                      trace::Category::Nvram, nvdimms_.modules().size(),
+                      lazyRestoreConfigured(nvdimms_) ? 1 : 0);
         stepCheckMarker();
     });
 }
@@ -119,6 +145,8 @@ RestoreRoutine::stepCheckMarker()
     const Tick start = queue_.now();
     const MarkerState state = marker_.read(machine_.memory());
     report_.markerValid = state.valid;
+    trace::frEmit(trace::FrEvent::MarkerChecked, trace::Category::Core,
+                  state.valid ? 1 : 0, state.bootSequence);
     if (!state.valid) {
         record("check image validity", start, queue_.now());
         trySalvageColdBoot("valid marker missing or torn");
@@ -223,6 +251,9 @@ RestoreRoutine::processRegion(const SalvageDirectoryEntry &entry)
         outcome.salvaged = true;
         ++report_.regionsSalvaged;
         registry.counter("core.regions_salvaged").add();
+        trace::frEmit(trace::FrEvent::RegionSalvaged,
+                      trace::Category::Core,
+                      static_cast<uint64_t>(entry.tier), entry.base);
     } else {
         // Scrub before recovery: a half-programmed or faulted region
         // must never masquerade as data.
@@ -240,6 +271,9 @@ RestoreRoutine::processRegion(const SalvageDirectoryEntry &entry)
         outcome.quarantined = true;
         ++report_.regionsQuarantined;
         registry.counter("core.regions_quarantined").add();
+        trace::frEmit(trace::FrEvent::RegionQuarantined,
+                      trace::Category::Core,
+                      static_cast<uint64_t>(entry.tier), entry.base);
         inform("restore: region '%s' quarantined (%s)",
                entry.name.c_str(),
                entry.saved ? "checksum mismatch" : "not saved");
@@ -248,6 +282,9 @@ RestoreRoutine::processRegion(const SalvageDirectoryEntry &entry)
             outcome.recovered = true;
             ++report_.regionsRecovered;
             registry.counter("core.regions_recovered").add();
+            trace::frEmit(trace::FrEvent::RegionRecovered,
+                          trace::Category::Core,
+                          static_cast<uint64_t>(entry.tier), entry.base);
         }
     }
     report_.regions.push_back(std::move(outcome));
@@ -303,6 +340,8 @@ RestoreRoutine::stepRestoreContexts()
         machine_.core(i).halted = false;
     }
     report_.contextsRestored = true;
+    trace::frEmit(trace::FrEvent::ContextsRestored,
+                  trace::Category::Core, machine_.coreCount(), 0);
     // The marker must not survive the resume: a crash after this
     // point is a fresh failure, not a replay of this image.
     marker_.clear();
@@ -360,6 +399,9 @@ RestoreRoutine::trySalvageColdBoot(const char *reason)
             return;
         for (const SalvageDirectoryEntry &entry : image.entries)
             processRegion(entry);
+        trace::frEmit(trace::FrEvent::SalvageColdBoot,
+                      trace::Category::Core, report_.regionsSalvaged,
+                      report_.regionsQuarantined);
         record("salvage checksummed regions", start, queue_.now());
 
         // Devices cold-start as on any boot; the back-end hook does
@@ -382,6 +424,8 @@ RestoreRoutine::fallbackColdBoot(const char *reason)
 {
     inform("restore: falling back to cold boot (%s)", reason);
     trace::StatRegistry::instance().counter("core.cold_boots").add();
+    trace::frEmit(trace::FrEvent::FallbackColdBoot,
+                  trace::Category::Core, 0, 0);
     TRACE_INSTANT(Core, "fallback to cold boot");
     const Tick start = queue_.now();
     machine_.resetForBoot();
@@ -406,6 +450,8 @@ RestoreRoutine::finish(bool used_wsp)
 {
     report_.usedWsp = used_wsp;
     report_.finished = queue_.now();
+    trace::frEmit(trace::FrEvent::RestoreDone, trace::Category::Core,
+                  used_wsp ? 1 : 0, report_.salvageMode ? 1 : 0);
     auto &registry = trace::StatRegistry::instance();
     registry.counter("core.restores_completed").add();
     registry.gauge("core.restore.total_ns")

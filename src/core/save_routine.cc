@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "trace/flight_recorder.h"
 #include "trace/stat_registry.h"
 #include "trace/trace.h"
 #include "util/logging.h"
@@ -175,6 +176,16 @@ SaveRoutine::run(uint64_t boot_sequence, bool degraded_hint,
              "dropped",
              saveTierName(tierCut_).c_str(), report_.regionsDropped);
     }
+    // Black box: the save's opening records go in write-ahead, while
+    // the recorder's backing module is still Active and accepting
+    // host writes.
+    trace::frEmit(trace::FrEvent::SaveBegin, trace::Category::Core,
+                  bootSequence_, degraded_ ? 1 : 0);
+    if (degraded_) {
+        trace::frEmit(trace::FrEvent::SaveTierCut, trace::Category::Core,
+                      static_cast<uint64_t>(tierCut_),
+                      report_.regionsDropped);
+    }
     record("interrupt control processor", queue_.now(), queue_.now());
 
     // A degraded save never spends its window on device suspend: the
@@ -285,7 +296,12 @@ SaveRoutine::stepFinishFlush()
         // line of every socket cache.
         for (unsigned socket = 0; socket < machine_.socketCount();
              ++socket) {
-            machine_.socketCache(socket).wbinvd();
+            CacheModel &cache = machine_.socketCache(socket);
+            const uint64_t bytes = cache.dirtyBytes();
+            cache.wbinvd();
+            trace::frEmit(trace::FrEvent::SaveFlushWave,
+                          trace::Category::Machine,
+                          static_cast<uint64_t>(socket) << 32, bytes);
         }
         record("flush caches (all sockets)", start, queue_.now());
         afterFlush();
@@ -316,7 +332,16 @@ SaveRoutine::stepParallelFlush(Tick start)
                 cost, [this, start, socket, w, workers, remaining] {
                     if (!machine_.powerOn())
                         return;
-                    machine_.socketCache(socket).flushPartition(w, workers);
+                    CacheModel &cache = machine_.socketCache(socket);
+                    const uint64_t bytes =
+                        cache.partitionDirtyLines(w, workers) *
+                        CacheModel::kLineSize;
+                    cache.flushPartition(w, workers);
+                    trace::frEmit(trace::FrEvent::SaveFlushWave,
+                                  trace::Category::Machine,
+                                  (static_cast<uint64_t>(socket) << 32) |
+                                      w,
+                                  bytes);
                     char step[64];
                     std::snprintf(step, sizeof(step),
                                   "flush partition socket%u core%u", socket,
@@ -371,6 +396,12 @@ SaveRoutine::stepDegradedFlush()
                 }
             }
         }
+        trace::frEmit(trace::FrEvent::SaveFlushWave,
+                      trace::Category::Machine, 0,
+                      (directory_ != nullptr
+                           ? directory_->regionLines(tierCut_)
+                           : 0) *
+                          CacheModel::kLineSize);
         record("flush tier regions (degraded)", start, queue_.now());
         afterFlush();
     });
@@ -454,6 +485,9 @@ SaveRoutine::stepMarkerStamp()
         if (!machine_.powerOn())
             return;
         marker_.stamp();
+        trace::frEmit(trace::FrEvent::SaveMarkerStamp,
+                      trace::Category::Core, bootSequence_,
+                      static_cast<uint64_t>(tierCut_));
         record("mark image as valid", start, queue_.now());
         if (config_.saveOrder != SaveOrder::MarkerBeforeFlush)
             stepInitiateNvdimmSave();
@@ -472,7 +506,15 @@ SaveRoutine::stepInitiateNvdimmSave()
         if (!machine_.powerOn())
             return;
         // The command rides the I2C bus; the NVDIMMs take it from
-        // here on their own power.
+        // here on their own power. The black-box record goes in
+        // write-ahead: once a module starts saving it stops accepting
+        // host writes, so this is the last record guaranteed to reach
+        // the ring before the machine goes dark.
+        trace::frEmit(trace::FrEvent::SaveNvdimmInitiate,
+                      trace::Category::Nvram,
+                      nvdimms_ != nullptr ? nvdimms_->modules().size()
+                                          : 0,
+                      degraded_ ? 1 : 0);
         monitor_.sendCommand(PowerMonitor::Command::Save);
         record("initiate NVDIMM save", start, queue_.now());
 
@@ -492,6 +534,9 @@ SaveRoutine::stepInitiateNvdimmSave()
                         ++report_.saveCommandRetries;
                         trace::StatRegistry::instance()
                             .counter("core.save_command_retries").add();
+                        trace::frEmit(trace::FrEvent::SaveCommandRetry,
+                                      trace::Category::Nvram,
+                                      report_.saveCommandRetries, 0);
                         monitor_.sendCommand(PowerMonitor::Command::Save);
                         record("retry NVDIMM save command", retry_start,
                                queue_.now());
@@ -509,6 +554,8 @@ SaveRoutine::stepHalt()
 {
     // Step 8: the control processor halts.
     machine_.core(0).halted = true;
+    trace::frEmit(trace::FrEvent::SaveHalt, trace::Category::Core,
+                  machine_.coreCount(), 0);
     record("halt control processor", queue_.now(), queue_.now());
     report_.halted = queue_.now();
     report_.completed = true;

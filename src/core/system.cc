@@ -1,5 +1,6 @@
 #include "core/system.h"
 
+#include "trace/stat_registry.h"
 #include "trace/trace.h"
 #include "util/logging.h"
 
@@ -74,6 +75,13 @@ RestoreReport
 WspSystem::bootFromImage(const NvramImage &image,
                          std::function<void()> backend_recovery)
 {
+    // A replacement chassis starts with fresh chassis-level metrics:
+    // gauges and counters scoped to this machine's lifetime must not
+    // inherit the donor's pre-crash values. DIMM-resident ("nvram.")
+    // statistics travel with the image, and campaign-level
+    // ("crashsim.", "bench.") aggregates outlive any one chassis.
+    trace::StatRegistry::instance().resetPrefixes(
+        {"core.", "power.", "machine.", "devices.", "apps."});
     adoptNvramImage(image);
     bool boot_done = false;
     RestoreReport report;

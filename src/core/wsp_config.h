@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "devices/device_manager.h"
+#include "trace/flight_recorder.h"
 #include "util/units.h"
 
 namespace wsp {
@@ -169,6 +170,19 @@ struct WspConfig
      * NoSilentCorruption checker must catch exactly this.
      */
     bool trustSalvageDirectory = false;
+
+    /**
+     * Black-box flight recorder mode. Nvram gives the full crash-
+     * surviving black box (a reserved ring below the salvage
+     * directory, published with the marker discipline); Volatile
+     * keeps only the DRAM mirror; Off removes even that. The
+     * controller applies the mode process-wide at construction.
+     */
+    trace::FrMode flightRecorder = trace::FrMode::Nvram;
+
+    /** Ring size in 64-byte records (power of two). The default
+     *  64 KiB region costs one flushed line per recorded event. */
+    uint32_t flightRecorderRecords = trace::kFrDefaultRecords;
 };
 
 /** One timed step of the save or restore sequence. */

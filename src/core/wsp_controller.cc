@@ -7,7 +7,8 @@
 namespace wsp {
 
 WspLayout
-WspLayout::topOfMemory(uint64_t capacity, unsigned cores)
+WspLayout::topOfMemory(uint64_t capacity, unsigned cores,
+                       size_t recorder_records)
 {
     const uint64_t line = CacheModel::kLineSize;
     const uint64_t resume_size = ResumeBlock::sizeFor(cores);
@@ -21,6 +22,14 @@ WspLayout::topOfMemory(uint64_t capacity, unsigned cores)
     // the metadata describing what it managed.
     layout.directoryBase =
         (layout.resumeBase - SalvageDirectory::kSize) / line * line;
+    // The flight-recorder ring sits directly below the directory,
+    // header line on top of its slots: under top-down flash
+    // programming the header (the published head) persists before any
+    // slot it vouches for can be lost.
+    layout.recorderHeader =
+        (layout.directoryBase - trace::kFrHeaderBytes) / line * line;
+    layout.recorderBase = layout.recorderHeader -
+                          recorder_records * trace::kFrRecordBytes;
     return layout;
 }
 
@@ -31,21 +40,19 @@ WspController::WspController(EventQueue &queue, MachineModel &machine,
     : SimObject(queue, "wsp-controller"), config_(config),
       machine_(machine), psu_(psu), monitor_(monitor), nvdimms_(nvdimms),
       devices_(devices),
-      marker_(machine.cacheOfCore(0),
-              WspLayout::topOfMemory(machine.memory().capacity(),
-                                     machine.coreCount()).markerBase),
-      resumeBlock_(machine.cacheOfCore(0),
-                   WspLayout::topOfMemory(machine.memory().capacity(),
-                                          machine.coreCount()).resumeBase,
+      layout_(WspLayout::topOfMemory(machine.memory().capacity(),
+                                     machine.coreCount(),
+                                     config_.flightRecorderRecords)),
+      marker_(machine.cacheOfCore(0), layout_.markerBase),
+      resumeBlock_(machine.cacheOfCore(0), layout_.resumeBase,
                    machine.coreCount()),
-      directory_(machine.cacheOfCore(0),
-                 WspLayout::topOfMemory(machine.memory().capacity(),
-                                        machine.coreCount()).directoryBase),
+      directory_(machine.cacheOfCore(0), layout_.directoryBase),
       save_(machine, monitor, marker_, resumeBlock_, devices, config_,
             &nvdimms, &directory_),
       restore_(machine, nvdimms, marker_, resumeBlock_, devices, config_,
                &directory_)
 {
+    attachFlightRecorder();
     monitor_.setPowerFailHandler([this] { onPowerFailInterrupt(); });
     monitor_.setCommandSink(nvdimms_.commandSink());
     if (config_.armNvdimms)
@@ -66,8 +73,12 @@ WspController::WspController(EventQueue &queue, MachineModel &machine,
                 [module] { return module->ultracap().usableEnergy(); },
                 [module] { return module->pendingSaveEnergy(); }});
         }
-        health_->setDegradedHandler(
-            [this](bool degraded) { degraded_ = degraded; });
+        health_->setDegradedHandler([this](bool degraded) {
+            degraded_ = degraded;
+            trace::frEmit(trace::FrEvent::HealthDegrade,
+                          trace::Category::Power, degraded ? 1 : 0,
+                          health_->transitions());
+        });
     }
 
     // The instant regulation ends, everything on host power dies.
@@ -76,6 +87,55 @@ WspController::WspController(EventQueue &queue, MachineModel &machine,
         const Tick end = psu_.regulationEndTick();
         queue_.schedule(end, [this] { onHardPowerLoss(); });
     });
+}
+
+WspController::~WspController()
+{
+    auto &recorder = trace::FlightRecorder::instance();
+    recorder.detach(this);
+    recorder.clearTickSource(this);
+}
+
+void
+WspController::attachFlightRecorder()
+{
+    auto &recorder = trace::FlightRecorder::instance();
+    recorder.setMode(config_.flightRecorder);
+    recorder.setTickSource(this, [this] { return now(); });
+    if (config_.flightRecorder != trace::FrMode::Nvram)
+        return;
+
+    // The recorder lives below the trace layer, so its NVRAM backing
+    // is expressed as closures over the control processor's cache:
+    // one line write plus an immediate flush per published line, the
+    // same write -> flush discipline the valid marker uses. The
+    // writable probe keeps records staged while the backing module is
+    // mid save/restore or the host is dark — host writes are only
+    // legal against an Active, powered module.
+    trace::FlightRecorder::Backing backing;
+    backing.base = layout_.recorderBase;
+    backing.capacityRecords = config_.flightRecorderRecords;
+    backing.writeLine = [this](uint64_t addr,
+                               std::span<const uint8_t> bytes) {
+        CacheModel &cache = machine_.cacheOfCore(0);
+        cache.write(addr, bytes);
+        cache.flushLine(addr);
+    };
+    NvramSpace &memory = machine_.memory();
+    const size_t owning_module = memory.moduleCount() - 1;
+    backing.writable = [this, &memory, owning_module] {
+        const NvdimmModule &module = memory.module(owning_module);
+        // A module that finished its hardware-triggered save while the
+        // host was dark parks in Active with decayed DRAM; it reads as
+        // writable the instant boot() clears powerLostAt_, but the
+        // restore about to stream flash back would erase anything
+        // published into it. restoring_ keeps records staged until the
+        // boot path calls flushStaged() after the restore completes.
+        return module.hostPowered() &&
+               module.state() == NvdimmState::Active &&
+               !powerLostAt_.has_value() && !restoring_;
+    };
+    recorder.attach(this, std::move(backing), bootSequence_);
 }
 
 void
@@ -124,6 +184,10 @@ WspController::start()
         health_->start();
     }
     running_ = true;
+    trace::FlightRecorder::instance().setGeneration(this,
+                                                    bootSequence_);
+    trace::frEmit(trace::FrEvent::BootEpoch, trace::Category::Core,
+                  bootSequence_, 0);
 }
 
 void
@@ -160,11 +224,13 @@ WspController::boot(std::function<void()> backend_recovery,
     nvdimms_.hostPowerRestored();
     powerLostAt_.reset();
     pwrOkDroppedAt_.reset();
+    restoring_ = true;
 
     restore_.run(std::move(backend_recovery),
                  [this, done = std::move(done)](RestoreReport report) {
         lastRestore_ = report;
         running_ = true;
+        restoring_ = false;
         // The new boot's sequence must exceed every epoch any module
         // has seen — including a crashed chassis whose image we
         // adopted — so a save from this boot is never mistaken for
@@ -175,6 +241,18 @@ WspController::boot(std::function<void()> backend_recovery,
             health_->checkNow();
             health_->start();
         }
+        auto &recorder = trace::FlightRecorder::instance();
+        recorder.setGeneration(this, bootSequence_);
+        // A boot that did not stream the image back into DRAM (cold,
+        // fallback, salvage) lost every published ring slot with it;
+        // the header must stop vouching for them.
+        if (!report.usedWsp || report.salvageMode)
+            recorder.restartContiguity(this);
+        trace::frEmit(trace::FrEvent::BootEpoch, trace::Category::Core,
+                      bootSequence_, report.usedWsp ? 1 : 0);
+        // Records staged while the modules were saving or dark drain
+        // into the revived ring now that NVRAM is writable again.
+        recorder.flushStaged();
         if (done)
             done(report);
     });

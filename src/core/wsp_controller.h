@@ -30,18 +30,30 @@
 #include "power/health_monitor.h"
 #include "power/power_monitor.h"
 #include "power/psu.h"
+#include "trace/flight_recorder.h"
 
 namespace wsp {
 
-/** Where the marker, resume block, and salvage directory live. */
+/** Where the marker, resume block, salvage directory, and black-box
+ *  flight recorder live. */
 struct WspLayout
 {
     uint64_t markerBase = 0;
     uint64_t resumeBase = 0;
     uint64_t directoryBase = 0;
+    /** Flight-recorder header line (ring slots sit directly below). */
+    uint64_t recorderHeader = 0;
+    /** Flight-recorder slot 0. */
+    uint64_t recorderBase = 0;
 
-    /** Place the structures at the top of a @p capacity space. */
-    static WspLayout topOfMemory(uint64_t capacity, unsigned cores);
+    /**
+     * Place the structures at the top of a @p capacity space.
+     * @p recorder_records sizes the flight-recorder ring below the
+     * salvage directory; it does not move the other structures.
+     */
+    static WspLayout topOfMemory(uint64_t capacity, unsigned cores,
+                                 size_t recorder_records =
+                                     trace::kFrDefaultRecords);
 };
 
 /** Top-level whole-system persistence orchestrator. */
@@ -52,8 +64,10 @@ class WspController : public SimObject
                   AtxPowerSupply &psu, PowerMonitor &monitor,
                   NvdimmController &nvdimms, DeviceManager *devices,
                   WspConfig config);
+    ~WspController();
 
     const WspConfig &config() const { return config_; }
+    const WspLayout &layout() const { return layout_; }
     ValidMarker &marker() { return marker_; }
     ResumeBlock &resumeBlock() { return resumeBlock_; }
     SaveRoutine &saveRoutine() { return save_; }
@@ -113,6 +127,7 @@ class WspController : public SimObject
   private:
     void onPowerFailInterrupt();
     void onHardPowerLoss();
+    void attachFlightRecorder();
 
     WspConfig config_;
     MachineModel &machine_;
@@ -120,6 +135,7 @@ class WspController : public SimObject
     PowerMonitor &monitor_;
     NvdimmController &nvdimms_;
     DeviceManager *devices_;
+    WspLayout layout_;
 
     ValidMarker marker_;
     ResumeBlock resumeBlock_;
@@ -131,6 +147,12 @@ class WspController : public SimObject
     uint64_t bootSequence_ = 1;
     bool degraded_ = false;
     bool running_ = false;
+    /** True from boot() entry until the restore completes: the ring's
+     *  backing module can report Active with decayed DRAM in this
+     *  window (a hardware-triggered save parks there), and anything
+     *  published into it would be overwritten when the restore streams
+     *  flash back. The flight recorder stages instead. */
+    bool restoring_ = false;
     std::optional<SaveReport> lastSave_;
     std::optional<RestoreReport> lastRestore_;
     std::optional<Tick> powerLostAt_;

@@ -49,6 +49,13 @@ CrashExplorer::configFor(const CrashSchedule &schedule)
     // IncrementalSaveSound checker reads the mismatch counts. Cheap
     // at crashsim module sizes thanks to the COW page comparison.
     config.nvdimm.verifySaves = true;
+    // Black-box recorder: NVRAM-backed so the ring rides the save and
+    // every failing schedule decodes to a timeline. When the schedule
+    // opts out (equivalence sweep), keep a volatile ring — the events
+    // still flow, just never into flash.
+    config.wsp.flightRecorder = schedule.blackBox
+                                    ? trace::FrMode::Nvram
+                                    : trace::FrMode::Volatile;
     if (schedule.salvage && schedule.drainModule >= 0) {
         // A drained bank under the salvage regime also exercises the
         // health monitor: the periodic self-test notices the missing
@@ -159,6 +166,16 @@ CrashExplorer::runSchedule(const CrashSchedule &schedule,
         checker->check(crashed, revived, result.restore, backend_ran,
                        &result.violations);
 
+    // Post-mortem forensics: a failing schedule carries the decoded
+    // black-box timeline from the image that survived the crash.
+    if (!result.held() && schedule.blackBox) {
+        const trace::FrDecodeResult decode = decodeBlackBox(image);
+        result.timeline = trace::frFormatTimeline(decode);
+        if (!decode.headerFound)
+            result.timeline.push_back(
+                "(no flight-recorder header survived the crash)");
+    }
+
     auto &stats = trace::StatRegistry::instance();
     stats.counter("crashsim.points_explored").add();
     if (result.restore.usedWsp)
@@ -258,12 +275,17 @@ CrashExplorer::incrementalEquivalenceSweep(size_t max_points)
     // full-save run too.
     CrashSchedule reference = base_;
     reference.incrementalSave = true;
+    // Recorder content legitimately differs between the two pipelines
+    // (wall-clock stamps, full-vs-delta event arguments), so the ring
+    // must stay out of the compared flash for this sweep.
+    reference.blackBox = false;
     EquivalenceReport report;
     for (Tick window :
          CrashExplorer(reference).enumerateCrashPoints(max_points)) {
         CrashSchedule inc = base_;
         inc.window = window;
         inc.incrementalSave = true;
+        inc.blackBox = false;
         CrashSchedule full = inc;
         full.incrementalSave = false;
 

@@ -49,6 +49,13 @@ struct CrashPointResult
     uint64_t appliedOps = 0; ///< workload ops applied before the crash
     std::vector<std::string> violations;
 
+    /**
+     * Black-box forensics: the flight-recorder timeline decoded from
+     * the surviving NVRAM image, attached to every failing schedule
+     * (empty when the run held, or when schedule.blackBox is off).
+     */
+    std::vector<std::string> timeline;
+
     bool held() const { return violations.empty(); }
 };
 

@@ -47,6 +47,7 @@ CrashSchedule::serialize() const
     out << "trust_directory=" << (trustDirectory ? 1 : 0) << "\n";
     out << "incremental_save=" << (incrementalSave ? 1 : 0) << "\n";
     out << "lazy_restore=" << (lazyRestore ? 1 : 0) << "\n";
+    out << "black_box=" << (blackBox ? 1 : 0) << "\n";
     return out.str();
 }
 
@@ -121,6 +122,8 @@ CrashSchedule::parse(const std::string &text)
                 schedule.incrementalSave = value == "1";
             else if (key == "lazy_restore")
                 schedule.lazyRestore = value == "1";
+            else if (key == "black_box")
+                schedule.blackBox = value == "1";
             else
                 return std::nullopt; // unknown key: refuse to guess
         } catch (const std::exception &) {
@@ -198,6 +201,8 @@ CrashSchedule::summary() const
         text += " full-saves-only";
     if (lazyRestore)
         text += " lazy-restore";
+    if (!blackBox)
+        text += " no-black-box";
     return text;
 }
 

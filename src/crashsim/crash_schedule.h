@@ -110,6 +110,15 @@ struct CrashSchedule
     /** Boot restores map the flash image lazily instead of streaming. */
     bool lazyRestore = false;
 
+    /**
+     * NVRAM-backed black-box flight recorder during the run. On by
+     * default so every failing schedule carries a decodable forensic
+     * timeline; the incremental-equivalence sweep turns it off because
+     * recorder content (wall-clock stamps, full-vs-delta event args)
+     * legitimately differs between otherwise equivalent images.
+     */
+    bool blackBox = true;
+
     /** Replay-file serialization (text, one key=value per line). */
     std::string serialize() const;
 

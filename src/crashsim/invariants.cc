@@ -590,6 +590,88 @@ IncrementalSaveSoundChecker::check(WspSystem &crashed, WspSystem &revived,
         report("revived", i, revived.memory().module(i).saveMismatches());
 }
 
+trace::FrByteReader
+imageByteReader(const NvramImage &image)
+{
+    return [&image](uint64_t addr, std::span<uint8_t> out) -> bool {
+        uint64_t base = 0;
+        for (size_t i = 0; i < image.moduleCount(); ++i) {
+            const NvramImage::ModuleImage &module = image.module(i);
+            const uint64_t capacity = module.flash.capacity();
+            if (addr >= base + capacity) {
+                base += capacity;
+                continue;
+            }
+            const uint64_t local = addr - base;
+            if (local + out.size() > capacity)
+                return false; // straddles a module boundary
+            // Only the programmed suffix carries this save's bytes;
+            // anything below it is residue of an older image the
+            // metadata does not claim.
+            const uint64_t claimed_from =
+                capacity - std::min(capacity, module.savedBytes);
+            if (local < claimed_from)
+                return false;
+            module.flash.read(local, out);
+            return true;
+        }
+        return false;
+    };
+}
+
+trace::FrDecodeResult
+decodeBlackBox(const NvramImage &image)
+{
+    uint64_t top = 0;
+    for (size_t i = 0; i < image.moduleCount(); ++i)
+        top += image.module(i).flash.capacity();
+    const trace::FrByteReader read = imageByteReader(image);
+    // The recorder header sits just below the salvage directory at
+    // the top of memory; 2 MiB of scan comfortably covers the control
+    // structures above it without assuming the exact layout.
+    const auto header = trace::frFindHeader(read, top, 2 * kMiB);
+    if (!header) {
+        trace::FrDecodeResult result;
+        result.notes.push_back(
+            "no flight-recorder header in the surviving image");
+        return result;
+    }
+    return trace::frDecode(read, *header);
+}
+
+void
+BlackBoxSoundChecker::prepare(WspSystem &system,
+                              const CrashSchedule &schedule)
+{
+    (void)system;
+    schedule_ = schedule;
+}
+
+void
+BlackBoxSoundChecker::check(WspSystem &crashed, WspSystem &revived,
+                            const RestoreReport &restore,
+                            bool backend_ran,
+                            std::vector<std::string> *violations)
+{
+    (void)revived;
+    (void)restore;
+    (void)backend_ran;
+    if (!schedule_.blackBox)
+        return;
+    const NvramImage image = crashed.captureNvramImage();
+    const trace::FrDecodeResult decode = decodeBlackBox(image);
+    if (!decode.sound()) {
+        addViolation(violations,
+                     "black-box-sound: %zu torn slot(s) inside the "
+                     "published window (head %llu, tail %llu): %s",
+                     decode.tornSlots,
+                     static_cast<unsigned long long>(decode.headSeq),
+                     static_cast<unsigned long long>(decode.tailSeq),
+                     decode.notes.empty() ? "(no detail)"
+                                          : decode.notes.front().c_str());
+    }
+}
+
 std::vector<std::unique_ptr<InvariantChecker>>
 standardCheckers()
 {
@@ -600,6 +682,7 @@ standardCheckers()
     checkers.push_back(std::make_unique<SalvageSoundChecker>());
     checkers.push_back(std::make_unique<NoSilentCorruptionChecker>());
     checkers.push_back(std::make_unique<IncrementalSaveSoundChecker>());
+    checkers.push_back(std::make_unique<BlackBoxSoundChecker>());
     return checkers;
 }
 

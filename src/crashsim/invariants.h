@@ -37,6 +37,8 @@
 
 #include "core/system.h"
 #include "crashsim/crash_schedule.h"
+#include "nvram/nvram_image.h"
+#include "trace/flight_recorder.h"
 
 namespace wsp::crashsim {
 
@@ -223,6 +225,43 @@ class IncrementalSaveSoundChecker : public InvariantChecker
     void check(WspSystem &crashed, WspSystem &revived,
                const RestoreReport &restore, bool backend_ran,
                std::vector<std::string> *violations) override;
+};
+
+/**
+ * Byte reader over a captured image: addresses span the concatenated
+ * module flashes, and reads are refused outside each module's
+ * programmed suffix [capacity - savedBytes, capacity) — bytes below
+ * the suffix are residue of an older save the image does not claim.
+ * The closure borrows @p image; it must outlive the reader.
+ */
+trace::FrByteReader imageByteReader(const NvramImage &image);
+
+/**
+ * Locate (magic scan down from the top of the concatenated space) and
+ * decode the black-box flight-recorder ring surviving in @p image.
+ * headerFound stays false when no recorder header survived.
+ */
+trace::FrDecodeResult decodeBlackBox(const NvramImage &image);
+
+/**
+ * Black-box soundness: the NVRAM ring a crash leaves behind must obey
+ * the publish discipline — every record the header vouches for
+ * decodes intact, with at most the single in-flight tail slot torn.
+ * A torn slot strictly inside the published window means a record was
+ * claimed published before its line reached NVRAM, the exact analogue
+ * of a marker stamped before the flush.
+ */
+class BlackBoxSoundChecker : public InvariantChecker
+{
+  public:
+    const char *name() const override { return "black-box-sound"; }
+    void prepare(WspSystem &system, const CrashSchedule &schedule) override;
+    void check(WspSystem &crashed, WspSystem &revived,
+               const RestoreReport &restore, bool backend_ran,
+               std::vector<std::string> *violations) override;
+
+  private:
+    CrashSchedule schedule_;
 };
 
 /** The standard checker set for system-level sweeps. */

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "trace/flight_recorder.h"
 #include "trace/stat_registry.h"
 #include "trace/trace.h"
 #include "util/logging.h"
@@ -135,6 +136,8 @@ DeviceManager::suspendWave(unsigned wave, Tick started,
     auto remaining = std::make_shared<size_t>(members.size());
     auto shared_done =
         std::make_shared<std::function<void(Tick)>>(std::move(done));
+    trace::frEmit(trace::FrEvent::DeviceSuspendWave,
+                  trace::Category::Devices, wave, members.size());
     for (Device *device : members) {
         traceDeviceEdge(device->name(), "suspend", trace::Phase::Begin);
         device->suspend([this, device, wave, started, later, remaining,

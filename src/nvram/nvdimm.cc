@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "trace/flight_recorder.h"
 #include "trace/stat_registry.h"
 #include "trace/trace.h"
 #include "util/logging.h"
@@ -12,6 +13,22 @@
 namespace wsp {
 
 namespace {
+
+/** Trailing ordinal of a module name ("nvdimm3" -> 3). */
+uint64_t
+moduleOrdinal(const std::string &name)
+{
+    uint64_t value = 0;
+    uint64_t scale = 1;
+    for (size_t i = name.size(); i > 0; --i) {
+        const char c = name[i - 1];
+        if (c < '0' || c > '9')
+            break;
+        value += static_cast<uint64_t>(c - '0') * scale;
+        scale *= 10;
+    }
+    return value;
+}
 
 /** Emit a per-module span edge ("nvdimm0 save" B/E) on its track. */
 void
@@ -242,6 +259,8 @@ NvdimmModule::injectFlashFault(MediaFaultKind kind, uint64_t addr)
     // falls back to full.
     flashTainted_ = true;
     trace::StatRegistry::instance().counter("nvram.media_faults").add();
+    trace::frEmit(trace::FrEvent::MediaFault, trace::Category::Nvram,
+                  moduleOrdinal(name()), addr);
     warn("%s: injected %s flash fault at 0x%llx (silent)",
          name().c_str(), mediaFaultKindName(kind).c_str(),
          static_cast<unsigned long long>(addr));
@@ -322,6 +341,12 @@ NvdimmModule::startSave()
         .set(static_cast<double>(dram_.dirtyPageCount()));
     registry.gauge("nvram.pending_save_bytes")
         .set(static_cast<double>(savePendingBytes_));
+    // The module is Saving now, so this record stages in the recorder
+    // until the ring's backing module is writable again — exactly the
+    // black-box semantics wanted: the epoch choice survives the crash
+    // via the staged drain on the next boot.
+    trace::frEmit(trace::FrEvent::NvdimmSaveStart, trace::Category::Nvram,
+                  saveIncremental_ ? 1 : 0, savePendingBytes_);
     traceModuleEdge(name(), "save", trace::Phase::Begin);
     debugLog("%s: %s save started, %llu bytes, duration %s, "
              "energy %.1f J",
@@ -454,6 +479,8 @@ NvdimmModule::finishSave()
     registry.counter("nvram.bytes_saved").add(saveProgrammedBytes_);
     if (saveIncremental_)
         registry.counter("nvram.incremental_saves").add();
+    trace::frEmit(trace::FrEvent::NvdimmSaveDone, trace::Category::Nvram,
+                  saveProgrammedBytes_, saveIncremental_ ? 1 : 0);
     traceModuleEdge(name(), "save", trace::Phase::End);
     debugLog("%s: %s save completed at %s (%llu bytes programmed)",
              name().c_str(), saveIncremental_ ? "incremental" : "full",
@@ -492,6 +519,8 @@ NvdimmModule::failSave(const char *reason)
     flashValid_ = false;
     state_ = NvdimmState::SaveFailed;
     trace::StatRegistry::instance().counter("nvram.save_failures").add();
+    trace::frEmit(trace::FrEvent::NvdimmSaveFailed,
+                  trace::Category::Nvram, saveProgrammedBytes_, 0);
     traceModuleEdge(name(), "save", trace::Phase::End);
     TRACE_INSTANT(Nvram, "NVDIMM save failed");
     if (!hostPower_)
@@ -535,8 +564,12 @@ NvdimmModule::finishRestore()
     auto &registry = trace::StatRegistry::instance();
     registry.counter("nvram.restores_completed").add();
     registry.counter("nvram.bytes_restored").add(config_.capacityBytes);
-    if (config_.lazyRestore)
+    if (config_.lazyRestore) {
         registry.counter("nvram.lazy_restores").add();
+        trace::frEmit(trace::FrEvent::LazyPageIn, trace::Category::Nvram,
+                      moduleOrdinal(name()),
+                      config_.capacityBytes / SparseMemory::kPageSize);
+    }
     traceModuleEdge(name(), "restore", trace::Phase::End);
     debugLog("%s: restore completed at %s", name().c_str(),
              formatTime(now()).c_str());

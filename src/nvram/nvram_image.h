@@ -14,6 +14,8 @@
 
 #pragma once
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "nvram/nvram_space.h"
@@ -49,6 +51,16 @@ class NvramImage
 
     /** True when every captured module holds a valid flash image. */
     bool allValid() const;
+
+    /**
+     * Serialize to a portable binary file ("WSPIMG1" container: per
+     * module the valid/generation/epoch/savedBytes metadata plus only
+     * the non-zero flash pages). @return false on I/O failure.
+     */
+    bool writeFile(const std::string &path) const;
+
+    /** Load an image previously written by writeFile(). */
+    static std::optional<NvramImage> readFile(const std::string &path);
 
   private:
     std::vector<ModuleImage> modules_;

@@ -6,13 +6,15 @@
  * smoke checker parse it back to prove the output is well-formed
  * without adding a third-party dependency. Supports the full JSON
  * grammar the exporters produce: objects, arrays, strings with
- * escapes, numbers, booleans, null. Header-only, test/tool support —
- * not a general-purpose parser (no \u surrogate pairs, doubles only).
+ * escapes, numbers, booleans, null, \uXXXX escapes (including
+ * surrogate pairs, decoded to UTF-8). Header-only, test/tool support —
+ * not a general-purpose parser (doubles only).
  */
 
 #pragma once
 
 #include <cctype>
+#include <cstdint>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -143,17 +145,26 @@ class Parser
               case 'r': out->push_back('\r'); break;
               case 't': out->push_back('\t'); break;
               case 'u': {
-                if (pos_ + 4 > text_.size())
+                uint32_t code = 0;
+                if (!readHex4(&code))
                     return false;
-                const std::string hex = text_.substr(pos_, 4);
-                pos_ += 4;
-                char *end = nullptr;
-                const long code = std::strtol(hex.c_str(), &end, 16);
-                if (end != hex.c_str() + 4)
-                    return false;
-                // Exporters only escape control characters, which fit
-                // one byte.
-                out->push_back(static_cast<char>(code & 0xff));
+                if (code >= 0xd800 && code <= 0xdbff) {
+                    // High surrogate: must pair with an escaped low
+                    // surrogate; combine into one code point.
+                    if (pos_ + 6 > text_.size() ||
+                        text_[pos_] != '\\' || text_[pos_ + 1] != 'u')
+                        return false;
+                    pos_ += 2;
+                    uint32_t low = 0;
+                    if (!readHex4(&low) || low < 0xdc00 ||
+                        low > 0xdfff)
+                        return false;
+                    code = 0x10000 + ((code - 0xd800) << 10) +
+                           (low - 0xdc00);
+                } else if (code >= 0xdc00 && code <= 0xdfff) {
+                    return false; // lone low surrogate
+                }
+                appendUtf8(out, code);
                 break;
               }
               default:
@@ -161,6 +172,54 @@ class Parser
             }
         }
         return false;
+    }
+
+    /** Four hex digits of a \uXXXX escape. */
+    bool
+    readHex4(uint32_t *code)
+    {
+        if (pos_ + 4 > text_.size())
+            return false;
+        uint32_t value = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_ + static_cast<size_t>(i)];
+            value <<= 4;
+            if (c >= '0' && c <= '9')
+                value |= static_cast<uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                value |= static_cast<uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                value |= static_cast<uint32_t>(c - 'A' + 10);
+            else
+                return false;
+        }
+        pos_ += 4;
+        *code = value;
+        return true;
+    }
+
+    /** Append one Unicode code point as UTF-8. */
+    static void
+    appendUtf8(std::string *out, uint32_t code)
+    {
+        if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        } else if (code < 0x10000) {
+            out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out->push_back(
+                static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        } else {
+            out->push_back(static_cast<char>(0xf0 | (code >> 18)));
+            out->push_back(
+                static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
+            out->push_back(
+                static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        }
     }
 
     bool

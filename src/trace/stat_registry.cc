@@ -82,4 +82,25 @@ StatRegistry::resetForTest()
         gauge->set(0.0);
 }
 
+void
+StatRegistry::resetPrefixes(const std::vector<std::string> &prefixes)
+{
+    const auto matches = [&prefixes](const std::string &name) {
+        for (const std::string &prefix : prefixes) {
+            if (name.rfind(prefix, 0) == 0)
+                return true;
+        }
+        return false;
+    };
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, counter] : counters_) {
+        if (matches(name))
+            counter->reset();
+    }
+    for (auto &[name, gauge] : gauges_) {
+        if (matches(name))
+            gauge->set(0.0);
+    }
+}
+
 } // namespace wsp::trace

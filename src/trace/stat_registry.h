@@ -89,6 +89,16 @@ class StatRegistry
      */
     void resetForTest();
 
+    /**
+     * Zero counters and gauges whose names start with one of
+     * @p prefixes, keeping registrations. WspSystem::bootFromImage
+     * uses this to clear chassis-level metrics on a replacement
+     * chassis, so post-crash numbers do not inherit pre-crash values;
+     * DIMM-resident ("nvram.") and campaign-level ("crashsim.")
+     * statistics deliberately survive.
+     */
+    void resetPrefixes(const std::vector<std::string> &prefixes);
+
   private:
     StatRegistry() = default;
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "trace/stat_registry.h"
 #include "util/logging.h"
 
 namespace wsp::trace {
@@ -92,7 +93,14 @@ TraceManager::instance()
     return manager;
 }
 
-TraceManager::TraceManager() : ring_(kDefaultCapacity) {}
+TraceManager::TraceManager() : ring_(kDefaultCapacity)
+{
+    // Surface ring overwrites without adding hot-path cost: the
+    // exporter polls this probe at snapshot time.
+    StatRegistry::instance().registerProbe("trace.dropped", [this] {
+        return static_cast<double>(dropped());
+    });
+}
 
 void
 TraceManager::enable(uint32_t mask)
@@ -202,6 +210,13 @@ TraceManager::store(Category category, Phase phase, const char *name,
                     uint64_t sim_tick, bool has_sim_tick, double value)
 {
     const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+    if (seq == static_cast<uint64_t>(ring_.size()) &&
+        !overflowWarned_.exchange(true, std::memory_order_relaxed)) {
+        warn("trace ring full after %zu records: oldest records are "
+             "being overwritten (raise WSP_TRACE_CAPACITY; drops are "
+             "counted in the trace.dropped stat)",
+             ring_.size());
+    }
     Record &slot = ring_[seq % ring_.size()];
     slot.simTick = sim_tick;
     slot.wallNs = wallNowNs();

@@ -176,6 +176,7 @@ class TraceManager
 
     std::vector<Record> ring_;
     std::atomic<uint64_t> next_{0};
+    std::atomic<bool> overflowWarned_{false};
     std::function<uint64_t()> tickSource_;
     const void *tickOwner_ = nullptr;
 };

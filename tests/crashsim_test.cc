@@ -393,6 +393,81 @@ TEST(BrokenMarkerOrder, IsCaughtMinimizedAndReplayable)
     std::remove(path.c_str());
 }
 
+// Black-box flight recorder forensics ---------------------------------
+
+TEST(BlackBox, EnumeratedSweepNeverTearsTheRecorder)
+{
+    // Every distinguishable crash instant captures an image with the
+    // NVRAM-backed recorder enabled; the BlackBoxSound checker (last
+    // in the standard set) asserts no published slot decodes torn, no
+    // matter where inside the recorder's own publication sequence the
+    // power died.
+    CrashSchedule base = fastSchedule();
+    base.blackBox = true; // explicit: this sweep is about the recorder
+    CrashExplorer explorer(base);
+    const SweepReport report = explorer.sweepEnumerated(false, 120);
+    EXPECT_TRUE(report.allHeld())
+        << report.failures.size() << " failing points; first: "
+        << (report.failures.empty()
+                ? ""
+                : report.failures.front().schedule.summary() + " - " +
+                      report.failures.front().violations.front());
+    EXPECT_GT(report.points, 20u);
+}
+
+TEST(BlackBox, TimelineAttachedToEveryFailingSchedule)
+{
+    // When a schedule fails, the explorer must decode the surviving
+    // ring and attach the post-mortem timeline — the black box is for
+    // exactly this moment.
+    CrashSchedule base = fastSchedule();
+    base.saveOrder = SaveOrder::MarkerBeforeFlush;
+    CrashExplorer explorer(base);
+    const SweepReport report = explorer.sweepEnumerated(false, 120);
+    ASSERT_FALSE(report.allHeld())
+        << "marker-before-flush survived the sweep";
+    for (const CrashPointResult &failure : report.failures) {
+        EXPECT_FALSE(failure.timeline.empty())
+            << "no timeline on " << failure.schedule.summary();
+    }
+    // Held points carry no timeline (decode work is failure-only).
+    const CrashPointResult held =
+        CrashExplorer::runSchedule(fastSchedule());
+    ASSERT_TRUE(held.held());
+    EXPECT_TRUE(held.timeline.empty());
+}
+
+TEST(BlackBox, ChassisSwapResetsVolatileStatsKeepsNvramStats)
+{
+    // bootFromImage models moving the DIMMs into a replacement
+    // chassis: host-side counters ("core.", "machine.", ...) must not
+    // inherit the donor's pre-crash values, while DIMM-resident
+    // ("nvram.") statistics travel with the image.
+    CrashSchedule schedule = fastSchedule();
+    schedule.window = fromMillis(200.0); // save completes
+    auto &registry = trace::StatRegistry::instance();
+    auto &saves_started = registry.counter("core.saves_started");
+    auto &nvram_saves = registry.counter("nvram.saves_completed");
+
+    WspSystem donor(CrashExplorer::configFor(schedule));
+    donor.start();
+    donor.runFor(fromMillis(1.0));
+    donor.psu().failInputAt(donor.queue().now());
+    donor.runFor(fromMillis(300.0));
+    EXPECT_GT(saves_started.value(), 0u);
+    const uint64_t nvram_saves_before = nvram_saves.value();
+    EXPECT_GT(nvram_saves_before, 0u);
+    const NvramImage image = donor.captureNvramImage();
+
+    WspSystem revived(CrashExplorer::configFor(schedule));
+    const RestoreReport restore = revived.bootFromImage(image);
+    EXPECT_TRUE(restore.usedWsp);
+    // The boot reset the chassis-local counter (and booting does not
+    // start a save), while the DIMM-resident one survived untouched.
+    EXPECT_EQ(saves_started.value(), 0u);
+    EXPECT_EQ(nvram_saves.value(), nvram_saves_before);
+}
+
 // Pheap discipline sweeps ---------------------------------------------
 
 class PheapDisciplineSweep

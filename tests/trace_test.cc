@@ -390,6 +390,80 @@ TEST_F(TraceTest, JsonQuoteEscapesControlCharacters)
     EXPECT_EQ(value.string.size(), 2u);
 }
 
+TEST_F(TraceTest, JsonQuoteRoundTripsUtf8)
+{
+    // Multi-byte UTF-8 passes through jsonQuote verbatim (raw UTF-8
+    // is valid JSON) and the parser must hand back identical bytes:
+    // 2-byte (é), 3-byte (✓), and 4-byte (🔥) sequences.
+    const std::string text = "caf\xc3\xa9 \xe2\x9c\x93 \xf0\x9f\x94\xa5";
+    json::Value value;
+    ASSERT_TRUE(json::parse(jsonQuote(text), &value));
+    EXPECT_EQ(value.type, json::Value::Type::String);
+    EXPECT_EQ(value.string, text);
+}
+
+TEST_F(TraceTest, JsonUnicodeEscapesDecodeToUtf8)
+{
+    // \uXXXX escapes decode to UTF-8 bytes, including an astral-plane
+    // surrogate pair (U+1F525).
+    json::Value value;
+    ASSERT_TRUE(json::parse("\"\\u00e9 \\u2713 \\ud83d\\udd25\"",
+                            &value));
+    EXPECT_EQ(value.string,
+              "\xc3\xa9 \xe2\x9c\x93 \xf0\x9f\x94\xa5");
+
+    // Malformed escapes must be rejected, not silently mangled.
+    EXPECT_FALSE(json::parse("\"\\ud83d\"", &value));  // lone high
+    EXPECT_FALSE(json::parse("\"\\udd25\"", &value));  // lone low
+    EXPECT_FALSE(json::parse("\"\\ud83d\\u0041\"", &value));
+    EXPECT_FALSE(json::parse("\"\\uZZZZ\"", &value));
+}
+
+TEST_F(TraceTest, Utf8RecordNamesSurviveChromeExport)
+{
+    // A record name carrying multi-byte UTF-8 must round-trip through
+    // the Chrome-trace exporter and the bundled parser — the same
+    // path tools/trace_check validates in the trace_smoke ctest.
+    auto &manager = TraceManager::instance();
+    manager.enableAll();
+    const char *name = "r\xc3\xa9gion \xe2\x9c\x93";
+    instant(Category::Core, name);
+
+    json::Value doc;
+    ASSERT_TRUE(json::parse(chromeTraceJson(), &doc));
+    const json::Value *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    bool found = false;
+    for (const auto &event : events->array) {
+        const json::Value *event_name = event.find("name");
+        if (event_name != nullptr && event_name->string == name)
+            found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(TraceTest, DroppedRecordsExportedToStatRegistry)
+{
+    // Satellite: the volatile ring's overflow count is a first-class
+    // stat — the probe registered by TraceManager must report the
+    // live dropped() value through StatRegistry snapshots.
+    auto &manager = TraceManager::instance();
+    manager.setCapacity(4);
+    manager.enableAll();
+    for (int i = 0; i < 10; ++i)
+        instant(Category::Core, "spill");
+    EXPECT_EQ(manager.dropped(), 6u);
+
+    bool found = false;
+    for (const auto &sample : StatRegistry::instance().snapshot()) {
+        if (sample.name == "trace.dropped") {
+            found = true;
+            EXPECT_DOUBLE_EQ(sample.value, 6.0);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
 // Satellite coverage: stats helpers used by the benches --------------
 
 TEST_F(TraceTest, HistogramPercentile)

@@ -37,7 +37,17 @@ struct Run
     double wallSeconds = 0.0;
     std::string seed;
     size_t counters = 0;
+    std::string counterValue; ///< --counter=NAME extract ("-" absent)
 };
+
+/** Counter values are integral u64s; avoid the %g round-trip. */
+std::string
+formatCounter(double value)
+{
+    if (value == static_cast<double>(static_cast<long long>(value)))
+        return std::to_string(static_cast<long long>(value));
+    return wsp::formatDouble(value, 3);
+}
 
 std::string
 stringField(const Value &record, const char *key)
@@ -49,7 +59,8 @@ stringField(const Value &record, const char *key)
 }
 
 bool
-collectFile(const fs::path &path, std::vector<Run> *runs)
+collectFile(const fs::path &path, const std::string &counter_name,
+            std::vector<Run> *runs)
 {
     std::ifstream in(path);
     if (!in) {
@@ -85,8 +96,20 @@ collectFile(const fs::path &path, std::vector<Run> *runs)
             size_t end = line.find_first_of(",}", pos + 7);
             run.seed = line.substr(pos + 7, end - (pos + 7));
         }
-        if (const Value *counters = record.find("counters"))
+        if (const Value *counters = record.find("counters")) {
             run.counters = counters->object.size();
+            if (!counter_name.empty()) {
+                const Value *value =
+                    counters->find(counter_name.c_str());
+                run.counterValue =
+                    value != nullptr &&
+                            value->type == Value::Type::Number
+                        ? formatCounter(value->number)
+                        : std::string("-");
+            }
+        } else if (!counter_name.empty()) {
+            run.counterValue = "-";
+        }
         runs->push_back(std::move(run));
     }
     return ok;
@@ -97,12 +120,23 @@ collectFile(const fs::path &path, std::vector<Run> *runs)
 int
 main(int argc, char **argv)
 {
-    const std::string dir = argc > 1 ? argv[1] : ".";
-    if (argc > 1 && (dir == "--help" || dir == "-h")) {
-        std::printf("usage: bench_summary [dir]\n"
-                    "collates BENCH_*.json records (written by benches "
-                    "run with --metrics-out=) into one table\n");
-        return 0;
+    std::string dir = ".";
+    std::string counter_name;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: bench_summary [dir] [--counter=NAME]\n"
+                "collates BENCH_*.json records (written by benches "
+                "run with --metrics-out=) into one table;\n"
+                "--counter adds a column tracking that counter's "
+                "value across the runs\n");
+            return 0;
+        }
+        if (arg.rfind("--counter=", 0) == 0)
+            counter_name = arg.substr(10);
+        else
+            dir = arg;
     }
 
     std::vector<fs::path> files;
@@ -129,7 +163,7 @@ main(int argc, char **argv)
     std::vector<Run> runs;
     bool ok = true;
     for (const fs::path &path : files)
-        ok = collectFile(path, &runs) && ok;
+        ok = collectFile(path, counter_name, &runs) && ok;
 
     // Trajectory order: per bench, oldest first (the UTC stamps are
     // ISO-8601, so lexicographic is chronological).
@@ -140,12 +174,19 @@ main(int argc, char **argv)
 
     wsp::Table table("Bench trajectory (" + std::to_string(runs.size()) +
                      " runs)");
-    table.setHeader(
-        {"bench", "utc", "host", "wall (s)", "seed", "counters"});
+    std::vector<std::string> header = {"bench",    "utc",  "host",
+                                       "wall (s)", "seed", "counters"};
+    if (!counter_name.empty())
+        header.push_back(counter_name);
+    table.setHeader(header);
     for (const Run &run : runs) {
-        table.addRow({run.bench, run.utc, run.host,
-                      wsp::formatDouble(run.wallSeconds, 3), run.seed,
-                      std::to_string(run.counters)});
+        std::vector<std::string> row = {
+            run.bench, run.utc, run.host,
+            wsp::formatDouble(run.wallSeconds, 3), run.seed,
+            std::to_string(run.counters)};
+        if (!counter_name.empty())
+            row.push_back(run.counterValue);
+        table.addRow(row);
     }
     table.print();
     return ok ? 0 : 1;

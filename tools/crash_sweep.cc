@@ -36,6 +36,11 @@ usage()
         "  --pheap             also sweep the pheap disciplines\n"
         "  --pheap-txns=N      transactions per pheap sweep (default 6)\n"
         "  --replay-out=PATH   write the minimized failing schedule\n"
+        "  --image-out=PATH    write the surviving NVRAM image of the\n"
+        "                      first failing schedule (or of the base\n"
+        "                      schedule when everything held); the\n"
+        "                      file is decodable by tools/wsp_inspect\n"
+        "  --no-black-box      disable the NVRAM flight recorder\n"
         "  --salvage           register KV salvage regions + recovery\n"
         "  --media-faults=N    inject N silent flash faults per run\n"
         "  --media-fault-seed=N  seed of the fault placement\n"
@@ -75,6 +80,7 @@ main(int argc, char **argv)
     bool stop_on_first = false;
     bool equivalence = false;
     std::string replay_out;
+    std::string image_out;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -100,6 +106,10 @@ main(int argc, char **argv)
             }
         } else if (arg.rfind("--replay-out=", 0) == 0) {
             replay_out = arg.substr(13);
+        } else if (arg.rfind("--image-out=", 0) == 0) {
+            image_out = arg.substr(12);
+        } else if (arg == "--no-black-box") {
+            base.blackBox = false;
         } else if (arg == "--salvage") {
             base.salvage = true;
         } else if (arg.rfind("--media-faults=", 0) == 0) {
@@ -176,6 +186,11 @@ main(int argc, char **argv)
         std::printf("  FAIL %s\n", failure.schedule.summary().c_str());
         for (const std::string &violation : failure.violations)
             std::printf("       %s\n", violation.c_str());
+        if (!failure.timeline.empty()) {
+            std::printf("       black-box timeline:\n");
+            for (const std::string &line : failure.timeline)
+                std::printf("         %s\n", line.c_str());
+        }
     }
     violated |= !sweep.allHeld();
 
@@ -189,6 +204,11 @@ main(int argc, char **argv)
         for (CrashPointResult &failure : fuzzed.failures) {
             std::printf("  FAIL %s\n",
                         failure.schedule.summary().c_str());
+            if (!failure.timeline.empty()) {
+                std::printf("       black-box timeline:\n");
+                for (const std::string &line : failure.timeline)
+                    std::printf("         %s\n", line.c_str());
+            }
             sweep.failures.push_back(std::move(failure));
         }
         violated |= !fuzzed.allHeld();
@@ -223,6 +243,23 @@ main(int argc, char **argv)
                 std::printf("  FAIL %s\n", violation.c_str());
             violated |= !report.allHeld();
         }
+    }
+
+    if (!image_out.empty()) {
+        // Deterministic re-run of the most interesting schedule, with
+        // the surviving image lifted out for offline forensics.
+        CrashSchedule to_capture =
+            sweep.failures.empty() ? base
+                                   : sweep.failures.front().schedule;
+        wsp::NvramImage image;
+        CrashExplorer::runSchedule(to_capture, &image);
+        if (!image.writeFile(image_out)) {
+            std::fprintf(stderr, "cannot write image to '%s'\n",
+                         image_out.c_str());
+            return 1;
+        }
+        std::printf("nvram image: %s\n  %s\n", image_out.c_str(),
+                    to_capture.summary().c_str());
     }
 
     if (!violated) {
