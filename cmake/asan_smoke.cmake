@@ -3,12 +3,14 @@
 #   cmake -DSOURCE_DIR=<repo> -DOUT_DIR=<dir> -P asan_smoke.cmake
 #
 # Configures a sub-build of the tree with -DWSP_SANITIZE=address (the
-# existing sanitizer hook), builds only the salvage test binary, and
-# runs the fault-tolerant flush-on-fail suites under ASan: the salvage
-# paths shuffle raw NVRAM spans (scrubbing, CRC passes, directory
-# decode of possibly-torn bytes), which is exactly where an
-# out-of-bounds read would hide. The sub-build directory persists
-# across runs, so re-runs are incremental.
+# existing sanitizer hook), builds the salvage and sim-property test
+# binaries, and runs their suites under ASan. The salvage paths
+# shuffle raw NVRAM spans (scrubbing, CRC passes, directory decode of
+# possibly-torn bytes), which is exactly where an out-of-bounds read
+# would hide; the sim-property battery hammers the event engine's
+# slab/arena recycling and the SmallFn relocate/destroy paths, where a
+# lifetime bug would hide. The sub-build directory persists across
+# runs, so re-runs are incremental.
 
 if(NOT SOURCE_DIR OR NOT OUT_DIR)
     message(FATAL_ERROR "asan_smoke: SOURCE_DIR and OUT_DIR are required")
@@ -29,7 +31,8 @@ if(NOT configure_rc EQUAL 0)
 endif()
 
 execute_process(
-    COMMAND ${CMAKE_COMMAND} --build ${OUT_DIR} --target test_salvage
+    COMMAND ${CMAKE_COMMAND} --build ${OUT_DIR}
+        --target test_salvage test_sim_property
     RESULT_VARIABLE build_rc
     OUTPUT_VARIABLE build_out
     ERROR_VARIABLE build_out
@@ -54,4 +57,15 @@ if(NOT run_rc EQUAL 0)
     message(FATAL_ERROR
         "asan_smoke: ASan run failed (rc=${run_rc}):\n${run_out}")
 endif()
-message(STATUS "asan_smoke: salvage suites clean under ASan")
+
+execute_process(
+    COMMAND ${OUT_DIR}/tests/test_sim_property
+    RESULT_VARIABLE sim_rc
+    OUTPUT_VARIABLE sim_out
+    ERROR_VARIABLE sim_out
+)
+if(NOT sim_rc EQUAL 0)
+    message(FATAL_ERROR
+        "asan_smoke: sim-property ASan run failed (rc=${sim_rc}):\n${sim_out}")
+endif()
+message(STATUS "asan_smoke: salvage + sim-property suites clean under ASan")

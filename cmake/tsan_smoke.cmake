@@ -43,7 +43,7 @@ endif()
 set(ENV{TSAN_OPTIONS} "halt_on_error=1")
 execute_process(
     COMMAND ${OUT_DIR}/tests/test_concurrency
-        --gtest_filter=ThreadPool.*:ShardedEquivalence.*:Determinism.*
+        --gtest_filter=ThreadPool.*:ShardedEquivalence.*:Determinism.*:KvBatch.*
     RESULT_VARIABLE run_rc
     OUTPUT_VARIABLE run_out
     ERROR_VARIABLE run_out

@@ -1,5 +1,6 @@
 #include "apps/kv_service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <mutex>
 
@@ -36,13 +37,14 @@ runWorkerOps(Store &store, const KvServiceConfig &config, unsigned worker)
     Rng rng = Rng(config.seed).stream(worker);
     const uint64_t lo = 1 + worker * config.keysPerWorker;
     WorkerStats stats;
-    // Black-box batch marker: one record per kBatchOps completed ops,
-    // stamped with the shard of the batch's final key (sharded store
-    // only). Emission is mutex-serialized inside the recorder, so
-    // real-thread workers are safe; the granularity keeps the
-    // recorder off the per-op fast path.
+    // Ops are generated into a batch and applied through the store's
+    // batched path: one stripe-lock acquisition and one size-header
+    // round trip per shard per batch instead of per op. kBatchOps is
+    // also the black-box marker cadence — one KvBatch record per
+    // applied batch, stamped with the shard of the batch's final key
+    // (sharded store only). Emission is mutex-serialized inside the
+    // recorder, so real-thread workers are safe.
     constexpr uint64_t kBatchOps = 1024;
-    uint64_t batchOps = 0;
     const auto emitBatch = [&](uint64_t key, uint64_t ops) {
         uint64_t shard = 0;
         if constexpr (requires { store.shardOf(key); })
@@ -50,33 +52,35 @@ runWorkerOps(Store &store, const KvServiceConfig &config, unsigned worker)
         trace::frEmit(trace::FrEvent::KvBatch, trace::Category::Apps,
                       (shard << 32) | worker, ops);
     };
-    uint64_t last_key = lo;
-    for (uint64_t i = 0; i < config.opsPerThread; ++i) {
-        const uint64_t key = lo + rng.next(config.keysPerWorker);
-        const double draw = rng.uniform();
-        if (draw < config.putProbability) {
-            const uint64_t value = rng() | 1;
-            WSP_CHECK(store.put(key, value));
-            ++stats.puts;
-        } else if (draw <
-                   config.putProbability + config.eraseProbability) {
-            store.erase(key);
-            ++stats.erases;
-        } else {
-            uint64_t value = 0;
-            if (store.get(key, &value))
-                ++stats.getHits;
-            ++stats.gets;
+    std::vector<KvOp> batch;
+    batch.reserve(kBatchOps);
+    uint64_t remaining = config.opsPerThread;
+    while (remaining > 0) {
+        const uint64_t take = std::min(remaining, kBatchOps);
+        batch.clear();
+        for (uint64_t i = 0; i < take; ++i) {
+            const uint64_t key = lo + rng.next(config.keysPerWorker);
+            const double draw = rng.uniform();
+            if (draw < config.putProbability) {
+                batch.push_back(KvOp::put(key, rng() | 1));
+            } else if (draw <
+                       config.putProbability + config.eraseProbability) {
+                batch.push_back(KvOp::erase(key));
+            } else {
+                batch.push_back(KvOp::get(key));
+            }
         }
-        ++stats.ops;
-        last_key = key;
-        if (++batchOps == kBatchOps) {
-            emitBatch(key, batchOps);
-            batchOps = 0;
-        }
+        const KvBatchResult applied = store.applyBatch(batch);
+        WSP_CHECKF(applied.putsRejected == 0,
+                   "KvService store rejected a put (full)");
+        stats.ops += applied.ops();
+        stats.puts += applied.puts;
+        stats.gets += applied.gets;
+        stats.getHits += applied.getHits;
+        stats.erases += applied.erases;
+        emitBatch(batch.back().key, take);
+        remaining -= take;
     }
-    if (batchOps > 0)
-        emitBatch(last_key, batchOps);
     return stats;
 }
 

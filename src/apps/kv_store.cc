@@ -73,10 +73,11 @@ KvStore::probeStart(uint64_t key) const
 }
 
 bool
-KvStore::put(uint64_t key, uint64_t value)
+KvStore::putSlot(uint64_t key, uint64_t value, bool *inserted)
 {
     WSP_CHECKF(key != 0 && key != kTombstone,
                "KvStore keys 0 and ~0 are reserved");
+    *inserted = false;
     uint64_t first_tombstone = capacity_;
     for (uint64_t step = 0; step < capacity_; ++step) {
         const uint64_t index = (probeStart(key) + step) & (capacity_ - 1);
@@ -95,17 +96,28 @@ KvStore::put(uint64_t key, uint64_t value)
                 first_tombstone != capacity_ ? first_tombstone : index;
             cache_.writeU64(slotAddr(target), key);
             cache_.writeU64(slotAddr(target) + 8, value);
-            setSize(size() + 1);
+            *inserted = true;
             return true;
         }
     }
     if (first_tombstone != capacity_) {
         cache_.writeU64(slotAddr(first_tombstone), key);
         cache_.writeU64(slotAddr(first_tombstone) + 8, value);
-        setSize(size() + 1);
+        *inserted = true;
         return true;
     }
     return false; // full
+}
+
+bool
+KvStore::put(uint64_t key, uint64_t value)
+{
+    bool inserted = false;
+    if (!putSlot(key, value, &inserted))
+        return false;
+    if (inserted)
+        setSize(size() + 1);
+    return true;
 }
 
 bool
@@ -126,7 +138,7 @@ KvStore::get(uint64_t key, uint64_t *value_out) const
 }
 
 bool
-KvStore::erase(uint64_t key)
+KvStore::eraseSlot(uint64_t key)
 {
     for (uint64_t step = 0; step < capacity_; ++step) {
         const uint64_t index = (probeStart(key) + step) & (capacity_ - 1);
@@ -134,13 +146,64 @@ KvStore::erase(uint64_t key)
         if (slot_key == key) {
             cache_.writeU64(slotAddr(index), kTombstone);
             cache_.writeU64(slotAddr(index) + 8, 0);
-            setSize(size() - 1);
             return true;
         }
         if (slot_key == 0)
             return false;
     }
     return false;
+}
+
+bool
+KvStore::erase(uint64_t key)
+{
+    if (!eraseSlot(key))
+        return false;
+    setSize(size() - 1);
+    return true;
+}
+
+KvBatchResult
+KvStore::applyBatch(std::span<const KvOp> ops)
+{
+    KvBatchResult result;
+    int64_t delta = 0;
+    for (const KvOp &op : ops) {
+        switch (op.kind) {
+          case KvOp::Kind::Put: {
+            bool inserted = false;
+            if (putSlot(op.key, op.value, &inserted)) {
+                ++result.puts;
+                delta += inserted ? 1 : 0;
+            } else {
+                ++result.putsRejected;
+            }
+            break;
+          }
+          case KvOp::Kind::Get: {
+            uint64_t value = 0;
+            ++result.gets;
+            if (get(op.key, &value)) {
+                ++result.getHits;
+                result.getValueSum += value;
+            }
+            break;
+          }
+          case KvOp::Kind::Erase: {
+            ++result.erases;
+            if (eraseSlot(op.key)) {
+                ++result.erasesHit;
+                --delta;
+            }
+            break;
+          }
+        }
+    }
+    // One header round trip for the whole batch; per-op accounting
+    // through the cache model is the cost this amortizes.
+    if (delta != 0)
+        setSize(size() + static_cast<uint64_t>(delta));
+    return result;
 }
 
 void
@@ -256,6 +319,48 @@ ShardedKvStore::erase(uint64_t key)
     const unsigned shard = shardOf(key);
     std::lock_guard<std::mutex> guard(locks_[shard]);
     return shards_[shard].erase(key);
+}
+
+KvBatchResult
+ShardedKvStore::applyBatch(std::span<const KvOp> ops)
+{
+    KvBatchResult result;
+    if (ops.empty())
+        return result;
+    const size_t shard_count = shards_.size();
+    if (shard_count == 1) {
+        std::lock_guard<std::mutex> guard(locks_[0]);
+        return shards_[0].applyBatch(ops);
+    }
+
+    // Stable counting sort into shard runs: per-key order survives
+    // (a key's ops all map to one shard, in batch order), and each
+    // run is contiguous so the shard applies it as one KvStore batch.
+    std::vector<uint32_t> shard_of(ops.size());
+    std::vector<uint32_t> counts(shard_count, 0);
+    for (size_t i = 0; i < ops.size(); ++i) {
+        shard_of[i] = shardOf(ops[i].key);
+        ++counts[shard_of[i]];
+    }
+    std::vector<uint32_t> offsets(shard_count, 0);
+    uint32_t cursor = 0;
+    for (size_t s = 0; s < shard_count; ++s) {
+        offsets[s] = cursor;
+        cursor += counts[s];
+    }
+    std::vector<KvOp> grouped(ops.size());
+    std::vector<uint32_t> fill = offsets;
+    for (size_t i = 0; i < ops.size(); ++i)
+        grouped[fill[shard_of[i]]++] = ops[i];
+
+    for (size_t s = 0; s < shard_count; ++s) {
+        if (counts[s] == 0)
+            continue;
+        std::lock_guard<std::mutex> guard(locks_[s]);
+        result.merge(shards_[s].applyBatch(
+            std::span<const KvOp>(grouped.data() + offsets[s], counts[s])));
+    }
+    return result;
 }
 
 uint64_t

@@ -25,6 +25,53 @@
 
 namespace wsp::apps {
 
+/** One operation in a KV batch. */
+struct KvOp
+{
+    enum class Kind : uint8_t { Put, Get, Erase };
+
+    Kind kind = Kind::Get;
+    uint64_t key = 0;
+    uint64_t value = 0; ///< Put payload; ignored otherwise
+
+    static KvOp put(uint64_t key, uint64_t value)
+    {
+        return KvOp{Kind::Put, key, value};
+    }
+    static KvOp get(uint64_t key) { return KvOp{Kind::Get, key, 0}; }
+    static KvOp erase(uint64_t key) { return KvOp{Kind::Erase, key, 0}; }
+};
+
+/**
+ * Merged outcome counters of an applied batch. Every field is a sum
+ * over per-op outcomes, so results are order-independent and a
+ * sharded application (grouped by shard) merges to exactly the
+ * counters of the same ops applied one by one.
+ */
+struct KvBatchResult
+{
+    uint64_t puts = 0;         ///< puts that landed
+    uint64_t putsRejected = 0; ///< puts refused (store full)
+    uint64_t gets = 0;
+    uint64_t getHits = 0;
+    uint64_t getValueSum = 0;  ///< sum of hit values (verification)
+    uint64_t erases = 0;
+    uint64_t erasesHit = 0;    ///< erases that removed a key
+
+    void merge(const KvBatchResult &other)
+    {
+        puts += other.puts;
+        putsRejected += other.putsRejected;
+        gets += other.gets;
+        getHits += other.getHits;
+        getValueSum += other.getValueSum;
+        erases += other.erases;
+        erasesHit += other.erasesHit;
+    }
+
+    uint64_t ops() const { return puts + putsRejected + gets + erases; }
+};
+
 /** Fixed-capacity open-addressing hash store in simulated NVRAM. */
 class KvStore
 {
@@ -60,6 +107,15 @@ class KvStore
     /** Remove @p key; false when absent. */
     bool erase(uint64_t key);
 
+    /**
+     * Apply @p ops in order with the live-count header maintained
+     * once per batch instead of once per mutation: the header
+     * read-modify-write is a full cache-model round trip, so batching
+     * amortizes the per-op accounting the serving tier pays.
+     * Externally equivalent to the per-op calls in the same order.
+     */
+    KvBatchResult applyBatch(std::span<const KvOp> ops);
+
     /** Sum of all values (full scan); for state verification. */
     uint64_t checksum() const;
 
@@ -79,6 +135,13 @@ class KvStore
 
     uint64_t probeStart(uint64_t key) const;
     void setSize(uint64_t size);
+
+    /** Put against the slot array only; header untouched.
+     *  @return false when full; *inserted set when a new key landed. */
+    bool putSlot(uint64_t key, uint64_t value, bool *inserted);
+
+    /** Erase against the slot array only; true when a key was removed. */
+    bool eraseSlot(uint64_t key);
 
     KvStore(CacheModel &cache, uint64_t base, uint64_t capacity,
             std::nullptr_t);
@@ -152,6 +215,18 @@ class ShardedKvStore
 
     /** Remove @p key; false when absent. */
     bool erase(uint64_t key);
+
+    /**
+     * Apply @p ops grouped by shard: one stable counting pass sorts
+     * the batch into shard runs, then each involved shard is locked
+     * once and applies its run as a KvStore batch. Per-key op order
+     * is preserved (a key's ops all land in its shard, in batch
+     * order), so the merged counters and final state are exactly
+     * those of the same ops applied one by one — while the serving
+     * tier pays one lock acquisition and one size-header update per
+     * shard per batch instead of per op.
+     */
+    KvBatchResult applyBatch(std::span<const KvOp> ops);
 
     /** Total live keys across shards. */
     uint64_t size() const;

@@ -1,69 +1,34 @@
 #include "sim/event_queue.h"
 
-#include <algorithm>
-
 #include "util/logging.h"
 
 namespace wsp {
 
-EventId
-EventQueue::schedule(Tick when, std::function<void()> fn)
-{
-    WSP_CHECK(fn != nullptr);
-    if (when < now_)
-        when = now_;
-    const EventId id = nextId_++;
-    queue_.push(Entry{when, nextSeq_++, id, std::move(fn)});
-    live_.insert(id);
-    return id;
-}
-
-EventId
-EventQueue::scheduleAfter(Tick delay, std::function<void()> fn)
-{
-    WSP_CHECK(delay <= kTickNever - now_);
-    return schedule(now_ + delay, std::move(fn));
-}
-
-bool
-EventQueue::cancel(EventId id)
-{
-    if (live_.erase(id) == 0)
-        return false;
-    // Lazy deletion: remember the id and drop the entry at pop time.
-    cancelled_.insert(id);
-    return true;
-}
-
 void
-EventQueue::purgeCancelledTop()
+EventQueue::dispatchTop()
 {
-    while (!queue_.empty() && cancelled_.count(queue_.top().id)) {
-        cancelled_.erase(queue_.top().id);
-        queue_.pop();
-    }
-}
-
-void
-EventQueue::dispatch(Entry &entry)
-{
-    WSP_CHECK(entry.when >= now_);
-    now_ = entry.when;
-    live_.erase(entry.id);
+    const uint32_t slot = heap_.front().slot();
+    const Tick when = heap_.front().when;
+    WSP_CHECK(when >= now_);
+    // Move the callback out and retire the slot before firing: the
+    // callback is free to schedule (possibly reusing this slot under a
+    // fresh generation) or cancel anything it likes.
+    EventFn fn = std::move(slots_[slot]);
+    popTop();
+    heapIndex_[slot] = kNotQueued;
+    slots_.release(slot);
+    now_ = when;
     if (dispatchObserver_)
-        dispatchObserver_(entry.when);
-    entry.fn();
+        dispatchObserver_(when);
+    fn();
 }
 
 bool
 EventQueue::step()
 {
-    purgeCancelledTop();
-    if (queue_.empty())
+    if (heap_.empty())
         return false;
-    Entry entry = queue_.top();
-    queue_.pop();
-    dispatch(entry);
+    dispatchTop();
     return true;
 }
 
@@ -79,19 +44,37 @@ Tick
 EventQueue::runUntil(Tick when)
 {
     WSP_CHECK(when >= now_);
-    while (!stopRequested_) {
-        // Drop cancelled entries first so we never dispatch an event
-        // beyond the target just because a cancelled one preceded it.
-        purgeCancelledTop();
-        if (queue_.empty() || queue_.top().when > when)
-            break;
-        Entry entry = queue_.top();
-        queue_.pop();
-        dispatch(entry);
+    // A callback may stop the drain (leaving now() at its own tick)
+    // or schedule new events at or before the target, which must fire
+    // in this drain; events exactly at the target tick are included.
+    while (!stopRequested_ && !heap_.empty() && heap_.front().when <= when) {
+        dispatchTop();
     }
     if (!stopRequested_)
         now_ = when;
     return now_;
+}
+
+void
+EventQueue::checkConsistency() const
+{
+    for (uint32_t pos = 0; pos < heap_.size(); ++pos) {
+        const HeapEntry &entry = heap_[pos];
+        const uint32_t slot = entry.slot();
+        WSP_CHECKF(slot < slots_.capacity(),
+                   "heap names slot %u beyond the slab", slot);
+        WSP_CHECKF(heapIndex_[slot] == pos,
+                   "slot %u heapIndex %u disagrees with position %u",
+                   slot, heapIndex_[slot], pos);
+        if (pos > 0) {
+            const HeapEntry &parent = heap_[(pos - 1) / kArity];
+            WSP_CHECKF(!firesBefore(entry, parent),
+                       "heap order violated at position %u", pos);
+        }
+    }
+    WSP_CHECKF(slots_.liveCount() == heap_.size(),
+               "%zu live slots but %zu queued events",
+               slots_.liveCount(), heap_.size());
 }
 
 } // namespace wsp

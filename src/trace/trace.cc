@@ -93,7 +93,8 @@ TraceManager::instance()
     return manager;
 }
 
-TraceManager::TraceManager() : ring_(kDefaultCapacity)
+TraceManager::TraceManager()
+    : ring_(kDefaultCapacity, util::ArenaAllocator<Record>(&ringArena_))
 {
     // Surface ring overwrites without adding hot-path cost: the
     // exporter polls this probe at snapshot time.
@@ -160,7 +161,14 @@ void
 TraceManager::setCapacity(size_t records)
 {
     WSP_CHECK(records >= 1);
-    ring_.assign(records, Record{});
+    // Drop the old ring first, then recycle the arena's chunks: the
+    // fresh ring bump-allocates straight back into the same memory
+    // (ArenaAllocator::deallocate is a no-op, so reset() is how the
+    // arena reclaims).
+    ring_.clear();
+    ring_.shrink_to_fit();
+    ringArena_.reset();
+    ring_.resize(records);
     next_.store(0, std::memory_order_relaxed);
 }
 

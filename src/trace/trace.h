@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "util/arena.h"
+
 namespace wsp::trace {
 
 /** Trace categories, one per subsystem. */
@@ -174,7 +176,12 @@ class TraceManager
     void store(Category category, Phase phase, const char *name,
                uint64_t sim_tick, bool has_sim_tick, double value);
 
-    std::vector<Record> ring_;
+    /// The ring lives in a dedicated arena: records are fixed-size
+    /// slabs recycled in place on wrap, and setCapacity() resets the
+    /// arena so resizes reuse the same chunks instead of churning the
+    /// general-purpose heap alongside the hot emitters.
+    util::Arena ringArena_;
+    std::vector<Record, util::ArenaAllocator<Record>> ring_;
     std::atomic<uint64_t> next_{0};
     std::atomic<bool> overflowWarned_{false};
     std::function<uint64_t()> tickSource_;

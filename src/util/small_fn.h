@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callback for the event engine.
+ *
+ * std::function<void()> spills any capture beyond two words to the
+ * general-purpose heap, which puts a malloc/free pair on the hot path
+ * of every scheduled event whose closure carries more than a `this`
+ * pointer. SmallFn widens the inline buffer so the closures the
+ * simulation actually schedules (an object pointer plus a few
+ * arguments) stay in place inside the event slot, and drops the
+ * copyability std::function insists on — events are moved into the
+ * queue and fired once, so move-only is the honest contract.
+ *
+ * Callables larger than the buffer (or with stronger alignment than
+ * max_align_t) still work via a heap fallback; the EventQueue's slab
+ * keeps that rare by sizing its slots for the common captures.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace wsp::util {
+
+/** Move-only void() callable with @p InlineBytes of in-place space. */
+template <size_t InlineBytes = 48>
+class SmallFn
+{
+  public:
+    SmallFn() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    SmallFn(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            new (storage_.buffer) Fn(std::forward<F>(fn));
+            ops_ = inlineOps<Fn>();
+        } else {
+            storage_.heap = new Fn(std::forward<F>(fn));
+            ops_ = heapOps<Fn>();
+        }
+    }
+
+    SmallFn(SmallFn &&other) noexcept { moveFrom(other); }
+
+    SmallFn &operator=(SmallFn &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    SmallFn(const SmallFn &) = delete;
+    SmallFn &operator=(const SmallFn &) = delete;
+
+    ~SmallFn() { destroy(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    void operator()() { ops_->invoke(target()); }
+
+    /** True when the callable lives in the inline buffer. */
+    bool isInline() const { return ops_ != nullptr && ops_->isInline; }
+
+    /** Compile-time: would @p Fn avoid the heap fallback? */
+    template <typename Fn>
+    static constexpr bool fitsInline()
+    {
+        return sizeof(Fn) <= InlineBytes &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *target);
+        /** Move-construct into @p to and destroy @p from (inline only;
+         *  nullptr when a raw byte copy relocates the callable). */
+        void (*relocate)(void *from, void *to);
+        /** nullptr when the callable is trivially destructible. */
+        void (*destroy)(void *target);
+        bool isInline;
+    };
+
+    void *target()
+    {
+        return ops_->isInline ? static_cast<void *>(storage_.buffer)
+                              : storage_.heap;
+    }
+
+    void moveFrom(SmallFn &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_ == nullptr)
+            return;
+        if (!ops_->isInline)
+            storage_.heap = other.storage_.heap;
+        else if (ops_->relocate == nullptr)
+            // Trivially relocatable (the overwhelmingly common case for
+            // sim closures): one fixed-size copy, no indirect call.
+            std::memcpy(storage_.buffer, other.storage_.buffer,
+                        InlineBytes);
+        else
+            ops_->relocate(other.storage_.buffer, storage_.buffer);
+        other.ops_ = nullptr;
+    }
+
+    void destroy()
+    {
+        if (ops_ != nullptr) {
+            if (ops_->destroy != nullptr)
+                ops_->destroy(target());
+            ops_ = nullptr;
+        }
+    }
+
+    template <typename Fn>
+    static const Ops *inlineOps()
+    {
+        static constexpr Ops ops = {
+            [](void *target) { (*static_cast<Fn *>(target))(); },
+            std::is_trivially_copyable_v<Fn>
+                ? nullptr
+                : +[](void *from, void *to) {
+                      Fn *source = static_cast<Fn *>(from);
+                      new (to) Fn(std::move(*source));
+                      source->~Fn();
+                  },
+            std::is_trivially_destructible_v<Fn>
+                ? nullptr
+                : +[](void *target) { static_cast<Fn *>(target)->~Fn(); },
+            true,
+        };
+        return &ops;
+    }
+
+    template <typename Fn>
+    static const Ops *heapOps()
+    {
+        static constexpr Ops ops = {
+            [](void *target) { (*static_cast<Fn *>(target))(); },
+            nullptr, // heap callables relocate by pointer swap
+            [](void *target) { delete static_cast<Fn *>(target); },
+            false,
+        };
+        return &ops;
+    }
+
+    union Storage
+    {
+        alignas(std::max_align_t) unsigned char buffer[InlineBytes];
+        void *heap;
+    };
+
+    Storage storage_;
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace wsp::util

@@ -93,6 +93,139 @@ TEST(ShardedKvStore, ChecksumMatchesSingleStoreOverSamePairs)
     EXPECT_EQ(sharded.checksum(), single.checksum());
 }
 
+// Batched application ---------------------------------------------------
+
+/** Random op mix over a small key range so puts, hits, misses, erases
+ *  and capacity rejections all occur. */
+std::vector<apps::KvOp>
+randomOps(uint64_t seed, size_t count, uint64_t key_range)
+{
+    Rng rng(seed);
+    std::vector<apps::KvOp> ops;
+    ops.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        const uint64_t key = rng.next(key_range) + 1;
+        switch (rng.next(4)) {
+        case 0:
+        case 1:
+            ops.push_back(apps::KvOp::put(key, rng() | 1));
+            break;
+        case 2:
+            ops.push_back(apps::KvOp::get(key));
+            break;
+        default:
+            ops.push_back(apps::KvOp::erase(key));
+            break;
+        }
+    }
+    return ops;
+}
+
+/** Apply @p ops one by one through the scalar API, accumulating the
+ *  counters applyBatch promises to match. */
+template <typename Store>
+apps::KvBatchResult
+applyPerOp(Store &store, const std::vector<apps::KvOp> &ops)
+{
+    apps::KvBatchResult result;
+    for (const apps::KvOp &op : ops) {
+        switch (op.kind) {
+        case apps::KvOp::Kind::Put:
+            if (store.put(op.key, op.value))
+                ++result.puts;
+            else
+                ++result.putsRejected;
+            break;
+        case apps::KvOp::Kind::Get: {
+            ++result.gets;
+            uint64_t value = 0;
+            if (store.get(op.key, &value)) {
+                ++result.getHits;
+                result.getValueSum += value;
+            }
+            break;
+        }
+        case apps::KvOp::Kind::Erase:
+            ++result.erases;
+            if (store.erase(op.key))
+                ++result.erasesHit;
+            break;
+        }
+    }
+    return result;
+}
+
+void
+expectSameResult(const apps::KvBatchResult &batched,
+                 const apps::KvBatchResult &scalar)
+{
+    EXPECT_EQ(batched.puts, scalar.puts);
+    EXPECT_EQ(batched.putsRejected, scalar.putsRejected);
+    EXPECT_EQ(batched.gets, scalar.gets);
+    EXPECT_EQ(batched.getHits, scalar.getHits);
+    EXPECT_EQ(batched.getValueSum, scalar.getValueSum);
+    EXPECT_EQ(batched.erases, scalar.erases);
+    EXPECT_EQ(batched.erasesHit, scalar.erasesHit);
+    EXPECT_EQ(batched.ops(), scalar.ops());
+}
+
+TEST(KvBatch, ApplyBatchMatchesPerOpSequence)
+{
+    apps::ShardEnvironment batch_env("batch-single", 4 * kMiB);
+    apps::ShardEnvironment scalar_env("scalar-single", 4 * kMiB);
+    // Tight capacity so the mix drives the store full and a slice of
+    // the puts take the rejection path.
+    KvStore batched(batch_env.cache, 0, 64);
+    KvStore scalar(scalar_env.cache, 0, 64);
+
+    const std::vector<apps::KvOp> ops = randomOps(11, 2000, 150);
+    const apps::KvBatchResult batch_result = batched.applyBatch(ops);
+    const apps::KvBatchResult scalar_result = applyPerOp(scalar, ops);
+
+    expectSameResult(batch_result, scalar_result);
+    EXPECT_GT(batch_result.putsRejected, 0u);
+    EXPECT_EQ(batched.size(), scalar.size());
+    EXPECT_EQ(batched.checksum(), scalar.checksum());
+}
+
+TEST(KvBatch, ShardedApplyBatchMatchesPerOpSequence)
+{
+    apps::ShardEnvironment batch_env("batch-sharded", 4 * kMiB);
+    apps::ShardEnvironment scalar_env("scalar-sharded", 4 * kMiB);
+    std::vector<CacheModel *> batch_caches(4, &batch_env.cache);
+    std::vector<CacheModel *> scalar_caches(4, &scalar_env.cache);
+    ShardedKvStore batched(
+        std::span<CacheModel *const>(batch_caches), 0, 32);
+    ShardedKvStore scalar(
+        std::span<CacheModel *const>(scalar_caches), 0, 32);
+
+    const std::vector<apps::KvOp> ops = randomOps(23, 4000, 300);
+    const apps::KvBatchResult batch_result = batched.applyBatch(ops);
+    const apps::KvBatchResult scalar_result = applyPerOp(scalar, ops);
+
+    // The sharded batch groups ops by shard before applying; the
+    // counters are order-independent sums, so they must merge back to
+    // exactly the sequential outcome — and so must the store state.
+    expectSameResult(batch_result, scalar_result);
+    EXPECT_GT(batch_result.putsRejected, 0u);
+    EXPECT_EQ(batched.size(), scalar.size());
+    EXPECT_EQ(batched.checksum(), scalar.checksum());
+    EXPECT_EQ(batched.shardSizes(), scalar.shardSizes());
+}
+
+TEST(KvBatch, EmptyBatchIsANoOp)
+{
+    apps::ShardEnvironment environment("batch-empty", 4 * kMiB);
+    KvStore store(environment.cache, 0, 64);
+    ASSERT_TRUE(store.put(1, 5));
+    const uint64_t checksum = store.checksum();
+    const apps::KvBatchResult result =
+        store.applyBatch(std::span<const apps::KvOp>{});
+    EXPECT_EQ(result.ops(), 0u);
+    EXPECT_EQ(store.checksum(), checksum);
+    EXPECT_EQ(store.size(), 1u);
+}
+
 TEST(ShardedKvStore, AttachRejectsGarbageAndMismatchedShards)
 {
     apps::ShardEnvironment environment("attach-reject", 4 * kMiB);

@@ -178,6 +178,110 @@ TEST(EventQueue, EventsScheduledDuringRunAreDispatched)
     EXPECT_EQ(queue.now(), 40u);
 }
 
+TEST(EventQueue, StopMidRunUntilLeavesNowAtLastDispatch)
+{
+    EventQueue queue;
+    std::vector<Tick> fired;
+    queue.schedule(10, [&] { fired.push_back(10); });
+    queue.schedule(20, [&] {
+        fired.push_back(20);
+        queue.requestStop();
+    });
+    queue.schedule(30, [&] { fired.push_back(30); });
+    queue.runUntil(100);
+    // The drain halts at the stopping event; time must not jump to
+    // the target, and the later event must still be pending.
+    EXPECT_EQ(fired, (std::vector<Tick>{10, 20}));
+    EXPECT_EQ(queue.now(), 20u);
+    EXPECT_EQ(queue.pending(), 1u);
+    queue.clearStop();
+    queue.runUntil(100);
+    EXPECT_EQ(fired, (std::vector<Tick>{10, 20, 30}));
+    EXPECT_EQ(queue.now(), 100u);
+}
+
+TEST(EventQueue, RunUntilIncludesEventScheduledAtTargetMidDrain)
+{
+    EventQueue queue;
+    std::vector<Tick> fired;
+    queue.schedule(50, [&] {
+        fired.push_back(50);
+        // Scheduled during the drain, exactly at the target tick:
+        // must fire in this same runUntil call.
+        queue.schedule(100, [&] { fired.push_back(100); });
+    });
+    queue.runUntil(100);
+    EXPECT_EQ(fired, (std::vector<Tick>{50, 100}));
+    EXPECT_EQ(queue.now(), 100u);
+    EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(EventQueue, CallbackMayCancelTheAboutToFireTop)
+{
+    EventQueue queue;
+    std::vector<int> fired;
+    EventId second = kEventNone;
+    // Two events at the same tick: the first cancels the second,
+    // which is at that point the next entry to dispatch.
+    queue.schedule(10, [&] {
+        fired.push_back(1);
+        EXPECT_TRUE(queue.cancel(second));
+    });
+    second = queue.schedule(10, [&] { fired.push_back(2); });
+    queue.schedule(20, [&] { fired.push_back(3); });
+    queue.run();
+    EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+    EXPECT_EQ(queue.now(), 20u);
+}
+
+TEST(EventQueue, StaleHandleCannotCancelRecycledSlot)
+{
+    EventQueue queue;
+    bool survivor_fired = false;
+    const EventId first = queue.schedule(5, [] {});
+    queue.run(); // fires and frees the slot
+    // The next schedule reuses the slot under a fresh generation; the
+    // stale handle must not be able to reach it.
+    queue.schedule(10, [&] { survivor_fired = true; });
+    EXPECT_FALSE(queue.cancel(first));
+    EXPECT_EQ(queue.pending(), 1u);
+    queue.run();
+    EXPECT_TRUE(survivor_fired);
+}
+
+TEST(EventQueue, CancelledHandleStaysStaleAfterSlotReuse)
+{
+    EventQueue queue;
+    bool survivor_fired = false;
+    const EventId first = queue.schedule(5, [] {});
+    EXPECT_TRUE(queue.cancel(first));
+    queue.schedule(10, [&] { survivor_fired = true; });
+    EXPECT_FALSE(queue.cancel(first));
+    queue.run();
+    EXPECT_TRUE(survivor_fired);
+}
+
+TEST(EventQueue, ObserverSeesEveryDispatchBoundaryAcrossRunModes)
+{
+    EventQueue queue;
+    std::vector<Tick> observed, fired;
+    queue.setDispatchObserver([&](Tick t) { observed.push_back(t); });
+    queue.schedule(10, [&] { fired.push_back(queue.now()); });
+    queue.schedule(10, [&] { fired.push_back(queue.now()); });
+    queue.schedule(25, [&] { fired.push_back(queue.now()); });
+    queue.step();
+    queue.runUntil(10);
+    queue.run();
+    // One observation per dispatch, at the dispatch tick, with now()
+    // already advanced when the callback runs.
+    EXPECT_EQ(observed, (std::vector<Tick>{10, 10, 25}));
+    EXPECT_EQ(fired, observed);
+    queue.setDispatchObserver(nullptr);
+    queue.schedule(30, [] {});
+    queue.run();
+    EXPECT_EQ(observed.size(), 3u); // uninstalled: no further calls
+}
+
 // Signal --------------------------------------------------------------
 
 TEST(Signal, ObserverSeesOldAndNew)

@@ -9,7 +9,8 @@
  * reads as a trajectory: is the wall time drifting, did the seed
  * change, which counters moved.
  *
- * Usage: bench_summary [dir]   (default: current directory)
+ * Usage: bench_summary [dir] [--counter=NAME[,NAME...]]
+ * (default dir: current directory; each named counter gets a column)
  */
 
 #include <algorithm>
@@ -37,7 +38,8 @@ struct Run
     double wallSeconds = 0.0;
     std::string seed;
     size_t counters = 0;
-    std::string counterValue; ///< --counter=NAME extract ("-" absent)
+    /// --counter=A,B extracts, one per requested name ("-" absent).
+    std::vector<std::string> counterValues;
 };
 
 /** Counter values are integral u64s; avoid the %g round-trip. */
@@ -59,7 +61,8 @@ stringField(const Value &record, const char *key)
 }
 
 bool
-collectFile(const fs::path &path, const std::string &counter_name,
+collectFile(const fs::path &path,
+            const std::vector<std::string> &counter_names,
             std::vector<Run> *runs)
 {
     std::ifstream in(path);
@@ -96,19 +99,17 @@ collectFile(const fs::path &path, const std::string &counter_name,
             size_t end = line.find_first_of(",}", pos + 7);
             run.seed = line.substr(pos + 7, end - (pos + 7));
         }
-        if (const Value *counters = record.find("counters")) {
+        const Value *counters = record.find("counters");
+        if (counters != nullptr)
             run.counters = counters->object.size();
-            if (!counter_name.empty()) {
-                const Value *value =
-                    counters->find(counter_name.c_str());
-                run.counterValue =
-                    value != nullptr &&
-                            value->type == Value::Type::Number
-                        ? formatCounter(value->number)
-                        : std::string("-");
-            }
-        } else if (!counter_name.empty()) {
-            run.counterValue = "-";
+        for (const std::string &name : counter_names) {
+            const Value *value =
+                counters != nullptr ? counters->find(name.c_str())
+                                    : nullptr;
+            run.counterValues.push_back(
+                value != nullptr && value->type == Value::Type::Number
+                    ? formatCounter(value->number)
+                    : std::string("-"));
         }
         runs->push_back(std::move(run));
     }
@@ -121,22 +122,37 @@ int
 main(int argc, char **argv)
 {
     std::string dir = ".";
-    std::string counter_name;
+    std::vector<std::string> counter_names;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
             std::printf(
-                "usage: bench_summary [dir] [--counter=NAME]\n"
+                "usage: bench_summary [dir] [--counter=NAME[,NAME...]]\n"
                 "collates BENCH_*.json records (written by benches "
                 "run with --metrics-out=) into one table;\n"
-                "--counter adds a column tracking that counter's "
-                "value across the runs\n");
+                "--counter adds a column per named counter tracking "
+                "its value across the runs\n(comma-separated and/or "
+                "repeated)\n");
             return 0;
         }
-        if (arg.rfind("--counter=", 0) == 0)
-            counter_name = arg.substr(10);
-        else
+        if (arg.rfind("--counter=", 0) == 0) {
+            // Comma-separated list; the flag may also repeat.
+            std::string names = arg.substr(10);
+            size_t start = 0;
+            while (start <= names.size()) {
+                const size_t comma = names.find(',', start);
+                const size_t end =
+                    comma == std::string::npos ? names.size() : comma;
+                if (end > start)
+                    counter_names.push_back(
+                        names.substr(start, end - start));
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+        } else {
             dir = arg;
+        }
     }
 
     std::vector<fs::path> files;
@@ -163,7 +179,7 @@ main(int argc, char **argv)
     std::vector<Run> runs;
     bool ok = true;
     for (const fs::path &path : files)
-        ok = collectFile(path, counter_name, &runs) && ok;
+        ok = collectFile(path, counter_names, &runs) && ok;
 
     // Trajectory order: per bench, oldest first (the UTC stamps are
     // ISO-8601, so lexicographic is chronological).
@@ -176,16 +192,16 @@ main(int argc, char **argv)
                      " runs)");
     std::vector<std::string> header = {"bench",    "utc",  "host",
                                        "wall (s)", "seed", "counters"};
-    if (!counter_name.empty())
-        header.push_back(counter_name);
+    for (const std::string &name : counter_names)
+        header.push_back(name);
     table.setHeader(header);
     for (const Run &run : runs) {
         std::vector<std::string> row = {
             run.bench, run.utc, run.host,
             wsp::formatDouble(run.wallSeconds, 3), run.seed,
             std::to_string(run.counters)};
-        if (!counter_name.empty())
-            row.push_back(run.counterValue);
+        for (const std::string &value : run.counterValues)
+            row.push_back(value);
         table.addRow(row);
     }
     table.print();
