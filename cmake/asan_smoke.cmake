@@ -32,7 +32,7 @@ endif()
 
 execute_process(
     COMMAND ${CMAKE_COMMAND} --build ${OUT_DIR}
-        --target test_salvage test_sim_property
+        --target test_salvage test_sim_property test_conditions
     RESULT_VARIABLE build_rc
     OUTPUT_VARIABLE build_out
     ERROR_VARIABLE build_out
@@ -68,4 +68,20 @@ if(NOT sim_rc EQUAL 0)
     message(FATAL_ERROR
         "asan_smoke: sim-property ASan run failed (rc=${sim_rc}):\n${sim_out}")
 endif()
-message(STATUS "asan_smoke: salvage + sim-property suites clean under ASan")
+
+# The conditions battery walks raw history/line-tracking structures
+# (FliT per-line maps, replayed KV states, brute-force subset masks)
+# and drives full crash/recovery sweeps — both good ASan hunting
+# ground.
+execute_process(
+    COMMAND ${OUT_DIR}/tests/test_conditions
+    RESULT_VARIABLE cond_rc
+    OUTPUT_VARIABLE cond_out
+    ERROR_VARIABLE cond_out
+)
+if(NOT cond_rc EQUAL 0)
+    message(FATAL_ERROR
+        "asan_smoke: conditions ASan run failed (rc=${cond_rc}):\n${cond_out}")
+endif()
+message(STATUS
+    "asan_smoke: salvage + sim-property + conditions suites clean under ASan")

@@ -1,0 +1,83 @@
+# End-to-end check of the formal-conditions battery, run as a ctest:
+#
+#   cmake -DSWEEP=<path> -DREPLAY=<path> -DOUT_DIR=<dir> \
+#         -P conditions_smoke.cmake
+#
+# Runs crash_sweep with the planted ack-before-apply bug: each KV op
+# is acknowledged at t and applied at t+30us on a 50us grid, and the
+# AC failure at 5.010ms lands strictly inside one such gap — a
+# responded operation with no surviving effect. The sweep must catch
+# it as a durable-linearizability violation (exit 3), minimize the
+# schedule, and write a replay file; crash_replay must reproduce the
+# violation (exit 2); and a buffered-durable-linearizability-only
+# sweep of the *same* buggy schedule must hold (exit 0) — the bug
+# never persisted, so losing it is exactly what the buffered
+# condition forgives. DL caught, BDL forgave: the separation, in CI.
+
+if(NOT SWEEP OR NOT REPLAY OR NOT OUT_DIR)
+    message(FATAL_ERROR
+        "conditions_smoke: SWEEP, REPLAY and OUT_DIR are required")
+endif()
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+set(REPLAY_FILE ${OUT_DIR}/ack_before_apply.schedule)
+file(REMOVE ${REPLAY_FILE})
+
+set(BUG_FLAGS
+    --ack-before-apply
+    --ack-delay-us=30
+    --ops=128
+    --fail-delay-us=5010)
+
+execute_process(
+    COMMAND ${SWEEP} ${BUG_FLAGS}
+        --stop-on-first
+        --points=80
+        --replay-out=${REPLAY_FILE}
+    RESULT_VARIABLE sweep_rc
+    OUTPUT_VARIABLE sweep_out
+    ERROR_VARIABLE sweep_out
+)
+if(NOT sweep_rc EQUAL 3)
+    message(FATAL_ERROR
+        "conditions_smoke: expected the sweep to catch the "
+        "ack-before-apply bug (rc=3), got rc=${sweep_rc}:\n${sweep_out}")
+endif()
+if(NOT sweep_out MATCHES "durable-lin")
+    message(FATAL_ERROR
+        "conditions_smoke: the violation did not name durable "
+        "linearizability:\n${sweep_out}")
+endif()
+if(NOT EXISTS ${REPLAY_FILE})
+    message(FATAL_ERROR
+        "conditions_smoke: sweep did not write ${REPLAY_FILE}:\n${sweep_out}")
+endif()
+
+execute_process(
+    COMMAND ${REPLAY} ${REPLAY_FILE}
+    RESULT_VARIABLE replay_rc
+    OUTPUT_VARIABLE replay_out
+    ERROR_VARIABLE replay_out
+)
+if(NOT replay_rc EQUAL 2)
+    message(FATAL_ERROR
+        "conditions_smoke: expected the replay to reproduce the "
+        "violation (rc=2), got rc=${replay_rc}:\n${replay_out}")
+endif()
+
+execute_process(
+    COMMAND ${SWEEP} ${BUG_FLAGS}
+        --condition=buffered
+        --points=40
+    RESULT_VARIABLE bdl_rc
+    OUTPUT_VARIABLE bdl_out
+    ERROR_VARIABLE bdl_out
+)
+if(NOT bdl_rc EQUAL 0)
+    message(FATAL_ERROR
+        "conditions_smoke: expected the buffered-only sweep of the "
+        "same schedule to hold (rc=0), got rc=${bdl_rc}:\n${bdl_out}")
+endif()
+message(STATUS
+    "conditions_smoke: ack bug caught by DL, minimized, replayed; "
+    "buffered sweep forgave it")

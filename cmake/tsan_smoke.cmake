@@ -26,7 +26,8 @@ if(NOT configure_rc EQUAL 0)
 endif()
 
 execute_process(
-    COMMAND ${CMAKE_COMMAND} --build ${OUT_DIR} --target test_concurrency
+    COMMAND ${CMAKE_COMMAND} --build ${OUT_DIR}
+        --target test_concurrency test_conditions
     RESULT_VARIABLE build_rc
     OUTPUT_VARIABLE build_out
     ERROR_VARIABLE build_out
@@ -52,4 +53,21 @@ if(NOT run_rc EQUAL 0)
     message(FATAL_ERROR
         "tsan_smoke: TSan run failed (rc=${run_rc}):\n${run_out}")
 endif()
-message(STATUS "tsan_smoke: threaded suites clean under TSan")
+
+# The conditions battery's end-to-end suites drive full crash/recovery
+# cycles (workload events, save pipeline, fresh-chassis boot) with the
+# FliT tracker observing the cache from the write-back path; run them
+# under TSan too so an ordering bug between the tracker and the save
+# machinery cannot hide.
+execute_process(
+    COMMAND ${OUT_DIR}/tests/test_conditions
+        --gtest_filter=AckBeforeApply.*:ConditionsBattery.*
+    RESULT_VARIABLE cond_rc
+    OUTPUT_VARIABLE cond_out
+    ERROR_VARIABLE cond_out
+)
+if(NOT cond_rc EQUAL 0)
+    message(FATAL_ERROR
+        "tsan_smoke: conditions TSan run failed (rc=${cond_rc}):\n${cond_out}")
+endif()
+message(STATUS "tsan_smoke: threaded + conditions suites clean under TSan")

@@ -1,5 +1,6 @@
 #include "apps/kv_store.h"
 
+#include "util/flit.h"
 #include "util/logging.h"
 
 namespace wsp::apps {
@@ -59,7 +60,15 @@ KvStore::size() const
 void
 KvStore::setSize(uint64_t size)
 {
-    cache_.writeU64(base_ + kOffSize, size);
+    storeU64(base_ + kOffSize, size);
+}
+
+void
+KvStore::storeU64(uint64_t addr, uint64_t value)
+{
+    cache_.writeU64(addr, value);
+    if (flit_ != nullptr)
+        flit_->onStore(addr, 8);
 }
 
 uint64_t
@@ -83,7 +92,7 @@ KvStore::putSlot(uint64_t key, uint64_t value, bool *inserted)
         const uint64_t index = (probeStart(key) + step) & (capacity_ - 1);
         const uint64_t slot_key = cache_.readU64(slotAddr(index));
         if (slot_key == key) {
-            cache_.writeU64(slotAddr(index) + 8, value);
+            storeU64(slotAddr(index) + 8, value);
             return true;
         }
         if (slot_key == kTombstone) {
@@ -94,15 +103,15 @@ KvStore::putSlot(uint64_t key, uint64_t value, bool *inserted)
         if (slot_key == 0) {
             const uint64_t target =
                 first_tombstone != capacity_ ? first_tombstone : index;
-            cache_.writeU64(slotAddr(target), key);
-            cache_.writeU64(slotAddr(target) + 8, value);
+            storeU64(slotAddr(target), key);
+            storeU64(slotAddr(target) + 8, value);
             *inserted = true;
             return true;
         }
     }
     if (first_tombstone != capacity_) {
-        cache_.writeU64(slotAddr(first_tombstone), key);
-        cache_.writeU64(slotAddr(first_tombstone) + 8, value);
+        storeU64(slotAddr(first_tombstone), key);
+        storeU64(slotAddr(first_tombstone) + 8, value);
         *inserted = true;
         return true;
     }
@@ -144,8 +153,8 @@ KvStore::eraseSlot(uint64_t key)
         const uint64_t index = (probeStart(key) + step) & (capacity_ - 1);
         const uint64_t slot_key = cache_.readU64(slotAddr(index));
         if (slot_key == key) {
-            cache_.writeU64(slotAddr(index), kTombstone);
-            cache_.writeU64(slotAddr(index) + 8, 0);
+            storeU64(slotAddr(index), kTombstone);
+            storeU64(slotAddr(index) + 8, 0);
             return true;
         }
         if (slot_key == 0)
@@ -407,6 +416,13 @@ ShardedKvStore::forEach(
         std::lock_guard<std::mutex> guard(locks_[i]);
         shards_[i].forEach(visit);
     }
+}
+
+void
+ShardedKvStore::setFlitTracker(util::FlitTracker *flit)
+{
+    for (KvStore &shard : shards_)
+        shard.setFlitTracker(flit);
 }
 
 } // namespace wsp::apps

@@ -23,6 +23,10 @@
 
 #include "machine/cache.h"
 
+namespace wsp::util {
+class FlitTracker;
+}
+
 namespace wsp::apps {
 
 /** One operation in a KV batch. */
@@ -123,6 +127,14 @@ class KvStore
     void forEach(const std::function<void(uint64_t key, uint64_t value)>
                      &visit) const;
 
+    /**
+     * Route every subsequent mutation's stores into @p flit so the
+     * correctness-conditions checkers can track persistence
+     * boundaries (FliT-style, util/flit.h). Pass nullptr to detach.
+     * Not owned; must outlive the store or be detached.
+     */
+    void setFlitTracker(util::FlitTracker *flit) { flit_ = flit; }
+
   private:
     static constexpr uint64_t kMagic = 0x5753504b56535431ull; // WSPKVST1
     static constexpr uint64_t kTombstone = ~0ull;
@@ -135,6 +147,9 @@ class KvStore
 
     uint64_t probeStart(uint64_t key) const;
     void setSize(uint64_t size);
+
+    /** Mutation funnel: cached store plus FliT notification. */
+    void storeU64(uint64_t addr, uint64_t value);
 
     /** Put against the slot array only; header untouched.
      *  @return false when full; *inserted set when a new key landed. */
@@ -149,6 +164,7 @@ class KvStore
     CacheModel &cache_;
     uint64_t base_;
     uint64_t capacity_;
+    util::FlitTracker *flit_ = nullptr;
 };
 
 /**
@@ -240,6 +256,9 @@ class ShardedKvStore
     /** Visit every live pair, shard by shard (scan order). */
     void forEach(const std::function<void(uint64_t key, uint64_t value)>
                      &visit) const;
+
+    /** Forward a FliT tracker to every shard (see KvStore). */
+    void setFlitTracker(util::FlitTracker *flit);
 
   private:
     ShardedKvStore() = default;

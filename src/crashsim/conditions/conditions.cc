@@ -1,0 +1,318 @@
+#include "crashsim/conditions/conditions.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace wsp::crashsim::conditions {
+
+namespace {
+
+/** A key's value after an operation takes effect (nullopt = absent). */
+std::optional<uint64_t>
+valueAfter(const HistoryOp &op)
+{
+    if (op.isErase)
+        return std::nullopt;
+    return op.value;
+}
+
+std::string
+formatValue(const std::optional<uint64_t> &value)
+{
+    if (!value)
+        return "absent";
+    return std::to_string(*value);
+}
+
+/** Invoked operations of @p ops touching @p key, in history order. */
+std::vector<const HistoryOp *>
+opsOnKey(const std::vector<HistoryOp> &ops, uint64_t key)
+{
+    std::vector<const HistoryOp *> result;
+    for (const HistoryOp &op : ops) {
+        if (op.invoked && op.key == key)
+            result.push_back(&op);
+    }
+    return result;
+}
+
+/** Every key any invoked operation touches. */
+std::vector<uint64_t>
+touchedKeys(const std::vector<HistoryOp> &ops)
+{
+    std::vector<uint64_t> keys;
+    for (const HistoryOp &op : ops) {
+        if (op.invoked)
+            keys.push_back(op.key);
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    return keys;
+}
+
+std::optional<uint64_t>
+stateValue(const KvState &state, uint64_t key)
+{
+    auto it = state.find(key);
+    if (it == state.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+appendViolation(ConditionResult *result, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void
+appendViolation(ConditionResult *result, const char *fmt, ...)
+{
+    char line[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(line, sizeof(line), fmt, args);
+    va_end(args);
+    result->ok = false;
+    result->violations.emplace_back(line);
+}
+
+/**
+ * Flag keys present in @p state that no invoked operation ever put —
+ * common to every condition (no checker admits invented keys).
+ */
+void
+checkNoInventedKeys(const std::vector<HistoryOp> &ops, const KvState &state,
+                    const char *checker, ConditionResult *result)
+{
+    for (const auto &[key, value] : state) {
+        bool touched = false;
+        for (const HistoryOp &op : ops)
+            touched = touched || (op.invoked && op.key == key);
+        if (!touched)
+            appendViolation(result,
+                            "%s: key %llu=%llu survived but no operation "
+                            "in the history ever touched it",
+                            checker, static_cast<unsigned long long>(key),
+                            static_cast<unsigned long long>(value));
+    }
+}
+
+} // namespace
+
+ConditionResult
+checkDurableLinearizable(const std::vector<HistoryOp> &ops,
+                         const KvState &state)
+{
+    ConditionResult result;
+    // Per key: the ops on it are totally ordered and inclusion of each
+    // in-flight op is a free choice, so the admissible final values
+    // are the value after the last *responded* op (all responded ops
+    // must be included; earlier in-flight inclusions are overwritten)
+    // plus the value after each later in-flight op.
+    for (uint64_t key : touchedKeys(ops)) {
+        const std::vector<const HistoryOp *> kops = opsOnKey(ops, key);
+        ptrdiff_t last_responded = -1;
+        for (size_t i = 0; i < kops.size(); ++i) {
+            if (kops[i]->responded)
+                last_responded = static_cast<ptrdiff_t>(i);
+        }
+
+        std::vector<std::optional<uint64_t>> admissible;
+        admissible.push_back(last_responded >= 0
+                                 ? valueAfter(*kops[last_responded])
+                                 : std::nullopt);
+        for (size_t i = static_cast<size_t>(last_responded + 1);
+             i < kops.size(); ++i)
+            admissible.push_back(valueAfter(*kops[i]));
+
+        const std::optional<uint64_t> got = stateValue(state, key);
+        bool match = false;
+        for (const auto &candidate : admissible)
+            match = match || candidate == got;
+        if (!match) {
+            std::string options;
+            for (const auto &candidate : admissible) {
+                if (!options.empty())
+                    options += ", ";
+                options += formatValue(candidate);
+            }
+            appendViolation(&result,
+                            "durable-lin: key %llu holds %s after "
+                            "recovery; admissible: {%s} (last responded "
+                            "op %s)",
+                            static_cast<unsigned long long>(key),
+                            formatValue(got).c_str(), options.c_str(),
+                            last_responded >= 0
+                                ? std::to_string(
+                                      kops[last_responded]->id).c_str()
+                                : "none");
+        }
+    }
+    checkNoInventedKeys(ops, state, "durable-lin", &result);
+    return result;
+}
+
+ConditionResult
+checkBufferedDurableLinearizable(const std::vector<HistoryOp> &ops,
+                                 const KvState &state)
+{
+    ConditionResult result;
+    // The history is sequential, so a consistent cut is a prefix. The
+    // cut must contain every persisted operation.
+    size_t min_cut = 0;
+    for (size_t i = 0; i < ops.size(); ++i) {
+        if (ops[i].invoked && ops[i].persisted)
+            min_cut = i + 1;
+    }
+
+    KvState replayed;
+    bool found = false;
+    size_t cut = 0;
+    for (size_t p = 0; p <= ops.size(); ++p) {
+        if (p > 0 && ops[p - 1].invoked) {
+            const HistoryOp &op = ops[p - 1];
+            if (op.isErase)
+                replayed.erase(op.key);
+            else
+                replayed[op.key] = op.value;
+        }
+        if (p >= min_cut && replayed == state) {
+            found = true;
+            cut = p;
+            break;
+        }
+    }
+    if (!found) {
+        appendViolation(&result,
+                        "buffered: no prefix cut of the %zu-op history "
+                        "containing all persisted ops (earliest legal "
+                        "cut %zu) replays to the surviving state",
+                        ops.size(), min_cut);
+        checkNoInventedKeys(ops, state, "buffered", &result);
+    } else {
+        (void)cut;
+    }
+    return result;
+}
+
+ConditionResult
+checkDetectableExecution(
+    const std::vector<HistoryOp> &ops, const KvState &state,
+    std::vector<std::pair<uint64_t, OpVerdict>> *verdicts)
+{
+    ConditionResult result;
+    std::vector<std::pair<uint64_t, OpVerdict>> assigned;
+
+    for (uint64_t key : touchedKeys(ops)) {
+        const std::vector<const HistoryOp *> kops = opsOnKey(ops, key);
+        ptrdiff_t last_responded = -1;
+        for (size_t i = 0; i < kops.size(); ++i) {
+            if (kops[i]->responded)
+                last_responded = static_cast<ptrdiff_t>(i);
+        }
+        const std::optional<uint64_t> got = stateValue(state, key);
+
+        // Find the cut within this key's ops that explains the
+        // surviving value: all ops up to it committed, the rest
+        // aborted. Prefer the latest explanation (most-recent op
+        // committed) for determinism; any consistent one suffices for
+        // detectability.
+        ptrdiff_t chosen = -2; // -2 = no explanation
+        {
+            const std::optional<uint64_t> base =
+                last_responded >= 0 ? valueAfter(*kops[last_responded])
+                                    : std::nullopt;
+            if (base == got)
+                chosen = last_responded;
+            for (size_t i = static_cast<size_t>(last_responded + 1);
+                 i < kops.size(); ++i) {
+                if (valueAfter(*kops[i]) == got)
+                    chosen = static_cast<ptrdiff_t>(i);
+            }
+        }
+        if (chosen == -2) {
+            appendViolation(&result,
+                            "detectable: key %llu holds %s — no "
+                            "commit/abort assignment of its %zu ops "
+                            "explains it (partial effect survived?)",
+                            static_cast<unsigned long long>(key),
+                            formatValue(got).c_str(), kops.size());
+            continue;
+        }
+        for (size_t i = 0; i < kops.size(); ++i) {
+            assigned.emplace_back(kops[i]->id,
+                                  static_cast<ptrdiff_t>(i) <= chosen
+                                      ? OpVerdict::Committed
+                                      : OpVerdict::Aborted);
+        }
+    }
+
+    checkNoInventedKeys(ops, state, "detectable", &result);
+    if (result.ok && verdicts != nullptr) {
+        std::sort(assigned.begin(), assigned.end());
+        *verdicts = std::move(assigned);
+    }
+    return result;
+}
+
+bool
+bruteForceDurablyLinearizable(const std::vector<HistoryOp> &ops,
+                              const KvState &state)
+{
+    // Free choices: invoked operations that never responded.
+    std::vector<size_t> optional_idx;
+    for (size_t i = 0; i < ops.size(); ++i) {
+        if (ops[i].invoked && !ops[i].responded)
+            optional_idx.push_back(i);
+    }
+    WSP_CHECKF(optional_idx.size() <= 20,
+               "brute-force oracle: too many in-flight ops (%zu)",
+               optional_idx.size());
+
+    const uint64_t combos = 1ull << optional_idx.size();
+    for (uint64_t mask = 0; mask < combos; ++mask) {
+        std::vector<bool> include(ops.size(), false);
+        for (size_t i = 0; i < ops.size(); ++i)
+            include[i] = ops[i].invoked && ops[i].responded;
+        for (size_t bit = 0; bit < optional_idx.size(); ++bit) {
+            if (mask & (1ull << bit))
+                include[optional_idx[bit]] = true;
+        }
+        const KvState replayed = replay(
+            ops, [&include, &ops](const HistoryOp &op) {
+                return include[static_cast<size_t>(&op - ops.data())];
+            });
+        if (replayed == state)
+            return true;
+    }
+    return false;
+}
+
+bool
+bruteForceBufferedDurablyLinearizable(const std::vector<HistoryOp> &ops,
+                                      const KvState &state)
+{
+    for (size_t p = 0; p <= ops.size(); ++p) {
+        bool legal = true;
+        for (size_t i = p; i < ops.size(); ++i)
+            legal = legal && !(ops[i].invoked && ops[i].persisted);
+        if (!legal)
+            continue;
+        KvState replayed;
+        for (size_t i = 0; i < p; ++i) {
+            if (!ops[i].invoked)
+                continue;
+            if (ops[i].isErase)
+                replayed.erase(ops[i].key);
+            else
+                replayed[ops[i].key] = ops[i].value;
+        }
+        if (replayed == state)
+            return true;
+    }
+    return false;
+}
+
+} // namespace wsp::crashsim::conditions

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "core/failure_injector.h"
+#include "crashsim/conditions/kv_conditions.h"
 #include "trace/stat_registry.h"
 #include "trace/trace.h"
 #include "util/logging.h"
@@ -88,7 +89,8 @@ CrashExplorer::runSchedule(const CrashSchedule &schedule,
     crashed.start();
 
     auto checkers = standardCheckers();
-    auto *kv = dynamic_cast<KvPrefixChecker *>(checkers.front().get());
+    auto *kv = dynamic_cast<conditions::KvConditionsChecker *>(
+        checkers.front().get());
     for (auto &checker : checkers)
         checker->prepare(crashed, schedule);
 
@@ -372,6 +374,10 @@ CrashExplorer::fuzz(unsigned runs, uint64_t seed)
             schedule.incrementalSave = false;
         if (rng.chance(0.25))
             schedule.lazyRestore = true;
+        // Vary the respond offset so crash points land on both sides
+        // of each operation's completion boundary (must stay below
+        // opSpacing to keep the history sequential).
+        schedule.ackDelay = fromMicros(5.0) + rng.next(fromMicros(40.0));
 
         CrashPointResult result = runSchedule(schedule);
         ++report.points;

@@ -14,6 +14,36 @@ constexpr const char *kHeader = "wsp-crash-schedule v1";
 
 } // namespace
 
+const char *
+conditionModeName(ConditionMode mode)
+{
+    switch (mode) {
+      case ConditionMode::All:
+        return "all";
+      case ConditionMode::DurableLin:
+        return "durable-lin";
+      case ConditionMode::BufferedDurableLin:
+        return "buffered";
+      case ConditionMode::Detectable:
+        return "detectable";
+    }
+    return "all";
+}
+
+std::optional<ConditionMode>
+conditionModeFromName(const std::string &name)
+{
+    if (name == "all")
+        return ConditionMode::All;
+    if (name == "durable-lin")
+        return ConditionMode::DurableLin;
+    if (name == "buffered")
+        return ConditionMode::BufferedDurableLin;
+    if (name == "detectable")
+        return ConditionMode::Detectable;
+    return std::nullopt;
+}
+
 std::string
 CrashSchedule::serialize() const
 {
@@ -48,6 +78,9 @@ CrashSchedule::serialize() const
     out << "incremental_save=" << (incrementalSave ? 1 : 0) << "\n";
     out << "lazy_restore=" << (lazyRestore ? 1 : 0) << "\n";
     out << "black_box=" << (blackBox ? 1 : 0) << "\n";
+    out << "condition=" << conditionModeName(condition) << "\n";
+    out << "ack_delay_ns=" << ackDelay << "\n";
+    out << "ack_before_apply=" << (ackBeforeApply ? 1 : 0) << "\n";
     return out.str();
 }
 
@@ -124,6 +157,15 @@ CrashSchedule::parse(const std::string &text)
                 schedule.lazyRestore = value == "1";
             else if (key == "black_box")
                 schedule.blackBox = value == "1";
+            else if (key == "condition") {
+                const auto mode = conditionModeFromName(value);
+                if (!mode)
+                    return std::nullopt;
+                schedule.condition = *mode;
+            } else if (key == "ack_delay_ns")
+                schedule.ackDelay = std::stoull(value);
+            else if (key == "ack_before_apply")
+                schedule.ackBeforeApply = value == "1";
             else
                 return std::nullopt; // unknown key: refuse to guess
         } catch (const std::exception &) {
@@ -139,6 +181,8 @@ CrashSchedule::parse(const std::string &text)
         return std::nullopt;
     if (schedule.degradeTier < -1 || schedule.degradeTier > 1)
         return std::nullopt; // only Core/Metadata cuts are degraded
+    if (schedule.ackDelay >= schedule.opSpacing)
+        return std::nullopt; // workload must stay sequential
     return schedule;
 }
 
@@ -203,6 +247,10 @@ CrashSchedule::summary() const
         text += " lazy-restore";
     if (!blackBox)
         text += " no-black-box";
+    if (condition != ConditionMode::All)
+        text += std::string(" condition=") + conditionModeName(condition);
+    if (ackBeforeApply)
+        text += " ACK-BEFORE-APPLY";
     return text;
 }
 

@@ -23,6 +23,27 @@
 
 namespace wsp::crashsim {
 
+/**
+ * Which formal correctness condition(s) the conditions battery
+ * evaluates at each crash point (see src/crashsim/conditions/). All
+ * runs every checker; the narrower modes are for sweeps that isolate
+ * one condition (e.g. a buffered-only sweep to show a bug violates
+ * durable linearizability but not buffered durable linearizability).
+ */
+enum class ConditionMode : uint8_t
+{
+    All = 0,
+    DurableLin,
+    BufferedDurableLin,
+    Detectable,
+};
+
+/** "all" / "durable-lin" / "buffered" / "detectable". */
+const char *conditionModeName(ConditionMode mode);
+
+/** Inverse of conditionModeName. @return nullopt on unknown name. */
+std::optional<ConditionMode> conditionModeFromName(const std::string &name);
+
 /** Deterministic description of one crash/recovery scenario. */
 struct CrashSchedule
 {
@@ -118,6 +139,25 @@ struct CrashSchedule
      * legitimately differs between otherwise equivalent images.
      */
     bool blackBox = true;
+
+    /** Correctness condition(s) the conditions battery evaluates. */
+    ConditionMode condition = ConditionMode::All;
+
+    /**
+     * Delay between a KV operation taking effect and its response
+     * reaching the caller. Kept under opSpacing so the workload stays
+     * sequential (at most one operation in flight at any instant).
+     */
+    Tick ackDelay = fromMicros(20.0);
+
+    /**
+     * Planted bug: acknowledge each operation *before* it applies
+     * (response at t, mutation at t + ackDelay). A crash landing in
+     * that gap leaves a completed operation with no surviving effect —
+     * a durable-linearizability violation that buffered durable
+     * linearizability, by design, forgives.
+     */
+    bool ackBeforeApply = false;
 
     /** Replay-file serialization (text, one key=value per line). */
     std::string serialize() const;

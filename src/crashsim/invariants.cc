@@ -6,60 +6,18 @@
 
 #include "apps/kv_store.h"
 #include "core/salvage_directory.h"
+#include "crashsim/conditions/kv_conditions.h"
 #include "util/rng.h"
 
 namespace wsp::crashsim {
 
 namespace {
 
-/** Keys are drawn from [1, kKeyUniverse] so absence is checkable. */
-constexpr uint64_t kKeyUniverse = 128;
-
-/** KvStore header bytes ahead of a shard's slot array. */
-constexpr uint64_t kKvHeaderBytes = 64;
-
-/**
- * Mirrors ShardedKvStore::shardOf so a single wounded shard can be
- * replayed without attaching the whole store (whose sibling headers
- * may themselves be scrubbed at that point).
- */
-unsigned
-shardOfKey(uint64_t key, unsigned shards)
-{
-    uint64_t h = key;
-    h ^= h >> 33;
-    h *= 0xff51afd7ed558ccdull;
-    h ^= h >> 29;
-    return static_cast<unsigned>(h & (shards - 1));
-}
-
 /** "kv<i>.meta" / "kv<i>.data" → "kv<i>"; other names pass through. */
 std::string
 shardKey(const std::string &region_name)
 {
     return region_name.substr(0, region_name.find('.'));
-}
-
-/**
- * Attach the checker's store as @p shards stripes over the system's
- * (single) cache. The striped layout with shards == 1 is bit-for-bit
- * the plain KvStore layout, so one code path covers both regimes.
- */
-std::optional<apps::ShardedKvStore>
-attachCheckerStore(WspSystem &system, unsigned shards)
-{
-    std::vector<CacheModel *> caches(shards, &system.cache());
-    return apps::ShardedKvStore::attach(
-        std::span<CacheModel *const>(caches), KvPrefixChecker::kBase);
-}
-
-apps::ShardedKvStore
-createCheckerStore(WspSystem &system, unsigned shards)
-{
-    std::vector<CacheModel *> caches(shards, &system.cache());
-    return apps::ShardedKvStore(std::span<CacheModel *const>(caches),
-                                KvPrefixChecker::kBase,
-                                KvPrefixChecker::kCapacity / shards);
 }
 
 } // namespace
@@ -73,188 +31,6 @@ addViolation(std::vector<std::string> *violations, const char *fmt, ...)
     std::vsnprintf(line, sizeof(line), fmt, args);
     va_end(args);
     violations->emplace_back(line);
-}
-
-// KvPrefixChecker ------------------------------------------------------
-
-void
-KvPrefixChecker::prepare(WspSystem &system, const CrashSchedule &schedule)
-{
-    model_.clear();
-    appliedOps_ = 0;
-    shards_ = schedule.shards;
-    WSP_CHECKF(shards_ >= 1 && kCapacity % shards_ == 0,
-               "kv-prefix shard count must divide the capacity");
-
-    createCheckerStore(system, shards_);
-
-    if (schedule.salvage) {
-        // Tiered regions: shard headers outrank the bulk slot arrays,
-        // so a degraded save keeps the cheap metadata and a restore
-        // rebuilds only the shards whose data was sacrificed.
-        const uint64_t per_shard = kCapacity / shards_;
-        const uint64_t stride =
-            apps::ShardedKvStore::shardStride(per_shard);
-        for (unsigned i = 0; i < shards_; ++i) {
-            const uint64_t shard_base = kBase + i * stride;
-            char name[SalvageDirectory::kMaxNameBytes + 1];
-            std::snprintf(name, sizeof(name), "kv%u.meta", i);
-            system.registerSalvageRegion(SalvageRegionSpec{
-                name, shard_base, kKvHeaderBytes, SaveTier::Metadata});
-            std::snprintf(name, sizeof(name), "kv%u.data", i);
-            system.registerSalvageRegion(SalvageRegionSpec{
-                name, shard_base + kKvHeaderBytes, per_shard * 16,
-                SaveTier::Bulk});
-        }
-    }
-
-    // Pre-draw the whole operation stream so determinism does not
-    // depend on how far the run gets before the lights go out.
-    Rng rng(schedule.seed ^ 0x6b76ull); // "kv"
-    struct Op
-    {
-        bool isPut;
-        uint64_t key;
-        uint64_t value;
-    };
-    auto ops = std::make_shared<std::vector<Op>>();
-    ops->reserve(schedule.ops);
-    for (unsigned i = 0; i < schedule.ops; ++i) {
-        Op op;
-        op.isPut = rng.chance(0.8);
-        op.key = rng.next(kKeyUniverse) + 1;
-        op.value = rng.next(1u << 20) + 1;
-        ops->push_back(op);
-    }
-
-    // Each operation is its own event: every op boundary is a
-    // distinguishable crash point, and ops silently stop applying
-    // while the machine is down (then resume if a train cycle brings
-    // it back with time to spare).
-    EventQueue &queue = system.queue();
-    for (unsigned i = 0; i < schedule.ops; ++i) {
-        queue.scheduleAfter(
-            static_cast<Tick>(i + 1) * schedule.opSpacing,
-            [this, &system, ops, i]() {
-                if (!system.wsp().running() ||
-                    !system.machine().powerOn())
-                    return;
-                auto store = attachCheckerStore(system, shards_);
-                if (!store)
-                    return;
-                const Op &op = (*ops)[i];
-                if (op.isPut) {
-                    if (store->put(op.key, op.value))
-                        model_[op.key] = op.value;
-                } else {
-                    store->erase(op.key);
-                    model_.erase(op.key);
-                }
-                ++appliedOps_;
-            });
-    }
-}
-
-void
-KvPrefixChecker::onBackendRecovery(WspSystem &system)
-{
-    // "Fetch from the storage back end": rebuild the store from the
-    // model, exactly what a real KV server would do from its log.
-    apps::ShardedKvStore store = createCheckerStore(system, shards_);
-    for (const auto &[key, value] : model_)
-        store.put(key, value);
-}
-
-void
-KvPrefixChecker::onRegionRecovery(WspSystem &system,
-                                  const RegionOutcome &region)
-{
-    unsigned shard = 0;
-    if (std::sscanf(region.name.c_str(), "kv%u.", &shard) != 1 ||
-        shard >= shards_)
-        return;
-    const uint64_t per_shard = kCapacity / shards_;
-    const uint64_t stride = apps::ShardedKvStore::shardStride(per_shard);
-    // Reformat exactly the wounded shard, then replay its keys from
-    // the model — the "fetch from the back end" of one shard, not the
-    // whole store. A second quarantine of the same shard (header and
-    // slots both hit) just repeats the idempotent rebuild.
-    apps::KvStore fresh(system.cache(), kBase + shard * stride,
-                        per_shard);
-    for (const auto &[key, value] : model_) {
-        if (shardOfKey(key, shards_) == shard)
-            fresh.put(key, value);
-    }
-}
-
-void
-KvPrefixChecker::check(WspSystem &crashed, WspSystem &revived,
-                       const RestoreReport &restore, bool backend_ran,
-                       std::vector<std::string> *violations)
-{
-    (void)crashed;
-    if (!restore.usedWsp && !backend_ran && !restore.salvageMode) {
-        addViolation(violations,
-                     "kv-prefix: neither WSP restore, region salvage, "
-                     "nor back-end recovery ran; store state is "
-                     "undefined");
-        return;
-    }
-
-    // Whether the image came back verbatim (WSP), region by region
-    // (salvage), or was rebuilt from the back end, the revived store
-    // must equal the applied prefix.
-    auto store = attachCheckerStore(revived, shards_);
-    if (!store) {
-        addViolation(violations,
-                     "kv-prefix: no valid store header after %s "
-                     "(applied ops: %llu)",
-                     restore.usedWsp      ? "WSP restore"
-                     : restore.salvageMode ? "region salvage"
-                                           : "back-end recovery",
-                     static_cast<unsigned long long>(appliedOps_));
-        return;
-    }
-
-    if (store->size() != model_.size())
-        addViolation(violations,
-                     "kv-prefix: size %llu != expected %llu",
-                     static_cast<unsigned long long>(store->size()),
-                     static_cast<unsigned long long>(model_.size()));
-
-    uint64_t expected_checksum = 0;
-    for (const auto &[key, value] : model_) {
-        // Mirrors KvStore::checksum()'s slot hash.
-        expected_checksum += key * 0x9e3779b97f4a7c15ull + value;
-        uint64_t got = 0;
-        if (!store->get(key, &got))
-            addViolation(violations,
-                         "kv-prefix: key %llu missing (expected %llu)",
-                         static_cast<unsigned long long>(key),
-                         static_cast<unsigned long long>(value));
-        else if (got != value)
-            addViolation(violations,
-                         "kv-prefix: key %llu holds %llu, expected %llu",
-                         static_cast<unsigned long long>(key),
-                         static_cast<unsigned long long>(got),
-                         static_cast<unsigned long long>(value));
-    }
-
-    for (uint64_t key = 1; key <= kKeyUniverse; ++key) {
-        if (model_.count(key) != 0)
-            continue;
-        if (store->get(key))
-            addViolation(violations,
-                         "kv-prefix: stale key %llu present after "
-                         "recovery",
-                         static_cast<unsigned long long>(key));
-    }
-
-    if (store->checksum() != expected_checksum)
-        addViolation(violations,
-                     "kv-prefix: checksum %llu != expected %llu",
-                     static_cast<unsigned long long>(store->checksum()),
-                     static_cast<unsigned long long>(expected_checksum));
 }
 
 // MarkerAtomicityChecker -----------------------------------------------
@@ -362,7 +138,8 @@ plannedMediaFaults(const CrashSchedule &schedule, size_t module_count,
         return faults;
     Rng rng(schedule.mediaFaultSeed ^ schedule.seed ^ 0x666c74ull); // "flt"
     const uint64_t kv_bytes = apps::ShardedKvStore::regionBytes(
-        schedule.shards, KvPrefixChecker::kCapacity / schedule.shards);
+        schedule.shards,
+        conditions::KvConditionsChecker::kCapacity / schedule.shards);
     for (unsigned i = 0; i < schedule.mediaFaults; ++i) {
         PlannedMediaFault fault;
         fault.kind =
@@ -374,7 +151,7 @@ plannedMediaFaults(const CrashSchedule &schedule, size_t module_count,
             // the low addresses), so every faulted run proves at least
             // one quarantine-and-recover.
             fault.module = 0;
-            fault.addr = KvPrefixChecker::kBase +
+            fault.addr = conditions::KvConditionsChecker::kBase +
                          rng.next(std::min(kv_bytes, module_capacity));
         } else {
             fault.module = static_cast<size_t>(rng.next(module_count));
@@ -676,7 +453,15 @@ std::vector<std::unique_ptr<InvariantChecker>>
 standardCheckers()
 {
     std::vector<std::unique_ptr<InvariantChecker>> checkers;
-    checkers.push_back(std::make_unique<KvPrefixChecker>());
+    // The conditions battery leads (the explorer assumes it is
+    // front()); its companion detectability checker must follow it,
+    // since it judges the history the battery's check() assembled.
+    auto battery = std::make_unique<conditions::KvConditionsChecker>();
+    auto detectable =
+        std::make_unique<conditions::DetectableExecutionChecker>(
+            battery.get());
+    checkers.push_back(std::move(battery));
+    checkers.push_back(std::move(detectable));
     checkers.push_back(std::make_unique<MarkerAtomicityChecker>());
     checkers.push_back(std::make_unique<DeviceReinitChecker>());
     checkers.push_back(std::make_unique<SalvageSoundChecker>());

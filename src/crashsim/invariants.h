@@ -14,10 +14,12 @@
  *    violation strings for anything that does not hold.
  *
  * The central invariant (DESIGN.md §5) splits into the concrete
- * checks here: a WSP restore must reproduce exactly the applied
- * prefix of the workload; the valid marker must never vouch for an
- * unflushed image; devices must all be reinitialized; and exactly one
- * of {WSP restore, region salvage, back-end recovery} must happen.
+ * checks here: the surviving KV state must satisfy the formal
+ * persistency conditions (durable linearizability and friends —
+ * DESIGN.md §13, crashsim/conditions/); the valid marker must never
+ * vouch for an unflushed image; devices must all be reinitialized; and
+ * exactly one of {WSP restore, region salvage, back-end recovery}
+ * must happen.
  *
  * The salvage regime (schedule.salvage) adds two checkers over the
  * per-region outcomes: SalvageSound — a region the save persisted and
@@ -72,47 +74,6 @@ class InvariantChecker
     virtual void check(WspSystem &crashed, WspSystem &revived,
                        const RestoreReport &restore, bool backend_ran,
                        std::vector<std::string> *violations) = 0;
-};
-
-/**
- * KV-store prefix consistency: schedules put/erase operations onto
- * the event queue (they stop applying the instant the power-fail
- * interrupt lands) and tracks the applied prefix in a volatile model.
- * A WSP restore must reproduce the model exactly — no missing, extra,
- * or stale entries.
- *
- * When the schedule sets shards > 1, the workload runs against a
- * lock-striped ShardedKvStore laid out over the same NVRAM (total
- * capacity kCapacity split evenly), so the sweep proves the striped
- * persistent layout recovers under the same prefix contract.
- */
-class KvPrefixChecker : public InvariantChecker
-{
-  public:
-    static constexpr uint64_t kBase = 0;
-    static constexpr uint64_t kCapacity = 512; ///< total across shards
-
-    const char *name() const override { return "kv-prefix"; }
-    void prepare(WspSystem &system, const CrashSchedule &schedule) override;
-    void onBackendRecovery(WspSystem &system) override;
-    void check(WspSystem &crashed, WspSystem &revived,
-               const RestoreReport &restore, bool backend_ran,
-               std::vector<std::string> *violations) override;
-
-    /**
-     * Per-shard back-end recovery: a quarantined "kv<i>.meta" or
-     * "kv<i>.data" region reformats exactly shard i and replays its
-     * keys from the model — sibling shards stay untouched. Wired as
-     * the system's region-recovery hook under schedule.salvage.
-     */
-    void onRegionRecovery(WspSystem &system, const RegionOutcome &region);
-
-    uint64_t appliedOps() const { return appliedOps_; }
-
-  private:
-    std::map<uint64_t, uint64_t> model_;
-    uint64_t appliedOps_ = 0;
-    unsigned shards_ = 1;
 };
 
 /**

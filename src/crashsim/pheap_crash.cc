@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "crashsim/conditions/conditions.h"
 #include "crashsim/invariants.h"
 #include "pheap/policies.h"
 #include "util/rng.h"
@@ -69,6 +70,27 @@ checkCells(PHeap &heap, Offset cells, uint64_t expected,
     }
 }
 
+/**
+ * The pheap sweeps model each transaction as one operation on a
+ * single logical key (the cell quad, which always moves in lockstep):
+ * transaction k is put(1, value_k). Op 0 is the initial format —
+ * responded and persisted by construction — so "all transactions
+ * rolled back" is a real state, not an absent key.
+ */
+conditions::HistoryOp
+pheapOp(uint64_t id, uint64_t value, bool responded, bool persisted)
+{
+    conditions::HistoryOp op;
+    op.id = id;
+    op.key = 1;
+    op.value = value;
+    op.invoked = true;
+    op.applied = true;
+    op.responded = responded;
+    op.persisted = persisted;
+    return op;
+}
+
 // undo ---------------------------------------------------------------
 
 PheapSweepReport
@@ -81,8 +103,13 @@ sweepUndo(int txns, const std::string &dir)
                 dir, "undo", committed * 2 + (midtxn ? 1 : 0));
             std::remove(path.c_str());
             Offset cells = 0;
+            std::vector<std::pair<uint64_t, bool>> persist_events;
             {
                 PHeap heap(heapConfig(path, 64));
+                heap.undoLog().setPersistObserver(
+                    [&persist_events](uint64_t txn_id, bool ok) {
+                        persist_events.emplace_back(txn_id, ok);
+                    });
                 cells = heap.region().header().heapStart;
                 for (int i = 0; i < committed; ++i) {
                     UndoPolicy::run(heap, [&](UndoPolicy::Tx &tx) {
@@ -115,6 +142,58 @@ sweepUndo(int txns, const std::string &dir)
                 checkCells(heap, cells,
                            static_cast<uint64_t>(committed), what,
                            &report);
+
+                // The formal view of the same run: every committed
+                // transaction hit its persist point (the log's
+                // observer fired at the commit-marker fence), the
+                // in-flight one did not.
+                if (static_cast<int>(persist_events.size()) != committed)
+                    addViolation(&report.violations,
+                                 "%s: persist observer fired %zu "
+                                 "times, expected %d",
+                                 what, persist_events.size(), committed);
+                std::vector<conditions::HistoryOp> history;
+                history.push_back(pheapOp(0, 0, true, true));
+                for (int k = 1; k <= committed; ++k)
+                    history.push_back(pheapOp(
+                        static_cast<uint64_t>(k),
+                        static_cast<uint64_t>(k), true, true));
+                const uint64_t midtxn_id =
+                    static_cast<uint64_t>(committed) + 1;
+                if (midtxn)
+                    history.push_back(
+                        pheapOp(midtxn_id, 0xdeadbeef, false, false));
+                const conditions::KvState state{
+                    {1, cellValue(heap, cells, 0)}};
+
+                const conditions::ConditionResult dl =
+                    conditions::checkDurableLinearizable(history, state);
+                for (const std::string &violation : dl.violations)
+                    addViolation(&report.violations, "%s: %s", what,
+                                 violation.c_str());
+                std::vector<std::pair<uint64_t, conditions::OpVerdict>>
+                    verdicts;
+                const conditions::ConditionResult det =
+                    conditions::checkDetectableExecution(history, state,
+                                                         &verdicts);
+                for (const std::string &violation : det.violations)
+                    addViolation(&report.violations, "%s: %s", what,
+                                 violation.c_str());
+                // Undo recovery promises more than explainability: the
+                // in-flight transaction must come back *aborted* — a
+                // rollback that left 0xdeadbeef behind would instead
+                // read as a committed in-flight op.
+                if (midtxn && det.ok) {
+                    for (const auto &[id, verdict] : verdicts) {
+                        if (id == midtxn_id &&
+                            verdict != conditions::OpVerdict::Aborted)
+                            addViolation(&report.violations,
+                                         "%s: in-flight transaction "
+                                         "was not rolled back (verdict "
+                                         "committed)",
+                                         what);
+                    }
+                }
             }
             ++report.crashPoints;
             std::remove(path.c_str());
@@ -174,6 +253,28 @@ sweepStm(int txns, const std::string &dir)
                               "stm k=%d trunc=%u", committed,
                               truncate_every);
                 checkCells(heap, cells, expected, what, &report);
+
+                // Formal view, away from truncation boundaries (at a
+                // boundary the zeroed cells model an impossible loss
+                // of flushed lines, so the history would be fiction):
+                // every commit persisted via the ring, so the full
+                // history is the only legal BDL cut.
+                if (committed % static_cast<int>(truncate_every) != 0) {
+                    std::vector<conditions::HistoryOp> history;
+                    history.push_back(pheapOp(0, 0, true, true));
+                    for (int k = 1; k <= committed; ++k)
+                        history.push_back(pheapOp(
+                            static_cast<uint64_t>(k),
+                            static_cast<uint64_t>(k), true, true));
+                    const conditions::KvState state{
+                        {1, cellValue(heap, cells, 0)}};
+                    const conditions::ConditionResult bdl =
+                        conditions::checkBufferedDurableLinearizable(
+                            history, state);
+                    for (const std::string &violation : bdl.violations)
+                        addViolation(&report.violations, "%s: %s",
+                                     what, violation.c_str());
+                }
             }
             ++report.crashPoints;
             std::remove(path.c_str());
@@ -231,9 +332,14 @@ sweepRedo(int txns, const std::string &dir)
             scratchPath(dir, "redo", static_cast<int>(tear));
         std::remove(path.c_str());
         Offset cells = 0;
+        size_t persist_points = 0;
         {
             PHeap heap(heapConfig(path,
                                   static_cast<unsigned>(txns) + 2));
+            heap.redoLog().setPersistObserver(
+                [&persist_points](uint64_t, bool ok) {
+                    persist_points += ok ? 1 : 0;
+                });
             cells = buildRedoHeap(heap, txns, nullptr);
             if (tear < final_pos) {
                 // A power failure mid-append leaves the word with the
@@ -263,6 +369,38 @@ sweepRedo(int txns, const std::string &dir)
             std::snprintf(what, sizeof(what), "redo tear=%llu",
                           static_cast<unsigned long long>(tear));
             checkCells(heap, cells, expected, what, &report);
+
+            if (persist_points != static_cast<size_t>(txns))
+                addViolation(&report.violations,
+                             "%s: persist observer fired %zu times, "
+                             "expected %d",
+                             what, persist_points, txns);
+
+            // Formally: every commit responded before the crash, but
+            // only the ones wholly inside the intact ring prefix
+            // persisted. The torn suffix loses *responded* work, so
+            // the redo discipline promises buffered durable
+            // linearizability, not DL — the surviving state must be
+            // the persisted prefix, nothing less.
+            std::vector<conditions::HistoryOp> history;
+            history.push_back(pheapOp(0, 0, true, true));
+            for (int k = 1; k <= txns; ++k)
+                history.push_back(
+                    pheapOp(static_cast<uint64_t>(k),
+                            static_cast<uint64_t>(k), true,
+                            end_pos[static_cast<size_t>(k) - 1] <= tear));
+            const conditions::KvState state{
+                {1, cellValue(heap, cells, 0)}};
+            const conditions::ConditionResult bdl =
+                conditions::checkBufferedDurableLinearizable(history,
+                                                             state);
+            for (const std::string &violation : bdl.violations)
+                addViolation(&report.violations, "%s: %s", what,
+                             violation.c_str());
+            // No detectability check here: that condition is
+            // DL-flavored (a responded op must commit), and losing a
+            // responded-but-torn commit is exactly what the redo
+            // discipline is allowed to do.
         }
         ++report.crashPoints;
         std::remove(path.c_str());

@@ -146,6 +146,8 @@ CacheModel::writeBack(uint64_t line_addr)
     lruOrder_.erase(it->second.lru);
     dirty_.erase(it);
     directoryErase(line_addr);
+    if (writebackObserver_)
+        writebackObserver_(line_addr, /*lost=*/false);
 }
 
 Tick
@@ -261,6 +263,12 @@ CacheModel::fillDirty(uint64_t base, uint64_t bytes, Rng &rng)
 void
 CacheModel::dropDirty()
 {
+    if (writebackObserver_) {
+        for (const auto &[base, line] : dirty_) {
+            (void)line;
+            writebackObserver_(base, /*lost=*/true);
+        }
+    }
     dirty_.clear();
     lruOrder_.clear();
     for (auto &bucket : directory_)

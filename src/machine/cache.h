@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <span>
 #include <string>
@@ -173,6 +174,19 @@ class CacheModel
      */
     void dropDirty();
 
+    /**
+     * Observe every line leaving the cache: called with
+     * (line base, lost=false) when a line is written back to NVRAM
+     * (eviction, clflush, wbinvd, partition flush) and
+     * (line base, lost=true) per dirty line dropped without
+     * write-back. Feeds FliT-style flush tracking (util/flit.h).
+     */
+    void setWritebackObserver(
+        std::function<void(uint64_t line_base, bool lost)> observer)
+    {
+        writebackObserver_ = std::move(observer);
+    }
+
   private:
     struct Line
     {
@@ -204,6 +218,7 @@ class CacheModel
     uint64_t capacity_;
     CacheTiming timing_;
     NvramSpace &memory_;
+    std::function<void(uint64_t, bool)> writebackObserver_;
     std::unordered_map<uint64_t, Line> dirty_;
     std::list<uint64_t> lruOrder_; ///< front = most recently written
 

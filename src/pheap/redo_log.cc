@@ -55,6 +55,13 @@ RedoLog::commit(const std::vector<RedoWrite> &writes)
     log_.fence();
     log_.appendMarker(LogRecordType::TxnCommit, nextTxnId_);
     log_.fence();
+    if (flushOnCommit_) {
+        // Persist point: the Commit marker is durable, so recovery
+        // will replay this transaction whatever happens next.
+        ++stats_.persistPoints;
+        if (persistObserver_)
+            persistObserver_(nextTxnId_, /*committed=*/true);
+    }
     ++nextTxnId_;
     ++stats_.txnsCommitted;
     redoCommitCounter().add();

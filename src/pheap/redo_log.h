@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_set>
 #include <vector>
 
@@ -38,6 +39,9 @@ struct RedoLogStats
     uint64_t txnsCommitted = 0;
     uint64_t truncations = 0;
     uint64_t recordsLogged = 0;
+    /// Transactions whose persist point was reached (durable mode:
+    /// Commit marker fenced into the log).
+    uint64_t persistPoints = 0;
 };
 
 /** Per-heap redo log. Not thread-safe. */
@@ -72,6 +76,18 @@ class RedoLog
      */
     size_t recover();
 
+    /**
+     * Observe each transaction's persist point: for a redo log that
+     * is the commit-marker fence — the new values are durable in the
+     * log even before they land in place. Durable mode only (see
+     * UndoLog::setPersistObserver).
+     */
+    void setPersistObserver(
+        std::function<void(uint64_t txn_id, bool committed)> observer)
+    {
+        persistObserver_ = std::move(observer);
+    }
+
   private:
     void truncate();
 
@@ -82,6 +98,7 @@ class RedoLog
     unsigned commitsSinceTruncate_ = 0;
     uint64_t nextTxnId_ = 1;
     RedoLogStats stats_;
+    std::function<void(uint64_t, bool)> persistObserver_;
 
     /** In-place ranges written since the last truncation. */
     std::vector<std::pair<Offset, uint32_t>> pendingFlush_;

@@ -84,6 +84,13 @@ UndoLog::txCommit()
     }
     log_.appendMarker(LogRecordType::TxnCommit, nextTxnId_);
     log_.fence();
+    if (flushOnCommit_) {
+        // Persist point: the updates and the Commit marker are in the
+        // NV domain; this transaction survives any later crash.
+        ++stats_.persistPoints;
+        if (persistObserver_)
+            persistObserver_(nextTxnId_, /*committed=*/true);
+    }
     ++nextTxnId_;
     ++stats_.txnsCommitted;
     undoCommitCounter().add();
@@ -105,6 +112,11 @@ UndoLog::txAbort()
         storeFence();
     log_.appendMarker(LogRecordType::TxnAbort, nextTxnId_);
     log_.fence();
+    if (flushOnCommit_) {
+        ++stats_.persistPoints;
+        if (persistObserver_)
+            persistObserver_(nextTxnId_, /*committed=*/false);
+    }
     ++nextTxnId_;
     ++stats_.txnsAborted;
     inTxn_ = false;

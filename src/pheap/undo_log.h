@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_set>
 #include <vector>
 
@@ -32,6 +33,9 @@ struct UndoLogStats
     uint64_t txnsAborted = 0;
     uint64_t recordsLogged = 0;
     uint64_t bytesLogged = 0;
+    /// Transactions whose persist point was reached (durable mode
+    /// only: in-place lines flushed + commit/abort marker fenced).
+    uint64_t persistPoints = 0;
 };
 
 /** Per-heap undo log. Not thread-safe (one per thread or lock). */
@@ -73,6 +77,21 @@ class UndoLog
      */
     size_t recover();
 
+    /**
+     * Observe each transaction's persist point — the instant its
+     * outcome is durable: commit (in-place lines flushed, Commit
+     * marker fenced) or abort (old values restored, Abort marker
+     * fenced). Fires in durable mode only; in flush-on-fail mode the
+     * persist point is the failure-time flush, not a per-transaction
+     * event. Feeds the correctness-conditions history records
+     * (src/crashsim/conditions/).
+     */
+    void setPersistObserver(
+        std::function<void(uint64_t txn_id, bool committed)> observer)
+    {
+        persistObserver_ = std::move(observer);
+    }
+
   private:
     PersistentRegion &region_;
     TornBitLog log_;
@@ -80,6 +99,7 @@ class UndoLog
     bool inTxn_ = false;
     uint64_t nextTxnId_ = 1;
     UndoLogStats stats_;
+    std::function<void(uint64_t, bool)> persistObserver_;
 
     /** Ranges updated in the current transaction (for commit flush
      *  and for immediate rollback on abort). */

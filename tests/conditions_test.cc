@@ -1,0 +1,491 @@
+/**
+ * @file
+ * The correctness-conditions battery: FliT tracker mechanics, the
+ * durable-linearizability / buffered / detectable checkers against
+ * hand-built histories, a differential sweep of the exact checkers
+ * against brute-force linearization searchers on small histories, the
+ * schedule plumbing for the new condition fields, and the end-to-end
+ * planted bug: acknowledge-before-apply is caught by the DL checker at
+ * every enumerated crash point in the gap, minimizes, and replays —
+ * while a buffered-only sweep (correctly) forgives it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "crashsim/conditions/conditions.h"
+#include "crashsim/crash_explorer.h"
+#include "util/flit.h"
+#include "util/rng.h"
+
+#include "test_seed.h"
+
+namespace wsp::crashsim::conditions {
+namespace {
+
+// FliT tracker mechanics ----------------------------------------------
+
+TEST(Flit, StoreThenWritebackPersistsTheOp)
+{
+    util::FlitTracker flit;
+    Tick now = 0;
+    flit.setClock([&now]() { return now; });
+
+    const uint64_t id = flit.declareOp(0, 1, 42);
+    now = 10;
+    flit.beginApply(id);
+    flit.onStore(128, 8);
+    flit.onStore(192, 16); // straddles nothing; second line
+    flit.endApply();
+
+    EXPECT_TRUE(flit.op(id).applied);
+    EXPECT_EQ(flit.pendingStores(128), 1u);
+    EXPECT_FALSE(flit.opPersisted(flit.op(id)));
+    EXPECT_EQ(flit.op(id).persistTick, util::kNoTick);
+
+    now = 20;
+    flit.onWriteback(128);
+    EXPECT_EQ(flit.pendingStores(128), 0u);
+    EXPECT_FALSE(flit.opPersisted(flit.op(id))); // line 192 still dirty
+
+    now = 30;
+    flit.onWriteback(192);
+    EXPECT_TRUE(flit.opPersisted(flit.op(id)));
+    EXPECT_EQ(flit.op(id).persistTick, 30u);
+}
+
+TEST(Flit, LostLineNeverPersists)
+{
+    util::FlitTracker flit;
+    const uint64_t id = flit.declareOp(0, 1, 42);
+    flit.beginApply(id);
+    flit.onStore(256, 8);
+    flit.endApply();
+
+    // Power loss drops the line: the counter clears (the line is gone)
+    // but the op's stores never reached the NV domain.
+    flit.onLineLost(256);
+    EXPECT_EQ(flit.pendingStores(256), 0u);
+    EXPECT_FALSE(flit.opPersisted(flit.op(id)));
+
+    // A later write-back of recovery traffic on the same line must not
+    // retroactively persist the lost stores.
+    flit.onWriteback(256);
+    EXPECT_FALSE(flit.opPersisted(flit.op(id)));
+}
+
+TEST(Flit, NewerStoreReopensTheLine)
+{
+    util::FlitTracker flit;
+    const uint64_t a = flit.declareOp(0, 1, 1);
+    const uint64_t b = flit.declareOp(0, 1, 2);
+    flit.beginApply(a);
+    flit.onStore(0, 8);
+    flit.endApply();
+    flit.onWriteback(0);
+    EXPECT_TRUE(flit.opPersisted(flit.op(a)));
+
+    flit.beginApply(b);
+    flit.onStore(0, 8); // same line dirtied again
+    flit.endApply();
+    EXPECT_TRUE(flit.opPersisted(flit.op(a))); // a's seq still covered
+    EXPECT_FALSE(flit.opPersisted(flit.op(b)));
+}
+
+TEST(Flit, ZeroStoreOpPersistsAtApply)
+{
+    util::FlitTracker flit;
+    Tick now = 7;
+    flit.setClock([&now]() { return now; });
+    const uint64_t id = flit.declareOp(1, 9, 0); // erase of absent key
+    flit.beginApply(id);
+    flit.endApply();
+    EXPECT_TRUE(flit.opPersisted(flit.op(id)));
+    EXPECT_EQ(flit.op(id).persistTick, 7u);
+}
+
+TEST(Flit, RespondBeforeApplyStillCountsAsInvoked)
+{
+    // The ack-before-apply bug responds before any mutation ran; the
+    // history must still show an invoked op or the checkers would
+    // never see the phantom.
+    util::FlitTracker flit;
+    const uint64_t id = flit.declareOp(0, 1, 5);
+    flit.respond(id, true, 5);
+    EXPECT_TRUE(flit.op(id).invoked);
+    EXPECT_TRUE(flit.op(id).responded);
+    EXPECT_FALSE(flit.op(id).applied);
+}
+
+TEST(Flit, CoveredPredicateGatesPersistence)
+{
+    util::FlitTracker flit;
+    const uint64_t id = flit.declareOp(0, 1, 1);
+    flit.beginApply(id);
+    flit.onStore(64, 8);
+    flit.endApply();
+    flit.onWriteback(64);
+    EXPECT_TRUE(flit.opPersisted(flit.op(id)));
+    // ...but the module never programmed that line to flash.
+    EXPECT_FALSE(flit.opPersisted(flit.op(id),
+                                  [](uint64_t) { return false; }));
+    EXPECT_TRUE(flit.opPersisted(flit.op(id),
+                                 [](uint64_t) { return true; }));
+}
+
+// Checker unit tests ---------------------------------------------------
+
+HistoryOp
+op(uint64_t id, uint64_t key, uint64_t value, bool responded,
+   bool persisted, bool isErase = false, bool applied = true)
+{
+    HistoryOp h;
+    h.id = id;
+    h.isErase = isErase;
+    h.key = key;
+    h.value = value;
+    h.invoked = true;
+    h.applied = applied;
+    h.responded = responded;
+    h.persisted = persisted && applied;
+    return h;
+}
+
+TEST(DurableLin, RespondedEffectMustSurvive)
+{
+    // The planted persist-before-response bug in miniature: op 1
+    // responded to the caller but its effect is gone.
+    const std::vector<HistoryOp> history = {
+        op(0, 1, 5, true, true),
+        op(1, 1, 7, true, false, false, /*applied=*/false),
+    };
+    const KvState state{{1, 5}};
+    const ConditionResult dl = checkDurableLinearizable(history, state);
+    EXPECT_FALSE(dl.ok);
+    ASSERT_FALSE(dl.violations.empty());
+    EXPECT_NE(dl.violations.front().find("durable-lin"),
+              std::string::npos);
+    EXPECT_FALSE(bruteForceDurablyLinearizable(history, state));
+
+    // Buffered durable linearizability forgives exactly this: the
+    // phantom never persisted, so the cut before it is legal.
+    EXPECT_TRUE(checkBufferedDurableLinearizable(history, state).ok);
+    EXPECT_TRUE(bruteForceBufferedDurablyLinearizable(history, state));
+}
+
+TEST(DurableLin, InFlightOpMaySurfaceOrVanishWhole)
+{
+    std::vector<HistoryOp> history = {
+        op(0, 1, 5, true, true),
+        op(1, 1, 7, false, false), // in flight at the crash
+    };
+    EXPECT_TRUE(checkDurableLinearizable(history, KvState{{1, 5}}).ok);
+    EXPECT_TRUE(checkDurableLinearizable(history, KvState{{1, 7}}).ok);
+    // ...but not half of it (some other value).
+    EXPECT_FALSE(checkDurableLinearizable(history, KvState{{1, 6}}).ok);
+}
+
+TEST(DurableLin, InventedKeyIsAlwaysAViolation)
+{
+    const std::vector<HistoryOp> history = {op(0, 1, 5, true, true)};
+    const KvState state{{1, 5}, {9, 1}};
+    EXPECT_FALSE(checkDurableLinearizable(history, state).ok);
+    EXPECT_FALSE(checkBufferedDurableLinearizable(history, state).ok);
+    EXPECT_FALSE(checkDetectableExecution(history, state).ok);
+}
+
+TEST(Buffered, PersistedOpMustBeInsideTheCut)
+{
+    // Op 1 persisted; a surviving state that rolled back before it is
+    // a violation even though op 1 never responded.
+    const std::vector<HistoryOp> history = {
+        op(0, 1, 5, true, true),
+        op(1, 1, 7, false, true),
+    };
+    EXPECT_FALSE(
+        checkBufferedDurableLinearizable(history, KvState{{1, 5}}).ok);
+    EXPECT_FALSE(
+        bruteForceBufferedDurablyLinearizable(history, KvState{{1, 5}}));
+    EXPECT_TRUE(
+        checkBufferedDurableLinearizable(history, KvState{{1, 7}}).ok);
+}
+
+TEST(Buffered, LosesAnUnpersistedRespondedSuffix)
+{
+    // BDL (unlike DL) tolerates losing responded-but-unpersisted work:
+    // the explicit-flush world's contract between flushes.
+    const std::vector<HistoryOp> history = {
+        op(0, 1, 5, true, true),
+        op(1, 2, 9, true, false),
+        op(2, 1, 7, true, false),
+    };
+    const KvState state{{1, 5}};
+    EXPECT_TRUE(checkBufferedDurableLinearizable(history, state).ok);
+    EXPECT_FALSE(checkDurableLinearizable(history, state).ok);
+}
+
+TEST(Detectable, ClassifiesEveryOpOrFails)
+{
+    const std::vector<HistoryOp> history = {
+        op(0, 1, 5, true, true),
+        op(1, 2, 3, true, true),
+        op(2, 1, 7, false, false), // in flight
+    };
+    std::vector<std::pair<uint64_t, OpVerdict>> verdicts;
+    const ConditionResult ok = checkDetectableExecution(
+        history, KvState{{1, 7}, {2, 3}}, &verdicts);
+    ASSERT_TRUE(ok.ok);
+    ASSERT_EQ(verdicts.size(), 3u);
+    EXPECT_EQ(verdicts[2].second, OpVerdict::Committed); // surfaced
+
+    verdicts.clear();
+    const ConditionResult rolled = checkDetectableExecution(
+        history, KvState{{1, 5}, {2, 3}}, &verdicts);
+    ASSERT_TRUE(rolled.ok);
+    EXPECT_EQ(verdicts[2].second, OpVerdict::Aborted); // vanished
+
+    // A torn value belongs to no commit/abort assignment.
+    const ConditionResult torn = checkDetectableExecution(
+        history, KvState{{1, 6}, {2, 3}}, nullptr);
+    EXPECT_FALSE(torn.ok);
+    ASSERT_FALSE(torn.violations.empty());
+    EXPECT_NE(torn.violations.front().find("partial effect"),
+              std::string::npos);
+}
+
+// Differential battery: exact checkers vs brute-force searchers --------
+
+KvState
+randomState(Rng &rng)
+{
+    KvState state;
+    for (uint64_t key = 1; key <= 3; ++key) {
+        const uint64_t value = rng.next(6); // 0 = absent
+        if (value != 0)
+            state[key] = value;
+    }
+    return state;
+}
+
+std::vector<HistoryOp>
+randomHistory(Rng &rng, size_t n)
+{
+    std::vector<HistoryOp> history;
+    for (size_t i = 0; i < n; ++i) {
+        HistoryOp h;
+        h.id = i;
+        h.isErase = rng.chance(0.3);
+        h.key = 1 + rng.next(3);
+        h.value = 1 + rng.next(5);
+        h.invoked = rng.chance(0.9);
+        h.applied = h.invoked && rng.chance(0.8);
+        // Responded-without-applied is the ack-before-apply shape;
+        // keep it in the mix so the differential covers the bug.
+        h.responded = h.invoked && rng.chance(0.7);
+        h.persisted = h.applied && rng.chance(0.7);
+        history.push_back(h);
+    }
+    return history;
+}
+
+TEST(Differential, ExactCheckersMatchBruteForceAcrossTenSeeds)
+{
+    size_t dl_sat = 0, dl_unsat = 0, bdl_sat = 0, bdl_unsat = 0;
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+        const uint64_t pinned = seed * 0x636f6e64ull + seed;
+        SCOPED_TRACE("seed " + std::to_string(seed) + ", " +
+                     wsp::testing::seedTrace(pinned));
+        Rng rng(wsp::testing::testSeed(pinned));
+        for (int round = 0; round < 200; ++round) {
+            const size_t n = 1 + rng.next(8);
+            const std::vector<HistoryOp> history = randomHistory(rng, n);
+
+            // Half the states replay a random subset of the history
+            // (usually close to satisfiable), half are adversarial.
+            KvState state;
+            if (rng.chance(0.5)) {
+                const uint64_t mask = rng.next(1ull << n);
+                state = replay(history,
+                               [&history, mask](const HistoryOp &h) {
+                                   const size_t i = static_cast<size_t>(
+                                       &h - history.data());
+                                   return (mask >> i) & 1;
+                               });
+            } else {
+                state = randomState(rng);
+            }
+
+            const bool dl_exact =
+                checkDurableLinearizable(history, state).ok;
+            const bool dl_brute =
+                bruteForceDurablyLinearizable(history, state);
+            ASSERT_EQ(dl_exact, dl_brute)
+                << "DL divergence, round " << round;
+            (dl_exact ? dl_sat : dl_unsat) += 1;
+
+            const bool bdl_exact =
+                checkBufferedDurableLinearizable(history, state).ok;
+            const bool bdl_brute =
+                bruteForceBufferedDurablyLinearizable(history, state);
+            ASSERT_EQ(bdl_exact, bdl_brute)
+                << "BDL divergence, round " << round;
+            (bdl_exact ? bdl_sat : bdl_unsat) += 1;
+        }
+    }
+    // The sweep must have exercised both verdicts of both checkers.
+    EXPECT_GT(dl_sat, 0u);
+    EXPECT_GT(dl_unsat, 0u);
+    EXPECT_GT(bdl_sat, 0u);
+    EXPECT_GT(bdl_unsat, 0u);
+}
+
+// Schedule plumbing ----------------------------------------------------
+
+TEST(ConditionSchedule, SerializationRoundTripsConditionFields)
+{
+    CrashSchedule schedule;
+    schedule.condition = ConditionMode::BufferedDurableLin;
+    schedule.ackDelay = fromMicros(30.0) + 3;
+    schedule.ackBeforeApply = true;
+    const auto reread = CrashSchedule::parse(schedule.serialize());
+    ASSERT_TRUE(reread.has_value());
+    EXPECT_TRUE(*reread == schedule);
+    EXPECT_NE(schedule.summary().find("condition=buffered"),
+              std::string::npos);
+    EXPECT_NE(schedule.summary().find("ACK-BEFORE-APPLY"),
+              std::string::npos);
+}
+
+TEST(ConditionSchedule, ParseRejectsBadConditionAndNonSequentialAck)
+{
+    CrashSchedule schedule;
+    std::string text = schedule.serialize();
+    const size_t pos = text.find("condition=all");
+    ASSERT_NE(pos, std::string::npos);
+    std::string bad = text;
+    bad.replace(pos, 13, "condition=zzz");
+    EXPECT_FALSE(CrashSchedule::parse(bad).has_value());
+
+    // ackDelay >= opSpacing would overlap consecutive operations; the
+    // checkers assume a sequential history, so the file is refused.
+    CrashSchedule overlapping;
+    overlapping.ackDelay = overlapping.opSpacing;
+    EXPECT_FALSE(
+        CrashSchedule::parse(overlapping.serialize()).has_value());
+}
+
+TEST(ConditionSchedule, ModeNamesRoundTrip)
+{
+    for (ConditionMode mode :
+         {ConditionMode::All, ConditionMode::DurableLin,
+          ConditionMode::BufferedDurableLin, ConditionMode::Detectable}) {
+        const auto back = conditionModeFromName(conditionModeName(mode));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, mode);
+    }
+    EXPECT_FALSE(conditionModeFromName("linearizable").has_value());
+}
+
+// End-to-end: the planted ack-before-apply bug -------------------------
+
+/**
+ * ackDelay=30us puts each op's respond/apply pair at t and t+30us on a
+ * 50us grid; failDelay=5.01ms lands strictly inside op 99's gap (ack
+ * at 5.000ms, apply gated at 5.030ms), so a phantom — responded,
+ * never applied — exists at every enumerated window.
+ */
+CrashSchedule
+ackBugSchedule()
+{
+    CrashSchedule schedule;
+    schedule.ops = 128;
+    schedule.ackDelay = fromMicros(30.0);
+    schedule.failDelay = fromMillis(5.0) + fromMicros(10.0);
+    schedule.ackBeforeApply = true;
+    schedule.outage = fromMillis(500.0);
+    return schedule;
+}
+
+TEST(AckBeforeApply, IsCaughtMinimizedAndReplayable)
+{
+    CrashExplorer explorer(ackBugSchedule());
+    const SweepReport report = explorer.sweepEnumerated(true, 120);
+    ASSERT_FALSE(report.allHeld())
+        << "ack-before-apply survived the sweep";
+    const CrashPointResult &failure = report.failures.front();
+    ASSERT_FALSE(failure.violations.empty());
+    bool named_dl = false;
+    for (const std::string &violation : failure.violations)
+        named_dl = named_dl ||
+                   violation.find("durable-lin") != std::string::npos;
+    EXPECT_TRUE(named_dl) << failure.violations.front();
+
+    // Minimization keeps the phantom alive...
+    const CrashSchedule minimized =
+        CrashExplorer::minimize(failure.schedule, 32);
+    EXPECT_TRUE(minimized.ackBeforeApply);
+    const CrashPointResult replayed =
+        CrashExplorer::runSchedule(minimized);
+    EXPECT_FALSE(replayed.held());
+
+    // ...and the replay file reproduces it bit-for-bit.
+    const std::string path = ::testing::TempDir() +
+                             "wsp_conditions_replay_" +
+                             std::to_string(::getpid()) + ".txt";
+    ASSERT_TRUE(minimized.writeFile(path));
+    const auto reread = CrashSchedule::readFile(path);
+    ASSERT_TRUE(reread.has_value());
+    EXPECT_TRUE(*reread == minimized);
+    EXPECT_FALSE(CrashExplorer::runSchedule(*reread).held());
+    std::remove(path.c_str());
+}
+
+TEST(AckBeforeApply, BufferedModeForgivesTheSameSchedule)
+{
+    // The phantom never persisted, so buffered durable linearizability
+    // admits the cut just before it: a buffered-only sweep of the very
+    // same buggy schedule must hold. This is the DL ⊊ BDL separation,
+    // end to end.
+    CrashSchedule schedule = ackBugSchedule();
+    schedule.condition = ConditionMode::BufferedDurableLin;
+    CrashExplorer explorer(schedule);
+    const SweepReport report = explorer.sweepEnumerated(false, 60);
+    EXPECT_TRUE(report.allHeld())
+        << report.failures.front().violations.front();
+}
+
+TEST(AckBeforeApply, DetectableModeAlsoCatchesThePhantom)
+{
+    // A responded op with no surviving effect cannot be classified
+    // committed, so detectability flags the same bug independently.
+    CrashSchedule schedule = ackBugSchedule();
+    schedule.condition = ConditionMode::Detectable;
+    const CrashPointResult result = CrashExplorer::runSchedule(schedule);
+    ASSERT_FALSE(result.held());
+    bool named = false;
+    for (const std::string &violation : result.violations)
+        named = named || violation.find("detectable-execution") !=
+                             std::string::npos;
+    EXPECT_TRUE(named) << result.violations.front();
+}
+
+TEST(ConditionsBattery, CorrectModeHoldsWithAnOpInFlightAtTheCrash)
+{
+    // Same timing, bug disabled: op 99 applies at 5.000ms and its
+    // response (5.030ms) is cut off by the failure — a genuinely
+    // in-flight op at every window. DL must accept it surfacing.
+    CrashSchedule schedule = ackBugSchedule();
+    schedule.ackBeforeApply = false;
+    CrashExplorer explorer(schedule);
+    const SweepReport report = explorer.sweepEnumerated(false, 60);
+    EXPECT_TRUE(report.allHeld())
+        << report.failures.front().violations.front();
+}
+
+} // namespace
+} // namespace wsp::crashsim::conditions

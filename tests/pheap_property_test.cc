@@ -21,6 +21,8 @@
 #include "pheap/policies.h"
 #include "util/rng.h"
 
+#include "test_seed.h"
+
 namespace wsp::pmem {
 namespace {
 
@@ -44,7 +46,8 @@ constexpr uint64_t kRegionSize = 32ull * 1024 * 1024;
  */
 TEST(TornBitFuzz, ScanAlwaysReturnsIntactPrefix)
 {
-    Rng rng(0x70123);
+    SCOPED_TRACE(testing::seedTrace(0x70123));
+    Rng rng(testing::testSeed(0x70123));
     for (int trial = 0; trial < 40; ++trial) {
         PersistentRegion region(kRegionSize);
         TornBitLog log(region, region.header().undoLogStart, 16 * 1024,
@@ -107,7 +110,8 @@ TEST(TornBitFuzz, WrappedRingKeepsSuffix)
 {
     // After many wraps, the scan must still return only records from
     // the current window, all intact.
-    Rng rng(0x999);
+    SCOPED_TRACE(testing::seedTrace(0x999));
+    Rng rng(testing::testSeed(0x999));
     PersistentRegion region(kRegionSize);
     TornBitLog log(region, region.header().undoLogStart, 8 * 1024,
                    &region.header().undoCheckpointPos,
@@ -139,7 +143,8 @@ TEST(TornBitFuzz, WrappedRingKeepsSuffix)
  */
 TEST(TornBitFuzz, ByteGranularityCutsHonorWordAtomicity)
 {
-    Rng rng(0xb17ec);
+    SCOPED_TRACE(testing::seedTrace(0xb17ec));
+    Rng rng(testing::testSeed(0xb17ec));
     PersistentRegion region(kRegionSize);
     TornBitLog log(region, region.header().undoLogStart, 16 * 1024,
                    &region.header().undoCheckpointPos,

@@ -29,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "test_seed.h"
+
 #include "crashsim/crash_explorer.h"
 #include "sim/event_queue.h"
 #include "trace/trace.h"
@@ -325,8 +327,10 @@ TEST(SimDifferential, MatchesReferenceAcrossManySeeds)
     constexpr size_t kOpsPerSeed = 12000;
     size_t dispatched = 0;
     for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
-        SCOPED_TRACE("seed " + std::to_string(seed));
-        DifferentialDriver driver(seed * 0x9e3779b97f4a7c15ull + seed);
+        const uint64_t pinned = seed * 0x9e3779b97f4a7c15ull + seed;
+        SCOPED_TRACE("seed " + std::to_string(seed) + ", " +
+                     wsp::testing::seedTrace(pinned));
+        DifferentialDriver driver(wsp::testing::testSeed(pinned));
         driver.runOps(kOpsPerSeed);
         if (::testing::Test::HasFatalFailure())
             return;
@@ -341,7 +345,8 @@ TEST(SimDifferential, LongSingleSeedRun)
     // One deep run on a single seed: long-lived queues hit slot reuse,
     // heap growth/shrink cycles, and generation wraparound pressure
     // differently than many short runs.
-    DifferentialDriver driver(0x5753502177ull);
+    SCOPED_TRACE(wsp::testing::seedTrace(0x5753502177ull));
+    DifferentialDriver driver(wsp::testing::testSeed(0x5753502177ull));
     driver.runOps(40000);
 }
 

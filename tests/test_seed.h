@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared seed override for the randomized property tests.
+ *
+ * Every property test pins its default seed (so CI is reproducible)
+ * but derives the actual seed through testSeed(): setting the
+ * WSP_TEST_SEED environment variable re-seeds all of them at once,
+ * for shaking out seed-sensitive assumptions locally, and every
+ * failure message names the seed in effect so a red run can be
+ * replayed exactly:
+ *
+ *     WSP_TEST_SEED=12345 ./test_wsp_property
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace wsp::testing {
+
+/**
+ * The seed a property test should run with: WSP_TEST_SEED if set
+ * (mixed with @p pinned so distinct call sites still diverge),
+ * otherwise @p pinned itself.
+ */
+inline uint64_t
+testSeed(uint64_t pinned)
+{
+    const char *env = std::getenv("WSP_TEST_SEED");
+    if (env == nullptr || *env == '\0')
+        return pinned;
+    const uint64_t base = std::strtoull(env, nullptr, 0);
+    // splitmix64-style mix so every pinned site gets its own stream
+    // from one environment value.
+    uint64_t z = base + pinned * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** "seed 0x…" trace tag naming the effective seed for replay. */
+inline std::string
+seedTrace(uint64_t pinned)
+{
+    char line[64];
+    std::snprintf(line, sizeof(line), "seed=%llu (WSP_TEST_SEED %s)",
+                  static_cast<unsigned long long>(testSeed(pinned)),
+                  std::getenv("WSP_TEST_SEED") != nullptr ? "set"
+                                                          : "unset");
+    return line;
+}
+
+} // namespace wsp::testing

@@ -247,6 +247,45 @@ TEST(Histogram, QuantileMedian)
     EXPECT_NEAR(hist.quantile(0.9), 90.0, 1.5);
 }
 
+TEST(Histogram, PercentileOfEmptyHistogramIsLowerBound)
+{
+    Histogram hist(2.0, 10.0, 8);
+    // No samples: every percentile collapses to the lower bound
+    // rather than dividing by zero or walking past the buckets.
+    EXPECT_EQ(hist.percentile(0.0), 2.0);
+    EXPECT_EQ(hist.percentile(50.0), 2.0);
+    EXPECT_EQ(hist.percentile(100.0), 2.0);
+}
+
+TEST(Histogram, PercentileSingleSampleIsItsBucketMidpoint)
+{
+    Histogram hist(0.0, 10.0, 10);
+    hist.add(3.2); // bucket [3, 4) — midpoint 3.5
+    EXPECT_EQ(hist.percentile(0.0), 3.5);
+    EXPECT_EQ(hist.percentile(50.0), 3.5);
+    EXPECT_EQ(hist.percentile(99.0), 3.5);
+    // q == 1.0 targets one past the last sample: the upper bound.
+    EXPECT_EQ(hist.percentile(100.0), 10.0);
+}
+
+TEST(Histogram, PercentileAllEqualSamplesStaysInTheirBucket)
+{
+    Histogram hist(0.0, 100.0, 100);
+    for (int i = 0; i < 1000; ++i)
+        hist.add(42.0); // bucket [42, 43) — midpoint 42.5
+    EXPECT_EQ(hist.percentile(1.0), 42.5);
+    EXPECT_EQ(hist.percentile(50.0), 42.5);
+    EXPECT_EQ(hist.percentile(99.0), 42.5);
+}
+
+TEST(Histogram, PercentileUnderflowOnlySamplesClampToLowerBound)
+{
+    Histogram hist(10.0, 20.0, 5);
+    hist.add(1.0);
+    hist.add(2.0);
+    EXPECT_EQ(hist.percentile(50.0), 10.0);
+}
+
 TEST(Histogram, RenderHasOneLinePerBucket)
 {
     Histogram hist(0.0, 4.0, 4);

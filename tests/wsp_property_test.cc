@@ -15,6 +15,7 @@
 
 #include "apps/kv_store.h"
 #include "core/system.h"
+#include "test_seed.h"
 
 namespace wsp {
 namespace {
@@ -56,7 +57,8 @@ TEST_P(PlatformWindowSweep, InvariantHoldsEverywhere)
     system.start();
 
     apps::KvStore store(system.cache(), 0, 512);
-    Rng rng(4);
+    SCOPED_TRACE(testing::seedTrace(4));
+    Rng rng(testing::testSeed(4));
     for (uint64_t i = 1; i <= 200; ++i)
         store.put(i, rng());
     const uint64_t checksum = store.checksum();
@@ -169,7 +171,8 @@ TEST(WspCorners, ThreeConsecutiveCycles)
     WspSystem system(config);
     system.start();
     apps::KvStore store(system.cache(), 0, 512);
-    Rng rng(6);
+    SCOPED_TRACE(testing::seedTrace(6));
+    Rng rng(testing::testSeed(6));
     uint64_t key = 1;
     for (int cycle = 0; cycle < 3; ++cycle) {
         for (int i = 0; i < 50; ++i)
@@ -193,7 +196,8 @@ TEST(WspCorners, SaveWithHugeDirtyFootprint)
     config.nvdimm.capacityBytes = 16 * kMiB; // room for 12 MiB of lines
     WspSystem system(config);
     system.start();
-    Rng rng(7);
+    SCOPED_TRACE(testing::seedTrace(7));
+    Rng rng(testing::testSeed(7));
     system.machine().fillCachesDirty(
         config.platform.cachePerSocket, rng);
     auto outcome = system.powerFailAndRestore(fromMillis(5.0),
@@ -362,8 +366,9 @@ TEST(WspCorners, SecondFailureAfterMarkerClearFallsBack)
     EXPECT_TRUE(system.wsp().running());
     // Whichever path ran, the invariant holds; if the marker was
     // consumed before the kill, the back end must have been engaged.
-    if (!report.usedWsp)
+    if (!report.usedWsp) {
         EXPECT_TRUE(backend_ran);
+    }
     (void)first_boot_done;
 }
 
@@ -374,7 +379,8 @@ TEST(WspCorners, RestoreIsExactAcrossAllMemoryRegions)
     SystemConfig config = baseConfig();
     WspSystem system(config);
     system.start();
-    Rng rng(8);
+    SCOPED_TRACE(testing::seedTrace(8));
+    Rng rng(testing::testSeed(8));
     const uint64_t marker_base =
         WspLayout::topOfMemory(system.memory().capacity(),
                                system.machine().coreCount())
@@ -406,7 +412,8 @@ TEST(WspCorners, SingleCoreMachineSavesAndRestores)
     system.start();
     apps::KvStore store(system.cache(), 0, 256);
     store.put(4, 44);
-    Rng rng(12);
+    SCOPED_TRACE(testing::seedTrace(12));
+    Rng rng(testing::testSeed(12));
     system.machine().randomizeContexts(rng);
     const CpuContext before = system.machine().core(0).context;
 
@@ -429,7 +436,8 @@ TEST(WspCorners, EightModuleSystemRecovers)
     WspSystem system(config);
     system.start();
     // Scatter state across every module.
-    Rng rng(13);
+    SCOPED_TRACE(testing::seedTrace(13));
+    Rng rng(testing::testSeed(13));
     std::vector<std::pair<uint64_t, uint64_t>> cells;
     for (int i = 0; i < 64; ++i) {
         const uint64_t addr =

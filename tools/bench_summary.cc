@@ -181,6 +181,24 @@ main(int argc, char **argv)
     for (const fs::path &path : files)
         ok = collectFile(path, counter_names, &runs) && ok;
 
+    // A counter name no record carries is almost certainly a typo (or
+    // a renamed counter); a silent column of "-" would read as "the
+    // counter never moved". Fail loudly instead.
+    for (size_t c = 0; c < counter_names.size(); ++c) {
+        bool found = false;
+        for (const Run &run : runs)
+            found = found || run.counterValues[c] != "-";
+        if (!found && !runs.empty()) {
+            std::fprintf(stderr,
+                         "bench_summary: counter '%s' appears in none "
+                         "of the %zu runs under '%s' (misspelled or "
+                         "renamed?)\n",
+                         counter_names[c].c_str(), runs.size(),
+                         dir.c_str());
+            ok = false;
+        }
+    }
+
     // Trajectory order: per bench, oldest first (the UTC stamps are
     // ISO-8601, so lexicographic is chronological).
     std::stable_sort(runs.begin(), runs.end(),

@@ -51,6 +51,16 @@ usage()
         "  --train-cycles=N    outage-train cycles per run (default 1)\n"
         "  --no-incremental    force full saves (delta engine off)\n"
         "  --lazy-restore      lazy page-in restores on boot\n"
+        "  --condition=NAME    correctness condition to enforce:\n"
+        "                      all (default), durable-lin, buffered,\n"
+        "                      detectable\n"
+        "  --ack-delay-us=N    respond N microseconds after each op\n"
+        "                      applies (must stay below op spacing)\n"
+        "  --ack-before-apply  planted bug: acknowledge each op before\n"
+        "                      its mutation runs (violates durable\n"
+        "                      linearizability; buffered forgives it)\n"
+        "  --ops=N             operations in the KV workload\n"
+        "  --fail-delay-us=N   AC failure N microseconds into the run\n"
         "  --incremental-equivalence  also compare full-vs-delta flash\n"
         "                      images at every enumerated window\n"
         "  --seed=N            base RNG seed\n"
@@ -158,6 +168,36 @@ main(int argc, char **argv)
             base.incrementalSave = false;
         } else if (arg == "--lazy-restore") {
             base.lazyRestore = true;
+        } else if (arg.rfind("--condition=", 0) == 0) {
+            const auto mode = conditionModeFromName(arg.substr(12));
+            if (!mode) {
+                usage();
+                return 1;
+            }
+            base.condition = *mode;
+        } else if (arg.rfind("--ack-delay-us=", 0) == 0) {
+            uint64_t us = 0;
+            if (!parseUint(arg.c_str() + 15, &us)) {
+                usage();
+                return 1;
+            }
+            base.ackDelay = wsp::fromMicros(static_cast<double>(us));
+        } else if (arg == "--ack-before-apply") {
+            base.ackBeforeApply = true;
+        } else if (arg.rfind("--ops=", 0) == 0) {
+            uint64_t n = 0;
+            if (!parseUint(arg.c_str() + 6, &n) || n == 0) {
+                usage();
+                return 1;
+            }
+            base.ops = static_cast<unsigned>(n);
+        } else if (arg.rfind("--fail-delay-us=", 0) == 0) {
+            uint64_t us = 0;
+            if (!parseUint(arg.c_str() + 16, &us)) {
+                usage();
+                return 1;
+            }
+            base.failDelay = wsp::fromMicros(static_cast<double>(us));
         } else if (arg == "--incremental-equivalence") {
             equivalence = true;
         } else if (arg.rfind("--seed=", 0) == 0) {
@@ -171,6 +211,14 @@ main(int argc, char **argv)
             usage();
             return 1;
         }
+    }
+
+    if (base.ackDelay >= base.opSpacing) {
+        std::fprintf(stderr,
+                     "--ack-delay-us must stay below the op spacing "
+                     "(%.0f us)\n",
+                     wsp::toMicros(base.opSpacing));
+        return 1;
     }
 
     CrashExplorer explorer(base);
