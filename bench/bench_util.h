@@ -92,6 +92,7 @@ struct BenchState
     uint64_t seed = 0;
     bool seedExplicit = false;
     unsigned repeat = 1;
+    trace::BenchRecordFields recordFields;
 };
 
 inline BenchState &
@@ -171,6 +172,25 @@ rngSeed(uint64_t fallback)
     return bench.seed;
 }
 
+/**
+ * Attach an extra top-level integer field to this run's
+ * BENCH_<name>.json record (e.g. fleet_storm's nodes/replication).
+ * Repeated names overwrite the earlier value, so a bench can refine a
+ * field after sizing its workload.
+ */
+inline void
+recordField(const std::string &name, uint64_t value)
+{
+    auto &fields = detail::state().recordFields;
+    for (auto &field : fields) {
+        if (field.first == name) {
+            field.second = value;
+            return;
+        }
+    }
+    fields.emplace_back(name, value);
+}
+
 /** The sample count requested via --repeat=N (default 1). */
 inline unsigned
 repeat()
@@ -239,7 +259,7 @@ writeOutputs()
         record += "BENCH_" + bench.name + ".json";
         trace::appendBenchRecord(record, bench.name,
                                  nowSeconds() - bench.startedAt,
-                                 bench.seed);
+                                 bench.seed, bench.recordFields);
     }
 }
 

@@ -32,7 +32,7 @@ endif()
 
 execute_process(
     COMMAND ${CMAKE_COMMAND} --build ${OUT_DIR}
-        --target test_salvage test_sim_property test_conditions
+        --target test_salvage test_sim_property test_conditions test_fleet
     RESULT_VARIABLE build_rc
     OUTPUT_VARIABLE build_out
     ERROR_VARIABLE build_out
@@ -83,5 +83,20 @@ if(NOT cond_rc EQUAL 0)
     message(FATAL_ERROR
         "asan_smoke: conditions ASan run failed (rc=${cond_rc}):\n${cond_out}")
 endif()
+# The fleet battery churns whole WspSystems (kill, image capture,
+# chassis swap) and walks raw store shards during anti-entropy — a
+# use-after-free in the node teardown/reboot cycle would hide exactly
+# there. Run the placement, lifecycle and mid-save-kill suites.
+execute_process(
+    COMMAND ${OUT_DIR}/tests/test_fleet
+        --gtest_filter=Rendezvous.*:FleetNode.*:Fleet.QuorumWritesReadsAndConvergence:Fleet.MidSaveKillSubsetStaysConvergent
+    RESULT_VARIABLE fleet_rc
+    OUTPUT_VARIABLE fleet_out
+    ERROR_VARIABLE fleet_out
+)
+if(NOT fleet_rc EQUAL 0)
+    message(FATAL_ERROR
+        "asan_smoke: fleet ASan run failed (rc=${fleet_rc}):\n${fleet_out}")
+endif()
 message(STATUS
-    "asan_smoke: salvage + sim-property + conditions suites clean under ASan")
+    "asan_smoke: salvage + sim-property + conditions + fleet suites clean under ASan")

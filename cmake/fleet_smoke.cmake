@@ -1,0 +1,70 @@
+# Release-configuration fleet smoke test, run as a ctest:
+#
+#   cmake -DSOURCE_DIR=<repo> -DOUT_DIR=<dir> -P fleet_smoke.cmake
+#
+# Configures a -O2 (CMAKE_BUILD_TYPE=Release) sub-build of the tree
+# (shared with the perf smokes' OUT_DIR convention), builds the
+# fleet_storm bench and the fleet_sweep driver, and runs both small:
+#
+#  - bench/fleet_storm's own shape check is the assertion: WSP-local
+#    recovery must reach full capacity at least 5x faster than the
+#    backend-refill storm, no acknowledged write may be lost under
+#    any recovery policy, and the degraded tier must serve reads.
+#  - tools/fleet_sweep proves NoReplicaDivergence over a handful of
+#    enumerated mid-save kill instants (exit 3 = divergence found).
+#
+# The sub-build directory persists across runs, so re-runs are
+# incremental.
+
+if(NOT SOURCE_DIR OR NOT OUT_DIR)
+    message(FATAL_ERROR "fleet_smoke: SOURCE_DIR and OUT_DIR are required")
+endif()
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -G Ninja -S ${SOURCE_DIR} -B ${OUT_DIR}
+        -DCMAKE_BUILD_TYPE=Release
+    RESULT_VARIABLE configure_rc
+    OUTPUT_VARIABLE configure_out
+    ERROR_VARIABLE configure_out
+)
+if(NOT configure_rc EQUAL 0)
+    message(FATAL_ERROR
+        "fleet_smoke: configure failed (rc=${configure_rc}):\n${configure_out}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} --build ${OUT_DIR}
+        --target bench_fleet_storm fleet_sweep
+    RESULT_VARIABLE build_rc
+    OUTPUT_VARIABLE build_out
+    ERROR_VARIABLE build_out
+)
+if(NOT build_rc EQUAL 0)
+    message(FATAL_ERROR
+        "fleet_smoke: build failed (rc=${build_rc}):\n${build_out}")
+endif()
+
+execute_process(
+    COMMAND ${OUT_DIR}/bench/fleet_storm
+    RESULT_VARIABLE bench_rc
+    OUTPUT_VARIABLE bench_out
+    ERROR_VARIABLE bench_out
+)
+if(NOT bench_rc EQUAL 0)
+    message(FATAL_ERROR
+        "fleet_smoke: fleet_storm shape check failed (rc=${bench_rc}):\n${bench_out}")
+endif()
+
+execute_process(
+    COMMAND ${OUT_DIR}/tools/fleet_sweep --points=6
+    RESULT_VARIABLE sweep_rc
+    OUTPUT_VARIABLE sweep_out
+    ERROR_VARIABLE sweep_out
+)
+if(NOT sweep_rc EQUAL 0)
+    message(FATAL_ERROR
+        "fleet_smoke: NoReplicaDivergence sweep failed (rc=${sweep_rc}):\n${sweep_out}")
+endif()
+message(STATUS
+    "fleet_smoke: storm shape check + NoReplicaDivergence sweep clean at -O2")

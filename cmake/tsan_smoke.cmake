@@ -27,7 +27,7 @@ endif()
 
 execute_process(
     COMMAND ${CMAKE_COMMAND} --build ${OUT_DIR}
-        --target test_concurrency test_conditions
+        --target test_concurrency test_conditions test_fleet
     RESULT_VARIABLE build_rc
     OUTPUT_VARIABLE build_out
     ERROR_VARIABLE build_out
@@ -70,4 +70,19 @@ if(NOT cond_rc EQUAL 0)
     message(FATAL_ERROR
         "tsan_smoke: conditions TSan run failed (rc=${cond_rc}):\n${cond_out}")
 endif()
-message(STATUS "tsan_smoke: threaded + conditions suites clean under TSan")
+# Fleet quorum/lifecycle suites: the node save pipeline may use the
+# parallel per-core flush path, and a TSan pass keeps the fleet
+# machinery honest if it ever grows threaded traffic drivers.
+execute_process(
+    COMMAND ${OUT_DIR}/tests/test_fleet
+        --gtest_filter=Rendezvous.*:FleetNode.*:Fleet.StormWspLocalRecoversEveryVictim
+    RESULT_VARIABLE fleet_rc
+    OUTPUT_VARIABLE fleet_out
+    ERROR_VARIABLE fleet_out
+)
+if(NOT fleet_rc EQUAL 0)
+    message(FATAL_ERROR
+        "tsan_smoke: fleet TSan run failed (rc=${fleet_rc}):\n${fleet_out}")
+endif()
+message(STATUS
+    "tsan_smoke: threaded + conditions + fleet suites clean under TSan")

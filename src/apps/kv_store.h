@@ -221,6 +221,13 @@ class ShardedKvStore
     /** The shard owning @p key. */
     unsigned shardOf(uint64_t key) const;
 
+    /**
+     * Read-only view of shard @p i. The fleet's anti-entropy pass
+     * scans shards directly to build per-shard digests; mutations
+     * still go through the locking front door above.
+     */
+    const KvStore &shard(unsigned i) const { return shards_.at(i); }
+
     uint64_t perShardCapacity() const { return shards_.front().capacity(); }
 
     /** Insert or update @p key in its shard. False when full. */

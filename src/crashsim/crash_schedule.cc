@@ -81,6 +81,10 @@ CrashSchedule::serialize() const
     out << "condition=" << conditionModeName(condition) << "\n";
     out << "ack_delay_ns=" << ackDelay << "\n";
     out << "ack_before_apply=" << (ackBeforeApply ? 1 : 0) << "\n";
+    out << "fleet_nodes=" << fleetNodes << "\n";
+    out << "fleet_replication=" << fleetReplication << "\n";
+    out << "fleet_kill_mask=" << fleetKillMask << "\n";
+    out << "fleet_policy=" << fleetPolicy << "\n";
     return out.str();
 }
 
@@ -166,6 +170,16 @@ CrashSchedule::parse(const std::string &text)
                 schedule.ackDelay = std::stoull(value);
             else if (key == "ack_before_apply")
                 schedule.ackBeforeApply = value == "1";
+            else if (key == "fleet_nodes")
+                schedule.fleetNodes =
+                    static_cast<unsigned>(std::stoul(value));
+            else if (key == "fleet_replication")
+                schedule.fleetReplication =
+                    static_cast<unsigned>(std::stoul(value));
+            else if (key == "fleet_kill_mask")
+                schedule.fleetKillMask = std::stoull(value);
+            else if (key == "fleet_policy")
+                schedule.fleetPolicy = std::stoi(value);
             else
                 return std::nullopt; // unknown key: refuse to guess
         } catch (const std::exception &) {
@@ -183,6 +197,12 @@ CrashSchedule::parse(const std::string &text)
         return std::nullopt; // only Core/Metadata cuts are degraded
     if (schedule.ackDelay >= schedule.opSpacing)
         return std::nullopt; // workload must stay sequential
+    if (schedule.fleetNodes > 64)
+        return std::nullopt; // kill mask is a 64-bit word
+    if (schedule.fleetNodes > 0 && schedule.fleetReplication == 0)
+        return std::nullopt;
+    if (schedule.fleetPolicy < 0 || schedule.fleetPolicy > 2)
+        return std::nullopt;
     return schedule;
 }
 
@@ -251,6 +271,17 @@ CrashSchedule::summary() const
         text += std::string(" condition=") + conditionModeName(condition);
     if (ackBeforeApply)
         text += " ACK-BEFORE-APPLY";
+    if (fleetNodes > 0) {
+        text += " fleet=" + std::to_string(fleetNodes) + "/r" +
+                std::to_string(fleetReplication);
+        char mask[32];
+        std::snprintf(mask, sizeof(mask), " kill=0x%llx",
+                      static_cast<unsigned long long>(fleetKillMask));
+        text += mask;
+        text += fleetPolicy == 1   ? " refill"
+                : fleetPolicy == 2 ? " degraded-tier"
+                                   : " wsp-local";
+    }
     return text;
 }
 

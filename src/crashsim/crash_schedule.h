@@ -159,6 +159,32 @@ struct CrashSchedule
      */
     bool ackBeforeApply = false;
 
+    /**
+     * Fleet mode: run the schedule against a replicated fleet of this
+     * many nodes instead of one machine (0 = single-machine schedule,
+     * the default; everything below is ignored then). See
+     * src/fleet/fleet_sweep.h for the fleet interpretation of the
+     * shared fields (window, outage, trainCycles, ops, salvage).
+     */
+    unsigned fleetNodes = 0;
+
+    /** Replication factor R (clamped to fleetNodes at run time). */
+    unsigned fleetReplication = 3;
+
+    /**
+     * Bitmask of nodes each outage-train cycle kills (bit i = node i);
+     * 0 means "kill every node" (whole-datacenter outage). Masked
+     * against the node count at run time.
+     */
+    uint64_t fleetKillMask = 0;
+
+    /**
+     * Recovery policy for killed nodes: 0 = WSP-local restore,
+     * 1 = backend refill, 2 = WSP restore + degraded read-only tier
+     * until anti-entropy certifies convergence.
+     */
+    int fleetPolicy = 0;
+
     /** Replay-file serialization (text, one key=value per line). */
     std::string serialize() const;
 

@@ -1,0 +1,728 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/stat_registry.h"
+#include "util/logging.h"
+
+namespace wsp::fleet {
+
+namespace {
+
+/** Bytes one streamed (key, value) pair stands for on the wire. */
+constexpr uint64_t kPairBytes = 16;
+
+bool
+containsNode(const std::vector<uint32_t> &set, uint32_t node)
+{
+    return std::find(set.begin(), set.end(), node) != set.end();
+}
+
+} // namespace
+
+Fleet::Fleet(FleetConfig config)
+    : config_(config), rng_(config.seed),
+      capacity_{"fleet up fraction", {}, {}}
+{
+    WSP_CHECKF(config_.nodes >= 1 && config_.nodes <= 64,
+               "fleet size must be 1..64 (kill masks are 64-bit)");
+    effectiveR_ = std::max(1u, std::min(config_.replication, config_.nodes));
+    writeQuorum_ =
+        config_.writeQuorum == 0
+            ? effectiveR_ / 2 + 1
+            : std::min(config_.writeQuorum, effectiveR_);
+
+    for (uint32_t id = 0; id < config_.nodes; ++id) {
+        FleetNodeConfig node_config;
+        node_config.id = id;
+        node_config.seed = Rng(config_.seed).stream(id + 1)();
+        node_config.shards = config_.shardsPerNode;
+        node_config.perShardCapacity = config_.perShardCapacity;
+        node_config.killWindow = config_.killWindow;
+        node_config.salvage = config_.salvage;
+        auto node = std::make_unique<FleetNode>(node_config);
+        node->setRefillSource([this, id](unsigned shard) {
+            // The backend's checkpoint+log view of this node: every
+            // acked pair that hashes to the shard and whose replica
+            // set (under the *current* ring) includes the node.
+            std::vector<std::pair<uint64_t, uint64_t>> pairs;
+            for (const auto &[key, value] : model_)
+                if (nodes_[id]->shardOf(key) == shard &&
+                    assignedTo(key, id))
+                    pairs.emplace_back(key, value);
+            return pairs;
+        });
+        node->bootFresh();
+        nodes_.push_back(std::move(node));
+        ring_.addNode(id);
+        latency_.emplace_back(0.0, config_.latencyHiMs,
+                              config_.latencyBuckets);
+        epoch_.push_back(0);
+    }
+    recordCapacity();
+}
+
+Fleet::~Fleet() = default;
+
+unsigned
+Fleet::upNodes() const
+{
+    unsigned up = 0;
+    for (const auto &node : nodes_)
+        up += node->up() ? 1 : 0;
+    return up;
+}
+
+bool
+Fleet::assignedTo(uint64_t key, uint32_t node_id) const
+{
+    return containsNode(ring_.replicaSet(key, effectiveR_), node_id);
+}
+
+Tick
+Fleet::serviceDraw()
+{
+    // Exponential service time around the configured mean.
+    double u = rng_.uniform();
+    while (u >= 1.0)
+        u = rng_.uniform();
+    return std::max<Tick>(
+        1, fromSeconds(-toSeconds(config_.serviceMean) *
+                       std::log(1.0 - u)));
+}
+
+Tick
+Fleet::backoff(unsigned attempt)
+{
+    // Capped exponential backoff with +/-50% jitter so a storm's
+    // retries do not re-synchronize into a thundering herd.
+    Tick base = config_.backoffBase;
+    for (unsigned i = 0; i < attempt && base < config_.backoffCap; ++i)
+        base *= 2;
+    base = std::min(base, config_.backoffCap);
+    return base / 2 + rng_.next(base / 2 + 1);
+}
+
+void
+Fleet::recordLatency(uint64_t key, Tick latency)
+{
+    // Attribute to the key's primary so per-node histograms show
+    // which owners ran hot; the fleet-wide view is their merge.
+    const auto replicas = ring_.replicaSet(key, effectiveR_);
+    if (replicas.empty())
+        return;
+    latency_[replicas.front()].add(toSeconds(latency) * 1e3);
+}
+
+void
+Fleet::recordCapacity()
+{
+    unsigned commissioned = 0;
+    unsigned up = 0;
+    for (const auto &node : nodes_) {
+        if (node->state() == NodeState::Decommissioned)
+            continue;
+        ++commissioned;
+        up += node->up() ? 1 : 0;
+    }
+    capacity_.add(toSeconds(now_),
+                  commissioned == 0
+                      ? 0.0
+                      : static_cast<double>(up) / commissioned);
+}
+
+// Client plane -------------------------------------------------------
+
+bool
+Fleet::applyWrite(uint64_t key, uint64_t value, bool is_erase)
+{
+    WSP_CHECKF(key != 0, "key 0 is reserved by the store");
+    ++stats_.requests;
+    const auto replicas = ring_.replicaSet(key, effectiveR_);
+    Tick latency = 0;
+    const Tick start = now_;
+
+    for (unsigned attempt = 0; attempt < config_.maxAttempts; ++attempt) {
+        unsigned up = 0;
+        for (uint32_t id : replicas)
+            up += nodes_[id]->up() ? 1 : 0;
+
+        if (up >= writeQuorum_) {
+            // Fan out to the Up quorum in parallel; the ack waits for
+            // the slowest member.
+            Tick round = 0;
+            for (uint32_t id : replicas)
+                if (nodes_[id]->up())
+                    round = std::max(round, serviceDraw());
+            latency += round;
+            // Apply to *every* live replica (catching-up and degraded
+            // nodes included) so live replicas never diverge and
+            // repair only has to cover each node's dark window.
+            for (uint32_t id : replicas) {
+                if (!nodes_[id]->live() || !nodes_[id]->serving())
+                    continue;
+                if (is_erase)
+                    nodes_[id]->erase(key);
+                else
+                    nodes_[id]->put(key, value);
+            }
+            if (is_erase)
+                model_.erase(key);
+            else
+                model_[key] = value;
+            touched_.insert(key);
+            ++stats_.succeeded;
+            ++stats_.ackedWrites;
+            recordLatency(key, latency);
+            return true;
+        }
+
+        // Quorum unreachable: the client burns its timeout on the
+        // dead majority, backs off, and retries — recoveries may
+        // complete while it waits.
+        latency += config_.requestTimeout + backoff(attempt);
+        ++stats_.timeouts;
+        ++stats_.retries;
+        advanceTo(start + latency);
+    }
+
+    ++stats_.failed;
+    ++stats_.rejectedWrites;
+    recordLatency(key, latency);
+    return false;
+}
+
+bool
+Fleet::clientPut(uint64_t key, uint64_t value)
+{
+    return applyWrite(key, value, false);
+}
+
+bool
+Fleet::clientErase(uint64_t key)
+{
+    return applyWrite(key, 0, true);
+}
+
+bool
+Fleet::clientGet(uint64_t key, uint64_t *value_out)
+{
+    WSP_CHECKF(key != 0, "key 0 is reserved by the store");
+    ++stats_.requests;
+    const auto replicas = ring_.replicaSet(key, effectiveR_);
+    Tick latency = 0;
+    const Tick start = now_;
+
+    for (unsigned attempt = 0; attempt < config_.maxAttempts; ++attempt) {
+        for (uint32_t id : replicas) {
+            FleetNode &node = *nodes_[id];
+            const bool degraded_ok =
+                config_.policy == RecoveryPolicy::DegradedTier &&
+                node.state() == NodeState::DegradedReadOnly &&
+                node.serving();
+            if (node.up() || degraded_ok) {
+                latency += serviceDraw();
+                if (degraded_ok)
+                    ++stats_.degradedReads;
+                ++stats_.succeeded;
+                recordLatency(key, latency);
+                const bool found = node.get(key, value_out);
+                return found;
+            }
+            // Dead or syncing replica: pay the contact timeout and
+            // fall through to the next member of the set.
+            latency += config_.requestTimeout;
+            ++stats_.timeouts;
+        }
+        latency += backoff(attempt);
+        ++stats_.retries;
+        advanceTo(start + latency);
+    }
+
+    ++stats_.failed;
+    recordLatency(key, latency);
+    return false;
+}
+
+void
+Fleet::oneRequest(double put_fraction)
+{
+    const uint64_t key = rng_.next(config_.keyUniverse) + 1;
+    const double draw = rng_.uniform();
+    if (draw < put_fraction) {
+        clientPut(key, ++opCounter_);
+    } else if (draw < put_fraction + (1.0 - put_fraction) * 0.8) {
+        clientGet(key);
+    } else {
+        clientErase(key);
+    }
+}
+
+void
+Fleet::trafficUntil(Tick t, double put_fraction)
+{
+    while (now_ + config_.trafficSpacing <= t) {
+        now_ += config_.trafficSpacing;
+        oneRequest(put_fraction);
+    }
+}
+
+void
+Fleet::runTraffic(unsigned requests, double put_fraction)
+{
+    for (unsigned i = 0; i < requests; ++i) {
+        now_ += config_.trafficSpacing;
+        // Process any recovery event the spacing stepped over.
+        advanceTo(now_);
+        oneRequest(put_fraction);
+    }
+}
+
+// Timeline -----------------------------------------------------------
+
+void
+Fleet::advanceTo(Tick t)
+{
+    while (!agenda_.empty() && agenda_.begin()->first <= t) {
+        const auto it = agenda_.begin();
+        const Tick when = it->first;
+        const Event event = it->second;
+        agenda_.erase(it);
+        now_ = std::max(now_, when);
+        processEvent(when, event);
+    }
+    now_ = std::max(now_, t);
+}
+
+void
+Fleet::settle()
+{
+    while (!agenda_.empty())
+        advanceTo(agenda_.begin()->first);
+}
+
+// Modelled-time plane ------------------------------------------------
+
+apps::ClusterConfig
+Fleet::analytic() const
+{
+    apps::ClusterConfig cluster;
+    cluster.servers = config_.nodes;
+    cluster.memoryPerServer = config_.memoryPerServer;
+    cluster.backend = config_.backend;
+    cluster.nvdimm.capacityBytes = config_.memoryPerServer;
+    cluster.nvdimm.flashChannels = 0; // auto: one per GiB
+    cluster.wspBootOverhead = config_.wspBootOverhead;
+    cluster.staleFraction = config_.staleFraction;
+    return cluster;
+}
+
+Tick
+Fleet::modeledBootAndRestore() const
+{
+    // Same module math as apps::correlatedOutage: flash restore runs
+    // one channel per GiB in parallel.
+    const apps::ClusterConfig cluster = analytic();
+    NvdimmConfig module = cluster.nvdimm;
+    module.capacityBytes = std::max<uint64_t>(module.capacityBytes, 1);
+    const double restore_bw =
+        module.channelRestoreBw *
+        std::max(1u, module.flashChannels == 0
+                         ? static_cast<unsigned>(
+                               (module.capacityBytes + kGiB - 1) / kGiB)
+                         : module.flashChannels);
+    return config_.wspBootOverhead +
+           fromSeconds(static_cast<double>(module.capacityBytes) /
+                       restore_bw);
+}
+
+Tick
+Fleet::modeledStaleFetch(unsigned concurrent) const
+{
+    apps::BackendStore backend(config_.backend);
+    return backend.recoveryTime(
+        static_cast<uint64_t>(config_.staleFraction *
+                              static_cast<double>(config_.memoryPerServer)),
+        std::max(1u, concurrent));
+}
+
+Tick
+Fleet::modeledWspRecovery(unsigned concurrent) const
+{
+    return modeledBootAndRestore() + modeledStaleFetch(concurrent);
+}
+
+Tick
+Fleet::modeledRefill(unsigned concurrent) const
+{
+    apps::BackendStore backend(config_.backend);
+    return backend.recoveryTime(config_.memoryPerServer,
+                                std::max(1u, concurrent));
+}
+
+// Fault plane --------------------------------------------------------
+
+unsigned
+Fleet::killSubset(uint64_t mask, Tick outage, Tick window)
+{
+    if (config_.nodes < 64)
+        mask &= (1ull << config_.nodes) - 1;
+    if (mask == 0)
+        mask = config_.nodes < 64 ? (1ull << config_.nodes) - 1 : ~0ull;
+
+    std::vector<uint32_t> victims;
+    for (uint32_t id = 0; id < config_.nodes; ++id) {
+        if (!(mask & (1ull << id)))
+            continue;
+        FleetNode &node = *nodes_[id];
+        if (node.serving()) {
+            victims.push_back(id);
+        } else if (node.state() == NodeState::Dark) {
+            // Already dark: power stays out longer. Its pending
+            // PowerRestored event is superseded.
+            ++epoch_[id];
+            agenda_.insert(
+                {now_ + outage,
+                 Event{EventKind::PowerRestored, id, epoch_[id]}});
+        }
+    }
+
+    if (!storm_.active || storm_.remaining == 0) {
+        storm_ = StormState{};
+        storm_.active = true;
+        storm_.start = now_;
+    }
+    storm_.powerRestored = now_ + outage;
+    storm_.victims += static_cast<unsigned>(victims.size());
+    storm_.remaining += static_cast<unsigned>(victims.size());
+
+    for (uint32_t id : victims) {
+        nodes_[id]->crash(window);
+        ++epoch_[id]; // stale recovery events for this node die here
+        agenda_.insert({now_ + outage,
+                        Event{EventKind::PowerRestored, id, epoch_[id]}});
+    }
+    recordCapacity();
+    return static_cast<unsigned>(victims.size());
+}
+
+void
+Fleet::processEvent(Tick when, const Event &event)
+{
+    FleetNode &node = *nodes_[event.node];
+    if (event.epoch != epoch_[event.node])
+        return; // the node was re-killed; this timeline is dead
+    auto &stats = trace::StatRegistry::instance();
+
+    switch (event.kind) {
+      case EventKind::PowerRestored: {
+        if (node.state() != NodeState::Dark)
+            return;
+        const unsigned concurrent = std::max(1u, storm_.remaining);
+        Tick duration = 0;
+        if (config_.policy == RecoveryPolicy::BackendRefill) {
+            node.rebootColdRefill();
+            duration = modeledRefill(concurrent);
+            ++storm_.backendRefills;
+        } else {
+            const RestoreReport &report = node.reboot();
+            if (report.usedWsp) {
+                duration = modeledBootAndRestore();
+                ++storm_.wspRecoveries;
+            } else if (report.salvageMode) {
+                // Intact regions restored locally; the quarantined
+                // fraction of the modelled memory refills from the
+                // backend alongside the other victims.
+                const double quarantined =
+                    report.regions.empty()
+                        ? 0.0
+                        : static_cast<double>(report.regionsQuarantined) /
+                              static_cast<double>(report.regions.size());
+                apps::BackendStore backend(config_.backend);
+                duration =
+                    modeledBootAndRestore() +
+                    backend.recoveryTime(
+                        static_cast<uint64_t>(
+                            quarantined *
+                            static_cast<double>(config_.memoryPerServer)),
+                        concurrent);
+                ++storm_.salvageBoots;
+            } else {
+                duration = modeledRefill(concurrent);
+                ++storm_.backendRefills;
+            }
+        }
+        agenda_.insert(
+            {when + duration,
+             Event{EventKind::RestoreDone, event.node, event.epoch}});
+        break;
+      }
+
+      case EventKind::RestoreDone: {
+        if (node.state() != NodeState::Restoring)
+            return;
+        // The node rejoins the replication stream now; anti-entropy
+        // covers the window it was dark.
+        const RepairResult repair = repairNode(node);
+        storm_.digests += repair.digests;
+        storm_.streamed += repair.streamed;
+        storm_.shardsRepaired += repair.shards;
+        stats.counter("fleet.repair_streamed_bytes")
+            .add(repair.streamed);
+
+        Tick duration =
+            fromSeconds(static_cast<double>(repair.streamed) /
+                        config_.antiEntropyBandwidth);
+        const bool wsp_path =
+            config_.policy != RecoveryPolicy::BackendRefill &&
+            (node.lastRestore().usedWsp || node.lastRestore().salvageMode);
+        if (wsp_path)
+            duration += modeledStaleFetch(std::max(1u, storm_.remaining));
+
+        if (config_.policy == RecoveryPolicy::DegradedTier && wsp_path) {
+            node.setState(NodeState::DegradedReadOnly);
+            stats.counter("fleet.degraded_entries").add();
+        } else {
+            node.setState(NodeState::CatchingUp);
+        }
+        agenda_.insert(
+            {when + std::max<Tick>(duration, 1),
+             Event{EventKind::RepairDone, event.node, event.epoch}});
+        break;
+      }
+
+      case EventKind::RepairDone: {
+        if (node.state() != NodeState::CatchingUp &&
+            node.state() != NodeState::DegradedReadOnly)
+            return;
+        // Certification pass: the node took live writes while it
+        // caught up, so this final delta is normally empty.
+        const RepairResult repair = repairNode(node);
+        storm_.digests += repair.digests;
+        storm_.streamed += repair.streamed;
+        storm_.shardsRepaired += repair.shards;
+        node.setState(NodeState::Up);
+        recordCapacity();
+        if (storm_.remaining > 0)
+            --storm_.remaining;
+        storm_.lastReady = std::max(storm_.lastReady, when);
+        stats.counter("fleet.repairs_certified").add();
+        break;
+      }
+    }
+}
+
+StormOutcome
+Fleet::runStorm(uint64_t mask, Tick outage, Tick window,
+                double put_fraction)
+{
+    const StormState before = storm_;
+    killSubset(mask, outage, window);
+
+    // Drive sampled client traffic between recovery events until the
+    // fleet is whole again.
+    while (!agenda_.empty()) {
+        const Tick next = agenda_.begin()->first;
+        trafficUntil(next, put_fraction);
+        advanceTo(next);
+    }
+
+    StormOutcome outcome;
+    outcome.start = storm_.start;
+    outcome.powerRestored = storm_.powerRestored;
+    outcome.fullCapacityAt = storm_.lastReady;
+    outcome.timeToFullCapacity =
+        storm_.lastReady > storm_.powerRestored
+            ? storm_.lastReady - storm_.powerRestored
+            : 0;
+    outcome.victims = storm_.victims - before.victims;
+    outcome.wspRecoveries = storm_.wspRecoveries - before.wspRecoveries;
+    outcome.salvageBoots = storm_.salvageBoots - before.salvageBoots;
+    outcome.backendRefills =
+        storm_.backendRefills - before.backendRefills;
+    outcome.digestsExchanged = storm_.digests - before.digests;
+    outcome.repairStreamedBytes = storm_.streamed - before.streamed;
+    outcome.shardsRepaired =
+        storm_.shardsRepaired - before.shardsRepaired;
+    storm_.active = false;
+    return outcome;
+}
+
+// Anti-entropy -------------------------------------------------------
+
+Fleet::RepairResult
+Fleet::repairNode(FleetNode &target)
+{
+    RepairResult result;
+    if (!target.serving())
+        return result;
+    const uint32_t target_id = target.id();
+    const auto owned_by_target = [&](uint64_t key) {
+        return assignedTo(key, target_id);
+    };
+
+    for (unsigned shard = 0; shard < target.shards(); ++shard) {
+        // Digest exchange: compare the target against every Up peer
+        // over the key subset both are assigned; if every pairwise
+        // digest matches (and the backend fallback agrees for keys
+        // with no Up peer), the shard streams nothing.
+        bool divergent = false;
+        std::vector<uint32_t> peers;
+        for (const auto &peer : nodes_) {
+            if (peer->id() == target_id || !peer->up() ||
+                !peer->serving())
+                continue;
+            peers.push_back(peer->id());
+            const auto shared = [&](uint64_t key) {
+                return assignedTo(key, target_id) &&
+                       assignedTo(key, peer->id());
+            };
+            ++result.digests;
+            if (target.shardDigest(shard, shared) !=
+                peer->shardDigest(shard, shared))
+                divergent = true;
+        }
+
+        // Authority for this shard's keys: Up peers where available,
+        // the backend (acked-write log) where not.
+        std::map<uint64_t, uint64_t> authority;
+        for (const auto &[key, value] : model_) {
+            if (target.shardOf(key) != shard || !owned_by_target(key))
+                continue;
+            bool peer_covered = false;
+            for (uint32_t peer : peers)
+                if (assignedTo(key, peer)) {
+                    peer_covered = true;
+                    break;
+                }
+            // Up peers carry exactly the acked history for their keys
+            // (live replicas never diverge), so the authoritative
+            // value is the model's either way; peer coverage only
+            // decides who the bytes stream from.
+            (void)peer_covered;
+            authority.emplace(key, value);
+        }
+
+        if (!divergent) {
+            // Peers matched; still verify the backend-covered keys.
+            const auto current =
+                target.collectShard(shard, owned_by_target);
+            std::map<uint64_t, uint64_t> current_map(current.begin(),
+                                                     current.end());
+            if (current_map == authority)
+                continue;
+        }
+
+        // Stream only this shard's missed updates.
+        uint64_t shard_streamed = 0;
+        const auto current = target.collectShard(shard, owned_by_target);
+        std::map<uint64_t, uint64_t> current_map(current.begin(),
+                                                 current.end());
+        for (const auto &[key, value] : authority) {
+            const auto it = current_map.find(key);
+            if (it == current_map.end() || it->second != value) {
+                target.put(key, value);
+                shard_streamed += kPairBytes;
+            }
+        }
+        for (const auto &[key, value] : current_map) {
+            (void)value;
+            if (!authority.count(key)) {
+                target.erase(key);
+                shard_streamed += kPairBytes;
+            }
+        }
+        if (shard_streamed > 0) {
+            result.streamed += shard_streamed;
+            ++result.shards;
+        }
+    }
+    return result;
+}
+
+// Rebalance ----------------------------------------------------------
+
+RebalanceReport
+Fleet::decommission(uint32_t id)
+{
+    RebalanceReport report;
+    WSP_CHECK(id < nodes_.size());
+    WSP_CHECKF(ring_.contains(id), "node %u already decommissioned", id);
+
+    // Capture the old placement of every acked key before the ring
+    // changes under us.
+    std::vector<std::pair<uint64_t, std::vector<uint32_t>>> old_sets;
+    for (const auto &[key, value] : model_) {
+        (void)value;
+        old_sets.emplace_back(key, ring_.replicaSet(key, effectiveR_));
+    }
+
+    ring_.removeNode(id);
+    ++epoch_[id]; // cancel any in-flight recovery of the lost node
+    nodes_[id]->decommission();
+
+    // Rendezvous rebalance: only keys that listed the lost node gain
+    // a (single) new replica; every other set is untouched.
+    for (const auto &[key, old_set] : old_sets) {
+        if (!containsNode(old_set, id))
+            continue;
+        for (uint32_t gained : ring_.replicaSet(key, effectiveR_)) {
+            if (containsNode(old_set, gained))
+                continue;
+            FleetNode &node = *nodes_[gained];
+            if (node.live() && node.serving())
+                node.put(key, model_.at(key));
+            ++report.keysMoved;
+        }
+    }
+    report.bytesMoved = report.keysMoved * kPairBytes;
+    report.duration = fromSeconds(static_cast<double>(report.bytesMoved) /
+                                  config_.antiEntropyBandwidth);
+    recordCapacity();
+    return report;
+}
+
+// Checks -------------------------------------------------------------
+
+std::vector<std::string>
+Fleet::checkReplicaConvergence() const
+{
+    std::vector<std::string> violations;
+    for (uint64_t key : touched_) {
+        const auto expected = model_.find(key);
+        const bool should_exist = expected != model_.end();
+        for (uint32_t id : ring_.replicaSet(key, effectiveR_)) {
+            const FleetNode &node = *nodes_[id];
+            if (!node.up() || !node.serving())
+                continue;
+            uint64_t value = 0;
+            const bool found = node.get(key, &value);
+            if (found != should_exist) {
+                violations.push_back(
+                    "key " + std::to_string(key) + " node " +
+                    std::to_string(id) +
+                    (should_exist ? ": acked write lost"
+                                  : ": acked erase resurfaced"));
+            } else if (found && value != expected->second) {
+                violations.push_back(
+                    "key " + std::to_string(key) + " node " +
+                    std::to_string(id) + ": stale value " +
+                    std::to_string(value) + " != acked " +
+                    std::to_string(expected->second));
+            }
+        }
+    }
+    return violations;
+}
+
+Histogram
+Fleet::fleetLatency() const
+{
+    Histogram merged(0.0, config_.latencyHiMs, config_.latencyBuckets);
+    for (const Histogram &h : latency_)
+        merged.merge(h);
+    return merged;
+}
+
+} // namespace wsp::fleet

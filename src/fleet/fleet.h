@@ -1,0 +1,338 @@
+/**
+ * @file
+ * The replicated serving fleet: N WSP nodes behind rendezvous-hashed
+ * placement with replication factor R, a quorum client driver, a
+ * correlated-failure fault plane, and anti-entropy repair.
+ *
+ * This is ROADMAP item 1 made executable: the paper's Facebook-2010
+ * motivation (hundreds of main-memory servers refilling terabytes
+ * from a shared backend for hours, vs WSP nodes recovering locally in
+ * parallel) as a simulated fleet instead of the closed-form
+ * apps::correlatedOutage estimate. The fleet keeps both honest — its
+ * modelled recovery timeline uses the exact same formulas, so the
+ * differential test can hold simulator and closed form against each
+ * other — while replica *contents* are fully real: every node is a
+ * WspSystem whose store lives behind a write-back cache, kills are
+ * genuine mid-save power losses, and recovery replays the whole
+ * image-capture / chassis-swap / salvage machinery.
+ *
+ * Consistency contract (what NoReplicaDivergence asserts):
+ *
+ *  - A client write is acknowledged only when at least writeQuorum()
+ *    replicas are Up; it is then applied atomically to every *live*
+ *    replica (Up, CatchingUp, DegradedReadOnly) and logged to the
+ *    modelled backend. Otherwise it is rejected with no mutation.
+ *  - Acked writes therefore survive any kill: live replicas carry
+ *    them (and flush-on-fail persists them), and the backend log
+ *    covers cold boots.
+ *  - A node that was Dark missed updates; anti-entropy repair
+ *    (per-shard digest exchange against Up peers, streaming only the
+ *    divergent shards, backend as the authority of last resort when
+ *    no Up peer shares a key) certifies convergence before the node
+ *    re-enters Up.
+ */
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/backend_store.h"
+#include "apps/cluster.h"
+#include "fleet/node.h"
+#include "fleet/rendezvous.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace wsp::fleet {
+
+/** Everything needed to assemble and drive a fleet. */
+struct FleetConfig
+{
+    unsigned nodes = 5;
+    unsigned replication = 3;
+
+    /** Up replicas required to ack a write (0 = majority of R). */
+    unsigned writeQuorum = 0;
+
+    uint64_t seed = 0x464c454554ull; // "FLEET"
+
+    /** Per-node store geometry. */
+    unsigned shardsPerNode = 8;
+    uint64_t perShardCapacity = 256;
+
+    /** Client keys are drawn from [1, keyUniverse]. */
+    uint64_t keyUniverse = 512;
+
+    RecoveryPolicy policy = RecoveryPolicy::WspLocal;
+
+    /** Register shards as tiered salvage regions on every node. */
+    bool salvage = true;
+
+    /** Default residual window of a kill (overridable per storm). */
+    Tick killWindow = fromMillis(33.0);
+
+    // Capacity/time plane (mirrors apps::ClusterConfig) --------------
+
+    /** Bytes of state each node stands for on the modelled timeline.
+     *  Tests keep this small; the bench uses the paper's 256 GiB. */
+    uint64_t memoryPerServer = 4ull * kGiB;
+    apps::BackendConfig backend;
+    Tick wspBootOverhead = fromSeconds(10.0);
+    double staleFraction = 0.001;
+
+    /** Replica-to-replica anti-entropy stream bandwidth (10 GbE). */
+    double antiEntropyBandwidth = 1.25e9;
+
+    // Client-traffic model -------------------------------------------
+
+    /** Request rate the fleet stands for (millions of users). */
+    double modeledClientRate = 1.2e6;
+
+    /** Spacing of the *sampled* requests actually executed. */
+    Tick trafficSpacing = fromMillis(20.0);
+
+    /** Mean of the exponential per-contact service time. */
+    Tick serviceMean = fromMicros(200.0);
+
+    /** Client-side timeout per dead-replica contact. */
+    Tick requestTimeout = fromMillis(2.0);
+
+    /** Capped exponential backoff between retry rounds. */
+    Tick backoffBase = fromMillis(1.0);
+    Tick backoffCap = fromMillis(50.0);
+    unsigned maxAttempts = 6;
+
+    /** Latency histogram shape (milliseconds). */
+    double latencyHiMs = 50.0;
+    size_t latencyBuckets = 250;
+};
+
+/** Client-visible outcome counters. */
+struct RequestStats
+{
+    uint64_t requests = 0;
+    uint64_t succeeded = 0;
+    uint64_t failed = 0;
+    uint64_t retries = 0;
+    uint64_t timeouts = 0;       ///< dead-replica contacts paid for
+    uint64_t degradedReads = 0;  ///< served by the read-only tier
+    uint64_t rejectedWrites = 0; ///< quorum unreachable, not acked
+    uint64_t ackedWrites = 0;
+};
+
+/** What one correlated outage (storm) did to the fleet. */
+struct StormOutcome
+{
+    Tick start = 0;         ///< kill instant
+    Tick powerRestored = 0; ///< victims' AC back
+    Tick fullCapacityAt = 0;
+
+    /** Last victim certified Up, measured from power restore. */
+    Tick timeToFullCapacity = 0;
+
+    unsigned victims = 0;
+    unsigned wspRecoveries = 0;
+    unsigned salvageBoots = 0;
+    unsigned backendRefills = 0;
+
+    /** Anti-entropy accounting. */
+    uint64_t digestsExchanged = 0;
+    uint64_t repairStreamedBytes = 0;
+    unsigned shardsRepaired = 0;
+};
+
+/** Rendezvous-driven rebalance after a permanent node loss. */
+struct RebalanceReport
+{
+    uint64_t keysMoved = 0;
+    uint64_t bytesMoved = 0;
+    Tick duration = 0; ///< modelled copy time at antiEntropyBandwidth
+};
+
+/** A replicated WSP serving fleet on one logical timeline. */
+class Fleet
+{
+  public:
+    explicit Fleet(FleetConfig config);
+    ~Fleet();
+
+    const FleetConfig &config() const { return config_; }
+    Tick now() const { return now_; }
+
+    unsigned replication() const { return effectiveR_; }
+    unsigned writeQuorum() const { return writeQuorum_; }
+
+    FleetNode &node(uint32_t id) { return *nodes_.at(id); }
+    const FleetNode &node(uint32_t id) const { return *nodes_.at(id); }
+    unsigned nodeCount() const
+    {
+        return static_cast<unsigned>(nodes_.size());
+    }
+    unsigned upNodes() const;
+
+    /** HRW replica set of @p key, best-first. */
+    std::vector<uint32_t> replicaSet(uint64_t key) const
+    {
+        return ring_.replicaSet(key, effectiveR_);
+    }
+
+    // Client plane ---------------------------------------------------
+
+    /** Quorum write; retries with capped backoff. False = rejected. */
+    bool clientPut(uint64_t key, uint64_t value);
+    bool clientErase(uint64_t key);
+
+    /** Read from the replica set (first Up — or degraded — answer). */
+    bool clientGet(uint64_t key, uint64_t *value_out = nullptr);
+
+    /** Issue @p requests sampled client requests at trafficSpacing. */
+    void runTraffic(unsigned requests, double put_fraction = 0.5);
+
+    // Timeline -------------------------------------------------------
+
+    /** Advance fleet time, processing due recovery events. */
+    void advanceTo(Tick t);
+    void advanceBy(Tick d) { advanceTo(now_ + d); }
+
+    /** True while recovery events are pending. */
+    bool recoveryPending() const { return !agenda_.empty(); }
+
+    /** Advance past every pending recovery event (no traffic). */
+    void settle();
+
+    // Fault plane ----------------------------------------------------
+
+    /**
+     * Kill the node subset selected by @p mask (bit i = node i;
+     * 0 = every node) mid-save with residual window @p window, and
+     * schedule their recoveries for @p outage later under the
+     * configured policy. Returns the number of victims.
+     */
+    unsigned killSubset(uint64_t mask, Tick outage, Tick window);
+
+    /**
+     * One full storm: kill, then run sampled client traffic
+     * interleaved with the recovery timeline until every victim is
+     * certified Up again.
+     */
+    StormOutcome runStorm(uint64_t mask, Tick outage, Tick window,
+                          double put_fraction = 0.5);
+
+    /** Permanent loss: drop the node and rebalance its keys. */
+    RebalanceReport decommission(uint32_t id);
+
+    // Checks and reporting -------------------------------------------
+
+    /**
+     * The NoReplicaDivergence core: every acked write must be present
+     * (with its acked value) on every Up replica of its key, and
+     * acked erases must be absent — i.e. Up replica sets agree with
+     * the acknowledged history and hence with each other. Returns
+     * human-readable violations; empty = converged.
+     */
+    std::vector<std::string> checkReplicaConvergence() const;
+
+    const RequestStats &stats() const { return stats_; }
+    uint64_t ackedWrites() const { return stats_.ackedWrites; }
+
+    /** Per-node client latency (ms) and the fleet-wide merge. */
+    const Histogram &nodeLatency(uint32_t id) const
+    {
+        return latency_.at(id);
+    }
+    Histogram fleetLatency() const;
+
+    /** (seconds, fraction of commissioned nodes Up) over the run. */
+    const Series &capacityTimeline() const { return capacity_; }
+
+    // Modelled-time plane (shared with apps::correlatedOutage) -------
+
+    /** The analytic cluster this fleet corresponds to. */
+    apps::ClusterConfig analytic() const;
+
+    /** Modelled WSP-local recovery (boot + restore + stale fetch). */
+    Tick modeledWspRecovery(unsigned concurrent) const;
+
+    /** Modelled full backend refill under @p concurrent streams. */
+    Tick modeledRefill(unsigned concurrent) const;
+
+  private:
+    enum class EventKind : uint8_t
+    {
+        PowerRestored,
+        RestoreDone,
+        RepairDone,
+    };
+    struct Event
+    {
+        EventKind kind;
+        uint32_t node;
+        uint64_t epoch; ///< stale after the node is re-killed
+    };
+    struct RepairResult
+    {
+        uint64_t streamed = 0;
+        unsigned shards = 0;
+        uint64_t digests = 0;
+    };
+
+    bool assignedTo(uint64_t key, uint32_t node_id) const;
+    Tick serviceDraw();
+    Tick backoff(unsigned attempt);
+    void recordLatency(uint64_t key, Tick latency);
+    void recordCapacity();
+    void processEvent(Tick when, const Event &event);
+    void trafficUntil(Tick t, double put_fraction);
+    void oneRequest(double put_fraction);
+    bool applyWrite(uint64_t key, uint64_t value, bool is_erase);
+    RepairResult repairNode(FleetNode &node);
+    Tick modeledBootAndRestore() const;
+    Tick modeledStaleFetch(unsigned concurrent) const;
+
+    FleetConfig config_;
+    unsigned effectiveR_ = 1;
+    unsigned writeQuorum_ = 1;
+    Rng rng_;
+
+    std::vector<std::unique_ptr<FleetNode>> nodes_;
+    RendezvousHash ring_;
+
+    /** Acked state — what the modelled backend log vouches for. */
+    std::map<uint64_t, uint64_t> model_;
+
+    /** Every key an acked write or erase ever touched. */
+    std::set<uint64_t> touched_;
+
+    Tick now_ = 0;
+    std::multimap<Tick, Event> agenda_;
+    std::vector<uint64_t> epoch_;
+
+    /** Active-storm bookkeeping (concurrency, completion). */
+    struct StormState
+    {
+        bool active = false;
+        Tick start = 0;
+        Tick powerRestored = 0;
+        unsigned victims = 0;
+        unsigned remaining = 0;
+        Tick lastReady = 0;
+        unsigned wspRecoveries = 0;
+        unsigned salvageBoots = 0;
+        unsigned backendRefills = 0;
+        uint64_t digests = 0;
+        uint64_t streamed = 0;
+        unsigned shardsRepaired = 0;
+    } storm_;
+
+    RequestStats stats_;
+    std::vector<Histogram> latency_;
+    Series capacity_;
+    uint64_t opCounter_ = 0;
+};
+
+} // namespace wsp::fleet

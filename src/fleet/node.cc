@@ -1,0 +1,326 @@
+#include "fleet/node.h"
+
+#include <cstdio>
+
+#include "core/failure_injector.h"
+#include "core/salvage_directory.h"
+#include "trace/stat_registry.h"
+#include "util/logging.h"
+
+namespace wsp::fleet {
+
+namespace {
+
+/** NVRAM base of the node's store (below everything reserved). */
+constexpr uint64_t kStoreBase = 0;
+
+/** KvStore header bytes ahead of a shard's slot array. */
+constexpr uint64_t kKvHeaderBytes = 64;
+
+} // namespace
+
+const char *
+nodeStateName(NodeState state)
+{
+    switch (state) {
+      case NodeState::Up:
+        return "up";
+      case NodeState::Saving:
+        return "saving";
+      case NodeState::Dark:
+        return "dark";
+      case NodeState::Restoring:
+        return "restoring";
+      case NodeState::CatchingUp:
+        return "catching-up";
+      case NodeState::DegradedReadOnly:
+        return "degraded-read-only";
+      case NodeState::Decommissioned:
+        return "decommissioned";
+    }
+    return "?";
+}
+
+const char *
+recoveryPolicyName(RecoveryPolicy policy)
+{
+    switch (policy) {
+      case RecoveryPolicy::WspLocal:
+        return "wsp-local";
+      case RecoveryPolicy::BackendRefill:
+        return "backend-refill";
+      case RecoveryPolicy::DegradedTier:
+        return "degraded-tier";
+    }
+    return "?";
+}
+
+FleetNode::FleetNode(FleetNodeConfig config) : config_(config)
+{
+    WSP_CHECKF(config_.shards >= 1 &&
+                   (config_.shards & (config_.shards - 1)) == 0,
+               "fleet node shard count must be a power of two");
+}
+
+FleetNode::~FleetNode() = default;
+
+unsigned
+FleetNode::shardOf(uint64_t key) const
+{
+    // Mirrors ShardedKvStore::shardOf so shard indices align across
+    // nodes (and with the salvage region names).
+    uint64_t h = key;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 29;
+    return static_cast<unsigned>(h & (config_.shards - 1));
+}
+
+SystemConfig
+FleetNode::systemConfig() const
+{
+    // Crashsim-sized chassis: small modules so kill/capture/boot
+    // cycles stay fast, exact jitter-free residual windows so a storm
+    // lands every victim at a chosen instant of its save pipeline.
+    SystemConfig config;
+    config.seed = config_.seed;
+    config.nvdimmCount = 2;
+    config.nvdimm.capacityBytes = 4 * kMiB;
+    config.nvdimm.flashChannels = 1;
+    config.nvdimm.verifySaves = true;
+    config.devices.clear();
+    config.wsp.firmwareBootLatency = fromMillis(50.0);
+    config.wsp.osResumeLatency = fromMillis(1.0);
+    config.wsp.hostStackBootLatency = fromMillis(50.0);
+    // Fleet runs construct many systems; keep the black box volatile
+    // so every node does not pay an NVRAM ring.
+    config.wsp.flightRecorder = trace::FrMode::Volatile;
+    return FailureInjector::withExactWindow(std::move(config),
+                                            config_.killWindow);
+}
+
+void
+FleetNode::registerRegions()
+{
+    if (!config_.salvage)
+        return;
+    const uint64_t stride =
+        apps::ShardedKvStore::shardStride(config_.perShardCapacity);
+    for (unsigned i = 0; i < config_.shards; ++i) {
+        const uint64_t shard_base = kStoreBase + i * stride;
+        char name[SalvageDirectory::kMaxNameBytes + 1];
+        std::snprintf(name, sizeof(name), "kv%u.meta", i);
+        system_->registerSalvageRegion(SalvageRegionSpec{
+            name, shard_base, kKvHeaderBytes, SaveTier::Metadata});
+        std::snprintf(name, sizeof(name), "kv%u.data", i);
+        system_->registerSalvageRegion(SalvageRegionSpec{
+            name, shard_base + kKvHeaderBytes,
+            config_.perShardCapacity * 16, SaveTier::Bulk});
+    }
+}
+
+void
+FleetNode::createStore()
+{
+    std::vector<CacheModel *> caches(config_.shards, &system_->cache());
+    store_.emplace(std::span<CacheModel *const>(caches), kStoreBase,
+                   config_.perShardCapacity);
+}
+
+void
+FleetNode::bootFresh()
+{
+    system_ = std::make_unique<WspSystem>(systemConfig());
+    system_->start();
+    createStore();
+    registerRegions();
+    state_ = NodeState::Up;
+}
+
+void
+FleetNode::crash(Tick window)
+{
+    WSP_CHECKF(serving(), "node %u crashed while not serving",
+               config_.id);
+    state_ = NodeState::Saving;
+    // Land the hard loss exactly `window` after the (zero-delay)
+    // PWR_OK drop of *this* kill, whatever the construction-time
+    // window was.
+    system_->psu().setResidualWindows(std::max<Tick>(window, 1),
+                                      std::max<Tick>(window, 1), 0);
+    system_->psu().failInputNow();
+    system_->runFor(window + fromMillis(10.0));
+    // A module still mid-save runs on its own ultracapacitor; let it
+    // conclude (finish or exhaust) before pulling the DIMMs.
+    unsigned guard = 0;
+    while (!system_->nvdimms().allIdle() && guard++ < 1000)
+        system_->runFor(fromMillis(10.0));
+    WSP_CHECKF(system_->nvdimms().allIdle(),
+               "node %u NVDIMMs never settled after the kill",
+               config_.id);
+    image_ = system_->captureNvramImage();
+    imageValid_ = true;
+    store_.reset();
+    system_.reset();
+    state_ = NodeState::Dark;
+    trace::StatRegistry::instance().counter("fleet.kills").add();
+}
+
+void
+FleetNode::rebuildShard(unsigned shard)
+{
+    WSP_CHECK(refill_ != nullptr);
+    // Reformat exactly this shard and replay its keys; sibling shards
+    // (whose headers may themselves be casualties mid-restore) are
+    // not touched.
+    const uint64_t stride =
+        apps::ShardedKvStore::shardStride(config_.perShardCapacity);
+    apps::KvStore fresh(system_->cache(), kStoreBase + shard * stride,
+                        config_.perShardCapacity);
+    for (const auto &[key, value] : refill_(shard))
+        fresh.put(key, value);
+}
+
+void
+FleetNode::attachOrRefill(bool force_refill)
+{
+    std::vector<CacheModel *> caches(config_.shards, &system_->cache());
+    if (!force_refill) {
+        auto attached = apps::ShardedKvStore::attach(
+            std::span<CacheModel *const>(caches), kStoreBase);
+        if (attached) {
+            store_ = std::move(attached);
+            return;
+        }
+    }
+    createStore();
+    WSP_CHECK(refill_ != nullptr);
+    for (unsigned shard = 0; shard < config_.shards; ++shard)
+        for (const auto &[key, value] : refill_(shard))
+            store_->put(key, value);
+}
+
+RestoreReport
+FleetNode::reboot()
+{
+    WSP_CHECKF(system_ == nullptr && imageValid_,
+               "node %u reboot needs a captured image", config_.id);
+    system_ = std::make_unique<WspSystem>(systemConfig());
+    bool backend_ran = false;
+    // Region salvage: a quarantined shard is rebuilt from the refill
+    // source while intact siblings keep their surviving bytes.
+    system_->setRegionRecovery([this](const RegionOutcome &region) {
+        unsigned shard = 0;
+        if (std::sscanf(region.name.c_str(), "kv%u.", &shard) == 1 &&
+            shard < config_.shards)
+            rebuildShard(shard);
+    });
+    lastRestore_ = system_->bootFromImage(image_, [&backend_ran]() {
+        backend_ran = true;
+    });
+    // Cold boot: nothing usable survived, so the whole store comes
+    // back from the refill source ("fetch from the storage back
+    // end"). Salvage boots re-attach — the region hooks already
+    // rebuilt the casualties.
+    attachOrRefill(backend_ran);
+    registerRegions(); // the fresh controller must save them next time
+
+    auto &stats = trace::StatRegistry::instance();
+    if (lastRestore_.usedWsp) {
+        ++wspRecoveries_;
+        stats.counter("fleet.wsp_recoveries").add();
+    } else if (lastRestore_.salvageMode) {
+        ++salvageBoots_;
+        stats.counter("fleet.salvage_boots").add();
+    } else {
+        ++backendRefills_;
+        stats.counter("fleet.backend_refills").add();
+    }
+    state_ = NodeState::Restoring;
+    return lastRestore_;
+}
+
+void
+FleetNode::rebootColdRefill()
+{
+    WSP_CHECKF(system_ == nullptr, "node %u still has a chassis",
+               config_.id);
+    imageValid_ = false; // the image is deliberately discarded
+    system_ = std::make_unique<WspSystem>(systemConfig());
+    system_->start();
+    lastRestore_ = RestoreReport{};
+    attachOrRefill(true);
+    registerRegions();
+    ++backendRefills_;
+    trace::StatRegistry::instance().counter("fleet.backend_refills").add();
+    state_ = NodeState::Restoring;
+}
+
+void
+FleetNode::decommission()
+{
+    store_.reset();
+    system_.reset();
+    imageValid_ = false;
+    state_ = NodeState::Decommissioned;
+}
+
+bool
+FleetNode::put(uint64_t key, uint64_t value)
+{
+    WSP_CHECK(serving());
+    return store_->put(key, value);
+}
+
+bool
+FleetNode::erase(uint64_t key)
+{
+    WSP_CHECK(serving());
+    return store_->erase(key);
+}
+
+bool
+FleetNode::get(uint64_t key, uint64_t *value_out) const
+{
+    WSP_CHECK(serving());
+    return store_->get(key, value_out);
+}
+
+uint64_t
+FleetNode::shardDigest(unsigned shard,
+                       const std::function<bool(uint64_t)> &owned) const
+{
+    WSP_CHECK(serving());
+    // Commutative mix: scan order (which differs between a node that
+    // wrote keys in one order and a peer that replayed them in
+    // another) must not matter.
+    uint64_t digest = 0;
+    uint64_t count = 0;
+    store_->shard(shard).forEach(
+        [&](uint64_t key, uint64_t value) {
+            if (!owned(key))
+                return;
+            uint64_t h = key * 0x9e3779b97f4a7c15ull ^ value;
+            h ^= h >> 33;
+            h *= 0xff51afd7ed558ccdull;
+            h ^= h >> 33;
+            digest += h;
+            ++count;
+        });
+    return digest ^ (count * 0xc4ceb9fe1a85ec53ull);
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+FleetNode::collectShard(unsigned shard,
+                        const std::function<bool(uint64_t)> &owned) const
+{
+    WSP_CHECK(serving());
+    std::vector<std::pair<uint64_t, uint64_t>> pairs;
+    store_->shard(shard).forEach([&](uint64_t key, uint64_t value) {
+        if (owned(key))
+            pairs.emplace_back(key, value);
+    });
+    return pairs;
+}
+
+} // namespace wsp::fleet

@@ -100,6 +100,18 @@ AtxPowerSupply::setLoadWatts(double watts)
     loadWatts_ = watts;
 }
 
+void
+AtxPowerSupply::setResidualWindows(Tick busy, Tick idle, Tick jitter)
+{
+    WSP_CHECKF(busy > 0 && idle > 0,
+               "residual windows must be positive (busy=%llu idle=%llu)",
+               static_cast<unsigned long long>(busy),
+               static_cast<unsigned long long>(idle));
+    preset_.busyWindow = busy;
+    preset_.idleWindow = idle;
+    preset_.windowJitter = jitter;
+}
+
 Tick
 AtxPowerSupply::windowForLoad() const
 {

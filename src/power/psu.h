@@ -94,6 +94,15 @@ class AtxPowerSupply : public SimObject
     void setLoadWatts(double watts);
     double loadWatts() const { return loadWatts_; }
 
+    /**
+     * Recalibrate the residual windows at runtime. The fleet fault
+     * plane uses this to land each correlated kill at an exact instant
+     * of the save pipeline without reconstructing the whole system
+     * (FailureInjector::withExactWindow is construction-time only).
+     * Takes effect on the next input failure, not a pending one.
+     */
+    void setResidualWindows(Tick busy, Tick idle, Tick jitter = 0);
+
     /** Instantaneous voltage of @p rail at the current tick. */
     double railVoltage(Rail rail) const;
 

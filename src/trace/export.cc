@@ -254,6 +254,15 @@ bool
 appendBenchRecord(const std::string &path, const std::string &bench,
                   double wall_seconds, uint64_t seed)
 {
+    return appendBenchRecord(path, bench, wall_seconds, seed,
+                             BenchRecordFields{});
+}
+
+bool
+appendBenchRecord(const std::string &path, const std::string &bench,
+                  double wall_seconds, uint64_t seed,
+                  const BenchRecordFields &fields)
+{
     std::ofstream out(path, std::ios::app);
     if (!out) {
         warn("cannot open bench-record file '%s'", path.c_str());
@@ -274,6 +283,10 @@ appendBenchRecord(const std::string &path, const std::string &bench,
     // to_string, not jsonNumber: seeds are full 64-bit values and
     // must not round-trip through a double.
     line += ",\"seed\":" + std::to_string(seed);
+    // Extra top-level fields (fleet_storm: nodes/replication). Emitted
+    // as integers for the same reason as the seed.
+    for (const auto &[name, value] : fields)
+        line += "," + jsonQuote(name) + ":" + std::to_string(value);
     line += ",\"counters\":{";
     bool first = true;
     for (const auto &sample : StatRegistry::instance().snapshot()) {

@@ -23,6 +23,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace wsp::trace {
 
@@ -54,6 +56,18 @@ bool writeMetrics(const std::string &path);
  */
 bool appendBenchRecord(const std::string &path, const std::string &bench,
                        double wall_seconds, uint64_t seed = 0);
+
+/**
+ * Extra top-level integer fields a bench can attach to its record
+ * (e.g. fleet_storm's "nodes"/"replication"). Names must be plain
+ * identifiers; values are emitted as JSON integers next to "seed".
+ */
+using BenchRecordFields = std::vector<std::pair<std::string, uint64_t>>;
+
+/** appendBenchRecord() with extra top-level fields. */
+bool appendBenchRecord(const std::string &path, const std::string &bench,
+                       double wall_seconds, uint64_t seed,
+                       const BenchRecordFields &fields);
 
 /** Escape a string for embedding in a JSON document (adds quotes). */
 std::string jsonQuote(const std::string &text);

@@ -93,6 +93,24 @@ Histogram::add(double sample)
     ++counts_[idx];
 }
 
+bool
+Histogram::mergeCompatible(const Histogram &other) const
+{
+    return lo_ == other.lo_ && hi_ == other.hi_ &&
+           counts_.size() == other.counts_.size();
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    WSP_CHECK(mergeCompatible(other));
+    for (size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+}
+
 double
 Histogram::bucketLo(size_t i) const
 {

@@ -61,6 +61,20 @@ class Histogram
 
     void add(double sample);
 
+    /**
+     * True when @p other has identical bucketing (same [lo, hi) range
+     * and bucket count), i.e. a merge is lossless.
+     */
+    bool mergeCompatible(const Histogram &other) const;
+
+    /**
+     * Fold another histogram's counts into this one. The fleet merges
+     * per-node latency histograms this way instead of re-recording
+     * every sample at the aggregation point. Requires
+     * mergeCompatible(other).
+     */
+    void merge(const Histogram &other);
+
     size_t buckets() const { return counts_.size(); }
     uint64_t bucketCount(size_t i) const { return counts_.at(i); }
     uint64_t underflow() const { return underflow_; }

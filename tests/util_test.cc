@@ -286,6 +286,67 @@ TEST(Histogram, PercentileUnderflowOnlySamplesClampToLowerBound)
     EXPECT_EQ(hist.percentile(50.0), 10.0);
 }
 
+TEST(Histogram, MergeFoldsCountsUnderflowAndOverflow)
+{
+    Histogram a(0.0, 10.0, 10);
+    Histogram b(0.0, 10.0, 10);
+    a.add(1.5);
+    a.add(-1.0); // underflow
+    b.add(1.5);
+    b.add(8.5);
+    b.add(25.0); // overflow
+    a.merge(b);
+    EXPECT_EQ(a.total(), 5u);
+    EXPECT_EQ(a.underflow(), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_EQ(a.bucketCount(1), 2u); // both 1.5 samples
+    EXPECT_EQ(a.bucketCount(8), 1u);
+}
+
+TEST(Histogram, MergePercentilesMatchSingleHistogram)
+{
+    // Recording the same samples across N shards and merging must
+    // give the same percentiles as one histogram seeing everything —
+    // the fleet's per-node p99s rely on this being lossless.
+    Histogram merged(0.0, 100.0, 200);
+    Histogram shard0(0.0, 100.0, 200);
+    Histogram shard1(0.0, 100.0, 200);
+    Histogram reference(0.0, 100.0, 200);
+    for (int i = 0; i < 1000; ++i) {
+        const double sample = (i * 37) % 100 + 0.25;
+        (i % 2 == 0 ? shard0 : shard1).add(sample);
+        reference.add(sample);
+    }
+    merged.merge(shard0);
+    merged.merge(shard1);
+    for (double p : {0.0, 50.0, 95.0, 99.0, 100.0})
+        EXPECT_EQ(merged.percentile(p), reference.percentile(p)) << p;
+}
+
+TEST(Histogram, MergeOfEmptyIsIdentity)
+{
+    Histogram a(0.0, 10.0, 10);
+    Histogram b(0.0, 10.0, 10);
+    a.add(3.0);
+    const double before = a.percentile(50.0);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 1u);
+    EXPECT_EQ(a.percentile(50.0), before);
+    // Merging *into* an empty histogram adopts the other's shape too.
+    b.merge(a);
+    EXPECT_EQ(b.total(), 1u);
+    EXPECT_EQ(b.percentile(50.0), before);
+}
+
+TEST(Histogram, MergeCompatibilityRequiresIdenticalBucketing)
+{
+    Histogram base(0.0, 10.0, 10);
+    EXPECT_TRUE(base.mergeCompatible(Histogram(0.0, 10.0, 10)));
+    EXPECT_FALSE(base.mergeCompatible(Histogram(0.0, 10.0, 20)));
+    EXPECT_FALSE(base.mergeCompatible(Histogram(1.0, 10.0, 10)));
+    EXPECT_FALSE(base.mergeCompatible(Histogram(0.0, 12.0, 10)));
+}
+
 TEST(Histogram, RenderHasOneLinePerBucket)
 {
     Histogram hist(0.0, 4.0, 4);

@@ -11,6 +11,13 @@
  *
  * Usage: bench_summary [dir] [--counter=NAME[,NAME...]]
  * (default dir: current directory; each named counter gets a column)
+ *
+ * Schema: beyond the common fields, benches may append extra
+ * top-level integer fields via bench::recordField(). fleet_storm
+ * records MUST carry "nodes" and "replication" (the fleet shape a
+ * run measured); a fleet_storm record without them is an old or
+ * broken writer, and silently collating it would misattribute its
+ * recovery times, so it is a hard error, not a skipped line.
  */
 
 #include <algorithm>
@@ -88,6 +95,22 @@ collectFile(const fs::path &path,
         }
         Run run;
         run.bench = stringField(record, "bench");
+        // Fleet records without their shape are uncomparable across
+        // runs; fail loudly rather than tabulating them bare.
+        if (run.bench == "fleet_storm") {
+            for (const char *key : {"nodes", "replication"}) {
+                const Value *field = record.find(key);
+                if (field == nullptr ||
+                    field->type != Value::Type::Number) {
+                    std::fprintf(stderr,
+                                 "bench_summary: %s:%zu: fleet_storm "
+                                 "record lacks required integer field "
+                                 "'%s'\n",
+                                 path.c_str(), lineno, key);
+                    ok = false;
+                }
+            }
+        }
         run.utc = stringField(record, "utc");
         run.host = stringField(record, "host");
         if (const Value *wall = record.find("wall_seconds"))

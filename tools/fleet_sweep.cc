@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Fleet crash-sweep driver.
+ *
+ * Sweeps the replicated fleet through correlated outage-train storms:
+ * every enumerated kill instant of the node save pipeline (and
+ * optionally fuzzed random schedules — masks, policies, fleet sizes)
+ * must leave the fleet convergent under the NoReplicaDivergence
+ * checker, with no acknowledged write lost. A failing schedule is
+ * minimized and written as a replay file (the fleet fields serialize
+ * through the standard crash-schedule format).
+ *
+ * Exit codes: 0 = every run held, 3 = violations found, 1 = bad
+ * usage or internal error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "fleet/fleet_sweep.h"
+
+using namespace wsp;
+using namespace wsp::fleet;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: fleet_sweep [options]\n"
+        "  --nodes=N          fleet size (default 3)\n"
+        "  --replication=R    replica factor (default 3)\n"
+        "  --kill-mask=M      victim subset bitmask (0 = every node)\n"
+        "  --policy=P         0 wsp-local, 1 backend-refill,\n"
+        "                     2 degraded-tier (default 0)\n"
+        "  --points=N         cap enumerated kill instants (default 24)\n"
+        "  --fuzz=N           add N fuzzed random fleet schedules\n"
+        "  --train-cycles=N   storms per run (default 1)\n"
+        "  --ops=N            pre-storm client writes (default 48)\n"
+        "  --seed=N           base seed\n"
+        "  --replay-out=PATH  write the minimized failing schedule\n");
+}
+
+bool
+parseUnsigned(const char *arg, const char *prefix, unsigned *out)
+{
+    const size_t n = std::strlen(prefix);
+    if (std::strncmp(arg, prefix, n) != 0)
+        return false;
+    *out = static_cast<unsigned>(std::strtoul(arg + n, nullptr, 0));
+    return true;
+}
+
+bool
+parseU64(const char *arg, const char *prefix, uint64_t *out)
+{
+    const size_t n = std::strlen(prefix);
+    if (std::strncmp(arg, prefix, n) != 0)
+        return false;
+    *out = std::strtoull(arg + n, nullptr, 0);
+    return true;
+}
+
+void
+printFailure(const FleetCrashResult &failure)
+{
+    std::printf("FAIL %s\n", failure.schedule.summary().c_str());
+    for (const std::string &violation : failure.violations)
+        std::printf("  %s\n", violation.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    crashsim::CrashSchedule base = FleetSweep::defaultSchedule();
+    unsigned points = 24;
+    unsigned fuzz_runs = 0;
+    unsigned policy = 0;
+    std::string replay_out;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        unsigned u = 0;
+        uint64_t u64 = 0;
+        if (std::strcmp(arg, "--help") == 0 ||
+            std::strcmp(arg, "-h") == 0) {
+            usage();
+            return 0;
+        } else if (parseUnsigned(arg, "--nodes=", &u)) {
+            base.fleetNodes = u;
+        } else if (parseUnsigned(arg, "--replication=", &u)) {
+            base.fleetReplication = u;
+        } else if (parseU64(arg, "--kill-mask=", &u64)) {
+            base.fleetKillMask = u64;
+        } else if (parseUnsigned(arg, "--policy=", &policy)) {
+            if (policy > 2) {
+                usage();
+                return 1;
+            }
+            base.fleetPolicy = static_cast<int>(policy);
+        } else if (parseUnsigned(arg, "--points=", &points)) {
+        } else if (parseUnsigned(arg, "--fuzz=", &fuzz_runs)) {
+        } else if (parseUnsigned(arg, "--train-cycles=", &u)) {
+            base.trainCycles = u;
+        } else if (parseUnsigned(arg, "--ops=", &u)) {
+            base.ops = u;
+        } else if (parseU64(arg, "--seed=", &u64)) {
+            base.seed = u64;
+        } else if (std::strncmp(arg, "--replay-out=", 13) == 0) {
+            replay_out = arg + 13;
+        } else {
+            usage();
+            return 1;
+        }
+    }
+
+    FleetSweep sweep(base);
+    std::printf("fleet sweep: %s\n", base.summary().c_str());
+
+    FleetSweepReport report = sweep.sweepEnumerated(false, points);
+    std::printf("enumerated: %zu kill instants, %zu wsp / %zu salvage "
+                "/ %zu refill recoveries, %zu failures\n",
+                report.points, report.wspRecoveries,
+                report.salvageBoots, report.backendRefills,
+                report.failures.size());
+
+    if (fuzz_runs > 0) {
+        FleetSweepReport fuzzed = sweep.fuzz(fuzz_runs, base.seed);
+        std::printf("fuzz: %zu schedules, %zu failures\n",
+                    fuzzed.points, fuzzed.failures.size());
+        for (auto &failure : fuzzed.failures)
+            report.failures.push_back(std::move(failure));
+    }
+
+    if (report.failures.empty()) {
+        std::printf("NoReplicaDivergence held at every point\n");
+        return 0;
+    }
+
+    for (const FleetCrashResult &failure : report.failures)
+        printFailure(failure);
+
+    const crashsim::CrashSchedule minimized =
+        FleetSweep::minimize(report.failures.front().schedule);
+    std::printf("minimized: %s\n", minimized.summary().c_str());
+    if (!replay_out.empty()) {
+        std::ofstream out(replay_out);
+        out << minimized.serialize();
+        std::printf("replay file written to %s\n", replay_out.c_str());
+    }
+    return 3;
+}
