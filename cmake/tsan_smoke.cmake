@@ -27,7 +27,7 @@ endif()
 
 execute_process(
     COMMAND ${CMAKE_COMMAND} --build ${OUT_DIR}
-        --target test_concurrency test_conditions test_fleet
+        --target test_concurrency test_conditions test_fleet test_load
     RESULT_VARIABLE build_rc
     OUTPUT_VARIABLE build_out
     ERROR_VARIABLE build_out
@@ -84,5 +84,20 @@ if(NOT fleet_rc EQUAL 0)
     message(FATAL_ERROR
         "tsan_smoke: fleet TSan run failed (rc=${fleet_rc}):\n${fleet_out}")
 endif()
+# The traffic-plane battery is the most thread-dense code in the tree:
+# SPSC ring producer/consumer pairs, the rings-dispatch worker graph
+# with back-pressure draining, and the threaded fleet storm. Running
+# the whole load suite under TSan is the point of the battery — the
+# equivalence tests pass through every ring and drain path.
+execute_process(
+    COMMAND ${OUT_DIR}/tests/test_load
+    RESULT_VARIABLE load_rc
+    OUTPUT_VARIABLE load_out
+    ERROR_VARIABLE load_out
+)
+if(NOT load_rc EQUAL 0)
+    message(FATAL_ERROR
+        "tsan_smoke: load TSan run failed (rc=${load_rc}):\n${load_out}")
+endif()
 message(STATUS
-    "tsan_smoke: threaded + conditions + fleet suites clean under TSan")
+    "tsan_smoke: threaded + conditions + fleet + load suites clean under TSan")

@@ -133,9 +133,10 @@ KvServiceSummary::fingerprint() const
 }
 
 ShardEnvironment::ShardEnvironment(const std::string &name,
-                                   uint64_t nvdimm_bytes)
+                                   uint64_t nvdimm_bytes,
+                                   CacheModel::LineStore line_store)
     : dimm(queue, name, moduleConfig(nvdimm_bytes)),
-      cache(name + ".cache", 2 * kMiB, CacheTiming{}, space)
+      cache(name + ".cache", 2 * kMiB, CacheTiming{}, space, line_store)
 {
     space.addModule(dimm);
 }
@@ -152,7 +153,8 @@ KvService::KvService(KvServiceConfig config) : config_(std::move(config))
         ShardedKvStore::regionBytes(config_.shards, config_.perShardCapacity);
     for (unsigned i = 0; i < config_.shards; ++i) {
         environments_.push_back(std::make_unique<ShardEnvironment>(
-            "kvsvc.shard" + std::to_string(i), region));
+            "kvsvc.shard" + std::to_string(i), region,
+            config_.lineStore));
         caches_.push_back(&environments_.back()->cache);
     }
     store_ = std::make_unique<ShardedKvStore>(

@@ -56,6 +56,12 @@ struct KvServiceConfig
     double eraseProbability = 0.1; ///< remainder are gets
 
     uint64_t seed = 42;
+
+    /** Line-store implementation for every shard cache. Flat is the
+     *  serving default; Reference re-creates the pre-optimization
+     *  cache exactly, which is what lets bench/kv_throughput measure
+     *  the old dispatch as a baseline arm inside one binary. */
+    CacheModel::LineStore lineStore = CacheModel::LineStore::Flat;
 };
 
 /** Deterministic outcome of a run (plus wall-clock, which is not). */
@@ -85,7 +91,9 @@ struct KvServiceSummary
  */
 struct ShardEnvironment
 {
-    ShardEnvironment(const std::string &name, uint64_t nvdimm_bytes);
+    ShardEnvironment(const std::string &name, uint64_t nvdimm_bytes,
+                     CacheModel::LineStore line_store =
+                         CacheModel::LineStore::Flat);
 
     EventQueue queue;
     NvdimmModule dimm;

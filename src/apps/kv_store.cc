@@ -19,6 +19,10 @@ KvStore::KvStore(CacheModel &cache, uint64_t base, uint64_t capacity)
 {
     WSP_CHECKF((capacity & (capacity - 1)) == 0,
                "KvStore capacity must be a power of two");
+    // O(1) line lookups over our region (flat store only; a no-op on
+    // the reference store). With a shared cache the last shard's
+    // registration wins — earlier shards just keep the hash probe.
+    cache_.registerRegionView(base_, regionBytes(capacity));
     cache_.writeU64(base_ + kOffMagic, kMagic);
     cache_.writeU64(base_ + kOffCapacity, capacity);
     cache_.writeU64(base_ + kOffSize, 0);
@@ -32,6 +36,7 @@ KvStore::KvStore(CacheModel &cache, uint64_t base, uint64_t capacity,
                  std::nullptr_t)
     : cache_(cache), base_(base), capacity_(capacity)
 {
+    cache_.registerRegionView(base_, regionBytes(capacity_));
 }
 
 uint64_t
@@ -81,18 +86,68 @@ KvStore::probeStart(uint64_t key) const
     return h & (capacity_ - 1);
 }
 
+// The probe loops below walk slots line-wise: four 16-byte slots
+// share a cache line, so one peekLine probe serves up to four key
+// reads (and a slot's value always sits in the same line as its
+// key). A nullptr line — not dirty, or the reference store — falls
+// back to the per-word cache calls, which have identical semantics;
+// writes go through storeSlotU64/storeSlotPair so a FliT tracker
+// still sees every store.
+
+namespace {
+
+constexpr uint64_t kLineMask = CacheModel::kLineSize - 1;
+
+inline uint64_t
+loadSlotKey(const CacheModel &cache, const uint8_t *line, uint64_t addr)
+{
+    if (line != nullptr) {
+        uint64_t key;
+        std::memcpy(&key, line + (addr & kLineMask), 8);
+        return key;
+    }
+    return cache.readU64(addr);
+}
+
+} // namespace
+
 bool
 KvStore::putSlot(uint64_t key, uint64_t value, bool *inserted)
 {
     WSP_CHECKF(key != 0 && key != kTombstone,
                "KvStore keys 0 and ~0 are reserved");
     *inserted = false;
+    const uint64_t mask = capacity_ - 1;
+    const uint64_t start = probeStart(key);
     uint64_t first_tombstone = capacity_;
+    // The probed line is resolved once and written through directly
+    // when it lands in the same line (the common case): the LineRef
+    // carries the slab slot, so marking the line written needs no
+    // second table probe. The direct path is barred while a FliT
+    // tracker is attached — it must see every store.
+    const bool direct = flit_ == nullptr;
+    CacheModel::LineRef line;
+    uint64_t line_base = ~0ull;
     for (uint64_t step = 0; step < capacity_; ++step) {
-        const uint64_t index = (probeStart(key) + step) & (capacity_ - 1);
-        const uint64_t slot_key = cache_.readU64(slotAddr(index));
+        const uint64_t index = (start + step) & mask;
+        const uint64_t addr = slotAddr(index);
+        if ((addr & ~kLineMask) != line_base) {
+            line_base = addr & ~kLineMask;
+            line = cache_.findLineMut(line_base);
+        }
+        uint64_t slot_key;
+        if (line)
+            std::memcpy(&slot_key, line.data + (addr & kLineMask), 8);
+        else
+            slot_key = cache_.readU64(addr);
         if (slot_key == key) {
-            storeU64(slotAddr(index) + 8, value);
+            if (direct && line) {
+                cache_.touchLineRef(line);
+                std::memcpy(line.data + ((addr + 8) & kLineMask), &value,
+                            8);
+            } else {
+                storeU64(addr + 8, value);
+            }
             return true;
         }
         if (slot_key == kTombstone) {
@@ -103,15 +158,21 @@ KvStore::putSlot(uint64_t key, uint64_t value, bool *inserted)
         if (slot_key == 0) {
             const uint64_t target =
                 first_tombstone != capacity_ ? first_tombstone : index;
-            storeU64(slotAddr(target), key);
-            storeU64(slotAddr(target) + 8, value);
+            const uint64_t target_addr = slotAddr(target);
+            if (direct && line && (target_addr & ~kLineMask) == line_base) {
+                cache_.touchLineRef(line);
+                const uint64_t off = target_addr & kLineMask;
+                std::memcpy(line.data + off, &key, 8);
+                std::memcpy(line.data + off + 8, &value, 8);
+            } else {
+                storeSlotPair(target_addr, key, value);
+            }
             *inserted = true;
             return true;
         }
     }
     if (first_tombstone != capacity_) {
-        storeU64(slotAddr(first_tombstone), key);
-        storeU64(slotAddr(first_tombstone) + 8, value);
+        storeSlotPair(slotAddr(first_tombstone), key, value);
         *inserted = true;
         return true;
     }
@@ -132,12 +193,26 @@ KvStore::put(uint64_t key, uint64_t value)
 bool
 KvStore::get(uint64_t key, uint64_t *value_out) const
 {
+    const uint64_t mask = capacity_ - 1;
+    const uint64_t start = probeStart(key);
+    const uint8_t *line = nullptr;
+    uint64_t line_base = ~0ull;
     for (uint64_t step = 0; step < capacity_; ++step) {
-        const uint64_t index = (probeStart(key) + step) & (capacity_ - 1);
-        const uint64_t slot_key = cache_.readU64(slotAddr(index));
+        const uint64_t index = (start + step) & mask;
+        const uint64_t addr = slotAddr(index);
+        if ((addr & ~kLineMask) != line_base) {
+            line_base = addr & ~kLineMask;
+            line = cache_.peekLine(line_base);
+        }
+        const uint64_t slot_key = loadSlotKey(cache_, line, addr);
         if (slot_key == key) {
-            if (value_out != nullptr)
-                *value_out = cache_.readU64(slotAddr(index) + 8);
+            if (value_out != nullptr) {
+                if (line != nullptr)
+                    std::memcpy(value_out, line + ((addr + 8) & kLineMask),
+                                8);
+                else
+                    *value_out = cache_.readU64(addr + 8);
+            }
             return true;
         }
         if (slot_key == 0)
@@ -149,12 +224,34 @@ KvStore::get(uint64_t key, uint64_t *value_out) const
 bool
 KvStore::eraseSlot(uint64_t key)
 {
+    const uint64_t mask = capacity_ - 1;
+    const uint64_t start = probeStart(key);
+    const bool direct = flit_ == nullptr;
+    CacheModel::LineRef line;
+    uint64_t line_base = ~0ull;
     for (uint64_t step = 0; step < capacity_; ++step) {
-        const uint64_t index = (probeStart(key) + step) & (capacity_ - 1);
-        const uint64_t slot_key = cache_.readU64(slotAddr(index));
+        const uint64_t index = (start + step) & mask;
+        const uint64_t addr = slotAddr(index);
+        if ((addr & ~kLineMask) != line_base) {
+            line_base = addr & ~kLineMask;
+            line = cache_.findLineMut(line_base);
+        }
+        uint64_t slot_key;
+        if (line)
+            std::memcpy(&slot_key, line.data + (addr & kLineMask), 8);
+        else
+            slot_key = cache_.readU64(addr);
         if (slot_key == key) {
-            storeU64(slotAddr(index), kTombstone);
-            storeU64(slotAddr(index) + 8, 0);
+            if (direct && line) {
+                cache_.touchLineRef(line);
+                const uint64_t off = addr & kLineMask;
+                const uint64_t tombstone = kTombstone;
+                const uint64_t zero = 0;
+                std::memcpy(line.data + off, &tombstone, 8);
+                std::memcpy(line.data + off + 8, &zero, 8);
+            } else {
+                storeSlotPair(addr, kTombstone, 0);
+            }
             return true;
         }
         if (slot_key == 0)
@@ -294,18 +391,6 @@ ShardedKvStore::attach(std::span<CacheModel *const> caches, uint64_t base)
     return store;
 }
 
-unsigned
-ShardedKvStore::shardOf(uint64_t key) const
-{
-    // Distinct mix from KvStore::probeStart so shard choice and probe
-    // position stay uncorrelated.
-    uint64_t h = key;
-    h ^= h >> 33;
-    h *= 0xff51afd7ed558ccdull;
-    h ^= h >> 29;
-    return static_cast<unsigned>(h & (shards_.size() - 1));
-}
-
 bool
 ShardedKvStore::put(uint64_t key, uint64_t value)
 {
@@ -345,20 +430,27 @@ ShardedKvStore::applyBatch(std::span<const KvOp> ops)
     // Stable counting sort into shard runs: per-key order survives
     // (a key's ops all map to one shard, in batch order), and each
     // run is contiguous so the shard applies it as one KvStore batch.
-    std::vector<uint32_t> shard_of(ops.size());
-    std::vector<uint32_t> counts(shard_count, 0);
+    // Scratch is thread-local: each serving worker reuses its arrays
+    // across batches instead of paying five allocations per call.
+    static thread_local std::vector<uint32_t> shard_of;
+    static thread_local std::vector<uint32_t> counts;
+    static thread_local std::vector<uint32_t> offsets;
+    static thread_local std::vector<uint32_t> fill;
+    static thread_local std::vector<KvOp> grouped;
+    shard_of.resize(ops.size());
+    counts.assign(shard_count, 0);
     for (size_t i = 0; i < ops.size(); ++i) {
         shard_of[i] = shardOf(ops[i].key);
         ++counts[shard_of[i]];
     }
-    std::vector<uint32_t> offsets(shard_count, 0);
+    offsets.resize(shard_count);
     uint32_t cursor = 0;
     for (size_t s = 0; s < shard_count; ++s) {
         offsets[s] = cursor;
         cursor += counts[s];
     }
-    std::vector<KvOp> grouped(ops.size());
-    std::vector<uint32_t> fill = offsets;
+    grouped.resize(ops.size());
+    fill = offsets;
     for (size_t i = 0; i < ops.size(); ++i)
         grouped[fill[shard_of[i]]++] = ops[i];
 
@@ -370,6 +462,13 @@ ShardedKvStore::applyBatch(std::span<const KvOp> ops)
             std::span<const KvOp>(grouped.data() + offsets[s], counts[s])));
     }
     return result;
+}
+
+KvBatchResult
+ShardedKvStore::applyShardBatch(unsigned shard, std::span<const KvOp> ops)
+{
+    std::lock_guard<std::mutex> guard(locks_[shard]);
+    return shards_[shard].applyBatch(ops);
 }
 
 uint64_t

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -151,6 +152,29 @@ class KvStore
     /** Mutation funnel: cached store plus FliT notification. */
     void storeU64(uint64_t addr, uint64_t value);
 
+    /**
+     * Store a slot's (key, value) pair — always within one line.
+     * Takes the cache's line-granular fast path when possible; the
+     * direct-pointer shortcut is only legal without a FliT tracker
+     * attached, because the tracker must see every store through
+     * storeU64's funnel.
+     */
+    void storeSlotPair(uint64_t addr, uint64_t key, uint64_t value)
+    {
+        if (flit_ == nullptr) {
+            uint8_t *line =
+                cache_.touchLine(addr & ~(CacheModel::kLineSize - 1));
+            if (line != nullptr) {
+                const uint64_t off = addr & (CacheModel::kLineSize - 1);
+                std::memcpy(line + off, &key, 8);
+                std::memcpy(line + off + 8, &value, 8);
+                return;
+            }
+        }
+        storeU64(addr, key);
+        storeU64(addr + 8, value);
+    }
+
     /** Put against the slot array only; header untouched.
      *  @return false when full; *inserted set when a new key landed. */
     bool putSlot(uint64_t key, uint64_t value, bool *inserted);
@@ -218,8 +242,18 @@ class ShardedKvStore
         return static_cast<unsigned>(shards_.size());
     }
 
-    /** The shard owning @p key. */
-    unsigned shardOf(uint64_t key) const;
+    /** The shard owning @p key. Inline: the traffic plane's
+     *  producers route every generated op through this. */
+    unsigned shardOf(uint64_t key) const
+    {
+        // Distinct mix from KvStore::probeStart so shard choice and
+        // probe position stay uncorrelated.
+        uint64_t h = key;
+        h ^= h >> 33;
+        h *= 0xff51afd7ed558ccdull;
+        h ^= h >> 29;
+        return static_cast<unsigned>(h & (shards_.size() - 1));
+    }
 
     /**
      * Read-only view of shard @p i. The fleet's anti-entropy pass
@@ -250,6 +284,16 @@ class ShardedKvStore
      * shard per batch instead of per op.
      */
     KvBatchResult applyBatch(std::span<const KvOp> ops);
+
+    /**
+     * Apply a run of ops that the caller already routed to @p shard
+     * (every op's key must satisfy shardOf(key) == shard). This is
+     * the submission rings' drain entry: the rings are per-shard, so
+     * the grouping pass applyBatch pays has already happened at
+     * enqueue time. Takes the shard lock like every other mutation.
+     */
+    KvBatchResult applyShardBatch(unsigned shard,
+                                  std::span<const KvOp> ops);
 
     /** Total live keys across shards. */
     uint64_t size() const;

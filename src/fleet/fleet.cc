@@ -1,10 +1,16 @@
 #include "fleet/fleet.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <thread>
 
+#include "load/op_stream.h"
+#include "load/spsc_ring.h"
 #include "trace/stat_registry.h"
+#include "util/arena.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace wsp::fleet {
 
@@ -546,6 +552,135 @@ Fleet::runStorm(uint64_t mask, Tick outage, Tick window,
     outcome.shardsRepaired =
         storm_.shardsRepaired - before.shardsRepaired;
     storm_.active = false;
+    return outcome;
+}
+
+StormOutcome
+Fleet::runStormThreaded(ThreadPool &pool, uint64_t mask, Tick outage,
+                        Tick window, const StormLoad &load)
+{
+    WSP_CHECK(load.generators >= 1);
+    WSP_CHECKF(pool.threadCount() == load.generators + 1,
+               "pool has %u threads, storm load wants %u generators + 1",
+               pool.threadCount(), load.generators);
+    WSP_CHECK(load.ringFrames >= 2 &&
+              (load.ringFrames & (load.ringFrames - 1)) == 0);
+
+    // One SPSC ring per generator, timeline worker as sole consumer.
+    util::Arena arena;
+    std::vector<wsp::load::SpscRing<apps::KvOp> *> rings;
+    rings.reserve(load.generators);
+    for (unsigned g = 0; g < load.generators; ++g) {
+        auto *frames = arena.allocate<apps::KvOp>(load.ringFrames);
+        auto *ring = static_cast<wsp::load::SpscRing<apps::KvOp> *>(
+            arena.allocate(sizeof(wsp::load::SpscRing<apps::KvOp>),
+                           alignof(wsp::load::SpscRing<apps::KvOp>)));
+        rings.push_back(new (ring) wsp::load::SpscRing<apps::KvOp>(
+            frames, load.ringFrames));
+    }
+
+    std::atomic<bool> done{false};
+    std::vector<uint64_t> producedPerGen(load.generators, 0);
+    std::vector<uint64_t> stallsPerGen(load.generators, 0);
+    StormOutcome outcome;
+
+    pool.runWorkers([&](unsigned worker) {
+        if (worker == 0) {
+            // Timeline worker: the storm loop of runStorm, with the
+            // sampled client traffic popped from the generator rings
+            // (round-robin by request index) instead of drawn from
+            // the fleet rng. Fleet state stays single-threaded.
+            const StormState before = storm_;
+            killSubset(mask, outage, window);
+            unsigned turn = 0;
+            apps::KvOp op{};
+            std::span<apps::KvOp> one(&op, 1);
+            const auto popNext = [&]() {
+                wsp::load::SpscRing<apps::KvOp> &ring = *rings[turn];
+                turn = (turn + 1) % load.generators;
+                while (ring.tryPop(one) == 0) {
+                    // Generators only stop after done is set below,
+                    // so the ring always refills; just wait our turn.
+                    std::this_thread::yield();
+                }
+            };
+            while (!agenda_.empty()) {
+                const Tick next = agenda_.begin()->first;
+                while (now_ + config_.trafficSpacing <= next) {
+                    now_ += config_.trafficSpacing;
+                    popNext();
+                    switch (op.kind) {
+                    case apps::KvOp::Kind::Put:
+                        clientPut(op.key, op.value);
+                        break;
+                    case apps::KvOp::Kind::Get:
+                        clientGet(op.key);
+                        break;
+                    case apps::KvOp::Kind::Erase:
+                        clientErase(op.key);
+                        break;
+                    }
+                }
+                advanceTo(next);
+            }
+            done.store(true, std::memory_order_release);
+
+            outcome.start = storm_.start;
+            outcome.powerRestored = storm_.powerRestored;
+            outcome.fullCapacityAt = storm_.lastReady;
+            outcome.timeToFullCapacity =
+                storm_.lastReady > storm_.powerRestored
+                    ? storm_.lastReady - storm_.powerRestored
+                    : 0;
+            outcome.victims = storm_.victims - before.victims;
+            outcome.wspRecoveries =
+                storm_.wspRecoveries - before.wspRecoveries;
+            outcome.salvageBoots =
+                storm_.salvageBoots - before.salvageBoots;
+            outcome.backendRefills =
+                storm_.backendRefills - before.backendRefills;
+            outcome.digestsExchanged = storm_.digests - before.digests;
+            outcome.repairStreamedBytes =
+                storm_.streamed - before.streamed;
+            outcome.shardsRepaired =
+                storm_.shardsRepaired - before.shardsRepaired;
+            storm_.active = false;
+            return;
+        }
+
+        // Generator worker: deterministic op stream into our ring
+        // until the timeline declares the storm over. Keys are drawn
+        // from the full client universe (all generators share it —
+        // aggregate totals are deterministic, per-key history is the
+        // drain interleave's, which is also fixed).
+        const unsigned g = worker - 1;
+        wsp::load::OpStreamConfig sc;
+        sc.keyLo = 1;
+        sc.keyCount = config_.keyUniverse;
+        sc.getPermille = load.getPermille;
+        sc.erasePermille = load.erasePermille;
+        wsp::load::OpStream stream(sc, Rng(config_.seed).stream(g + 100));
+        wsp::load::SpscRing<apps::KvOp> &ring = *rings[g];
+        while (!done.load(std::memory_order_acquire)) {
+            const apps::KvOp next = stream.next();
+            while (!ring.tryPush(next)) {
+                ++stallsPerGen[g];
+                if (done.load(std::memory_order_acquire))
+                    return; // leftover frames are simply dropped
+                std::this_thread::yield();
+            }
+            ++producedPerGen[g];
+        }
+    });
+
+    for (unsigned g = 0; g < load.generators; ++g) {
+        outcome.generatorOps += producedPerGen[g];
+        outcome.generatorStalls += stallsPerGen[g];
+    }
+    auto &stats = trace::StatRegistry::instance();
+    stats.counter("fleet.storm.generator_ops").add(outcome.generatorOps);
+    stats.counter("fleet.storm.generator_stalls")
+        .add(outcome.generatorStalls);
     return outcome;
 }
 

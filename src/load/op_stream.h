@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Deterministic per-worker operation streams for the load generator.
+ *
+ * Each producer worker owns one OpStream seeded from
+ * Rng(seed).stream(worker), so streams are order-independent: the
+ * same (seed, worker) pair yields the same op sequence no matter how
+ * many workers run or how the OS schedules them. That is what lets
+ * the threaded plane be checked against a sequential replay of the
+ * same streams (tests/load_test.cc).
+ *
+ * The generator itself is built for the hot loop: one raw 64-bit
+ * draw per op, split into key bits and kind bits, compared against
+ * integer thresholds — no doubles, no branmispredict-prone rejection
+ * loops. Zipfian popularity uses a quantized inverse-CDF table built
+ * once at construction (4096-way), so a skewed draw costs one extra
+ * L1 load instead of the two std::pow calls the exact YCSB sampler
+ * (apps::ZipfianSampler) pays per draw; the exact sampler remains
+ * the reference and the table is validated against it in tests.
+ *
+ * Key-range modes:
+ *  - disjoint (keyLo = 1 + worker * keyCount): each worker owns a
+ *    private key range, so per-key op order is the worker's own
+ *    stream order and threaded-vs-sequential equivalence is *exact*.
+ *  - shared (same range for all workers): realistic contention; only
+ *    aggregate op-mix totals are deterministic, not per-key history.
+ */
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/kv_store.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace wsp::load {
+
+/** Mix and popularity of one worker's stream. */
+struct OpStreamConfig
+{
+    uint64_t keyLo = 1;        ///< first key (0 is reserved)
+    uint64_t keyCount = 512;   ///< keys in [keyLo, keyLo + keyCount)
+    uint32_t getPermille = 400;   ///< reads per 1000 ops
+    uint32_t erasePermille = 100; ///< erases per 1000 ops; rest put
+    double zipfTheta = 0.0;       ///< 0 = uniform, else (0,1) skew
+};
+
+/** Cheap deterministic op generator (one rng draw per op). */
+class OpStream
+{
+  public:
+    OpStream(const OpStreamConfig &config, Rng rng)
+        : rng_(rng), keyLo_(config.keyLo), keyCount_(config.keyCount)
+    {
+        WSP_CHECK(config.keyCount >= 1);
+        WSP_CHECK(config.getPermille + config.erasePermille <= 1000);
+        // Kind thresholds in 32-bit fixed point against the high
+        // draw word: draw < getLimit_ is a get, < eraseLimit_ an
+        // erase, else a put. Held as uint64 so a 1000-permille
+        // threshold is 2^32 (always true), not a wrapped zero.
+        getLimit_ = (static_cast<uint64_t>(config.getPermille) << 32) / 1000;
+        eraseLimit_ =
+            getLimit_ +
+            (static_cast<uint64_t>(config.erasePermille) << 32) / 1000;
+        if (config.zipfTheta > 0.0)
+            buildZipfTable(config.zipfTheta);
+    }
+
+    /** Next op of this worker's stream. */
+    apps::KvOp next()
+    {
+        // Branch-free: kind comes from a 3-entry table indexed by two
+        // threshold comparisons, and the payload draw is taken
+        // unconditionally (gets and erases simply ignore it). Random
+        // kinds would mispredict a kind branch ~half the time, which
+        // costs more than the always-taken second draw.
+        static constexpr apps::KvOp::Kind kKinds[3] = {
+            apps::KvOp::Kind::Get, apps::KvOp::Kind::Erase,
+            apps::KvOp::Kind::Put};
+        const uint64_t draw = rng_();
+        const uint64_t payload = rng_();
+        const auto kindBits = static_cast<uint32_t>(draw >> 32);
+        const auto keyBits = static_cast<uint32_t>(draw);
+        uint64_t key;
+        if (zipf_.empty()) {
+            // Lemire-style range reduction on the low 32 bits.
+            key = keyLo_ + ((static_cast<uint64_t>(keyBits) * keyCount_) >>
+                            32);
+        } else {
+            key = keyLo_ + zipf_[keyBits >> kZipfShift];
+        }
+        const unsigned kind = static_cast<unsigned>(kindBits >= getLimit_) +
+                              static_cast<unsigned>(kindBits >= eraseLimit_);
+        return apps::KvOp{kKinds[kind], key, payload};
+    }
+
+    /** Fill @p out with the next out.size() ops. */
+    void fill(std::span<apps::KvOp> out)
+    {
+        for (apps::KvOp &op : out)
+            op = next();
+    }
+
+  private:
+    static constexpr unsigned kZipfBits = 12; ///< 4096-way table
+    static constexpr unsigned kZipfShift = 32 - kZipfBits;
+
+    void buildZipfTable(double theta)
+    {
+        // Quantized inverse CDF: bin i of the uniform unit interval
+        // maps to the smallest key whose Zipf CDF covers the bin's
+        // midpoint. Hot keys (small ranks) absorb many bins; the
+        // cold tail shares the rest. Exactness is bounded by the bin
+        // width (2^-12); the distribution test compares hot-key mass
+        // against apps::ZipfianSampler.
+        const size_t bins = size_t{1} << kZipfBits;
+        zipf_.resize(bins);
+        std::vector<double> cdf(keyCount_);
+        double zeta = 0.0;
+        for (uint64_t k = 0; k < keyCount_; ++k) {
+            zeta += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+            cdf[k] = zeta;
+        }
+        size_t k = 0;
+        for (size_t bin = 0; bin < bins; ++bin) {
+            const double target =
+                (static_cast<double>(bin) + 0.5) /
+                static_cast<double>(bins) * zeta;
+            while (k + 1 < keyCount_ && cdf[k] < target)
+                ++k;
+            zipf_[bin] = static_cast<uint32_t>(k);
+        }
+    }
+
+    Rng rng_;
+    uint64_t keyLo_;
+    uint64_t keyCount_;
+    uint64_t getLimit_ = 0;
+    uint64_t eraseLimit_ = 0;
+    std::vector<uint32_t> zipf_; ///< empty = uniform
+};
+
+} // namespace wsp::load

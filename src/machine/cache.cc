@@ -10,15 +10,206 @@
 namespace wsp {
 
 CacheModel::CacheModel(std::string name, uint64_t capacity_bytes,
-                       CacheTiming timing, NvramSpace &memory)
+                       CacheTiming timing, NvramSpace &memory,
+                       LineStore store)
     : name_(std::move(name)), capacity_(capacity_bytes), timing_(timing),
-      memory_(memory)
+      memory_(memory), store_(store)
 {
     WSP_CHECK(capacity_ >= kLineSize);
     WSP_CHECK(capacity_ % kLineSize == 0);
     WSP_CHECK(timing_.memoryBwBytesPerSec > 0.0);
-    directory_.resize(directoryWays_);
+    if (store_ == LineStore::Flat) {
+        flatTable_.assign(256, FlatProbe{});
+        flatDirHeads_.assign(flatDirWays_, kNoSlot);
+        flatDirCounts_.assign(flatDirWays_, 0);
+    } else {
+        directory_.resize(directoryWays_);
+    }
 }
+
+// Flat store -----------------------------------------------------------
+
+void
+CacheModel::flatTableInsert(uint64_t base, uint32_t slot)
+{
+    const size_t mask = flatTable_.size() - 1;
+    size_t index = flatHash(base, mask);
+    while (flatTable_[index].slot != kNoSlot)
+        index = (index + 1) & mask;
+    flatTable_[index] = FlatProbe{base, slot};
+    if (base - regionBase_ < regionSpan_)
+        regionSlots_[(base - regionBase_) >> 6] = slot;
+}
+
+void
+CacheModel::flatTableErase(uint64_t base)
+{
+    if (base - regionBase_ < regionSpan_)
+        regionSlots_[(base - regionBase_) >> 6] = kNoSlot;
+    const size_t mask = flatTable_.size() - 1;
+    size_t index = flatHash(base, mask);
+    while (flatTable_[index].base != base ||
+           flatTable_[index].slot == kNoSlot) {
+        WSP_CHECK(flatTable_[index].slot != kNoSlot);
+        index = (index + 1) & mask;
+    }
+    // Backshift deletion keeps every probe chain gapless, so lookups
+    // never need tombstone checks: pull forward any entry whose home
+    // position reaches the hole.
+    size_t hole = index;
+    size_t probe = hole;
+    for (;;) {
+        probe = (probe + 1) & mask;
+        const FlatProbe &candidate = flatTable_[probe];
+        if (candidate.slot == kNoSlot)
+            break;
+        const size_t home = flatHash(candidate.base, mask);
+        if (((probe - home) & mask) >= ((probe - hole) & mask)) {
+            flatTable_[hole] = candidate;
+            hole = probe;
+        }
+    }
+    flatTable_[hole] = FlatProbe{};
+}
+
+void
+CacheModel::flatTableGrow()
+{
+    std::vector<FlatProbe> old = std::move(flatTable_);
+    flatTable_.assign(old.size() * 2, FlatProbe{});
+    for (const FlatProbe &probe : old) {
+        if (probe.slot != kNoSlot)
+            flatTableInsert(probe.base, probe.slot);
+    }
+}
+
+uint32_t
+CacheModel::flatAcquire(uint64_t base)
+{
+    if (dirtyBytes() >= capacity_) {
+        // Evict the least recently written line first.
+        WSP_CHECK(lruTail_ != kNoSlot);
+        flatWriteBack(lruTail_);
+    }
+    // Keep the table under 0.7 load so probe chains stay short.
+    if ((flatLive_ + 1) * 10 > flatTable_.size() * 7)
+        flatTableGrow();
+
+    uint32_t slot;
+    if (flatFree_ != kNoSlot) {
+        slot = flatFree_;
+        flatFree_ = flatLines_[slot].lruNext;
+    } else {
+        slot = static_cast<uint32_t>(flatLines_.size());
+        flatLines_.emplace_back();
+    }
+    FlatLine &line = flatLines_[slot];
+    line.base = base;
+    // A new dirty line starts from the memory image (partial-line
+    // writes must preserve the other bytes).
+    memory_.read(base, std::span<uint8_t>(line.data, kLineSize));
+    // Link at the LRU head: most recently written.
+    line.lruPrev = kNoSlot;
+    line.lruNext = lruHead_;
+    if (lruHead_ != kNoSlot)
+        flatLines_[lruHead_].lruPrev = slot;
+    lruHead_ = slot;
+    if (lruTail_ == kNoSlot)
+        lruTail_ = slot;
+    flatDirInsert(slot);
+    flatTableInsert(base, slot);
+    ++flatLive_;
+    return slot;
+}
+
+void
+CacheModel::flatWriteBack(uint32_t slot)
+{
+    FlatLine &line = flatLines_[slot];
+    const uint64_t base = line.base;
+    memory_.write(base, std::span<const uint8_t>(line.data, kLineSize));
+    // Unlink from the LRU order.
+    if (line.lruPrev != kNoSlot)
+        flatLines_[line.lruPrev].lruNext = line.lruNext;
+    else
+        lruHead_ = line.lruNext;
+    if (line.lruNext != kNoSlot)
+        flatLines_[line.lruNext].lruPrev = line.lruPrev;
+    else
+        lruTail_ = line.lruPrev;
+    flatDirErase(slot);
+    flatTableErase(base);
+    // Recycle through the free chain (threaded via lruNext).
+    line.lruNext = flatFree_;
+    flatFree_ = slot;
+    --flatLive_;
+    if (writebackObserver_)
+        writebackObserver_(base, /*lost=*/false);
+}
+
+void
+CacheModel::registerRegionView(uint64_t base, uint64_t bytes)
+{
+    if (store_ != LineStore::Flat)
+        return; // reference store keeps its map; view stays disabled
+    regionBase_ = base & ~(kLineSize - 1);
+    regionSpan_ = (base - regionBase_ + bytes + kLineSize - 1) &
+                  ~(kLineSize - 1);
+    regionSlots_.assign(regionSpan_ / kLineSize, kNoSlot);
+    // Adopt lines already dirty inside the region (the LRU chain
+    // enumerates every live slot).
+    for (uint32_t slot = lruHead_; slot != kNoSlot;
+         slot = flatLines_[slot].lruNext) {
+        const uint64_t line = flatLines_[slot].base;
+        if (line - regionBase_ < regionSpan_)
+            regionSlots_[(line - regionBase_) >> 6] = slot;
+    }
+}
+
+void
+CacheModel::ensureFlatDirectory(unsigned workers) const
+{
+    WSP_CHECK(workers >= 1);
+    if (workers == flatDirWays_)
+        return;
+    // One O(dirty) re-bucketing per way-count change, as in the
+    // reference store; the LRU chain enumerates every live slot.
+    flatDirWays_ = workers;
+    flatDirHeads_.assign(workers, kNoSlot);
+    flatDirCounts_.assign(workers, 0);
+    for (uint32_t slot = lruHead_; slot != kNoSlot;
+         slot = flatLines_[slot].lruNext)
+        flatDirInsert(slot);
+}
+
+void
+CacheModel::flatDirInsert(uint32_t slot) const
+{
+    FlatLine &line = flatLines_[slot];
+    const unsigned w = workerOf(line.base, flatDirWays_);
+    line.dirPrev = kNoSlot;
+    line.dirNext = flatDirHeads_[w];
+    if (line.dirNext != kNoSlot)
+        flatLines_[line.dirNext].dirPrev = slot;
+    flatDirHeads_[w] = slot;
+    ++flatDirCounts_[w];
+}
+
+void
+CacheModel::flatDirErase(uint32_t slot) const
+{
+    FlatLine &line = flatLines_[slot];
+    const unsigned w = workerOf(line.base, flatDirWays_);
+    if (line.dirPrev != kNoSlot)
+        flatLines_[line.dirPrev].dirNext = line.dirNext;
+    else
+        flatDirHeads_[w] = line.dirNext;
+    if (line.dirNext != kNoSlot)
+        flatLines_[line.dirNext].dirPrev = line.dirPrev;
+    --flatDirCounts_[w];
+}
+
+// Reference store ------------------------------------------------------
 
 void
 CacheModel::ensureDirectory(unsigned workers) const
@@ -46,27 +237,6 @@ void
 CacheModel::directoryErase(uint64_t base)
 {
     directory_[workerOf(base, directoryWays_)].erase(base);
-}
-
-void
-CacheModel::read(uint64_t addr, std::span<uint8_t> out) const
-{
-    size_t done = 0;
-    while (done < out.size()) {
-        const uint64_t cur = addr + done;
-        const uint64_t base = lineBase(cur);
-        const uint64_t offset = cur - base;
-        const size_t chunk = static_cast<size_t>(
-            std::min<uint64_t>(kLineSize - offset, out.size() - done));
-        auto it = dirty_.find(base);
-        if (it != dirty_.end()) {
-            std::memcpy(out.data() + done, it->second.data.data() + offset,
-                        chunk);
-        } else {
-            memory_.read(cur, out.subspan(done, chunk));
-        }
-        done += chunk;
-    }
 }
 
 CacheModel::Line &
@@ -100,44 +270,6 @@ CacheModel::lineForWrite(uint64_t addr)
 }
 
 void
-CacheModel::write(uint64_t addr, std::span<const uint8_t> data)
-{
-    size_t done = 0;
-    while (done < data.size()) {
-        const uint64_t cur = addr + done;
-        const uint64_t base = lineBase(cur);
-        const uint64_t offset = cur - base;
-        const size_t chunk = static_cast<size_t>(
-            std::min<uint64_t>(kLineSize - offset, data.size() - done));
-        Line &line = lineForWrite(cur);
-        std::memcpy(line.data.data() + offset, data.data() + done, chunk);
-        done += chunk;
-    }
-}
-
-uint64_t
-CacheModel::readU64(uint64_t addr) const
-{
-    uint8_t bytes[8];
-    read(addr, bytes);
-    uint64_t value = 0;
-    for (int i = 7; i >= 0; --i)
-        value = (value << 8) | bytes[i];
-    return value;
-}
-
-void
-CacheModel::writeU64(uint64_t addr, uint64_t value)
-{
-    uint8_t bytes[8];
-    for (auto &byte : bytes) {
-        byte = static_cast<uint8_t>(value & 0xff);
-        value >>= 8;
-    }
-    write(addr, bytes);
-}
-
-void
 CacheModel::writeBack(uint64_t line_addr)
 {
     auto it = dirty_.find(line_addr);
@@ -150,12 +282,99 @@ CacheModel::writeBack(uint64_t line_addr)
         writebackObserver_(line_addr, /*lost=*/false);
 }
 
+// Shared dispatch ------------------------------------------------------
+
+void
+CacheModel::read(uint64_t addr, std::span<uint8_t> out) const
+{
+    size_t done = 0;
+    while (done < out.size()) {
+        const uint64_t cur = addr + done;
+        const uint64_t base = lineBase(cur);
+        const uint64_t offset = cur - base;
+        const size_t chunk = static_cast<size_t>(
+            std::min<uint64_t>(kLineSize - offset, out.size() - done));
+        if (store_ == LineStore::Flat) {
+            const uint32_t slot = flatFind(base);
+            if (slot != kNoSlot) {
+                std::memcpy(out.data() + done,
+                            flatLines_[slot].data + offset, chunk);
+            } else {
+                memory_.read(cur, out.subspan(done, chunk));
+            }
+        } else {
+            auto it = dirty_.find(base);
+            if (it != dirty_.end()) {
+                std::memcpy(out.data() + done,
+                            it->second.data.data() + offset, chunk);
+            } else {
+                memory_.read(cur, out.subspan(done, chunk));
+            }
+        }
+        done += chunk;
+    }
+}
+
+void
+CacheModel::write(uint64_t addr, std::span<const uint8_t> data)
+{
+    size_t done = 0;
+    while (done < data.size()) {
+        const uint64_t cur = addr + done;
+        const uint64_t base = lineBase(cur);
+        const uint64_t offset = cur - base;
+        const size_t chunk = static_cast<size_t>(
+            std::min<uint64_t>(kLineSize - offset, data.size() - done));
+        if (store_ == LineStore::Flat) {
+            uint32_t slot = flatFind(base);
+            if (slot != kNoSlot)
+                touchLru(slot);
+            else
+                slot = flatAcquire(base);
+            std::memcpy(flatLines_[slot].data + offset, data.data() + done,
+                        chunk);
+        } else {
+            Line &line = lineForWrite(cur);
+            std::memcpy(line.data.data() + offset, data.data() + done,
+                        chunk);
+        }
+        done += chunk;
+    }
+}
+
+uint64_t
+CacheModel::readU64Slow(uint64_t addr) const
+{
+    uint8_t bytes[8];
+    read(addr, bytes);
+    uint64_t value = 0;
+    for (int i = 7; i >= 0; --i)
+        value = (value << 8) | bytes[i];
+    return value;
+}
+
+void
+CacheModel::writeU64Slow(uint64_t addr, uint64_t value)
+{
+    uint8_t bytes[8];
+    for (auto &byte : bytes) {
+        byte = static_cast<uint8_t>(value & 0xff);
+        value >>= 8;
+    }
+    write(addr, bytes);
+}
+
 Tick
 CacheModel::flushLine(uint64_t addr)
 {
     const uint64_t base = lineBase(addr);
-    if (dirty_.count(base))
+    if (store_ == LineStore::Flat) {
+        const uint32_t slot = flatFind(base);
+        if (slot != kNoSlot)
+            flatWriteBack(slot);
+    } else if (dirty_.count(base)) {
         writeBack(base);
+    }
     return timing_.clflushPerLine;
 }
 
@@ -185,9 +404,16 @@ CacheModel::wbinvd()
     registry.counter("machine.wbinvd_count").add();
     registry.counter("machine.wbinvd_dirty_bytes").add(dirtyBytes());
     TRACE_INSTANT(Machine, "wbinvd");
-    // Write back everything; order is irrelevant to the memory image.
-    while (!lruOrder_.empty())
-        writeBack(lruOrder_.back());
+    // Write back everything, least recently written first; order is
+    // irrelevant to the memory image but both stores keep it identical
+    // so the write-back observer sees the same sequence.
+    if (store_ == LineStore::Flat) {
+        while (lruTail_ != kNoSlot)
+            flatWriteBack(lruTail_);
+    } else {
+        while (!lruOrder_.empty())
+            writeBack(lruOrder_.back());
+    }
     return cost;
 }
 
@@ -195,6 +421,10 @@ size_t
 CacheModel::partitionDirtyLines(unsigned worker, unsigned workers) const
 {
     WSP_CHECK(workers >= 1 && worker < workers);
+    if (store_ == LineStore::Flat) {
+        ensureFlatDirectory(workers);
+        return flatDirCounts_[worker];
+    }
     ensureDirectory(workers);
     return directory_[worker].size();
 }
@@ -225,15 +455,25 @@ void
 CacheModel::flushPartition(unsigned worker, unsigned workers)
 {
     WSP_CHECK(workers >= 1 && worker < workers);
-    ensureDirectory(workers);
-    // Drain a copy: writeBack() erases from the bucket being walked.
-    const std::vector<uint64_t> mine(directory_[worker].begin(),
-                                     directory_[worker].end());
-    for (uint64_t base : mine)
-        writeBack(base);
+    size_t flushed = 0;
+    if (store_ == LineStore::Flat) {
+        ensureFlatDirectory(workers);
+        flushed = flatDirCounts_[worker];
+        // flatWriteBack unlinks the head as it drains the bucket.
+        while (flatDirHeads_[worker] != kNoSlot)
+            flatWriteBack(flatDirHeads_[worker]);
+    } else {
+        ensureDirectory(workers);
+        // Drain a copy: writeBack() erases from the bucket being walked.
+        const std::vector<uint64_t> mine(directory_[worker].begin(),
+                                         directory_[worker].end());
+        for (uint64_t base : mine)
+            writeBack(base);
+        flushed = mine.size();
+    }
     auto &registry = trace::StatRegistry::instance();
     registry.counter("machine.partition_flushes").add();
-    registry.counter("machine.partition_flush_lines").add(mine.size());
+    registry.counter("machine.partition_flush_lines").add(flushed);
 }
 
 Tick
@@ -263,6 +503,22 @@ CacheModel::fillDirty(uint64_t base, uint64_t bytes, Rng &rng)
 void
 CacheModel::dropDirty()
 {
+    if (store_ == LineStore::Flat) {
+        if (writebackObserver_) {
+            for (uint32_t slot = lruHead_; slot != kNoSlot;
+                 slot = flatLines_[slot].lruNext)
+                writebackObserver_(flatLines_[slot].base, /*lost=*/true);
+        }
+        flatLines_.clear();
+        flatTable_.assign(flatTable_.size(), FlatProbe{});
+        flatFree_ = kNoSlot;
+        flatLive_ = 0;
+        lruHead_ = lruTail_ = kNoSlot;
+        flatDirHeads_.assign(flatDirWays_, kNoSlot);
+        flatDirCounts_.assign(flatDirWays_, 0);
+        regionSlots_.assign(regionSlots_.size(), kNoSlot);
+        return;
+    }
     if (writebackObserver_) {
         for (const auto &[base, line] : dirty_) {
             (void)line;

@@ -17,11 +17,31 @@
  *    practical (the paper's observation) — we model flushing a given
  *    line count for the ablation study;
  *  - theoretical best: cache size over memory bandwidth.
+ *
+ * Line bookkeeping comes in two interchangeable implementations,
+ * selected at construction:
+ *
+ *  - LineStore::Flat (default): the serving hot path. One flat
+ *    open-addressing table maps line base -> slot in a growable slot
+ *    array whose records carry the 64-byte payload inline plus
+ *    intrusive links for the LRU order and the per-worker flush
+ *    directory. After warm-up every access is allocation-free: a
+ *    dirty-line hit is one multiplicative-hash probe and a memcpy,
+ *    an LRU refresh relinks three slots in place, and write-back
+ *    recycles the slot through a free list.
+ *  - LineStore::Reference: the original std::unordered_map +
+ *    std::list + std::unordered_set implementation, kept verbatim as
+ *    the differential baseline (the map rehash, list-node churn and
+ *    per-line vector made the allocator the serving-tier profile).
+ *    bench/kv_throughput measures the pre-PR serving path against it;
+ *    tests/machine_test.cc drives both stores through identical
+ *    op sequences and requires identical observable behaviour.
  */
 
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <list>
 #include <span>
@@ -77,18 +97,30 @@ class CacheModel
   public:
     static constexpr uint64_t kLineSize = 64;
 
+    /** Which line bookkeeping implementation backs this cache. */
+    enum class LineStore : uint8_t
+    {
+        Flat,      ///< open-addressing slots, allocation-free hot path
+        Reference, ///< verbatim map/list/set baseline (for A/B + diff)
+    };
+
     CacheModel(std::string name, uint64_t capacity_bytes,
-               CacheTiming timing, NvramSpace &memory);
+               CacheTiming timing, NvramSpace &memory,
+               LineStore store = LineStore::Flat);
 
     const std::string &name() const { return name_; }
     uint64_t capacity() const { return capacity_; }
     const CacheTiming &timing() const { return timing_; }
+    LineStore lineStore() const { return store_; }
 
     /** Bytes currently dirty (lines * line size). */
-    uint64_t dirtyBytes() const { return dirty_.size() * kLineSize; }
+    uint64_t dirtyBytes() const { return dirtyLines() * kLineSize; }
 
     /** Number of dirty lines. */
-    size_t dirtyLines() const { return dirty_.size(); }
+    size_t dirtyLines() const
+    {
+        return store_ == LineStore::Flat ? flatLive_ : dirty_.size();
+    }
 
     /** Cached read: dirty lines shadow NVRAM content. */
     void read(uint64_t addr, std::span<uint8_t> out) const;
@@ -96,11 +128,115 @@ class CacheModel
     /** Cached write: dirties lines; NVRAM is not yet updated. */
     void write(uint64_t addr, std::span<const uint8_t> data);
 
-    /** Read one little-endian u64 through the cache. */
-    uint64_t readU64(uint64_t addr) const;
+    /**
+     * Read one little-endian u64 through the cache. The flat
+     * dirty-hit case — the serving tier's per-op path — stays inline
+     * so KvStore probes compile down to a hash probe and a memcpy.
+     */
+    uint64_t readU64(uint64_t addr) const
+    {
+        const uint64_t base = addr & ~(kLineSize - 1);
+        if (addr - base <= kLineSize - 8) {
+            const uint32_t slot = flatFind(base);
+            if (slot != kNoSlot) {
+                uint64_t value;
+                std::memcpy(&value, flatLines_[slot].data + (addr - base),
+                            8);
+                return value;
+            }
+        }
+        return readU64Slow(addr);
+    }
 
-    /** Write one little-endian u64 through the cache. */
-    void writeU64(uint64_t addr, uint64_t value);
+    /** Write one little-endian u64 through the cache (see readU64). */
+    void writeU64(uint64_t addr, uint64_t value)
+    {
+        const uint64_t base = addr & ~(kLineSize - 1);
+        if (addr - base <= kLineSize - 8) {
+            const uint32_t slot = flatFind(base);
+            if (slot != kNoSlot) {
+                touchLru(slot);
+                std::memcpy(flatLines_[slot].data + (addr - base), &value,
+                            8);
+                return;
+            }
+        }
+        writeU64Slow(addr, value);
+    }
+
+    // Line-granular access -----------------------------------------
+    //
+    // The serving tier's slot probes touch several words of the same
+    // 64-byte line; paying one table probe per *word* doubles the
+    // per-op cost. These return a direct pointer to a dirty line's
+    // payload so a caller can batch its same-line accesses behind a
+    // single probe. nullptr means the line is not dirty (or the
+    // reference store is active) and the caller must fall back to
+    // read()/writeU64(), which handle the NVRAM fall-through — so
+    // code written against this API behaves identically on both
+    // stores. Pointers are invalidated by the next line creation or
+    // write-back (the slab may grow or recycle); hold one only
+    // across accesses with no cache mutation in between.
+
+    /** Dirty line payload for reading, or nullptr. No LRU effect,
+     *  matching read()'s recency semantics. */
+    const uint8_t *peekLine(uint64_t line_base) const
+    {
+        const uint32_t slot = flatFind(line_base);
+        return slot != kNoSlot ? flatLines_[slot].data : nullptr;
+    }
+
+    /** Dirty line payload for writing, or nullptr. Refreshes the
+     *  line's recency exactly as a writeU64 to it would. */
+    uint8_t *touchLine(uint64_t line_base)
+    {
+        const uint32_t slot = flatFind(line_base);
+        if (slot == kNoSlot)
+            return nullptr;
+        touchLru(slot);
+        return flatLines_[slot].data;
+    }
+
+    /**
+     * A resolved dirty line: payload pointer plus the slab slot, so
+     * a caller that probed a line for reading can later mark it
+     * written without paying the table probe again. Same lifetime
+     * rule as the raw pointers above.
+     */
+    struct LineRef
+    {
+        uint8_t *data = nullptr;
+        uint32_t slot = 0;
+
+        explicit operator bool() const { return data != nullptr; }
+    };
+
+    /** Resolve a dirty line without touching recency (null if not
+     *  dirty, or under the reference store). */
+    LineRef findLineMut(uint64_t line_base)
+    {
+        const uint32_t slot = flatFind(line_base);
+        if (slot == kNoSlot)
+            return {};
+        return {flatLines_[slot].data, slot};
+    }
+
+    /** Refresh a resolved line's recency, as a write to it must. */
+    void touchLineRef(const LineRef &ref) { touchLru(ref.slot); }
+
+    /**
+     * Declare [base, base + bytes) a hot region and switch its line
+     * lookups from the hash probe to a direct per-line slot array
+     * indexed by (addr - base) / 64. The serving tier registers its
+     * shard's slot region this way, making every dirty-line probe one
+     * bounds check and one load — no hash, no collision chain. The
+     * view is maintained at the same insert/erase funnel as the hash
+     * table, so both always agree; lines outside the region (and all
+     * lines under the reference store, where this is a no-op) keep
+     * the existing paths. Costs 4 bytes of view per region line.
+     * Re-registering replaces the previous view.
+     */
+    void registerRegionView(uint64_t base, uint64_t bytes);
 
     /**
      * Write back and drop the line containing @p addr (clflush).
@@ -188,18 +324,124 @@ class CacheModel
     }
 
   private:
+    static constexpr uint32_t kNoSlot = ~0u;
+
+    // Flat store -------------------------------------------------------
+
+    /**
+     * One dirty line: inline payload plus intrusive links. lruPrev /
+     * lruNext thread the recency order (head = most recently
+     * written); dirPrev / dirNext thread the line's per-worker flush
+     * directory bucket. Free slots are chained through lruNext.
+     */
+    struct FlatLine
+    {
+        uint64_t base = 0;
+        uint32_t lruPrev = kNoSlot;
+        uint32_t lruNext = kNoSlot;
+        uint32_t dirPrev = kNoSlot;
+        uint32_t dirNext = kNoSlot;
+        uint8_t data[kLineSize];
+    };
+
+    /** Open-addressing table entry: line base -> slot index. */
+    struct FlatProbe
+    {
+        uint64_t base = 0;
+        uint32_t slot = kNoSlot; ///< kNoSlot = empty
+    };
+
+    uint64_t lineBase(uint64_t addr) const { return addr & ~(kLineSize - 1); }
+
+    static size_t flatHash(uint64_t base, size_t mask)
+    {
+        // Fibonacci hashing on the line number: one multiply, and the
+        // high bits drive the index so nearby lines scatter.
+        return static_cast<size_t>(
+                   ((base >> 6) * 0x9e3779b97f4a7c15ull) >> 32) &
+               mask;
+    }
+
+    /** Slot of @p base's dirty line, or kNoSlot (also when the cache
+     *  runs the reference store — callers then take the slow path). */
+    uint32_t flatFind(uint64_t base) const
+    {
+        // Registered-region fast path: O(1) view lookup. The unsigned
+        // subtraction folds the two range checks into one compare,
+        // and regionSpan_ == 0 (no region) can never pass it.
+        if (base - regionBase_ < regionSpan_)
+            return regionSlots_[(base - regionBase_) >> 6];
+        if (flatTable_.empty())
+            return kNoSlot;
+        const size_t mask = flatTable_.size() - 1;
+        size_t index = flatHash(base, mask);
+        for (;;) {
+            const FlatProbe &probe = flatTable_[index];
+            if (probe.slot == kNoSlot)
+                return kNoSlot;
+            if (probe.base == base)
+                return probe.slot;
+            index = (index + 1) & mask;
+        }
+    }
+
+    /** Move @p slot to the LRU head (most recently written). */
+    void touchLru(uint32_t slot)
+    {
+        if (lruHead_ == slot)
+            return;
+        FlatLine &line = flatLines_[slot];
+        // Unlink (slot is live, so prev/next are consistent).
+        if (line.lruPrev != kNoSlot)
+            flatLines_[line.lruPrev].lruNext = line.lruNext;
+        if (line.lruNext != kNoSlot)
+            flatLines_[line.lruNext].lruPrev = line.lruPrev;
+        if (lruTail_ == slot)
+            lruTail_ = line.lruPrev;
+        // Relink at head.
+        line.lruPrev = kNoSlot;
+        line.lruNext = lruHead_;
+        if (lruHead_ != kNoSlot)
+            flatLines_[lruHead_].lruPrev = slot;
+        lruHead_ = slot;
+        if (lruTail_ == kNoSlot)
+            lruTail_ = slot;
+    }
+
+    void flatTableInsert(uint64_t base, uint32_t slot);
+    void flatTableErase(uint64_t base);
+    void flatTableGrow();
+
+    /** Acquire a slot for a new dirty line (may evict the LRU tail). */
+    uint32_t flatAcquire(uint64_t base);
+
+    /** Write @p slot back to NVRAM and recycle it. */
+    void flatWriteBack(uint32_t slot);
+
+    /** Re-bucket the flat directory for @p workers ways if needed. */
+    void ensureFlatDirectory(unsigned workers) const;
+
+    // const: they touch only the mutable directory state.
+    void flatDirInsert(uint32_t slot) const;
+    void flatDirErase(uint32_t slot) const;
+
+    // Shared slow paths (reference store, flat misses, spans) ----------
+
+    uint64_t readU64Slow(uint64_t addr) const;
+    void writeU64Slow(uint64_t addr, uint64_t value);
+
+    // Reference store --------------------------------------------------
+
     struct Line
     {
         std::vector<uint8_t> data;
         std::list<uint64_t>::iterator lru;
     };
 
-    uint64_t lineBase(uint64_t addr) const { return addr & ~(kLineSize - 1); }
-
-    /** Get or create the dirty line for @p addr's line. */
+    /** Get or create the dirty line for @p addr's line (reference). */
     Line &lineForWrite(uint64_t addr);
 
-    /** Write one line back to NVRAM and forget it. */
+    /** Write one line back to NVRAM and forget it (reference). */
     void writeBack(uint64_t line_addr);
 
     /** Worker a line belongs to under the stable assignment. */
@@ -218,7 +460,35 @@ class CacheModel
     uint64_t capacity_;
     CacheTiming timing_;
     NvramSpace &memory_;
+    LineStore store_;
     std::function<void(uint64_t, bool)> writebackObserver_;
+
+    // Flat-store state. flatTable_ stays empty while the reference
+    // store runs, which is what routes the inline fast paths to the
+    // slow functions without a mode branch. The slab is mutable so
+    // the const cost queries can re-bucket the intrusive directory
+    // links for a new way count.
+    mutable std::vector<FlatLine> flatLines_;
+    std::vector<FlatProbe> flatTable_;
+    uint32_t flatFree_ = kNoSlot; ///< free-slot chain through lruNext
+    size_t flatLive_ = 0;
+    uint32_t lruHead_ = kNoSlot; ///< most recently written
+    uint32_t lruTail_ = kNoSlot; ///< eviction victim
+
+    // Per-worker flush directory for the flat store: bucket heads and
+    // counts, re-bucketed (one pass over the LRU chain) when queried
+    // with a new way count. Mutable for the const cost queries.
+    mutable std::vector<uint32_t> flatDirHeads_;
+    mutable std::vector<size_t> flatDirCounts_;
+    mutable unsigned flatDirWays_ = 1;
+
+    // Registered-region view: slot index per line of the region, or
+    // kNoSlot. Empty span disables the fast path.
+    uint64_t regionBase_ = 0;
+    uint64_t regionSpan_ = 0;
+    std::vector<uint32_t> regionSlots_;
+
+    // Reference-store state (verbatim pre-flat implementation).
     std::unordered_map<uint64_t, Line> dirty_;
     std::list<uint64_t> lruOrder_; ///< front = most recently written
 

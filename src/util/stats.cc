@@ -93,6 +93,24 @@ Histogram::add(double sample)
     ++counts_[idx];
 }
 
+void
+Histogram::add(double sample, uint64_t count)
+{
+    total_ += count;
+    if (sample < lo_) {
+        underflow_ += count;
+        return;
+    }
+    if (sample >= hi_) {
+        overflow_ += count;
+        return;
+    }
+    const double frac = (sample - lo_) / (hi_ - lo_);
+    auto idx = static_cast<size_t>(frac * static_cast<double>(counts_.size()));
+    idx = std::min(idx, counts_.size() - 1);
+    counts_[idx] += count;
+}
+
 bool
 Histogram::mergeCompatible(const Histogram &other) const
 {

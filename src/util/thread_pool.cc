@@ -1,5 +1,10 @@
 #include "util/thread_pool.h"
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "util/logging.h"
 
 namespace wsp {
@@ -59,6 +64,26 @@ ThreadPool::runWorkers(const std::function<void(unsigned)> &fn)
     wake_.notify_all();
     done_.wait(lock, [this] { return remaining_ == 0; });
     job_ = nullptr;
+}
+
+void
+ThreadPool::pinToCores()
+{
+#ifdef __linux__
+    const unsigned cores = std::thread::hardware_concurrency();
+    if (cores == 0)
+        return;
+    for (unsigned w = 0; w < workers_.size(); ++w) {
+        cpu_set_t set;
+        CPU_ZERO(&set);
+        CPU_SET(w % cores, &set);
+        // Best effort: a restricted affinity mask (cgroups, taskset)
+        // can legitimately refuse a core; the pool still works, just
+        // unpinned.
+        (void)pthread_setaffinity_np(workers_[w].native_handle(),
+                                     sizeof(set), &set);
+    }
+#endif
 }
 
 void

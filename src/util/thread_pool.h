@@ -52,6 +52,14 @@ class ThreadPool
     void runWorkers(const std::function<void(unsigned worker)> &fn);
 
     /**
+     * Pin worker w to CPU core w mod hardware_concurrency (Linux;
+     * a no-op elsewhere). The traffic plane uses this so a shard's
+     * owning consumer keeps its store's cache-model state resident on
+     * one core instead of migrating. Idempotent; safe while idle.
+     */
+    void pinToCores();
+
+    /**
      * Static contiguous split of @p items across @p workers: the
      * half-open range worker @p w owns. Early workers get the
      * remainder, so ranges differ in size by at most one.

@@ -196,6 +196,208 @@ TEST_F(CacheFixture, FillDirtyBeyondCapacityDies)
                  "exceeds cache capacity");
 }
 
+// Flat vs reference line store --------------------------------------------
+//
+// The serving hot path runs on the flat line store; the verbatim
+// map/list/set implementation survives as LineStore::Reference. Both
+// must be observationally identical: same read results, same dirty
+// accounting, same eviction order (the write-back observer sees the
+// same sequence), same partition directory counts, and the same final
+// NVRAM image. The differential drives both through one random op
+// stream and compares after every step.
+
+struct StoreRig
+{
+    explicit StoreRig(CacheModel::LineStore kind,
+                      uint64_t capacity = 8 * CacheModel::kLineSize)
+        : dimm(queue, "d",
+               [] {
+                   NvdimmConfig config;
+                   config.capacityBytes = 4 * kMiB;
+                   config.flashChannels = 1;
+                   return config;
+               }())
+    {
+        space.addModule(dimm);
+        cache.emplace("L3", capacity, CacheTiming{}, space, kind);
+        cache->setWritebackObserver([this](uint64_t base, bool lost) {
+            events.emplace_back(base, lost);
+        });
+    }
+
+    EventQueue queue;
+    NvdimmModule dimm;
+    NvramSpace space;
+    std::optional<CacheModel> cache;
+    std::vector<std::pair<uint64_t, bool>> events;
+    size_t seen = 0;
+
+    std::vector<std::pair<uint64_t, bool>> drainEvents()
+    {
+        std::vector<std::pair<uint64_t, bool>> fresh(
+            events.begin() + static_cast<ptrdiff_t>(seen), events.end());
+        seen = events.size();
+        return fresh;
+    }
+};
+
+TEST(LineStoreDifferential, FlatMatchesReferenceUnderRandomTraffic)
+{
+    StoreRig flat(CacheModel::LineStore::Flat);
+    StoreRig ref(CacheModel::LineStore::Reference);
+    ASSERT_EQ(flat.cache->lineStore(), CacheModel::LineStore::Flat);
+    ASSERT_EQ(ref.cache->lineStore(), CacheModel::LineStore::Reference);
+
+    // 64 addressable lines against an 8-line cache: every few writes
+    // evict, so the LRU order and observer sequence get a workout.
+    const uint64_t range = 64 * CacheModel::kLineSize;
+    Rng rng(20260808);
+    std::vector<uint8_t> buf_a(256);
+    std::vector<uint8_t> buf_b(256);
+
+    for (int step = 0; step < 20000; ++step) {
+        const auto kind = rng.next(16);
+        bool ordered = true; // exact observer-order comparison below
+        if (kind < 6) {
+            const uint64_t addr = rng.next(range - 8);
+            const uint64_t value = rng();
+            flat.cache->writeU64(addr, value);
+            ref.cache->writeU64(addr, value);
+        } else if (kind < 9) {
+            const uint64_t addr = rng.next(range - 8);
+            EXPECT_EQ(flat.cache->readU64(addr), ref.cache->readU64(addr));
+        } else if (kind < 11) {
+            const size_t len = 1 + rng.next(200);
+            const uint64_t addr = rng.next(range - len);
+            for (size_t i = 0; i < len; ++i)
+                buf_a[i] = static_cast<uint8_t>(rng());
+            flat.cache->write(addr, std::span<const uint8_t>(buf_a.data(),
+                                                             len));
+            ref.cache->write(addr, std::span<const uint8_t>(buf_a.data(),
+                                                            len));
+        } else if (kind < 13) {
+            const size_t len = 1 + rng.next(200);
+            const uint64_t addr = rng.next(range - len);
+            flat.cache->read(addr, std::span<uint8_t>(buf_a.data(), len));
+            ref.cache->read(addr, std::span<uint8_t>(buf_b.data(), len));
+            EXPECT_TRUE(std::equal(buf_a.begin(), buf_a.begin() + len,
+                                   buf_b.begin()));
+        } else if (kind == 13) {
+            const uint64_t addr = rng.next(range);
+            EXPECT_EQ(flat.cache->flushLine(addr),
+                      ref.cache->flushLine(addr));
+        } else if (kind == 14) {
+            const unsigned workers = 1 + rng.next(4);
+            for (unsigned w = 0; w < workers; ++w) {
+                EXPECT_EQ(flat.cache->partitionDirtyLines(w, workers),
+                          ref.cache->partitionDirtyLines(w, workers));
+            }
+        } else {
+            // Partition flush drains one worker's bucket; the two
+            // directories iterate in different orders, so compare the
+            // event sets, not the sequence.
+            const unsigned workers = 1 + rng.next(4);
+            const unsigned worker = rng.next(workers);
+            flat.cache->flushPartition(worker, workers);
+            ref.cache->flushPartition(worker, workers);
+            ordered = false;
+        }
+
+        EXPECT_EQ(flat.cache->dirtyLines(), ref.cache->dirtyLines());
+        auto fe = flat.drainEvents();
+        auto re = ref.drainEvents();
+        if (!ordered) {
+            std::sort(fe.begin(), fe.end());
+            std::sort(re.begin(), re.end());
+        }
+        ASSERT_EQ(fe, re) << "observer divergence at step " << step;
+
+        if (step % 4096 == 4095) {
+            EXPECT_EQ(flat.cache->wbinvd(), ref.cache->wbinvd());
+            ASSERT_EQ(flat.drainEvents(), ref.drainEvents())
+                << "wbinvd drain order diverged at step " << step;
+        }
+    }
+
+    // Final drain, then the NVRAM images must agree byte for byte.
+    flat.cache->wbinvd();
+    ref.cache->wbinvd();
+    EXPECT_EQ(flat.drainEvents(), ref.drainEvents());
+    EXPECT_EQ(flat.cache->dirtyLines(), 0u);
+    EXPECT_EQ(ref.cache->dirtyLines(), 0u);
+    std::vector<uint8_t> img_a(range);
+    std::vector<uint8_t> img_b(range);
+    flat.space.read(0, img_a);
+    ref.space.read(0, img_b);
+    EXPECT_EQ(img_a, img_b);
+}
+
+TEST(LineStoreDifferential, DropDirtyReportsSameLostLines)
+{
+    StoreRig flat(CacheModel::LineStore::Flat);
+    StoreRig ref(CacheModel::LineStore::Reference);
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+        const uint64_t addr = rng.next(32 * CacheModel::kLineSize);
+        flat.cache->writeU64(addr, i);
+        ref.cache->writeU64(addr, i);
+    }
+    flat.drainEvents();
+    ref.drainEvents();
+    flat.cache->dropDirty();
+    ref.cache->dropDirty();
+    auto fe = flat.drainEvents();
+    auto re = ref.drainEvents();
+    std::sort(fe.begin(), fe.end());
+    std::sort(re.begin(), re.end());
+    EXPECT_EQ(fe, re);
+    EXPECT_EQ(flat.cache->dirtyLines(), 0u);
+    EXPECT_EQ(ref.cache->dirtyLines(), 0u);
+}
+
+TEST(LineStoreDifferential, LineRefApiMatchesWordAccess)
+{
+    StoreRig flat(CacheModel::LineStore::Flat);
+    StoreRig ref(CacheModel::LineStore::Reference);
+
+    // Reference store never exposes lines: callers must fall back,
+    // which keeps the two stores behaviourally interchangeable.
+    ref.cache->writeU64(0, 1);
+    EXPECT_EQ(ref.cache->peekLine(0), nullptr);
+    EXPECT_EQ(ref.cache->touchLine(0), nullptr);
+    EXPECT_FALSE(ref.cache->findLineMut(0));
+
+    // Flat store: a dirty line is visible through the pointer and
+    // writes through it are visible to word reads.
+    flat.cache->writeU64(0, 0x1122334455667788ull);
+    const uint8_t *line = flat.cache->peekLine(0);
+    ASSERT_NE(line, nullptr);
+    uint64_t word = 0;
+    std::memcpy(&word, line, 8);
+    EXPECT_EQ(word, 0x1122334455667788ull);
+    EXPECT_EQ(flat.cache->peekLine(CacheModel::kLineSize), nullptr);
+
+    auto mut = flat.cache->findLineMut(0);
+    ASSERT_TRUE(mut);
+    const uint64_t patched = 0xdeadbeefull;
+    flat.cache->touchLineRef(mut);
+    std::memcpy(mut.data + 8, &patched, 8);
+    EXPECT_EQ(flat.cache->readU64(8), patched);
+
+    // touchLine refreshes recency exactly as a write would: fill the
+    // cache, touch the oldest line, and the *second*-oldest must be
+    // the eviction victim.
+    StoreRig lru(CacheModel::LineStore::Flat, 2 * CacheModel::kLineSize);
+    lru.cache->writeU64(0 * CacheModel::kLineSize, 1);
+    lru.cache->writeU64(1 * CacheModel::kLineSize, 2);
+    ASSERT_NE(lru.cache->touchLine(0), nullptr);
+    lru.cache->writeU64(2 * CacheModel::kLineSize, 3); // evicts line 1
+    auto events = lru.drainEvents();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].first, CacheModel::kLineSize);
+    EXPECT_FALSE(events[0].second);
+}
+
 // Platform presets --------------------------------------------------------
 
 TEST(Platforms, Table2WbinvdCalibration)

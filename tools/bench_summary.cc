@@ -10,20 +10,32 @@
  * change, which counters moved.
  *
  * Usage: bench_summary [dir] [--counter=NAME[,NAME...]]
+ *                      [--gate=NAME:PCT]
  * (default dir: current directory; each named counter gets a column)
+ *
+ * --gate=NAME:PCT turns the trajectory into a regression gate: for
+ * each bench whose records carry counter NAME, the newest record
+ * must not fall more than PCT percent below the previous one
+ * (higher-is-better counters such as ops/sec). Fewer than two
+ * records is a pass — a gate cannot regress against nothing.
  *
  * Schema: beyond the common fields, benches may append extra
  * top-level integer fields via bench::recordField(). fleet_storm
  * records MUST carry "nodes" and "replication" (the fleet shape a
- * run measured); a fleet_storm record without them is an old or
- * broken writer, and silently collating it would misattribute its
- * recovery times, so it is a hard error, not a skipped line.
+ * run measured), and kv_throughput records MUST carry "workers"
+ * (rates at different worker counts are not one trajectory); a
+ * record without its required fields is an old or broken writer,
+ * and silently collating it would misattribute its numbers, so it
+ * is a hard error, not a skipped line.
  */
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -47,6 +59,8 @@ struct Run
     size_t counters = 0;
     /// --counter=A,B extracts, one per requested name ("-" absent).
     std::vector<std::string> counterValues;
+    /// Same extraction numerically (NaN when absent), for --gate.
+    std::vector<double> numericValues;
 };
 
 /** Counter values are integral u64s; avoid the %g round-trip. */
@@ -95,20 +109,23 @@ collectFile(const fs::path &path,
         }
         Run run;
         run.bench = stringField(record, "bench");
-        // Fleet records without their shape are uncomparable across
+        // Records without their shape fields are uncomparable across
         // runs; fail loudly rather than tabulating them bare.
-        if (run.bench == "fleet_storm") {
-            for (const char *key : {"nodes", "replication"}) {
-                const Value *field = record.find(key);
-                if (field == nullptr ||
-                    field->type != Value::Type::Number) {
-                    std::fprintf(stderr,
-                                 "bench_summary: %s:%zu: fleet_storm "
-                                 "record lacks required integer field "
-                                 "'%s'\n",
-                                 path.c_str(), lineno, key);
-                    ok = false;
-                }
+        std::vector<const char *> required;
+        if (run.bench == "fleet_storm")
+            required = {"nodes", "replication"};
+        else if (run.bench == "kv_throughput")
+            required = {"workers"};
+        for (const char *key : required) {
+            const Value *field = record.find(key);
+            if (field == nullptr ||
+                field->type != Value::Type::Number) {
+                std::fprintf(stderr,
+                             "bench_summary: %s:%zu: %s record lacks "
+                             "required integer field '%s'\n",
+                             path.c_str(), lineno, run.bench.c_str(),
+                             key);
+                ok = false;
             }
         }
         run.utc = stringField(record, "utc");
@@ -129,10 +146,14 @@ collectFile(const fs::path &path,
             const Value *value =
                 counters != nullptr ? counters->find(name.c_str())
                                     : nullptr;
+            const bool present =
+                value != nullptr && value->type == Value::Type::Number;
             run.counterValues.push_back(
-                value != nullptr && value->type == Value::Type::Number
-                    ? formatCounter(value->number)
-                    : std::string("-"));
+                present ? formatCounter(value->number)
+                        : std::string("-"));
+            run.numericValues.push_back(
+                present ? value->number
+                        : std::numeric_limits<double>::quiet_NaN());
         }
         runs->push_back(std::move(run));
     }
@@ -146,17 +167,44 @@ main(int argc, char **argv)
 {
     std::string dir = ".";
     std::vector<std::string> counter_names;
+    std::string gate_counter;
+    double gate_pct = 0.0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
             std::printf(
-                "usage: bench_summary [dir] [--counter=NAME[,NAME...]]\n"
+                "usage: bench_summary [dir] [--counter=NAME[,NAME...]]"
+                " [--gate=NAME:PCT]\n"
                 "collates BENCH_*.json records (written by benches "
                 "run with --metrics-out=) into one table;\n"
                 "--counter adds a column per named counter tracking "
                 "its value across the runs\n(comma-separated and/or "
-                "repeated)\n");
+                "repeated);\n"
+                "--gate fails (exit 1) when the newest record's "
+                "counter NAME drops more than PCT%% below\nthe "
+                "previous record's (per bench; fewer than two records "
+                "passes)\n");
             return 0;
+        }
+        if (arg.rfind("--gate=", 0) == 0) {
+            const std::string spec = arg.substr(7);
+            const size_t colon = spec.rfind(':');
+            if (colon == std::string::npos || colon == 0 ||
+                colon + 1 == spec.size()) {
+                std::fprintf(stderr, "bench_summary: --gate wants "
+                             "NAME:PCT, got '%s'\n",
+                             spec.c_str());
+                return 1;
+            }
+            gate_counter = spec.substr(0, colon);
+            gate_pct = std::strtod(spec.c_str() + colon + 1, nullptr);
+            if (gate_pct < 0.0 || gate_pct >= 100.0) {
+                std::fprintf(stderr, "bench_summary: --gate percent "
+                             "must be in [0, 100), got %.3f\n",
+                             gate_pct);
+                return 1;
+            }
+            continue;
         }
         if (arg.rfind("--counter=", 0) == 0) {
             // Comma-separated list; the flag may also repeat.
@@ -176,6 +224,17 @@ main(int argc, char **argv)
         } else {
             dir = arg;
         }
+    }
+
+    // The gate counter is also a display column (and shares the
+    // nobody-carries-it typo check below).
+    size_t gate_index = counter_names.size();
+    if (!gate_counter.empty()) {
+        const auto it = std::find(counter_names.begin(),
+                                  counter_names.end(), gate_counter);
+        gate_index = static_cast<size_t>(it - counter_names.begin());
+        if (it == counter_names.end())
+            counter_names.push_back(gate_counter);
     }
 
     std::vector<fs::path> files;
@@ -246,5 +305,52 @@ main(int argc, char **argv)
         table.addRow(row);
     }
     table.print();
+
+    // Regression gate: per bench, newest vs previous record of the
+    // gated counter (runs are already bench-then-UTC ordered).
+    if (!gate_counter.empty()) {
+        size_t gated_benches = 0;
+        for (size_t i = 0; i < runs.size();) {
+            size_t j = i;
+            std::vector<double> values;
+            while (j < runs.size() && runs[j].bench == runs[i].bench) {
+                const double v = runs[j].numericValues[gate_index];
+                if (!std::isnan(v))
+                    values.push_back(v);
+                ++j;
+            }
+            if (values.size() >= 2) {
+                ++gated_benches;
+                const double previous = values[values.size() - 2];
+                const double newest = values.back();
+                const double floor =
+                    previous * (1.0 - gate_pct / 100.0);
+                if (newest < floor) {
+                    std::fprintf(
+                        stderr,
+                        "bench_summary: GATE FAIL: %s '%s' fell %.2f%% "
+                        "(%s -> %s, allowed drop %.2f%%)\n",
+                        runs[i].bench.c_str(), gate_counter.c_str(),
+                        100.0 * (1.0 - newest / previous),
+                        formatCounter(previous).c_str(),
+                        formatCounter(newest).c_str(), gate_pct);
+                    ok = false;
+                } else {
+                    std::printf("gate: %s '%s' %s -> %s (within "
+                                "%.2f%%)\n",
+                                runs[i].bench.c_str(),
+                                gate_counter.c_str(),
+                                formatCounter(previous).c_str(),
+                                formatCounter(newest).c_str(),
+                                gate_pct);
+                }
+            }
+            i = j;
+        }
+        if (gated_benches == 0)
+            std::printf("gate: fewer than two records carry '%s'; "
+                        "nothing to compare, pass\n",
+                        gate_counter.c_str());
+    }
     return ok ? 0 : 1;
 }
